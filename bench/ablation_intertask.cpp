@@ -1,0 +1,79 @@
+// Ablation of the inter-task optimisation (Section 6): hybrid with and
+// without the tail prefetch, the lookahead depth, whether the horizon may
+// cross iteration boundaries, and the extension that prefetches beyond the
+// critical subtasks.
+
+#include <iostream>
+
+#include "sim/workloads.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace drhw;
+
+struct Config {
+  const char* label;
+  bool intertask;
+  bool cross_iteration;
+  int depth;
+  bool beyond_critical;
+};
+
+void run_block(const char* title, bool pocket_gl, int tiles,
+               ReplacementPolicy policy) {
+  std::cout << title << "\n";
+  const auto platform = virtex2_platform(tiles);
+  std::unique_ptr<MultimediaWorkload> mm;
+  std::unique_ptr<PocketGlWorkload> gl;
+  IterationSampler sampler;
+  if (pocket_gl) {
+    gl = make_pocket_gl_workload(platform);
+    sampler = pocket_gl_task_sampler(*gl);
+  } else {
+    mm = make_multimedia_workload(platform);
+    sampler = multimedia_sampler(*mm);
+  }
+
+  const Config configs[] = {
+      {"no inter-task", false, false, 1, false},
+      {"subsequent task only (paper)", true, false, 1, false},
+      {"cross-iteration, depth 1", true, true, 1, false},
+      {"cross-iteration, depth 3", true, true, 3, false},
+      {"depth 3 + beyond-critical", true, true, 3, true},
+  };
+
+  TablePrinter table({"configuration", "hybrid overhead", "init loads",
+                      "prefetches"});
+  for (const auto& cfg : configs) {
+    SimOptions opt;
+    opt.platform = platform;
+    opt.approach = Approach::hybrid;
+    opt.replacement = policy;
+    opt.hybrid_intertask = cfg.intertask;
+    opt.cross_iteration_lookahead = cfg.cross_iteration;
+    opt.intertask_lookahead = cfg.depth;
+    opt.intertask_beyond_critical = cfg.beyond_critical;
+    opt.seed = 31;
+    opt.iterations = 400;
+    const auto report = run_simulation(opt, sampler);
+    table.add_row({cfg.label, fmt_pct(report.overhead_pct, 2),
+                   std::to_string(report.init_loads),
+                   std::to_string(report.intertask_prefetches)});
+  }
+  table.print(std::cout);
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Inter-task optimisation ablation (400 iterations each)\n\n";
+  run_block("Multimedia set, 8 tiles, LRU replacement:", false, 8,
+            ReplacementPolicy::lru);
+  run_block("Pocket GL, 5 tiles, critical-first replacement:", true, 5,
+            ReplacementPolicy::critical_first);
+  run_block("Pocket GL, 8 tiles, critical-first replacement:", true, 8,
+            ReplacementPolicy::critical_first);
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Ablation: reconfiguration latency. Section 4 argues that coarse-grain
+// DRHW with much smaller reconfiguration overhead shifts work toward more,
+// finer subtasks while keeping the scheduling problem alive — here the
+// multimedia set is swept from Virtex-II fine grain (4 ms) down to a fast
+// coarse-grain array (0.25 ms) at 8 tiles.
+
+#include <iostream>
+
+#include "prefetch/critical_subtasks.hpp"
+#include "schedule/list_scheduler.hpp"
+#include "sim/workloads.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace drhw;
+  std::cout << "Reconfiguration-latency ablation — multimedia set, 8 tiles, "
+               "400 iterations\n\n";
+  TablePrinter table({"latency", "no-prefetch", "design-time", "run-time",
+                      "hybrid", "critical subtasks"});
+
+  for (const time_us latency : {ms(4), ms(2), ms(1), us(500), us(250)}) {
+    PlatformConfig platform = virtex2_platform(8);
+    platform.reconfig_latency = latency;
+    const auto workload = make_multimedia_workload(platform);
+    const auto sampler = multimedia_sampler(*workload);
+
+    double overhead[4] = {0, 0, 0, 0};
+    const Approach approaches[4] = {
+        Approach::no_prefetch, Approach::design_time_prefetch,
+        Approach::runtime_heuristic, Approach::hybrid};
+    for (int a = 0; a < 4; ++a) {
+      SimOptions opt;
+      opt.platform = platform;
+      opt.approach = approaches[a];
+      opt.seed = 7;
+      opt.iterations = 400;
+      overhead[a] = run_simulation(opt, sampler).overhead_pct;
+    }
+
+    int critical = 0, total = 0;
+    for (const auto& per_task : workload->prepared)
+      for (const auto& prepared : per_task) {
+        critical += static_cast<int>(prepared.hybrid.critical.size());
+        total += static_cast<int>(prepared.graph->drhw_count());
+      }
+
+    table.add_row({fmt_ms(latency, 2) + " ms", fmt_pct(overhead[0]),
+                   fmt_pct(overhead[1]), fmt_pct(overhead[2], 2),
+                   fmt_pct(overhead[3], 2),
+                   std::to_string(critical) + "/" + std::to_string(total)});
+  }
+  table.print(std::cout);
+  std::cout << "\nSmaller latencies shrink both the problem and the CS sets "
+               "— but the hybrid's\nrelative advantage (design-time "
+               "computation, run-time flexibility) is preserved.\n";
+  return 0;
+}

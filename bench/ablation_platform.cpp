@@ -1,0 +1,125 @@
+// Ablation: platform-model extensions beyond the paper — ICN communication
+// latency (per-hop mesh cost) and multi-port reconfiguration controllers —
+// evaluated on the Table 1 tasks without reuse, like the paper's
+// deterministic columns.
+
+#include <iostream>
+
+#include "apps/multimedia.hpp"
+#include "prefetch/bnb.hpp"
+#include "prefetch/list_prefetch.hpp"
+#include "schedule/list_scheduler.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace drhw;
+
+struct Numbers {
+  double ideal_ms = 0;
+  double on_demand_pct = 0;
+  double prefetch_pct = 0;
+};
+
+Numbers measure(const std::vector<BenchmarkTask>& tasks,
+                const PlatformConfig& platform) {
+  Numbers out;
+  double ideal = 0, od = 0, pf = 0;
+  for (const auto& task : tasks) {
+    for (const auto& g : task.scenarios) {
+      const auto placement = list_schedule_icn(g, platform);
+      ideal += static_cast<double>(placement.ideal_makespan);
+      std::vector<bool> needs(g.size(), false);
+      for (std::size_t s = 0; s < g.size(); ++s)
+        needs[s] = placement.on_drhw(static_cast<SubtaskId>(s));
+      LoadPlan demand;
+      demand.policy = LoadPolicy::on_demand;
+      demand.needs_load = needs;
+      od += static_cast<double>(
+          evaluate(g, placement, platform, demand).makespan -
+          placement.ideal_makespan);
+      pf += static_cast<double>(
+          list_prefetch(g, placement, platform, needs).makespan -
+          placement.ideal_makespan);
+    }
+  }
+  out.ideal_ms = ideal / 1000.0;
+  out.on_demand_pct = 100.0 * od / ideal;
+  out.prefetch_pct = 100.0 * pf / ideal;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace drhw;
+  ConfigSpace configs;
+  const auto tasks = make_multimedia_taskset(configs);
+
+  std::cout
+      << "ICN communication-latency sweep (3x3 mesh, multimedia set, no "
+         "reuse).\n"
+         "Two initial-schedule styles are compared under the *same* ICN "
+         "cost model:\n"
+         "  packed  — communication-aware list scheduler (pulls chains "
+         "onto one tile),\n"
+         "  spread  — communication-oblivious scheduler (one subtask per "
+         "tile).\n"
+         "Packing minimises communication but removes every prefetch "
+         "window: a load\non a shared tile cannot start before the "
+         "previous execution finishes.\n\n";
+  TablePrinter icn_table({"hop latency", "packed: total", "packed: prefetch",
+                          "spread: total", "spread: prefetch"});
+  for (const time_us hop : {us(0), us(100), us(250), us(500), ms(1), ms(4)}) {
+    PlatformConfig platform = virtex2_platform(9);
+    platform.icn.mesh_width = 3;
+    platform.icn.hop_latency = hop;
+    platform.icn.isp_bridge_latency = hop;
+
+    auto total_with = [&](bool comm_aware) {
+      double total = 0, ideal = 0;
+      for (const auto& task : tasks)
+        for (const auto& g : task.scenarios) {
+          const auto placement = comm_aware
+                                     ? list_schedule_icn(g, platform)
+                                     : list_schedule(g, platform.tiles);
+          std::vector<bool> needs(g.size(), false);
+          for (std::size_t s = 0; s < g.size(); ++s)
+            needs[s] = placement.on_drhw(static_cast<SubtaskId>(s));
+          total += static_cast<double>(
+              list_prefetch(g, placement, platform, needs).makespan);
+          ideal += static_cast<double>(placement.ideal_makespan);
+        }
+      return std::pair<double, double>(total, 100.0 * (total - ideal) / ideal);
+    };
+    const auto [packed_total, packed_pct] = total_with(true);
+    const auto [spread_total, spread_pct] = total_with(false);
+    icn_table.add_row({fmt_ms(hop, 2) + " ms",
+                       fmt(packed_total / 1000.0, 1) + " ms",
+                       "+" + fmt_pct(packed_pct, 1),
+                       fmt(spread_total / 1000.0, 1) + " ms",
+                       "+" + fmt_pct(spread_pct, 1)});
+  }
+  icn_table.print(std::cout);
+  std::cout << "\nAs long as a hop costs less than the exposed load latency, "
+               "the spread placement\nwins overall even though it pays for "
+               "every message — prefetchability beats\nlocality, which is "
+               "why the paper's initial schedules use one subtask per "
+               "tile.\n\n";
+
+  std::cout << "Reconfiguration-port sweep (multimedia set, no reuse)\n\n";
+  TablePrinter port_table({"ports", "on-demand", "prefetch [7]"});
+  for (int ports = 1; ports <= 4; ++ports) {
+    PlatformConfig platform = virtex2_platform(8);
+    platform.reconfig_ports = ports;
+    const auto n = measure(tasks, platform);
+    port_table.add_row({std::to_string(ports),
+                        "+" + fmt_pct(n.on_demand_pct, 1),
+                        "+" + fmt_pct(n.prefetch_pct, 1)});
+  }
+  port_table.print(std::cout);
+  std::cout << "\nExtra ports barely help the prefetched schedules: on these "
+               "graphs a single\nserialised port is already hidden behind "
+               "computation — the paper's premise.\n";
+  return 0;
+}

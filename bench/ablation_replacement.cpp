@@ -1,0 +1,76 @@
+// Ablation: how the replacement policy of the reuse module (paper ref. [6],
+// not machine-readable today) changes the Figure 6/7 results. The paper's
+// own policy is bracketed between our LRU (matches the fig. 6 reuse rate)
+// and the lookahead-based policies (matches the fig. 7 behaviour).
+
+#include <iostream>
+
+#include "sim/workloads.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace drhw;
+
+void run_block(const char* title, bool pocket_gl, int tiles) {
+  std::cout << title << "\n";
+  TablePrinter table({"policy", "run-time", "run-time+inter-task", "hybrid",
+                      "reuse%(hybrid)", "loads(hybrid)"});
+  const ReplacementPolicy policies[] = {
+      ReplacementPolicy::lru, ReplacementPolicy::weight_aware,
+      ReplacementPolicy::critical_first, ReplacementPolicy::random_tile,
+      ReplacementPolicy::oracle};
+
+  const auto platform = virtex2_platform(tiles);
+  std::unique_ptr<MultimediaWorkload> mm;
+  std::unique_ptr<PocketGlWorkload> gl;
+  IterationSampler sampler;
+  if (pocket_gl) {
+    gl = make_pocket_gl_workload(platform);
+    sampler = pocket_gl_task_sampler(*gl);
+  } else {
+    mm = make_multimedia_workload(platform);
+    sampler = multimedia_sampler(*mm);
+  }
+
+  for (const auto policy : policies) {
+    double overhead[3] = {0, 0, 0};
+    double reuse = 0;
+    long loads = 0;
+    const Approach approaches[3] = {Approach::runtime_heuristic,
+                                    Approach::runtime_intertask,
+                                    Approach::hybrid};
+    for (int a = 0; a < 3; ++a) {
+      SimOptions opt;
+      opt.platform = platform;
+      opt.approach = approaches[a];
+      opt.replacement = policy;
+      opt.seed = 99;
+      opt.iterations = 400;
+      opt.cross_iteration_lookahead = pocket_gl;
+      opt.intertask_lookahead = pocket_gl ? 3 : 1;
+      const auto report = run_simulation(opt, sampler);
+      overhead[a] = report.overhead_pct;
+      if (approaches[a] == Approach::hybrid) {
+        reuse = report.reuse_pct;
+        loads = report.loads;
+      }
+    }
+    table.add_row({to_string(policy), fmt_pct(overhead[0], 2),
+                   fmt_pct(overhead[1], 2), fmt_pct(overhead[2], 2),
+                   fmt_pct(reuse), std::to_string(loads)});
+  }
+  table.print(std::cout);
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Replacement-policy ablation (400 iterations each)\n\n";
+  run_block("Multimedia set, 8 tiles:", /*pocket_gl=*/false, 8);
+  run_block("Multimedia set, 12 tiles:", /*pocket_gl=*/false, 12);
+  run_block("Pocket GL, 5 tiles:", /*pocket_gl=*/true, 5);
+  run_block("Pocket GL, 8 tiles:", /*pocket_gl=*/true, 8);
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Regenerates Figure 6 of the paper: reconfiguration overhead of the
+// multimedia task set under dynamic behaviour (1000 iterations, random
+// application mix) as a function of the DRHW tile count (8..16), for the
+// run-time heuristic [7], run-time + inter-task, and the hybrid heuristic.
+// The two baselines quoted in the text (no prefetch: 23%; design-time
+// optimal prefetch: 7%) are printed alongside.
+//
+// Replacement policy: LRU — chosen because it reproduces the paper's
+// "<20% of the subtasks reused (for 8 tiles)". The replacement ablation
+// bench sweeps the other policies.
+
+#include <iostream>
+
+#include "sim/workloads.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace drhw;
+  constexpr int k_iterations = 1000;
+  constexpr std::uint64_t k_seed = 2005;
+
+  std::cout << "Figure 6 — overhead vs DRHW tiles, multimedia set, "
+            << k_iterations << " random iterations\n\n";
+  TablePrinter table({"tiles", "no-prefetch", "design-time", "run-time",
+                      "run-time+inter-task", "hybrid", "reuse%(run-time)"});
+
+  for (int tiles = 8; tiles <= 16; ++tiles) {
+    const auto platform = virtex2_platform(tiles);
+    const auto workload = make_multimedia_workload(platform);
+    const auto sampler = multimedia_sampler(*workload);
+
+    double overhead[5] = {0, 0, 0, 0, 0};
+    double reuse_rt = 0;
+    const Approach approaches[5] = {
+        Approach::no_prefetch, Approach::design_time_prefetch,
+        Approach::runtime_heuristic, Approach::runtime_intertask,
+        Approach::hybrid};
+    for (int a = 0; a < 5; ++a) {
+      SimOptions opt;
+      opt.platform = platform;
+      opt.approach = approaches[a];
+      opt.replacement = ReplacementPolicy::lru;
+      opt.seed = k_seed;
+      opt.iterations = k_iterations;
+      const auto report = run_simulation(opt, sampler);
+      overhead[a] = report.overhead_pct;
+      if (approaches[a] == Approach::runtime_heuristic)
+        reuse_rt = report.reuse_pct;
+    }
+    table.add_row({std::to_string(tiles), fmt_pct(overhead[0]),
+                   fmt_pct(overhead[1]), fmt_pct(overhead[2], 2),
+                   fmt_pct(overhead[3], 2), fmt_pct(overhead[4], 2),
+                   fmt_pct(reuse_rt)});
+  }
+  table.print(std::cout);
+
+  std::cout
+      << "\npaper reference: no-prefetch 23%, design-time optimal 7%,\n"
+         "run-time ~3% at 8 tiles (with <20% reuse), run-time+inter-task\n"
+         "and hybrid at most 1.3% (>=95% of the original overhead hidden);\n"
+         "run-time+inter-task slightly better than hybrid.\n";
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Regenerates Figure 7 of the paper: reconfiguration overhead of the Pocket
+// GL 3D rendering application as a function of the DRHW tile count (5..10),
+// for the run-time heuristic, run-time + inter-task and the hybrid
+// heuristic, plus the baselines quoted in the text (71% without prefetch,
+// 25% with a design-time optimal prefetch over the enumerable inter-task
+// scenarios). Also reports the fraction of critical subtasks (paper: 62%).
+//
+// Replacement policy: critical-first with cross-frame lookahead — the frame
+// pipeline repeats every iteration, so the run-time scheduler always knows
+// the upcoming tasks (paper Section 6: the TCM run-time emits the scheduled
+// task sequence).
+
+#include <iostream>
+
+#include "prefetch/critical_subtasks.hpp"
+#include "schedule/list_scheduler.hpp"
+#include "sim/workloads.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace drhw;
+  constexpr int k_frames = 1000;
+  constexpr std::uint64_t k_seed = 2005;
+
+  std::cout << "Figure 7 — overhead vs DRHW tiles, Pocket GL renderer, "
+            << k_frames << " frames\n\n";
+  TablePrinter table({"tiles", "no-prefetch", "design-time", "run-time",
+                      "run-time+inter-task", "hybrid", "reuse%(hybrid)"});
+
+  double critical_pct = 0.0;
+  for (int tiles = 5; tiles <= 10; ++tiles) {
+    const auto platform = virtex2_platform(tiles);
+    const auto workload = make_pocket_gl_workload(platform);
+    const auto task_sampler = pocket_gl_task_sampler(*workload);
+    const auto frame_sampler = pocket_gl_frame_sampler(*workload);
+
+    double overhead[5] = {0, 0, 0, 0, 0};
+    double reuse_hybrid = 0;
+    const Approach approaches[5] = {
+        Approach::no_prefetch, Approach::design_time_prefetch,
+        Approach::runtime_heuristic, Approach::runtime_intertask,
+        Approach::hybrid};
+    for (int a = 0; a < 5; ++a) {
+      SimOptions opt;
+      opt.platform = platform;
+      opt.approach = approaches[a];
+      opt.replacement = ReplacementPolicy::critical_first;
+      opt.cross_iteration_lookahead = true;
+      opt.intertask_lookahead = 3;
+      opt.seed = k_seed;
+      opt.iterations = k_frames;
+      // Baselines see the merged frame graph (the 20 inter-task scenarios
+      // are enumerable at design time); the run-time approaches schedule
+      // task by task.
+      const bool merged = approaches[a] == Approach::design_time_prefetch;
+      const auto report =
+          run_simulation(opt, merged ? frame_sampler : task_sampler);
+      overhead[a] = report.overhead_pct;
+      if (approaches[a] == Approach::hybrid) reuse_hybrid = report.reuse_pct;
+    }
+    table.add_row({std::to_string(tiles), fmt_pct(overhead[0]),
+                   fmt_pct(overhead[1]), fmt_pct(overhead[2], 2),
+                   fmt_pct(overhead[3], 2), fmt_pct(overhead[4], 2),
+                   fmt_pct(reuse_hybrid)});
+
+    // Critical-subtask statistics (tile-count independent for these small
+    // tasks; compute once).
+    if (tiles == 5) {
+      int critical = 0, total = 0;
+      for (const auto& combo : workload->app.combos) {
+        for (std::size_t t = 0; t < workload->app.tasks.size(); ++t) {
+          const auto& prepared =
+              workload->prepared[t][static_cast<std::size_t>(
+                  combo.scenario_of_task[t])];
+          critical += static_cast<int>(prepared.hybrid.critical.size());
+          total += static_cast<int>(prepared.graph->size());
+        }
+      }
+      critical_pct = 100.0 * critical / total;
+    }
+  }
+  table.print(std::cout);
+
+  std::cout << "\ncritical subtasks: " << fmt_pct(critical_pct, 1)
+            << " (paper: 62%)\n";
+  std::cout
+      << "\npaper reference: initial overhead 71%, design-time optimal 25%,\n"
+         "hybrid 5% at five tiles and <2% at eight tiles (>=93% hidden).\n";
+  return 0;
+}

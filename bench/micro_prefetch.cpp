@@ -1,0 +1,112 @@
+// google-benchmark microbenchmarks of the scheduling kernels: the
+// evaluator, the run-time list-prefetch heuristic [7] (N log N), the
+// branch & bound search, the critical-subtask loop, and the hybrid
+// run-time phase (which the paper argues is effectively free).
+
+#include <benchmark/benchmark.h>
+
+#include "graph/generators.hpp"
+#include "prefetch/bnb.hpp"
+#include "prefetch/critical_subtasks.hpp"
+#include "prefetch/hybrid.hpp"
+#include "prefetch/list_prefetch.hpp"
+#include "schedule/list_scheduler.hpp"
+
+namespace {
+
+using namespace drhw;
+
+struct Fixture {
+  SubtaskGraph graph;
+  Placement placement;
+  PlatformConfig platform = virtex2_platform(8);
+  std::vector<bool> needs;
+
+  explicit Fixture(int subtasks) {
+    Rng rng(static_cast<std::uint64_t>(subtasks) * 31 + 7);
+    LayeredGraphParams params;
+    params.subtasks = subtasks;
+    params.min_layer_width = 2;
+    params.max_layer_width = 6;
+    graph = make_layered_graph(params, rng);
+    placement = list_schedule(graph, platform.tiles);
+    needs.assign(graph.size(), false);
+    for (std::size_t s = 0; s < graph.size(); ++s)
+      needs[s] = placement.on_drhw(static_cast<SubtaskId>(s));
+  }
+};
+
+void BM_EvaluatorNoLoads(benchmark::State& state) {
+  Fixture f(static_cast<int>(state.range(0)));
+  LoadPlan none;
+  none.policy = LoadPolicy::explicit_order;
+  none.needs_load.assign(f.graph.size(), false);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        evaluate(f.graph, f.placement, f.platform, none).makespan);
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_EvaluatorNoLoads)->RangeMultiplier(2)->Range(14, 448)->Complexity();
+
+void BM_ListPrefetch(benchmark::State& state) {
+  Fixture f(static_cast<int>(state.range(0)));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        list_prefetch(f.graph, f.placement, f.platform, f.needs).makespan);
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ListPrefetch)->RangeMultiplier(2)->Range(14, 448)->Complexity();
+
+void BM_OnDemand(benchmark::State& state) {
+  Fixture f(static_cast<int>(state.range(0)));
+  LoadPlan plan;
+  plan.policy = LoadPolicy::on_demand;
+  plan.needs_load = f.needs;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        evaluate(f.graph, f.placement, f.platform, plan).makespan);
+}
+BENCHMARK(BM_OnDemand)->Arg(14)->Arg(112)->Arg(448);
+
+void BM_BranchAndBound(benchmark::State& state) {
+  Fixture f(static_cast<int>(state.range(0)));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        optimal_prefetch(f.graph, f.placement, f.platform, f.needs)
+            .eval.makespan);
+}
+BENCHMARK(BM_BranchAndBound)->DenseRange(4, 9, 1);
+
+void BM_CriticalSubtaskLoop(benchmark::State& state) {
+  Fixture f(static_cast<int>(state.range(0)));
+  HybridDesignOptions options;
+  options.scheduler = DesignScheduler::list_heuristic;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        compute_hybrid_schedule(f.graph, f.placement, f.platform, options)
+            .critical.size());
+}
+BENCHMARK(BM_CriticalSubtaskLoop)->Arg(14)->Arg(56)->Arg(224);
+
+void BM_HybridRuntimePhase(benchmark::State& state) {
+  Fixture f(static_cast<int>(state.range(0)));
+  HybridDesignOptions options;
+  options.scheduler = DesignScheduler::list_heuristic;
+  const auto design =
+      compute_hybrid_schedule(f.graph, f.placement, f.platform, options);
+  std::vector<bool> resident(f.graph.size(), false);
+  Rng rng(3);
+  for (std::size_t s = 0; s < resident.size(); ++s)
+    if (f.needs[s]) resident[s] = rng.next_bool(0.3);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        hybrid_runtime(f.graph, f.placement, f.platform, design, resident)
+            .total_makespan);
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_HybridRuntimePhase)
+    ->RangeMultiplier(2)
+    ->Range(14, 448)
+    ->Complexity();
+
+}  // namespace

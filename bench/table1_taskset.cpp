@@ -1,0 +1,96 @@
+// Regenerates Table 1 of the paper: for each multimedia task, the subtask
+// count, ideal execution time, the overhead when every configuration is
+// loaded on demand, and the overhead under the optimal prefetch schedule
+// (no reuse in either case, 4 ms reconfiguration latency).
+//
+// Paper values: Pattern Rec 6/94ms/+17%/+4%; JPEG dec 4/81ms/+20%/+5%;
+// Parallel JPEG 8/57ms/+35%/+7%; MPEG encoder 5/33ms/+56%/+18%.
+
+#include <iostream>
+
+#include "apps/multimedia.hpp"
+#include "platform/platform.hpp"
+#include "prefetch/bnb.hpp"
+#include "prefetch/load_plan.hpp"
+#include "schedule/list_scheduler.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace drhw;
+
+struct Row {
+  std::size_t subtasks = 0;
+  double ideal_ms = 0;
+  double overhead_pct = 0;
+  double prefetch_pct = 0;
+  double hidden_pct = 0;  // fraction of load latency hidden by prefetch
+};
+
+Row measure_task(const BenchmarkTask& task, const PlatformConfig& platform) {
+  Row row;
+  double ideal_sum = 0, od_sum = 0, opt_sum = 0, load_time = 0;
+  for (const auto& graph : task.scenarios) {
+    const auto placement = list_schedule(graph, platform.tiles);
+    const time_us ideal = placement.ideal_makespan;
+    const auto od = evaluate(graph, placement, platform,
+                             on_demand_all(graph, placement));
+    std::vector<bool> all(graph.size(), false);
+    for (std::size_t s = 0; s < graph.size(); ++s)
+      all[s] = placement.on_drhw(static_cast<SubtaskId>(s));
+    const auto opt = optimal_prefetch(graph, placement, platform, all);
+
+    row.subtasks = graph.size();
+    ideal_sum += static_cast<double>(ideal);
+    od_sum += static_cast<double>(od.makespan - ideal);
+    opt_sum += static_cast<double>(opt.eval.makespan - ideal);
+    load_time += static_cast<double>(graph.drhw_count()) *
+                 static_cast<double>(platform.reconfig_latency);
+  }
+  const auto n = static_cast<double>(task.scenarios.size());
+  row.ideal_ms = ideal_sum / n / 1000.0;
+  row.overhead_pct = 100.0 * od_sum / ideal_sum;
+  row.prefetch_pct = 100.0 * opt_sum / ideal_sum;
+  row.hidden_pct = 100.0 * (1.0 - opt_sum / load_time);
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  using namespace drhw;
+  const auto platform = virtex2_platform(8);
+  ConfigSpace configs;
+  const auto tasks = make_multimedia_taskset(configs);
+
+  std::cout << "Table 1 — Set of multimedia benchmarks "
+               "(4 ms reconfiguration latency, no reuse)\n\n";
+  TablePrinter table({"Set of Task", "Sub-tasks", "Ideal ex time",
+                      "Overhead", "Prefetch", "Loads hidden"});
+  const char* paper[4][3] = {{"+17%", "+4%", ""},
+                             {"+20%", "+5%", ""},
+                             {"+35%", "+7%", ""},
+                             {"+56%", "+18%", ""}};
+  int i = 0;
+  for (const auto& task : tasks) {
+    const Row row = measure_task(task, platform);
+    table.add_row({task.name, std::to_string(row.subtasks),
+                   fmt(row.ideal_ms, 0) + " ms",
+                   "+" + fmt_pct(row.overhead_pct, 1),
+                   "+" + fmt_pct(row.prefetch_pct, 1),
+                   fmt_pct(row.hidden_pct, 0)});
+    ++i;
+  }
+  table.print(std::cout);
+
+  std::cout << "\npaper reference:       overhead / prefetch\n";
+  const char* names[4] = {"pattern_rec", "jpeg_dec", "parallel_jpeg",
+                          "mpeg_enc"};
+  for (int r = 0; r < 4; ++r)
+    std::cout << "  " << names[r] << ": " << paper[r][0] << " / "
+              << paper[r][1] << "\n";
+  std::cout << "\nSection 5 claim: the prefetch heuristic hides >=75% of the"
+               " load latency\n(without reuse) — see the 'Loads hidden'"
+               " column above.\n";
+  return 0;
+}

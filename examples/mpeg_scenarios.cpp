@@ -1,0 +1,72 @@
+// Scenario-driven execution: the MPEG encoder has one graph per frame type
+// (B/P/I). The run-time scheduler selects the scenario following the GOP
+// frame sequence; the hybrid prefetch heuristic has one stored schedule and
+// CS set per scenario ready at design time. This example encodes a GOP
+// stream and compares the overhead of on-demand loading vs the hybrid
+// heuristic with reuse across frames.
+
+#include <iostream>
+#include <string>
+
+#include "apps/multimedia.hpp"
+#include "sim/system_sim.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace drhw;
+  const auto platform = virtex2_platform(8);
+
+  ConfigSpace configs;
+  const auto mpeg = make_mpeg_encoder(configs);
+
+  // Design-time flow for every scenario.
+  std::vector<PreparedScenario> prepared;
+  for (const auto& g : mpeg.scenarios)
+    prepared.push_back(prepare_scenario(g, platform.tiles, platform));
+
+  std::cout << "MPEG encoder scenarios (design-time results):\n";
+  TablePrinter info({"scenario", "ideal", "critical subtasks",
+                     "stored loads"});
+  for (std::size_t i = 0; i < prepared.size(); ++i) {
+    std::string cs;
+    for (SubtaskId s : prepared[i].hybrid.critical)
+      cs += mpeg.scenarios[i].subtask(s).name + " ";
+    info.add_row({mpeg.scenarios[i].name(),
+                  fmt_ms(prepared[i].ideal) + " ms", cs,
+                  std::to_string(prepared[i].hybrid.stored_order.size())});
+  }
+  info.print(std::cout);
+
+  // A classic 12-frame GOP: I BB P BB P BB P BB, repeated.
+  const int gop[12] = {2, 0, 0, 1, 0, 0, 1, 0, 0, 1, 0, 0};  // I=2,P=1,B=0
+  int cursor = 0;
+  IterationSampler gop_sampler = [&](Rng&) {
+    std::vector<const PreparedScenario*> frame{
+        &prepared[static_cast<std::size_t>(gop[cursor % 12])]};
+    ++cursor;
+    return frame;
+  };
+
+  std::cout << "\nEncoding 600 frames of the GOP pattern IBBPBBPBBPBB:\n";
+  TablePrinter results({"approach", "overhead", "loads", "reuse%"});
+  for (const Approach approach :
+       {Approach::no_prefetch, Approach::design_time_prefetch,
+        Approach::runtime_heuristic, Approach::hybrid}) {
+    cursor = 0;
+    SimOptions opt;
+    opt.platform = platform;
+    opt.approach = approach;
+    opt.cross_iteration_lookahead = true;  // the GOP stream is known
+    opt.seed = 5;
+    opt.iterations = 600;
+    const auto report = run_simulation(opt, gop_sampler);
+    results.add_row({to_string(approach), fmt_pct(report.overhead_pct, 1),
+                     std::to_string(report.loads),
+                     fmt_pct(report.reuse_pct, 0)});
+  }
+  results.print(std::cout);
+  std::cout << "\nThe B/P/I scenarios share their configurations, so after\n"
+               "the first frame the hybrid heuristic cancels every load and\n"
+               "the encoder runs at the ideal frame time.\n";
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Pocket GL demo: renders a stream of frames of the reconstructed 3D
+// pipeline (6 tasks, 10 subtasks, 20 inter-task scenarios) and reports how
+// each scheduling approach copes with the reconfiguration overhead — a
+// miniature of the paper's Figure 7 at one tile count, with per-task
+// critical-subtask details.
+
+#include <iostream>
+
+#include "sim/workloads.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace drhw;
+  const int tiles = 6;
+  const auto platform = virtex2_platform(tiles);
+  const auto workload = make_pocket_gl_workload(platform);
+
+  std::cout << "Pocket GL 3D renderer on " << tiles
+            << " DRHW tiles (4 ms reconfiguration)\n\n";
+
+  // Per-task design-time summary (first scenario of each task).
+  TablePrinter info({"task", "subtasks", "scenarios", "critical", "ideal"});
+  for (std::size_t t = 0; t < workload->app.tasks.size(); ++t) {
+    const auto& task = workload->app.tasks[t];
+    const auto& prepared = workload->prepared[t][0];
+    std::string cs;
+    for (SubtaskId s : prepared.hybrid.critical)
+      cs += task.scenarios[0].subtask(s).name + " ";
+    info.add_row({task.name, std::to_string(task.scenarios[0].size()),
+                  std::to_string(task.scenarios.size()), cs,
+                  fmt_ms(prepared.ideal, 1) + " ms"});
+  }
+  info.print(std::cout);
+
+  const auto task_sampler = pocket_gl_task_sampler(*workload);
+  const auto frame_sampler = pocket_gl_frame_sampler(*workload);
+
+  std::cout << "\nRendering 500 frames (random inter-task scenario per "
+               "frame):\n";
+  TablePrinter results(
+      {"approach", "overhead", "frame time", "loads/frame", "reuse%"});
+  for (const Approach approach :
+       {Approach::no_prefetch, Approach::design_time_prefetch,
+        Approach::runtime_heuristic, Approach::runtime_intertask,
+        Approach::hybrid}) {
+    SimOptions opt;
+    opt.platform = platform;
+    opt.approach = approach;
+    opt.replacement = ReplacementPolicy::critical_first;
+    opt.cross_iteration_lookahead = true;
+    opt.intertask_lookahead = 3;
+    opt.seed = 11;
+    opt.iterations = 500;
+    const bool merged = approach == Approach::design_time_prefetch;
+    const auto report =
+        run_simulation(opt, merged ? frame_sampler : task_sampler);
+    const double frames = 500.0;
+    results.add_row(
+        {to_string(approach), fmt_pct(report.overhead_pct, 1),
+         fmt(static_cast<double>(report.total_actual) / frames / 1000.0, 1) +
+             " ms",
+         fmt(static_cast<double>(report.loads) / frames, 1),
+         fmt_pct(report.reuse_pct, 0)});
+  }
+  results.print(std::cout);
+  std::cout << "\nThe hybrid heuristic keeps the frame time within a few\n"
+               "percent of the ideal 56.5 ms while taking its scheduling\n"
+               "decisions at design time.\n";
+  return 0;
+}

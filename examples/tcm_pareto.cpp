@@ -1,0 +1,70 @@
+// TCM integration example: the design-time scheduler produces a Pareto
+// curve (execution time x energy) per scenario by sweeping tile budgets;
+// the run-time selector picks the cheapest point that still meets the
+// deadline. The hybrid prefetch flow then runs once per Pareto point, so
+// whatever the selector picks, a zero-overhead stored schedule is ready.
+
+#include <iostream>
+
+#include "apps/multimedia.hpp"
+#include "prefetch/critical_subtasks.hpp"
+#include "tcm/pareto.hpp"
+#include "tcm/runtime_selector.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace drhw;
+  const auto platform = virtex2_platform(8);
+  ConfigSpace configs;
+  const auto task = make_parallel_jpeg(configs);
+  const auto& graph = task.scenarios[0];
+
+  const auto curve = build_pareto_curve(graph, 8, platform);
+  std::cout << "Pareto curve of the parallel JPEG decoder (tile sweep):\n\n";
+  TablePrinter table({"tiles", "exec time", "energy", "critical subtasks"});
+  for (const auto& point : curve) {
+    const auto design =
+        compute_hybrid_schedule(graph, point.placement, platform);
+    table.add_row({std::to_string(point.tiles),
+                   fmt_ms(point.exec_time, 1) + " ms", fmt(point.energy, 1),
+                   std::to_string(design.critical.size())});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nRun-time selection under different deadlines:\n\n";
+  TablePrinter sel({"deadline", "chosen tiles", "exec time", "energy"});
+  for (const time_us deadline : {ms(120), ms(90), ms(70), ms(58), ms(40)}) {
+    const auto pick = select_point(curve, deadline, 8);
+    if (!pick) continue;
+    const auto& p = curve[*pick];
+    sel.add_row({fmt_ms(deadline, 0) + " ms", std::to_string(p.tiles),
+                 fmt_ms(p.exec_time, 1) + " ms", fmt(p.energy, 1)});
+  }
+  sel.print(std::cout);
+
+  std::cout << "\nPipeline selection (all four multimedia tasks under one "
+               "global deadline):\n\n";
+  std::vector<std::vector<ParetoPoint>> curves;
+  for (const auto& t : make_multimedia_taskset(configs))
+    curves.push_back(build_pareto_curve(t.scenarios[0], 8, platform));
+  std::vector<const std::vector<ParetoPoint>*> refs;
+  for (const auto& c : curves) refs.push_back(&c);
+
+  TablePrinter pipe({"global deadline", "total time", "total energy"});
+  for (const time_us deadline : {ms(400), ms(320), ms(280), ms(250)}) {
+    const auto choice = select_points_for_pipeline(refs, deadline, 8);
+    if (choice.empty()) continue;
+    time_us total = 0;
+    double energy = 0;
+    for (std::size_t t = 0; t < curves.size(); ++t) {
+      total += curves[t][choice[t]].exec_time;
+      energy += curves[t][choice[t]].energy;
+    }
+    pipe.add_row({fmt_ms(deadline, 0) + " ms", fmt_ms(total, 0) + " ms",
+                  fmt(energy, 1)});
+  }
+  pipe.print(std::cout);
+  std::cout << "\nTighter deadlines buy time with energy — the TCM policy "
+               "the hybrid prefetch flow plugs into.\n";
+  return 0;
+}

@@ -1,0 +1,13 @@
+#include "apps/config_space.hpp"
+
+namespace drhw {
+
+ConfigId ConfigSpace::id_for(const std::string& task,
+                             const std::string& unit) {
+  const std::string key = task + "/" + unit;
+  const auto [it, inserted] = ids_.try_emplace(key, next_);
+  if (inserted) ++next_;
+  return it->second;
+}
+
+}  // namespace drhw

@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file config_space.hpp
+/// Global configuration-id allocation shared by all benchmark builders, so
+/// that different tasks never collide and scenarios of the same task share
+/// the configurations of their common functional units (the paper's MPEG
+/// B/P/I scenarios are "different versions (graphs) of the same task" — the
+/// bitstreams are the same, only the data-dependent behaviour differs).
+
+#include <string>
+#include <unordered_map>
+
+#include "util/ids.hpp"
+
+namespace drhw {
+
+/// Allocates ConfigIds by (task, functional-unit) name; repeated queries for
+/// the same key return the same id.
+class ConfigSpace {
+ public:
+  /// Id of the configuration implementing `unit` of `task`.
+  ConfigId id_for(const std::string& task, const std::string& unit);
+
+  /// Number of distinct configurations allocated so far.
+  int count() const { return next_; }
+
+ private:
+  std::unordered_map<std::string, ConfigId> ids_;
+  ConfigId next_ = 0;
+};
+
+}  // namespace drhw

@@ -1,0 +1,132 @@
+#include "apps/multimedia.hpp"
+
+#include "util/check.hpp"
+#include "util/time.hpp"
+
+namespace drhw {
+
+namespace {
+
+/// Adds a DRHW subtask with the task-scoped configuration for `unit`.
+SubtaskId add_unit(SubtaskGraph& graph, ConfigSpace& configs,
+                   const std::string& task, const std::string& unit,
+                   time_us exec) {
+  Subtask s;
+  s.name = unit;
+  s.exec_time = exec;
+  s.resource = Resource::drhw;
+  s.config = configs.id_for(task, unit);
+  s.exec_energy = static_cast<double>(exec) / 1000.0;
+  return graph.add_subtask(s);
+}
+
+}  // namespace
+
+BenchmarkTask make_jpeg_decoder(ConfigSpace& configs) {
+  BenchmarkTask task;
+  task.name = "jpeg_dec";
+  SubtaskGraph g("jpeg_dec");
+  const auto parse = add_unit(g, configs, task.name, "parse_huffman", ms(18));
+  const auto dequant = add_unit(g, configs, task.name, "dequantize", ms(16));
+  const auto idct = add_unit(g, configs, task.name, "idct", ms(26));
+  const auto color = add_unit(g, configs, task.name, "color_convert", ms(21));
+  g.add_edge(parse, dequant);
+  g.add_edge(dequant, idct);
+  g.add_edge(idct, color);
+  g.finalize();
+  DRHW_CHECK(g.total_exec_time() == ms(81));
+  task.scenarios.push_back(std::move(g));
+  task.scenario_probability = {1.0};
+  return task;
+}
+
+BenchmarkTask make_parallel_jpeg(ConfigSpace& configs) {
+  BenchmarkTask task;
+  task.name = "parallel_jpeg";
+  SubtaskGraph g("parallel_jpeg");
+  const auto split = add_unit(g, configs, task.name, "split", ms(8));
+  const time_us strip_times[4] = {ms(16), ms(12), ms(8), ms(4)};
+  SubtaskId strips[4];
+  for (int i = 0; i < 4; ++i) {
+    strips[i] = add_unit(g, configs, task.name,
+                         "strip_decode_" + std::to_string(i), strip_times[i]);
+    g.add_edge(split, strips[i]);
+  }
+  const auto merge = add_unit(g, configs, task.name, "merge", ms(9));
+  for (int i = 0; i < 4; ++i) g.add_edge(strips[i], merge);
+  const auto color = add_unit(g, configs, task.name, "color_convert", ms(14));
+  const auto write = add_unit(g, configs, task.name, "smooth_write", ms(10));
+  g.add_edge(merge, color);
+  g.add_edge(color, write);
+  g.finalize();
+  DRHW_CHECK(g.size() == 8);
+  task.scenarios.push_back(std::move(g));
+  task.scenario_probability = {1.0};
+  return task;
+}
+
+BenchmarkTask make_mpeg_encoder(ConfigSpace& configs) {
+  BenchmarkTask task;
+  task.name = "mpeg_enc";
+  // Scenario-dependent execution times (B, P, I frames); the functional
+  // units — and hence the configurations — are shared across scenarios.
+  struct FrameScenario {
+    const char* name;
+    time_us times[5];  // ME, DCT, Quant, Recon, VLC
+  };
+  const FrameScenario frames[3] = {
+      {"B_frame", {ms(3), ms(9), ms(7), ms(7), ms(14)}},
+      {"P_frame", {ms(2), ms(9), ms(7), ms(12), ms(5)}},
+      {"I_frame", {ms(1), ms(10), ms(8), ms(8), ms(17)}},
+  };
+  const char* units[5] = {"motion_est", "dct", "quant", "recon", "vlc"};
+  for (const auto& frame : frames) {
+    SubtaskGraph g(std::string("mpeg_enc/") + frame.name);
+    SubtaskId ids[5];
+    for (int u = 0; u < 5; ++u)
+      ids[u] = add_unit(g, configs, task.name, units[u], frame.times[u]);
+    g.add_edge(ids[0], ids[1]);  // ME -> DCT
+    g.add_edge(ids[1], ids[2]);  // DCT -> Quant
+    g.add_edge(ids[2], ids[3]);  // Quant -> Recon
+    g.add_edge(ids[2], ids[4]);  // Quant -> VLC
+    g.finalize();
+    task.scenarios.push_back(std::move(g));
+  }
+  // Uniform scenario mix: the Table 1 row is the average over B/P/I.
+  task.scenario_probability = {1.0 / 3, 1.0 / 3, 1.0 / 3};
+  return task;
+}
+
+BenchmarkTask make_pattern_recognition(ConfigSpace& configs) {
+  BenchmarkTask task;
+  task.name = "pattern_rec";
+  SubtaskGraph g("pattern_rec");
+  const auto smooth = add_unit(g, configs, task.name, "smooth", ms(20));
+  const auto edges = add_unit(g, configs, task.name, "edge_detect", ms(24));
+  const auto prep = add_unit(g, configs, task.name, "vote_prep", ms(20));
+  g.add_edge(smooth, edges);
+  g.add_edge(edges, prep);
+  const time_us bank_times[3] = {ms(30), ms(26), ms(22)};
+  for (int i = 0; i < 3; ++i) {
+    const auto bank = add_unit(g, configs, task.name,
+                               "hough_bank_" + std::to_string(i),
+                               bank_times[i]);
+    g.add_edge(prep, bank);
+  }
+  g.finalize();
+  DRHW_CHECK(g.size() == 6);
+  task.scenarios.push_back(std::move(g));
+  task.scenario_probability = {1.0};
+  return task;
+}
+
+std::vector<BenchmarkTask> make_multimedia_taskset(ConfigSpace& configs) {
+  std::vector<BenchmarkTask> tasks;
+  tasks.push_back(make_pattern_recognition(configs));
+  tasks.push_back(make_jpeg_decoder(configs));
+  tasks.push_back(make_parallel_jpeg(configs));
+  tasks.push_back(make_mpeg_encoder(configs));
+  return tasks;
+}
+
+}  // namespace drhw

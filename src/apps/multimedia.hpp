@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file multimedia.hpp
+/// The four multimedia tasks of the paper's Table 1, reconstructed so that
+/// the deterministic columns (subtask count, ideal execution time, on-demand
+/// overhead, optimal-prefetch overhead) match the published values exactly
+/// under the 4 ms reconfiguration latency. See DESIGN.md §5 for the
+/// calibration derivation.
+
+#include <string>
+#include <vector>
+
+#include "apps/config_space.hpp"
+#include "graph/subtask_graph.hpp"
+
+namespace drhw {
+
+/// One benchmark task: one subtask graph per scenario plus the probability
+/// with which the run-time scheduler observes each scenario.
+struct BenchmarkTask {
+  std::string name;
+  std::vector<SubtaskGraph> scenarios;
+  std::vector<double> scenario_probability;  ///< sums to 1
+};
+
+/// Sequential JPEG decoder: chain parse -> dequant -> idct -> color,
+/// {18,16,26,21} ms. Table 1 row: 4 subtasks, 81 ms, +20%, +5%.
+BenchmarkTask make_jpeg_decoder(ConfigSpace& configs);
+
+/// Parallel JPEG decoder: split -> 4 strip decoders {16,12,8,4} ms ->
+/// merge -> color -> write. Table 1 row: 8 subtasks, 57 ms, +35%, +7%.
+BenchmarkTask make_parallel_jpeg(ConfigSpace& configs);
+
+/// MPEG encoder with B/P/I frame scenarios: chain ME -> DCT -> Quant then
+/// {Recon || VLC}. Table 1 row (scenario average): 5 subtasks, 33 ms,
+/// +56%, +18%.
+BenchmarkTask make_mpeg_encoder(ConfigSpace& configs);
+
+/// Hough-transform pattern recognition: chain smooth -> edges -> vote_prep
+/// then 3 parallel vote banks {30,26,22} ms. Table 1 row: 6 subtasks,
+/// 94 ms, +17%, +4%.
+BenchmarkTask make_pattern_recognition(ConfigSpace& configs);
+
+/// All four Table 1 tasks, in the paper's row order.
+std::vector<BenchmarkTask> make_multimedia_taskset(ConfigSpace& configs);
+
+}  // namespace drhw

@@ -1,0 +1,172 @@
+#include "apps/pocket_gl.hpp"
+
+#include <string>
+
+#include "util/check.hpp"
+#include "util/time.hpp"
+
+namespace drhw {
+
+namespace {
+
+Subtask unit_subtask(ConfigSpace& configs, const std::string& task,
+                     const std::string& unit, time_us exec) {
+  Subtask s;
+  s.name = unit;
+  s.exec_time = exec;
+  s.resource = Resource::drhw;
+  s.config = configs.id_for(task, unit);
+  s.exec_energy = static_cast<double>(exec) / 1000.0;
+  return s;
+}
+
+/// Task with a single subtask; one scenario per entry of `times`.
+BenchmarkTask single_unit_task(ConfigSpace& configs, const std::string& name,
+                               const std::string& unit,
+                               const std::vector<time_us>& times) {
+  BenchmarkTask task;
+  task.name = name;
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    SubtaskGraph g(name + "/s" + std::to_string(i));
+    g.add_subtask(unit_subtask(configs, name, unit, times[i]));
+    g.finalize();
+    task.scenarios.push_back(std::move(g));
+  }
+  task.scenario_probability.assign(times.size(),
+                                   1.0 / static_cast<double>(times.size()));
+  return task;
+}
+
+/// Task that is a chain of units; one scenario per row of `times`.
+BenchmarkTask chain_task(ConfigSpace& configs, const std::string& name,
+                         const std::vector<std::string>& units,
+                         const std::vector<std::vector<time_us>>& times) {
+  BenchmarkTask task;
+  task.name = name;
+  for (std::size_t sc = 0; sc < times.size(); ++sc) {
+    DRHW_CHECK(times[sc].size() == units.size());
+    SubtaskGraph g(name + "/s" + std::to_string(sc));
+    SubtaskId prev = k_no_subtask;
+    for (std::size_t u = 0; u < units.size(); ++u) {
+      const auto id = g.add_subtask(
+          unit_subtask(configs, name, units[u], times[sc][u]));
+      if (prev != k_no_subtask) g.add_edge(prev, id);
+      prev = id;
+    }
+    g.finalize();
+    task.scenarios.push_back(std::move(g));
+  }
+  task.scenario_probability.assign(times.size(),
+                                   1.0 / static_cast<double>(times.size()));
+  return task;
+}
+
+}  // namespace
+
+PocketGl make_pocket_gl(ConfigSpace& configs) {
+  PocketGl app;
+
+  // Task 0 — vertex transform (1 subtask, 5 scenarios by scene complexity).
+  app.tasks.push_back(single_unit_task(configs, "gl_xform", "vertex_xform",
+                                       {us(200), us(300), us(500), us(700),
+                                        us(800)}));
+
+  // Task 1 — lighting (diffuse -> specular, 6 scenarios by light count).
+  app.tasks.push_back(chain_task(
+      configs, "gl_light", {"diffuse", "specular"},
+      {{us(4400), us(600)},
+       {us(4100), us(500)},
+       {us(4800), us(700)},
+       {us(4300), us(600)},
+       {us(4000), us(550)},
+       {us(4200), us(650)}}));
+
+  // Task 2 — clipping/culling (1 subtask, 5 scenarios by geometry).
+  app.tasks.push_back(single_unit_task(configs, "gl_clip", "clip_cull",
+                                       {us(200), us(300), us(400), us(500),
+                                        us(600)}));
+
+  // Task 3 — rasterisation (edge setup -> span fill). Ten scenarios: this
+  // is the paper's "task 4 has ten scenarios" (resolution / triangle-count
+  // buckets); span fill reaches the application's 30 ms maximum.
+  app.tasks.push_back(chain_task(
+      configs, "gl_raster", {"edge_setup", "span_fill"},
+      {{us(4500), us(6000)},
+       {us(4200), us(8000)},
+       {us(3900), us(11000)},
+       {us(4400), us(13000)},
+       {us(4600), us(15000)},
+       {us(4100), us(16000)},
+       {us(4300), us(18000)},
+       {us(4000), us(20000)},
+       {us(4800), us(23000)},
+       {us(4200), us(30000)}}));
+
+  // Task 4 — texture mapping (1 subtask). Four scenarios: the paper's
+  // "task 5 has four scenarios" (filtering modes).
+  app.tasks.push_back(single_unit_task(
+      configs, "gl_texture", "texture_map",
+      {us(8000), us(10500), us(12500), us(15000)}));
+
+  // Task 5 — fragment operations (ztest -> blend -> dither, 10 scenarios).
+  app.tasks.push_back(chain_task(
+      configs, "gl_fragment", {"ztest", "blend", "dither"},
+      {{us(5500), us(7000), us(5000)},
+       {us(4800), us(8000), us(5500)},
+       {us(5200), us(9000), us(6000)},
+       {us(6000), us(8500), us(6500)},
+       {us(4500), us(7500), us(7000)},
+       {us(5000), us(8000), us(6000)},
+       {us(3500), us(6500), us(5000)},
+       {us(5500), us(9500), us(7000)},
+       {us(4200), us(8000), us(6000)},
+       {us(5800), us(7500), us(6000)}}));
+
+  int scenario_total = 0;
+  for (const auto& t : app.tasks)
+    scenario_total += static_cast<int>(t.scenarios.size());
+  DRHW_CHECK_MSG(scenario_total == 40, "Pocket GL must expose 40 scenarios");
+
+  // The 20 feasible inter-task scenarios. Rendering modes link the tasks
+  // (e.g. a high-resolution raster bucket implies a matching fragment
+  // load), so only these combinations occur at run time. The mapping below
+  // covers every per-task scenario at least once.
+  for (int i = 0; i < 20; ++i) {
+    PocketGl::InterTaskScenario combo;
+    combo.scenario_of_task = {i % 5,  i % 6,  (i + 2) % 5,
+                              i % 10, i % 4,  (i + 3) % 10};
+    combo.probability = 1.0 / 20.0;
+    app.combos.push_back(combo);
+  }
+  return app;
+}
+
+SubtaskGraph merge_frame(const PocketGl& app,
+                         const PocketGl::InterTaskScenario& combo) {
+  SubtaskGraph frame("gl_frame");
+  std::vector<SubtaskId> prev_sinks;
+  for (std::size_t t = 0; t < app.tasks.size(); ++t) {
+    const SubtaskGraph& g =
+        app.tasks[t]
+            .scenarios[static_cast<std::size_t>(combo.scenario_of_task[t])];
+    std::vector<SubtaskId> remap(g.size());
+    for (std::size_t s = 0; s < g.size(); ++s)
+      remap[s] = frame.add_subtask(g.subtask(static_cast<SubtaskId>(s)));
+    for (std::size_t s = 0; s < g.size(); ++s)
+      for (SubtaskId succ : g.successors(static_cast<SubtaskId>(s)))
+        frame.add_edge(remap[s], remap[static_cast<std::size_t>(succ)]);
+    // Pipeline dependency: every source of this task waits for every sink
+    // of the previous one.
+    for (SubtaskId snk : prev_sinks)
+      for (SubtaskId src : g.sources())
+        frame.add_edge(snk, remap[static_cast<std::size_t>(src)]);
+    prev_sinks.clear();
+    for (SubtaskId snk : g.sinks())
+      prev_sinks.push_back(remap[static_cast<std::size_t>(snk)]);
+  }
+  frame.finalize();
+  DRHW_CHECK(frame.size() == 10);
+  return frame;
+}
+
+}  // namespace drhw

@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file pocket_gl.hpp
+/// Reconstruction of the paper's "Pocket GL" 3D rendering application
+/// (Section 7, Figure 7): 6 dynamic tasks with 10 subtasks in total, 40
+/// scenarios across the tasks (task 4 has ten, task 5 has four), and —
+/// because of inter-task dependencies between rendering modes — only 20
+/// feasible inter-task scenario combinations, among which the TCM run-time
+/// scheduler selects.
+///
+/// Calibration targets reproduced by construction (verified by tests):
+///  * average subtask execution time ~5.7 ms, range 0.2 ms .. 30 ms;
+///  * without prefetch the reconfiguration overhead is ~71% of the ideal
+///    frame time; a design-time optimal prefetch over the frame reduces it
+///    to ~25%; ~62% of the subtask instances are critical.
+
+#include <array>
+#include <vector>
+
+#include "apps/config_space.hpp"
+#include "apps/multimedia.hpp"
+
+namespace drhw {
+
+/// The full application: per-task scenario graphs plus the feasible
+/// inter-task scenario table.
+struct PocketGl {
+  /// Frame pipeline order: xform, light, clip, raster, texture, fragment.
+  std::vector<BenchmarkTask> tasks;  // size 6
+
+  /// One feasible combination of per-task scenarios.
+  struct InterTaskScenario {
+    std::array<int, 6> scenario_of_task;
+    double probability;
+  };
+  std::vector<InterTaskScenario> combos;  // size 20
+};
+
+/// Builds the application. Scenario graphs of the same task share their
+/// configuration ids (the accelerators are identical; only the data-driven
+/// execution times differ).
+PocketGl make_pocket_gl(ConfigSpace& configs);
+
+/// Concatenates the 6 per-task graphs of one inter-task scenario into a
+/// single sequential frame graph (task i's sinks precede task i+1's
+/// sources). Used by the frame-wide design-time prefetch baseline, which is
+/// possible precisely because the 20 inter-task scenarios are enumerable at
+/// design time.
+SubtaskGraph merge_frame(const PocketGl& app,
+                         const PocketGl::InterTaskScenario& combo);
+
+}  // namespace drhw

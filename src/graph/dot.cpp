@@ -1,0 +1,26 @@
+#include "graph/dot.hpp"
+
+#include <ostream>
+
+#include "util/table.hpp"
+
+namespace drhw {
+
+void write_dot(std::ostream& os, const SubtaskGraph& graph) {
+  os << "digraph \"" << graph.name() << "\" {\n";
+  os << "  rankdir=TB;\n";
+  for (std::size_t v = 0; v < graph.size(); ++v) {
+    const auto id = static_cast<SubtaskId>(v);
+    const Subtask& s = graph.subtask(id);
+    os << "  n" << v << " [label=\"" << s.name << "\\n"
+       << fmt_ms(s.exec_time) << " ms\" shape="
+       << (s.resource == Resource::drhw ? "box" : "ellipse") << "];\n";
+  }
+  for (std::size_t v = 0; v < graph.size(); ++v) {
+    for (SubtaskId succ : graph.successors(static_cast<SubtaskId>(v)))
+      os << "  n" << v << " -> n" << succ << ";\n";
+  }
+  os << "}\n";
+}
+
+}  // namespace drhw

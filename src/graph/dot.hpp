@@ -1,0 +1,16 @@
+#pragma once
+
+/// \file dot.hpp
+/// Graphviz export of subtask graphs for documentation and debugging.
+
+#include <iosfwd>
+
+#include "graph/subtask_graph.hpp"
+
+namespace drhw {
+
+/// Writes the graph in Graphviz DOT format. DRHW subtasks render as boxes,
+/// ISP subtasks as ellipses; labels carry name and exec time in ms.
+void write_dot(std::ostream& os, const SubtaskGraph& graph);
+
+}  // namespace drhw

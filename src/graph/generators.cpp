@@ -1,0 +1,156 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace drhw {
+
+namespace {
+
+time_us random_exec(Rng& rng, time_us lo, time_us hi) {
+  return rng.next_int(lo, hi);
+}
+
+Subtask make_node(const std::string& name, time_us exec, Resource res) {
+  Subtask s;
+  s.name = name;
+  s.exec_time = exec;
+  s.resource = res;
+  s.exec_energy = static_cast<double>(exec) / 1000.0;  // 1 unit per ms
+  return s;
+}
+
+}  // namespace
+
+SubtaskGraph make_layered_graph(const LayeredGraphParams& params, Rng& rng) {
+  DRHW_CHECK(params.subtasks > 0);
+  DRHW_CHECK(params.min_layer_width >= 1);
+  DRHW_CHECK(params.max_layer_width >= params.min_layer_width);
+
+  SubtaskGraph graph("layered");
+  std::vector<std::vector<SubtaskId>> layers;
+  int remaining = params.subtasks;
+  while (remaining > 0) {
+    const int width = static_cast<int>(std::min<std::int64_t>(
+        remaining,
+        rng.next_int(params.min_layer_width, params.max_layer_width)));
+    std::vector<SubtaskId> layer;
+    for (int i = 0; i < width; ++i) {
+      const Resource res = rng.next_bool(params.isp_fraction)
+                               ? Resource::isp
+                               : Resource::drhw;
+      const auto id = graph.add_subtask(make_node(
+          "n" + std::to_string(graph.size()),
+          random_exec(rng, params.min_exec, params.max_exec), res));
+      layer.push_back(id);
+    }
+    layers.push_back(std::move(layer));
+    remaining -= width;
+  }
+
+  for (std::size_t l = 1; l < layers.size(); ++l) {
+    for (SubtaskId v : layers[l]) {
+      // Mandatory edge keeps the graph connected layer to layer.
+      const auto& prev = layers[l - 1];
+      graph.add_edge(prev[rng.pick_index(prev)], v);
+      for (SubtaskId u : prev) {
+        if (!graph.has_edge(u, v) && rng.next_bool(params.edge_density))
+          graph.add_edge(u, v);
+      }
+    }
+  }
+  graph.finalize();
+  return graph;
+}
+
+SubtaskGraph make_fork_join_graph(int width, int chain_length, time_us min_exec,
+                                  time_us max_exec, Rng& rng) {
+  DRHW_CHECK(width >= 1 && chain_length >= 1);
+  SubtaskGraph graph("fork_join");
+  const auto src = graph.add_subtask(
+      make_node("fork", random_exec(rng, min_exec, max_exec), Resource::drhw));
+  std::vector<SubtaskId> tails;
+  for (int w = 0; w < width; ++w) {
+    SubtaskId prev = src;
+    for (int c = 0; c < chain_length; ++c) {
+      const auto id = graph.add_subtask(make_node(
+          "b" + std::to_string(w) + "_" + std::to_string(c),
+          random_exec(rng, min_exec, max_exec), Resource::drhw));
+      graph.add_edge(prev, id);
+      prev = id;
+    }
+    tails.push_back(prev);
+  }
+  const auto sink = graph.add_subtask(
+      make_node("join", random_exec(rng, min_exec, max_exec), Resource::drhw));
+  for (SubtaskId t : tails) graph.add_edge(t, sink);
+  graph.finalize();
+  return graph;
+}
+
+SubtaskGraph make_chain_graph(int length, time_us min_exec, time_us max_exec,
+                              Rng& rng) {
+  DRHW_CHECK(length >= 1);
+  SubtaskGraph graph("chain");
+  SubtaskId prev = k_no_subtask;
+  for (int i = 0; i < length; ++i) {
+    const auto id = graph.add_subtask(
+        make_node("c" + std::to_string(i),
+                  random_exec(rng, min_exec, max_exec), Resource::drhw));
+    if (prev != k_no_subtask) graph.add_edge(prev, id);
+    prev = id;
+  }
+  graph.finalize();
+  return graph;
+}
+
+namespace {
+
+/// Fragment of a series-parallel graph under construction: entry and exit
+/// node lists that the composition operators stitch together.
+struct Fragment {
+  std::vector<SubtaskId> entries;
+  std::vector<SubtaskId> exits;
+};
+
+Fragment make_leaf(SubtaskGraph& graph, Rng& rng, time_us lo, time_us hi) {
+  const auto id = graph.add_subtask(Subtask{
+      "sp" + std::to_string(graph.size()), rng.next_int(lo, hi),
+      Resource::drhw, k_no_config, 0.0});
+  return Fragment{{id}, {id}};
+}
+
+}  // namespace
+
+SubtaskGraph make_series_parallel_graph(int operations, time_us min_exec,
+                                        time_us max_exec, Rng& rng) {
+  DRHW_CHECK(operations >= 0);
+  SubtaskGraph graph("series_parallel");
+  std::vector<Fragment> pool{make_leaf(graph, rng, min_exec, max_exec)};
+
+  for (int op = 0; op < operations; ++op) {
+    Fragment leaf = make_leaf(graph, rng, min_exec, max_exec);
+    const std::size_t i = rng.pick_index(pool);
+    Fragment& target = pool[i];
+    if (rng.next_bool(0.5)) {
+      // Series: target -> leaf.
+      for (SubtaskId e : target.exits)
+        for (SubtaskId s : leaf.entries) graph.add_edge(e, s);
+      target.exits = leaf.exits;
+    } else {
+      // Parallel: merge entry/exit sets.
+      target.entries.insert(target.entries.end(), leaf.entries.begin(),
+                            leaf.entries.end());
+      target.exits.insert(target.exits.end(), leaf.exits.begin(),
+                          leaf.exits.end());
+    }
+  }
+  graph.finalize();
+  return graph;
+}
+
+}  // namespace drhw

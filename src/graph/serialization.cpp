@@ -1,0 +1,225 @@
+#include "graph/serialization.hpp"
+
+#include <cctype>
+#include <sstream>
+#include <stdexcept>
+
+namespace drhw {
+
+namespace {
+
+void append_escaped(std::ostringstream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        os << c;
+    }
+  }
+  os << '"';
+}
+
+/// Tiny recursive-descent parser for the subset of JSON the graph format
+/// uses (objects, arrays, strings, numbers, true/false). No dependencies.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  void expect(char c) {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != c) fail(std::string(1, c));
+    ++pos_;
+  }
+
+  bool try_consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::string parse_string() {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != '"') fail("string");
+    ++pos_;
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\' && pos_ < text_.size()) {
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case 'n':
+            c = '\n';
+            break;
+          case 't':
+            c = '\t';
+            break;
+          default:
+            c = esc;
+        }
+      }
+      out += c;
+    }
+    if (pos_ >= text_.size()) fail("closing quote");
+    ++pos_;
+    return out;
+  }
+
+  double parse_number() {
+    skip_ws();
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+'))
+      ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+'))
+      ++pos_;
+    if (pos_ == start) fail("number");
+    return std::stod(text_.substr(start, pos_ - start));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+
+  bool at(char c) {
+    skip_ws();
+    return pos_ < text_.size() && text_[pos_] == c;
+  }
+
+  [[noreturn]] void fail(const std::string& expected) {
+    std::ostringstream os;
+    os << "JSON parse error at offset " << pos_ << ": expected " << expected;
+    throw std::invalid_argument(os.str());
+  }
+
+ private:
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string graph_to_json(const SubtaskGraph& graph) {
+  std::ostringstream os;
+  os << "{\n  \"name\": ";
+  append_escaped(os, graph.name());
+  os << ",\n  \"subtasks\": [\n";
+  for (std::size_t s = 0; s < graph.size(); ++s) {
+    const Subtask& node = graph.subtask(static_cast<SubtaskId>(s));
+    os << "    {\"name\": ";
+    append_escaped(os, node.name);
+    os << ", \"exec_us\": " << node.exec_time << ", \"resource\": \""
+       << (node.resource == Resource::drhw ? "drhw" : "isp")
+       << "\", \"config\": " << node.config << ", \"energy\": "
+       << node.exec_energy << ", \"load_us\": " << node.load_time << "}"
+       << (s + 1 < graph.size() ? ",\n" : "\n");
+  }
+  os << "  ],\n  \"edges\": [";
+  bool first = true;
+  for (std::size_t v = 0; v < graph.size(); ++v) {
+    for (SubtaskId succ : graph.successors(static_cast<SubtaskId>(v))) {
+      if (!first) os << ", ";
+      first = false;
+      os << "[" << v << ", " << succ << "]";
+    }
+  }
+  os << "]\n}\n";
+  return os.str();
+}
+
+SubtaskGraph graph_from_json(const std::string& json) {
+  Parser p(json);
+  SubtaskGraph graph;
+  std::vector<std::pair<int, int>> edges;
+
+  p.expect('{');
+  bool first_key = true;
+  while (!p.at('}')) {
+    if (!first_key) p.expect(',');
+    first_key = false;
+    const std::string key = p.parse_string();
+    p.expect(':');
+    if (key == "name") {
+      graph.set_name(p.parse_string());
+    } else if (key == "subtasks") {
+      p.expect('[');
+      while (!p.at(']')) {
+        if (!graph.empty()) p.expect(',');
+        p.expect('{');
+        Subtask node;
+        bool first_field = true;
+        while (!p.at('}')) {
+          if (!first_field) p.expect(',');
+          first_field = false;
+          const std::string field = p.parse_string();
+          p.expect(':');
+          if (field == "name") {
+            node.name = p.parse_string();
+          } else if (field == "exec_us") {
+            node.exec_time = static_cast<time_us>(p.parse_number());
+          } else if (field == "resource") {
+            const std::string res = p.parse_string();
+            if (res == "drhw")
+              node.resource = Resource::drhw;
+            else if (res == "isp")
+              node.resource = Resource::isp;
+            else
+              throw std::invalid_argument("unknown resource '" + res + "'");
+          } else if (field == "config") {
+            node.config = static_cast<ConfigId>(p.parse_number());
+          } else if (field == "energy") {
+            node.exec_energy = p.parse_number();
+          } else if (field == "load_us") {
+            node.load_time = static_cast<time_us>(p.parse_number());
+          } else {
+            throw std::invalid_argument("unknown subtask field '" + field +
+                                        "'");
+          }
+        }
+        p.expect('}');
+        graph.add_subtask(std::move(node));
+      }
+      p.expect(']');
+    } else if (key == "edges") {
+      p.expect('[');
+      while (!p.at(']')) {
+        if (!edges.empty()) p.expect(',');
+        p.expect('[');
+        const int from = static_cast<int>(p.parse_number());
+        p.expect(',');
+        const int to = static_cast<int>(p.parse_number());
+        p.expect(']');
+        edges.emplace_back(from, to);
+      }
+      p.expect(']');
+    } else {
+      throw std::invalid_argument("unknown top-level field '" + key + "'");
+    }
+  }
+  p.expect('}');
+
+  for (const auto& [from, to] : edges)
+    graph.add_edge(static_cast<SubtaskId>(from), static_cast<SubtaskId>(to));
+  graph.finalize();
+  return graph;
+}
+
+}  // namespace drhw

@@ -1,0 +1,114 @@
+#include "graph/subtask_graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/check.hpp"
+
+namespace drhw {
+
+SubtaskId SubtaskGraph::add_subtask(Subtask subtask) {
+  if (finalized_)
+    throw std::invalid_argument("cannot add subtasks to a finalized graph");
+  if (subtask.exec_time <= 0)
+    throw std::invalid_argument("subtask '" + subtask.name +
+                                "' must have positive exec_time");
+  nodes_.push_back(std::move(subtask));
+  preds_.emplace_back();
+  succs_.emplace_back();
+  return static_cast<SubtaskId>(nodes_.size() - 1);
+}
+
+void SubtaskGraph::add_edge(SubtaskId from, SubtaskId to) {
+  if (finalized_)
+    throw std::invalid_argument("cannot add edges to a finalized graph");
+  if (from == to) throw std::invalid_argument("self-loop edge");
+  const std::size_t f = checked(from);
+  const std::size_t t = checked(to);
+  if (has_edge(from, to)) throw std::invalid_argument("duplicate edge");
+  succs_[f].push_back(to);
+  preds_[t].push_back(from);
+}
+
+bool SubtaskGraph::has_edge(SubtaskId from, SubtaskId to) const {
+  const auto& s = succs_.at(checked(from));
+  return std::find(s.begin(), s.end(), to) != s.end();
+}
+
+void SubtaskGraph::finalize() {
+  if (finalized_) return;
+  // Kahn's algorithm: detects cycles and produces the cached order.
+  std::vector<int> indegree(nodes_.size(), 0);
+  for (std::size_t v = 0; v < nodes_.size(); ++v)
+    indegree[v] = static_cast<int>(preds_[v].size());
+
+  std::vector<SubtaskId> frontier;
+  for (std::size_t v = 0; v < nodes_.size(); ++v)
+    if (indegree[v] == 0) frontier.push_back(static_cast<SubtaskId>(v));
+
+  topo_.clear();
+  topo_.reserve(nodes_.size());
+  // Process lowest id first for a deterministic order.
+  while (!frontier.empty()) {
+    std::sort(frontier.begin(), frontier.end(), std::greater<>());
+    SubtaskId v = frontier.back();
+    frontier.pop_back();
+    topo_.push_back(v);
+    for (SubtaskId w : succs_[static_cast<std::size_t>(v)]) {
+      if (--indegree[static_cast<std::size_t>(w)] == 0) frontier.push_back(w);
+    }
+  }
+  if (topo_.size() != nodes_.size())
+    throw std::invalid_argument("subtask graph '" + name_ +
+                                "' contains a cycle");
+
+  // Give every configuration-less DRHW subtask a unique ConfigId; ISP
+  // subtasks never need one.
+  ConfigId next = 0;
+  for (const auto& n : nodes_) next = std::max(next, n.config + 1);
+  for (auto& n : nodes_) {
+    if (n.resource == Resource::drhw && n.config == k_no_config)
+      n.config = next++;
+  }
+  finalized_ = true;
+}
+
+const std::vector<SubtaskId>& SubtaskGraph::topological_order() const {
+  DRHW_CHECK_MSG(finalized_, "graph must be finalized");
+  return topo_;
+}
+
+std::size_t SubtaskGraph::drhw_count() const {
+  std::size_t n = 0;
+  for (const auto& node : nodes_)
+    if (node.resource == Resource::drhw) ++n;
+  return n;
+}
+
+time_us SubtaskGraph::total_exec_time() const {
+  time_us sum = 0;
+  for (const auto& node : nodes_) sum += node.exec_time;
+  return sum;
+}
+
+std::vector<SubtaskId> SubtaskGraph::sources() const {
+  std::vector<SubtaskId> out;
+  for (std::size_t v = 0; v < nodes_.size(); ++v)
+    if (preds_[v].empty()) out.push_back(static_cast<SubtaskId>(v));
+  return out;
+}
+
+std::vector<SubtaskId> SubtaskGraph::sinks() const {
+  std::vector<SubtaskId> out;
+  for (std::size_t v = 0; v < nodes_.size(); ++v)
+    if (succs_[v].empty()) out.push_back(static_cast<SubtaskId>(v));
+  return out;
+}
+
+std::size_t SubtaskGraph::checked(SubtaskId id) const {
+  if (id < 0 || static_cast<std::size_t>(id) >= nodes_.size())
+    throw std::invalid_argument("subtask id out of range");
+  return static_cast<std::size_t>(id);
+}
+
+}  // namespace drhw

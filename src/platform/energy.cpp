@@ -1,0 +1,16 @@
+#include "platform/energy.hpp"
+
+#include "util/check.hpp"
+
+namespace drhw {
+
+EnergyReport energy_for(double total_exec_energy, int loads,
+                        const PlatformConfig& platform) {
+  DRHW_CHECK(loads >= 0);
+  EnergyReport report;
+  report.exec_energy = total_exec_energy;
+  report.reconfig_energy = platform.reconfig_energy * loads;
+  return report;
+}
+
+}  // namespace drhw

@@ -1,0 +1,26 @@
+#pragma once
+
+/// \file energy.hpp
+/// Energy accounting for task executions.
+///
+/// The paper's run-time phase cancels redundant loads because "it is an
+/// unnecessary waste of energy to load them again"; this model quantifies
+/// that saving and feeds the TCM Pareto curves (time x energy).
+
+#include "platform/platform.hpp"
+
+namespace drhw {
+
+/// Energy totals for one task execution.
+struct EnergyReport {
+  double exec_energy = 0.0;      ///< sum of executed subtasks' energies
+  double reconfig_energy = 0.0;  ///< loads * per-load energy
+  double total() const { return exec_energy + reconfig_energy; }
+};
+
+/// Computes the energy of executing a set of subtasks with `loads`
+/// reconfigurations on `platform`.
+EnergyReport energy_for(double total_exec_energy, int loads,
+                        const PlatformConfig& platform);
+
+}  // namespace drhw

@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file critical_subtasks.hpp
+/// The design-time phase of the hybrid heuristic (paper Sections 4-5).
+///
+/// For one (scenario, Pareto-point) schedule it computes:
+///  * the Critical Subtask (CS) subset — iteratively, per Figure 4: run the
+///    prefetch scheduler assuming the CS members are reused and everything
+///    else is loaded; while the makespan penalty is non-zero, move the
+///    delayed subtask with the greatest ALAP weight into CS;
+///  * the stored load order for the non-critical subtasks, which by
+///    construction hides all of their latency (zero penalty);
+///  * the CS initialization order (descending weight), used by the run-time
+///    initialization phase and by the inter-task optimisation.
+
+#include <vector>
+
+#include "platform/platform.hpp"
+#include "prefetch/evaluator.hpp"
+
+namespace drhw {
+
+/// Which scheduler the design-time phase runs inside the CS loop.
+enum class DesignScheduler {
+  branch_and_bound,  ///< optimal; cost grows fast with the load count
+  list_heuristic,    ///< the near-optimal heuristic of ref. [7]
+  /// B&B while the load count is at most the threshold, else the list
+  /// heuristic — the paper's own policy ("for large graphs we keep the
+  /// heuristic presented in [7]").
+  auto_select,
+};
+
+/// Everything the run-time phase needs, produced once at design time.
+struct HybridSchedule {
+  /// Critical subtasks ordered by descending weight — the loading order of
+  /// the initialization phase ("the subtask with the greatest weight is
+  /// loaded first").
+  std::vector<SubtaskId> critical;
+  /// Stored design-time load order for the non-critical DRHW subtasks.
+  /// Under the CS-reused assumption this order hides every load completely.
+  std::vector<SubtaskId> stored_order;
+  time_us ideal_makespan = 0;
+  int loop_iterations = 0;  ///< CS-loop passes (reporting/benchmarks)
+};
+
+struct HybridDesignOptions {
+  DesignScheduler scheduler = DesignScheduler::auto_select;
+  /// auto_select switches from B&B to the list heuristic above this many
+  /// pending loads.
+  int bnb_load_threshold = 9;
+};
+
+/// Runs the Figure 4 loop. Postcondition (checked): evaluating the stored
+/// order with the CS subset resident yields exactly the ideal makespan.
+HybridSchedule compute_hybrid_schedule(const SubtaskGraph& graph,
+                                       const Placement& placement,
+                                       const PlatformConfig& platform,
+                                       const HybridDesignOptions& options = {});
+
+}  // namespace drhw

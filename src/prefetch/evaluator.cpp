@@ -1,0 +1,396 @@
+#include "prefetch/evaluator.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace drhw {
+
+namespace {
+
+enum class EventKind : int { load_done = 0, comm_arrival = 1, exec_done = 2 };
+
+struct Event {
+  time_us time;
+  EventKind kind;
+  SubtaskId subtask;
+  // Later events compare greater (min-heap via std::greater). Load
+  // completions are processed before execution completions at equal times so
+  // a just-loaded configuration is visible to a subtask becoming ready at
+  // the same instant; id breaks remaining ties deterministically.
+  friend bool operator>(const Event& a, const Event& b) {
+    if (a.time != b.time) return a.time > b.time;
+    if (a.kind != b.kind) return a.kind > b.kind;
+    return a.subtask > b.subtask;
+  }
+};
+
+/// Max-heap entry for the priority policy (heap pops the largest first).
+struct PriorityEntry {
+  time_us priority;
+  SubtaskId subtask;
+  friend bool operator<(const PriorityEntry& a, const PriorityEntry& b) {
+    if (a.priority != b.priority) return a.priority < b.priority;
+    return a.subtask > b.subtask;  // lower id wins ties
+  }
+};
+
+/// Min-heap entry for the on-demand policy (FIFO by request time).
+struct RequestEntry {
+  time_us requested_at;
+  SubtaskId subtask;
+  friend bool operator>(const RequestEntry& a, const RequestEntry& b) {
+    if (a.requested_at != b.requested_at)
+      return a.requested_at > b.requested_at;
+    return a.subtask > b.subtask;
+  }
+};
+
+class Simulation {
+ public:
+  Simulation(const SubtaskGraph& graph, const Placement& placement,
+             const PlatformConfig& platform, const LoadPlan& plan,
+             time_us port_available_from)
+      : graph_(graph),
+        placement_(placement),
+        platform_(platform),
+        plan_(plan),
+        port_free_(static_cast<std::size_t>(platform.reconfig_ports),
+                   port_available_from) {}
+
+  EvalResult run() {
+    validate_plan();
+    init_state();
+    init_result();
+
+    // Initial enables at t = 0. If the ports start out busy (composition
+    // with an initialization phase), a wake-up event re-triggers load
+    // selection the moment they free — without it the simulation could
+    // stall when nothing else can make progress in the meantime.
+    if (port_free_.front() > 0)
+      events_.push({port_free_.front(), EventKind::load_done, k_no_subtask});
+    for (std::size_t s = 0; s < n_; ++s) {
+      const auto id = static_cast<SubtaskId>(s);
+      if (placement_.position_of[s] == 0) mark_arrival(id, 0);
+      if (graph_.predecessors(id).empty()) mark_dag_ready(id, 0);
+    }
+    try_port(0);
+
+    while (!events_.empty()) {
+      const Event ev = events_.top();
+      events_.pop();
+      switch (ev.kind) {
+        case EventKind::load_done:
+          on_load_done(ev.subtask, ev.time);
+          break;
+        case EventKind::comm_arrival:
+          on_comm_arrival(ev.subtask, ev.time);
+          break;
+        case EventKind::exec_done:
+          on_exec_done(ev.subtask, ev.time);
+          break;
+      }
+    }
+
+    for (std::size_t s = 0; s < n_; ++s) {
+      if (!finished_[s]) {
+        // Only a user-supplied explicit order can wedge the port; the
+        // dynamic policies always make progress.
+        if (plan_.policy == LoadPolicy::explicit_order)
+          throw std::invalid_argument(
+              "explicit load order is infeasible for this placement "
+              "(head-of-line deadlock)");
+        DRHW_CHECK_MSG(false, "evaluator stalled with a dynamic load policy");
+      }
+    }
+    finalize_result();
+    return std::move(result_);
+  }
+
+ private:
+  void validate_plan() {
+    if (plan_.needs_load.size() != n_)
+      throw std::invalid_argument("plan.needs_load size mismatch");
+    for (std::size_t s = 0; s < n_; ++s) {
+      if (plan_.needs_load[s] &&
+          !placement_.on_drhw(static_cast<SubtaskId>(s)))
+        throw std::invalid_argument("needs_load set for a non-DRHW subtask");
+    }
+    if (plan_.policy == LoadPolicy::explicit_order) {
+      std::vector<char> seen(n_, 0);
+      for (SubtaskId s : plan_.order) {
+        if (s < 0 || static_cast<std::size_t>(s) >= n_)
+          throw std::invalid_argument("explicit order id out of range");
+        const auto idx = static_cast<std::size_t>(s);
+        if (!plan_.needs_load[idx])
+          throw std::invalid_argument(
+              "explicit order contains a subtask without needs_load");
+        if (seen[idx]++)
+          throw std::invalid_argument("explicit order contains duplicates");
+      }
+      std::size_t needed = 0;
+      for (std::size_t s = 0; s < n_; ++s) needed += plan_.needs_load[s];
+      if (needed != plan_.order.size())
+        throw std::invalid_argument(
+            "explicit order does not cover every required load");
+    }
+    if (plan_.policy == LoadPolicy::priority &&
+        plan_.priority.size() != n_)
+      throw std::invalid_argument("plan.priority size mismatch");
+  }
+
+  void init_state() {
+    preds_left_.assign(n_, 0);
+    dag_ready_.assign(n_, k_no_time);
+    arrival_.assign(n_, k_no_time);
+    started_.assign(n_, 0);
+    finished_.assign(n_, 0);
+    load_started_.assign(n_, 0);
+    config_done_.assign(n_, 0);
+    for (std::size_t s = 0; s < n_; ++s)
+      preds_left_[s] = static_cast<int>(
+          graph_.predecessors(static_cast<SubtaskId>(s)).size());
+  }
+
+  void init_result() {
+    result_.exec_start.assign(n_, k_no_time);
+    result_.exec_end.assign(n_, k_no_time);
+    result_.load_start.assign(n_, k_no_time);
+    result_.load_end.assign(n_, k_no_time);
+    result_.delayed_by_load.assign(n_, false);
+    result_.tile_last_exec_end.assign(
+        static_cast<std::size_t>(placement_.tiles_used), 0);
+  }
+
+  // -- state transitions -----------------------------------------------
+
+  void mark_arrival(SubtaskId s, time_us t) {
+    const auto idx = static_cast<std::size_t>(s);
+    DRHW_CHECK(arrival_[idx] == k_no_time);
+    arrival_[idx] = t;
+    if (plan_.needs_load[idx]) {
+      if (plan_.policy == LoadPolicy::priority)
+        eligible_.push({plan_.priority[idx], s});
+      else if (plan_.policy == LoadPolicy::on_demand &&
+               dag_ready_[idx] != k_no_time)
+        requests_.push({dag_ready_[idx], s});
+      try_port(t);
+    } else {
+      try_exec(s, t);
+    }
+  }
+
+  void mark_dag_ready(SubtaskId s, time_us t) {
+    const auto idx = static_cast<std::size_t>(s);
+    DRHW_CHECK(dag_ready_[idx] == k_no_time);
+    dag_ready_[idx] = t;
+    if (plan_.needs_load[idx] && plan_.policy == LoadPolicy::on_demand &&
+        arrival_[idx] != k_no_time) {
+      requests_.push({t, s});
+      try_port(t);
+    }
+    try_exec(s, t);
+  }
+
+  void try_exec(SubtaskId s, time_us t) {
+    const auto idx = static_cast<std::size_t>(s);
+    if (started_[idx]) return;
+    if (dag_ready_[idx] == k_no_time || arrival_[idx] == k_no_time) return;
+    if (plan_.needs_load[idx] && !config_done_[idx]) return;
+    started_[idx] = 1;
+    result_.exec_start[idx] = t;
+    result_.exec_end[idx] = t + graph_.subtask(s).exec_time;
+    events_.push({result_.exec_end[idx], EventKind::exec_done, s});
+  }
+
+  /// Reconfiguration latency of one subtask (per-bitstream override or the
+  /// platform default).
+  time_us load_duration(SubtaskId s) const {
+    const time_us own = graph_.subtask(s).load_time;
+    return own != k_no_time ? own : platform_.reconfig_latency;
+  }
+
+  /// Starts loads on every free port while loads are serviceable under the
+  /// plan's policy.
+  void try_port(time_us t) {
+    for (;;) {
+      // Earliest-free port.
+      std::size_t port = 0;
+      for (std::size_t p = 1; p < port_free_.size(); ++p)
+        if (port_free_[p] < port_free_[port]) port = p;
+      if (port_free_[port] > t) return;  // LoadDone event will retrigger us
+      const SubtaskId s = select_load(t);
+      if (s == k_no_subtask) return;
+      const auto idx = static_cast<std::size_t>(s);
+      load_started_[idx] = 1;
+      result_.load_start[idx] = t;
+      result_.load_end[idx] = t + load_duration(s);
+      result_.load_order.push_back(s);
+      ++result_.loads;
+      port_free_[port] = result_.load_end[idx];
+      events_.push({result_.load_end[idx], EventKind::load_done, s});
+    }
+  }
+
+  SubtaskId select_load(time_us) {
+    switch (plan_.policy) {
+      case LoadPolicy::explicit_order: {
+        while (next_explicit_ < plan_.order.size()) {
+          const SubtaskId s = plan_.order[next_explicit_];
+          const auto idx = static_cast<std::size_t>(s);
+          if (load_started_[idx]) {  // defensive; orders are duplicate-free
+            ++next_explicit_;
+            continue;
+          }
+          if (arrival_[idx] == k_no_time) return k_no_subtask;  // HOL block
+          ++next_explicit_;
+          return s;
+        }
+        return k_no_subtask;
+      }
+      case LoadPolicy::priority: {
+        while (!eligible_.empty()) {
+          const SubtaskId s = eligible_.top().subtask;
+          if (load_started_[static_cast<std::size_t>(s)]) {
+            eligible_.pop();
+            continue;
+          }
+          eligible_.pop();
+          return s;
+        }
+        return k_no_subtask;
+      }
+      case LoadPolicy::on_demand: {
+        while (!requests_.empty()) {
+          const SubtaskId s = requests_.top().subtask;
+          if (load_started_[static_cast<std::size_t>(s)]) {
+            requests_.pop();
+            continue;
+          }
+          requests_.pop();
+          return s;
+        }
+        return k_no_subtask;
+      }
+    }
+    return k_no_subtask;
+  }
+
+  // -- event handlers ----------------------------------------------------
+
+  void on_load_done(SubtaskId s, time_us t) {
+    if (s == k_no_subtask) {  // port-became-available wake-up
+      try_port(t);
+      return;
+    }
+    config_done_[static_cast<std::size_t>(s)] = 1;
+    try_exec(s, t);
+    try_port(t);
+  }
+
+  void on_exec_done(SubtaskId s, time_us t) {
+    const auto idx = static_cast<std::size_t>(s);
+    finished_[idx] = 1;
+
+    // Advance the unit: the next subtask in sequence arrives.
+    const TileId tile = placement_.tile_of[idx];
+    const auto& seq =
+        tile != k_no_tile
+            ? placement_.tile_sequence[static_cast<std::size_t>(tile)]
+            : placement_
+                  .isp_sequence[static_cast<std::size_t>(placement_.isp_of[idx])];
+    const auto pos = static_cast<std::size_t>(placement_.position_of[idx]);
+    if (pos + 1 < seq.size()) mark_arrival(seq[pos + 1], t);
+    if (tile != k_no_tile)
+      result_.tile_last_exec_end[static_cast<std::size_t>(tile)] = std::max(
+          result_.tile_last_exec_end[static_cast<std::size_t>(tile)], t);
+
+    // Wake successors: data travels over the ICN, so a successor learns of
+    // the completion only after the communication latency.
+    for (SubtaskId succ : graph_.successors(s)) {
+      const time_us comm = edge_comm(s, succ);
+      if (comm == 0) {
+        if (--preds_left_[static_cast<std::size_t>(succ)] == 0)
+          mark_dag_ready(succ, t);
+      } else {
+        events_.push({t + comm, EventKind::comm_arrival, succ});
+      }
+    }
+    try_port(t);
+  }
+
+  void on_comm_arrival(SubtaskId succ, time_us t) {
+    if (--preds_left_[static_cast<std::size_t>(succ)] == 0)
+      mark_dag_ready(succ, t);
+  }
+
+  /// ICN latency of the edge from -> to under the placement.
+  time_us edge_comm(SubtaskId from, SubtaskId to) const {
+    const auto f = static_cast<std::size_t>(from);
+    const auto g = static_cast<std::size_t>(to);
+    const bool from_isp = placement_.tile_of[f] == k_no_tile;
+    const bool to_isp = placement_.tile_of[g] == k_no_tile;
+    return icn_comm_latency(
+        platform_, from_isp ? placement_.isp_of[f] : placement_.tile_of[f],
+        from_isp, to_isp ? placement_.isp_of[g] : placement_.tile_of[g],
+        to_isp);
+  }
+
+  void finalize_result() {
+    result_.makespan = 0;
+    result_.last_load_end = k_no_time;
+    for (std::size_t s = 0; s < n_; ++s) {
+      result_.makespan = std::max(result_.makespan, result_.exec_end[s]);
+      if (result_.load_end[s] != k_no_time) {
+        result_.last_load_end =
+            std::max(result_.last_load_end, result_.load_end[s]);
+        const time_us other =
+            std::max(dag_ready_[s], arrival_[s]);
+        result_.delayed_by_load[s] =
+            result_.exec_start[s] == result_.load_end[s] &&
+            result_.load_end[s] > other;
+      }
+    }
+  }
+
+  const SubtaskGraph& graph_;
+  const Placement& placement_;
+  const PlatformConfig& platform_;
+  const LoadPlan& plan_;
+  const std::size_t n_ = graph_.size();
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+  std::priority_queue<PriorityEntry> eligible_;
+  std::priority_queue<RequestEntry, std::vector<RequestEntry>, std::greater<>>
+      requests_;
+  std::vector<int> preds_left_;
+  std::vector<time_us> dag_ready_;
+  std::vector<time_us> arrival_;
+  std::vector<char> started_, finished_, load_started_, config_done_;
+  std::vector<time_us> port_free_;
+  std::size_t next_explicit_ = 0;
+  EvalResult result_;
+};
+
+}  // namespace
+
+EvalResult evaluate(const SubtaskGraph& graph, const Placement& placement,
+                    const PlatformConfig& platform, const LoadPlan& plan,
+                    time_us port_available_from) {
+  platform.validate();
+  return Simulation(graph, placement, platform, plan, port_available_from)
+      .run();
+}
+
+time_us ideal_makespan(const SubtaskGraph& graph, const Placement& placement,
+                       const PlatformConfig& platform) {
+  LoadPlan none;
+  none.policy = LoadPolicy::explicit_order;
+  none.needs_load.assign(graph.size(), false);
+  return evaluate(graph, placement, platform, none).makespan;
+}
+
+}  // namespace drhw

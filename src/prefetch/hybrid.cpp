@@ -1,0 +1,51 @@
+#include "prefetch/hybrid.hpp"
+
+#include "util/check.hpp"
+
+namespace drhw {
+
+HybridDecision hybrid_decide(const HybridSchedule& design,
+                             const std::vector<bool>& resident) {
+  HybridDecision decision;
+  // Initialization phase: CS members not resident, in the design-time
+  // (descending weight) order. These loads occupy the port back to back
+  // before the stored schedule begins.
+  for (SubtaskId s : design.critical)
+    if (!resident[static_cast<std::size_t>(s)])
+      decision.init_loads.push_back(s);
+  // Stored schedule with cancellations: drop loads whose configuration is
+  // resident; the relative order of the remaining loads is untouched.
+  decision.load_order.reserve(design.stored_order.size());
+  for (SubtaskId s : design.stored_order) {
+    if (resident[static_cast<std::size_t>(s)])
+      ++decision.cancelled_loads;
+    else
+      decision.load_order.push_back(s);
+  }
+  return decision;
+}
+
+HybridRunOutcome hybrid_runtime(const SubtaskGraph& graph,
+                                const Placement& placement,
+                                const PlatformConfig& platform,
+                                const HybridSchedule& design,
+                                const std::vector<bool>& resident) {
+  DRHW_CHECK(resident.size() == graph.size());
+  HybridRunOutcome outcome;
+
+  HybridDecision decision = hybrid_decide(design, resident);
+  outcome.init_loads = std::move(decision.init_loads);
+  outcome.cancelled_loads = decision.cancelled_loads;
+  outcome.init_duration = 0;
+  for (SubtaskId s : outcome.init_loads) {
+    const time_us own = graph.subtask(s).load_time;
+    outcome.init_duration += own != k_no_time ? own : platform.reconfig_latency;
+  }
+
+  const LoadPlan plan = explicit_plan(graph, decision.load_order);
+  outcome.eval = evaluate(graph, placement, platform, plan);
+  outcome.total_makespan = outcome.init_duration + outcome.eval.makespan;
+  return outcome;
+}
+
+}  // namespace drhw

@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file hybrid.hpp
+/// The run-time phase of the hybrid heuristic (paper Section 6).
+///
+/// Given the design-time HybridSchedule and the set of configurations the
+/// reuse module found resident, the run-time phase only has to:
+///  1. run the *initialization phase*: load the critical subtasks that are
+///     not resident, in the pre-decided weight order, before the stored
+///     schedule starts;
+///  2. *cancel* the stored loads of non-critical subtasks that turn out to
+///     be resident ("it is an unnecessary waste of energy to load them
+///     again"), leaving the rest of the schedule untouched.
+/// Everything else was fixed at design time, which is why the run-time
+/// overhead of the hybrid approach is negligible.
+
+#include <vector>
+
+#include "platform/platform.hpp"
+#include "prefetch/critical_subtasks.hpp"
+#include "prefetch/evaluator.hpp"
+
+namespace drhw {
+
+/// Outcome of executing one task instance under the hybrid heuristic.
+struct HybridRunOutcome {
+  /// Critical subtasks actually loaded up front (CS minus resident ones).
+  std::vector<SubtaskId> init_loads;
+  /// Duration of the initialization phase (init_loads.size() * latency).
+  time_us init_duration = 0;
+  /// Evaluation of the stored design-time schedule (times relative to the
+  /// end of the initialization phase).
+  EvalResult eval;
+  /// init_duration + eval.makespan.
+  time_us total_makespan = 0;
+  /// Stored loads skipped because the configuration was resident.
+  int cancelled_loads = 0;
+};
+
+/// The *decision-only* part of the run-time phase — what actually executes
+/// inside the scheduler's time slot on the embedded processor: pick the
+/// initialization loads (CS minus resident) and cancel resident stored
+/// loads. O(N) with no timing computation; this is why the hybrid approach
+/// "is not generating any run-time overhead" (Section 6).
+struct HybridDecision {
+  std::vector<SubtaskId> init_loads;
+  std::vector<SubtaskId> load_order;  ///< stored order minus cancellations
+  int cancelled_loads = 0;
+};
+
+HybridDecision hybrid_decide(const HybridSchedule& design,
+                             const std::vector<bool>& resident);
+
+/// Executes the run-time phase and evaluates the resulting schedule.
+/// `resident[s]` marks subtasks whose configuration is already on their
+/// bound tile (from the reuse module or a preceding inter-task prefetch).
+HybridRunOutcome hybrid_runtime(const SubtaskGraph& graph,
+                                const Placement& placement,
+                                const PlatformConfig& platform,
+                                const HybridSchedule& design,
+                                const std::vector<bool>& resident);
+
+}  // namespace drhw

@@ -1,0 +1,44 @@
+#include "prefetch/load_plan.hpp"
+
+#include "graph/algorithms.hpp"
+
+namespace drhw {
+
+LoadPlan on_demand_all(const SubtaskGraph& graph, const Placement& placement) {
+  LoadPlan plan;
+  plan.policy = LoadPolicy::on_demand;
+  plan.needs_load.assign(graph.size(), false);
+  for (std::size_t s = 0; s < graph.size(); ++s)
+    plan.needs_load[s] = placement.on_drhw(static_cast<SubtaskId>(s));
+  return plan;
+}
+
+std::vector<bool> loads_excluding(const SubtaskGraph& graph,
+                                  const Placement& placement,
+                                  const std::vector<bool>& resident) {
+  std::vector<bool> needs(graph.size(), false);
+  for (std::size_t s = 0; s < graph.size(); ++s)
+    needs[s] = placement.on_drhw(static_cast<SubtaskId>(s)) &&
+               !(s < resident.size() && resident[s]);
+  return needs;
+}
+
+LoadPlan priority_plan(const SubtaskGraph& graph, std::vector<bool> needs) {
+  LoadPlan plan;
+  plan.policy = LoadPolicy::priority;
+  plan.needs_load = std::move(needs);
+  plan.priority = subtask_weights(graph);
+  return plan;
+}
+
+LoadPlan explicit_plan(const SubtaskGraph& graph,
+                       std::vector<SubtaskId> order) {
+  LoadPlan plan;
+  plan.policy = LoadPolicy::explicit_order;
+  plan.needs_load.assign(graph.size(), false);
+  for (SubtaskId s : order) plan.needs_load[static_cast<std::size_t>(s)] = true;
+  plan.order = std::move(order);
+  return plan;
+}
+
+}  // namespace drhw

@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file load_plan.hpp
+/// Description of which configurations must be loaded for one task instance
+/// and in what discipline the reconfiguration port serves them.
+
+#include <vector>
+
+#include "graph/subtask_graph.hpp"
+#include "schedule/placement.hpp"
+#include "util/time.hpp"
+
+namespace drhw {
+
+/// Discipline of the reconfiguration port.
+enum class LoadPolicy {
+  /// "Without prefetch": the load of a subtask is requested only once all of
+  /// its predecessors have finished; pending requests are served
+  /// first-come-first-served among the currently loadable ones.
+  on_demand,
+  /// The run-time list-scheduling heuristic of ref. [7]: whenever the port is
+  /// free, start the loadable configuration with the highest priority
+  /// (typically the ALAP weight), regardless of whether the subtask is ready.
+  priority,
+  /// A fixed load order decided at design time (branch & bound or a stored
+  /// hybrid schedule). Head-of-line semantics: the port serves the order
+  /// strictly, waiting if the next load's tile is still executing.
+  explicit_order,
+};
+
+/// Which subtasks need a load, plus policy-specific data.
+struct LoadPlan {
+  LoadPolicy policy = LoadPolicy::on_demand;
+  /// Per subtask: true if its configuration must be loaded before execution.
+  /// Must be false for ISP subtasks. Reused (resident) subtasks are false.
+  std::vector<bool> needs_load;
+  /// policy == explicit_order: the exact port order; must contain every
+  /// subtask with needs_load set, exactly once.
+  std::vector<SubtaskId> order;
+  /// policy == priority: per-subtask priority (higher loads first). Usually
+  /// the ALAP weights. Ties break toward the lower subtask id.
+  std::vector<time_us> priority;
+};
+
+/// Plan loading every DRHW subtask on demand (the no-prefetch baseline).
+LoadPlan on_demand_all(const SubtaskGraph& graph, const Placement& placement);
+
+/// Plan loading every DRHW subtask except those marked resident.
+std::vector<bool> loads_excluding(const SubtaskGraph& graph,
+                                  const Placement& placement,
+                                  const std::vector<bool>& resident);
+
+/// Plan with priority policy over `needs` using the graph's ALAP weights.
+LoadPlan priority_plan(const SubtaskGraph& graph, std::vector<bool> needs);
+
+/// Plan with an explicit order covering exactly `order`.
+LoadPlan explicit_plan(const SubtaskGraph& graph,
+                       std::vector<SubtaskId> order);
+
+}  // namespace drhw

@@ -1,0 +1,54 @@
+#include "reuse/config_store.hpp"
+
+#include <stdexcept>
+
+namespace drhw {
+
+ConfigStore::ConfigStore(int tiles) {
+  if (tiles < 1) throw std::invalid_argument("config store needs >= 1 tile");
+  tiles_.resize(static_cast<std::size_t>(tiles));
+}
+
+ConfigId ConfigStore::config_on(PhysTileId tile) const {
+  return tiles_[checked(tile)].config;
+}
+
+std::optional<PhysTileId> ConfigStore::find(ConfigId config) const {
+  if (config == k_no_config) return std::nullopt;
+  for (std::size_t t = 0; t < tiles_.size(); ++t)
+    if (tiles_[t].config == config) return static_cast<PhysTileId>(t);
+  return std::nullopt;
+}
+
+void ConfigStore::record_load(PhysTileId tile, ConfigId config, time_us when,
+                              double value) {
+  auto& state = tiles_[checked(tile)];
+  state.config = config;
+  state.last_used = when;
+  state.value = value;
+}
+
+void ConfigStore::record_use(PhysTileId tile, time_us when) {
+  auto& state = tiles_[checked(tile)];
+  if (when > state.last_used) state.last_used = when;
+}
+
+time_us ConfigStore::last_used(PhysTileId tile) const {
+  return tiles_[checked(tile)].last_used;
+}
+
+double ConfigStore::value_of(PhysTileId tile) const {
+  return tiles_[checked(tile)].value;
+}
+
+void ConfigStore::clear() {
+  for (auto& tile : tiles_) tile = Tile{};
+}
+
+std::size_t ConfigStore::checked(PhysTileId tile) const {
+  if (tile < 0 || static_cast<std::size_t>(tile) >= tiles_.size())
+    throw std::invalid_argument("physical tile id out of range");
+  return static_cast<std::size_t>(tile);
+}
+
+}  // namespace drhw

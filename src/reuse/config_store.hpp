@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file config_store.hpp
+/// Run-time state of the physical tile pool: which configuration each tile
+/// currently holds, when it was last touched, and how valuable it is to the
+/// replacement policy. This is the state the reuse and replacement modules
+/// (paper Figure 2, refs [6,7]) operate on across task instances.
+
+#include <optional>
+#include <vector>
+
+#include "util/ids.hpp"
+#include "util/time.hpp"
+
+namespace drhw {
+
+/// Mutable pool of physical tiles and their resident configurations.
+class ConfigStore {
+ public:
+  /// All tiles start empty.
+  explicit ConfigStore(int tiles);
+
+  int tiles() const { return static_cast<int>(tiles_.size()); }
+
+  /// Configuration currently on `tile` (k_no_config when empty).
+  ConfigId config_on(PhysTileId tile) const;
+
+  /// Finds a tile holding `config`, if any.
+  std::optional<PhysTileId> find(ConfigId config) const;
+
+  bool holds(ConfigId config) const { return find(config).has_value(); }
+
+  /// Records that `config` was loaded onto `tile` at absolute time `when`
+  /// with replacement value `value` (typically the subtask's ALAP weight).
+  void record_load(PhysTileId tile, ConfigId config, time_us when,
+                   double value);
+
+  /// Records an execution using `tile` finishing at absolute time `when`.
+  void record_use(PhysTileId tile, time_us when);
+
+  time_us last_used(PhysTileId tile) const;
+  double value_of(PhysTileId tile) const;
+
+  /// Forgets every resident configuration (e.g. between experiments).
+  void clear();
+
+ private:
+  struct Tile {
+    ConfigId config = k_no_config;
+    time_us last_used = 0;
+    double value = 0.0;
+  };
+  std::size_t checked(PhysTileId tile) const;
+  std::vector<Tile> tiles_;
+};
+
+}  // namespace drhw

@@ -1,0 +1,161 @@
+#include "schedule/list_scheduler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/algorithms.hpp"
+#include "platform/platform.hpp"
+#include "util/check.hpp"
+
+namespace drhw {
+
+namespace {
+
+/// Chooses the unit giving the earliest start; ties broken toward the unit
+/// with the smallest availability time (longest idle), then lowest index.
+/// `ready_on` yields the unit-dependent ready time (ICN-aware callers fold
+/// communication latencies into it).
+template <typename ReadyFn>
+int pick_unit(const std::vector<time_us>& avail, const ReadyFn& ready_on) {
+  int best = 0;
+  time_us best_start = std::max(ready_on(0), avail[0]);
+  for (int u = 1; u < static_cast<int>(avail.size()); ++u) {
+    const time_us start =
+        std::max(ready_on(u), avail[static_cast<std::size_t>(u)]);
+    const time_us best_avail = avail[static_cast<std::size_t>(best)];
+    const time_us this_avail = avail[static_cast<std::size_t>(u)];
+    if (start < best_start ||
+        (start == best_start && this_avail < best_avail)) {
+      best = u;
+      best_start = start;
+    }
+  }
+  return best;
+}
+
+Placement schedule_impl(const SubtaskGraph& graph, int tiles, int isps,
+                        const PlatformConfig* icn_platform) {
+  const std::size_t n = graph.size();
+  bool has_drhw = false;
+  bool has_isp = false;
+  for (std::size_t s = 0; s < n; ++s) {
+    if (graph.subtask(static_cast<SubtaskId>(s)).resource == Resource::drhw)
+      has_drhw = true;
+    else
+      has_isp = true;
+  }
+  if (has_drhw && tiles < 1)
+    throw std::invalid_argument("graph has DRHW subtasks but no tiles");
+  if (has_isp && isps < 1)
+    throw std::invalid_argument("graph has ISP subtasks but no ISPs");
+  tiles = has_drhw ? tiles : 0;
+  isps = has_isp ? isps : 0;
+
+  const auto weights = subtask_weights(graph);
+
+  Placement placement;
+  placement.tile_of.assign(n, k_no_tile);
+  placement.isp_of.assign(n, k_no_tile);
+  placement.position_of.assign(n, 0);
+  placement.ideal_start.assign(n, 0);
+  placement.ideal_end.assign(n, 0);
+  placement.tile_sequence.assign(static_cast<std::size_t>(tiles), {});
+  placement.isp_sequence.assign(static_cast<std::size_t>(isps), {});
+
+  std::vector<time_us> tile_avail(static_cast<std::size_t>(tiles), 0);
+  std::vector<time_us> isp_avail(static_cast<std::size_t>(isps), 0);
+  std::vector<int> preds_left(n, 0);
+  std::vector<char> scheduled(n, 0);
+  for (std::size_t s = 0; s < n; ++s)
+    preds_left[s] =
+        static_cast<int>(graph.predecessors(static_cast<SubtaskId>(s)).size());
+
+  // Unit-dependent ready time: the latest predecessor completion plus the
+  // ICN latency from the predecessor's unit to the candidate unit.
+  const auto ready_on = [&](SubtaskId s, int unit, bool unit_is_isp) {
+    time_us ready = 0;
+    for (SubtaskId p : graph.predecessors(s)) {
+      const auto pidx = static_cast<std::size_t>(p);
+      time_us arrive = placement.ideal_end[pidx];
+      if (icn_platform != nullptr) {
+        const bool p_isp = placement.tile_of[pidx] == k_no_tile;
+        arrive += icn_comm_latency(
+            *icn_platform,
+            p_isp ? placement.isp_of[pidx] : placement.tile_of[pidx], p_isp,
+            unit, unit_is_isp);
+      }
+      ready = std::max(ready, arrive);
+    }
+    return ready;
+  };
+
+  std::size_t done = 0;
+  while (done < n) {
+    // Highest-weight ready subtask (ties toward the lower id for
+    // determinism). Linear scan keeps the code simple; the scheduler runs at
+    // design time on graphs of at most a few hundred nodes.
+    SubtaskId pick = k_no_subtask;
+    for (std::size_t s = 0; s < n; ++s) {
+      if (scheduled[s] || preds_left[s] != 0) continue;
+      if (pick == k_no_subtask ||
+          weights[s] > weights[static_cast<std::size_t>(pick)])
+        pick = static_cast<SubtaskId>(s);
+    }
+    DRHW_CHECK_MSG(pick != k_no_subtask, "list scheduler stalled");
+
+    const auto idx = static_cast<std::size_t>(pick);
+    const bool drhw = graph.subtask(pick).resource == Resource::drhw;
+    auto& avail = drhw ? tile_avail : isp_avail;
+    auto& sequences = drhw ? placement.tile_sequence : placement.isp_sequence;
+    const int unit =
+        pick_unit(avail, [&](int u) { return ready_on(pick, u, !drhw); });
+    const auto uidx = static_cast<std::size_t>(unit);
+
+    const time_us start = std::max(ready_on(pick, unit, !drhw), avail[uidx]);
+    const time_us end = start + graph.subtask(pick).exec_time;
+    avail[uidx] = end;
+    placement.ideal_start[idx] = start;
+    placement.ideal_end[idx] = end;
+    placement.position_of[idx] = static_cast<int>(sequences[uidx].size());
+    sequences[uidx].push_back(pick);
+    if (drhw)
+      placement.tile_of[idx] = unit;
+    else
+      placement.isp_of[idx] = unit;
+
+    scheduled[idx] = 1;
+    ++done;
+    placement.ideal_makespan = std::max(placement.ideal_makespan, end);
+    for (SubtaskId succ : graph.successors(pick))
+      --preds_left[static_cast<std::size_t>(succ)];
+  }
+
+  // Drop unused trailing units so tiles_used reflects reality.
+  while (!placement.tile_sequence.empty() &&
+         placement.tile_sequence.back().empty())
+    placement.tile_sequence.pop_back();
+  while (!placement.isp_sequence.empty() &&
+         placement.isp_sequence.back().empty())
+    placement.isp_sequence.pop_back();
+  placement.tiles_used = static_cast<int>(placement.tile_sequence.size());
+  placement.isps_used = static_cast<int>(placement.isp_sequence.size());
+
+  placement.validate(graph);
+  return placement;
+}
+
+}  // namespace
+
+Placement list_schedule(const SubtaskGraph& graph, int tiles, int isps) {
+  return schedule_impl(graph, tiles, isps, nullptr);
+}
+
+Placement list_schedule_icn(const SubtaskGraph& graph,
+                            const PlatformConfig& platform) {
+  platform.validate();
+  return schedule_impl(graph, platform.tiles, std::max(platform.isps, 1),
+                       &platform);
+}
+
+}  // namespace drhw

@@ -1,0 +1,29 @@
+#pragma once
+
+/// \file gantt.hpp
+/// ASCII Gantt rendering of evaluated schedules — the library's equivalent
+/// of the paper's Figures 3 and 5, used by the quickstart example and for
+/// debugging schedules.
+
+#include <string>
+
+#include "prefetch/evaluator.hpp"
+#include "schedule/placement.hpp"
+
+namespace drhw {
+
+struct GanttOptions {
+  int width = 72;              ///< characters used for the time axis
+  time_us init_duration = 0;   ///< hybrid initialization phase to prepend
+  /// Labels of initialization loads (subtask ids), drawn on the port row
+  /// inside the init window. May be empty.
+  std::vector<SubtaskId> init_loads;
+};
+
+/// Renders one row per unit plus a reconfiguration-port row.
+/// Executions appear as `=`-filled boxes labelled with the subtask name,
+/// loads as `L<id>` segments, idle time as spaces.
+std::string render_gantt(const SubtaskGraph& graph, const Placement& placement,
+                         const EvalResult& eval, const GanttOptions& options = {});
+
+}  // namespace drhw

@@ -1,0 +1,494 @@
+#include "sim/system_sim.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "graph/algorithms.hpp"
+#include "prefetch/bnb.hpp"
+#include "prefetch/hybrid.hpp"
+#include "prefetch/list_prefetch.hpp"
+#include "prefetch/load_plan.hpp"
+#include "reuse/config_store.hpp"
+#include "schedule/list_scheduler.hpp"
+#include "util/check.hpp"
+
+namespace drhw {
+
+const char* to_string(Approach approach) {
+  switch (approach) {
+    case Approach::no_prefetch:
+      return "no-prefetch";
+    case Approach::design_time_prefetch:
+      return "design-time";
+    case Approach::runtime_heuristic:
+      return "run-time";
+    case Approach::runtime_intertask:
+      return "run-time+inter-task";
+    case Approach::hybrid:
+      return "hybrid";
+  }
+  return "?";
+}
+
+PreparedScenario prepare_scenario(const SubtaskGraph& graph, int tiles,
+                                  const PlatformConfig& platform,
+                                  const HybridDesignOptions& options) {
+  PreparedScenario prepared;
+  prepared.graph = &graph;
+  prepared.placement = list_schedule(graph, tiles, platform.isps);
+  prepared.weights = subtask_weights(graph);
+  std::vector<bool> all(graph.size(), false);
+  for (std::size_t s = 0; s < graph.size(); ++s)
+    all[s] = prepared.placement.on_drhw(static_cast<SubtaskId>(s));
+  int load_count = 0;
+  for (bool b : all) load_count += b;
+  if (load_count <= options.bnb_load_threshold) {
+    prepared.design_order =
+        optimal_prefetch(graph, prepared.placement, platform, all).order;
+  } else {
+    prepared.design_order =
+        list_prefetch(graph, prepared.placement, platform, all).load_order;
+  }
+  prepared.hybrid =
+      compute_hybrid_schedule(graph, prepared.placement, platform, options);
+  prepared.replacement_values = prepared.weights;
+  constexpr time_us k_critical_bonus = 1'000'000'000'000LL;
+  for (SubtaskId s : prepared.hybrid.critical)
+    prepared.replacement_values[static_cast<std::size_t>(s)] +=
+        k_critical_bonus;
+  prepared.ideal = prepared.placement.ideal_makespan;
+  return prepared;
+}
+
+void harmonize_replacement_values(std::vector<PreparedScenario>& scenarios) {
+  if (scenarios.empty()) return;
+  const std::size_t n = scenarios.front().graph->size();
+  for (const auto& p : scenarios)
+    DRHW_CHECK_MSG(p.graph->size() == n,
+                   "scenarios of one task must share the subtask structure");
+
+  std::vector<double> critical_count(n, 0.0);
+  std::vector<double> weight_sum(n, 0.0);
+  for (const auto& p : scenarios) {
+    for (std::size_t s = 0; s < n; ++s)
+      weight_sum[s] += static_cast<double>(p.weights[s]);
+    for (SubtaskId s : p.hybrid.critical)
+      critical_count[static_cast<std::size_t>(s)] += 1.0;
+  }
+  const auto count = static_cast<double>(scenarios.size());
+  constexpr double k_critical_bonus = 1e12;
+  for (auto& p : scenarios) {
+    for (std::size_t s = 0; s < n; ++s)
+      p.replacement_values[s] = static_cast<time_us>(
+          critical_count[s] / count * k_critical_bonus +
+          weight_sum[s] / count);
+  }
+}
+
+namespace {
+
+/// Per-instance schedule outcome in instance-relative time.
+struct InstanceSchedule {
+  EvalResult eval;
+  time_us init_duration = 0;
+  std::vector<SubtaskId> init_loads;
+  int cancelled = 0;
+  time_us span = 0;
+};
+
+class SystemSimulation {
+ public:
+  SystemSimulation(const SimOptions& options, const IterationSampler& sampler)
+      : options_(options),
+        sampler_(sampler),
+        rng_(options.seed),
+        store_(options.platform.tiles) {}
+
+  SimReport run() {
+    options_.platform.validate();
+    while (true) {
+      refill();
+      if (queue_.empty()) break;
+      const QueuedInstance current = queue_.front();
+      queue_.pop_front();
+      refill();
+      // The inter-task optimisation can only look at tasks the run-time
+      // scheduler has already emitted — within the same iteration batch,
+      // or anywhere in the stream for repeating pipelines.
+      std::vector<const PreparedScenario*> upcoming;
+      for (const QueuedInstance& queued : queue_) {
+        if (static_cast<int>(upcoming.size()) >= options_.intertask_lookahead)
+          break;
+        if (!options_.cross_iteration_lookahead &&
+            queued.batch != current.batch)
+          break;
+        upcoming.push_back(queued.scenario);
+      }
+      step(*current.scenario, upcoming);
+    }
+    finalize();
+    return report_;
+  }
+
+ private:
+  static bool uses_reuse(Approach a) {
+    return a == Approach::runtime_heuristic ||
+           a == Approach::runtime_intertask || a == Approach::hybrid;
+  }
+  bool intertask_enabled() const {
+    return options_.approach == Approach::runtime_intertask ||
+           (options_.approach == Approach::hybrid && options_.hybrid_intertask);
+  }
+
+  void refill() {
+    const auto want =
+        static_cast<std::size_t>(std::max(2, options_.intertask_lookahead + 1));
+    while (queue_.size() < want && iterations_drawn_ < options_.iterations) {
+      auto batch = sampler_(rng_);
+      ++iterations_drawn_;
+      for (const PreparedScenario* instance : batch) {
+        DRHW_CHECK(instance != nullptr);
+        queue_.push_back(QueuedInstance{instance, iterations_drawn_});
+      }
+    }
+  }
+
+  /// Value vector the replacement machinery should see for this instance.
+  const std::vector<time_us>& values_for(const PreparedScenario& inst) const {
+    return options_.replacement == ReplacementPolicy::critical_first
+               ? inst.replacement_values
+               : inst.weights;
+  }
+
+  /// Reconfiguration latency of one subtask's bitstream.
+  time_us load_duration(const SubtaskGraph& graph, SubtaskId s) const {
+    const time_us own = graph.subtask(s).load_time;
+    return own != k_no_time ? own : options_.platform.reconfig_latency;
+  }
+
+  /// Oracle help: rank of the next instance (0 = next) whose graph uses the
+  /// config, or a large value when it does not appear in the horizon.
+  NextUseRank make_next_use_oracle() {
+    std::unordered_map<ConfigId, long> rank;
+    long position = 0;
+    for (const QueuedInstance& queued : queue_) {
+      const SubtaskGraph& g = *queued.scenario->graph;
+      for (std::size_t s = 0; s < g.size(); ++s) {
+        const ConfigId c = g.subtask(static_cast<SubtaskId>(s)).config;
+        rank.try_emplace(c, position);
+      }
+      ++position;
+    }
+    return [rank = std::move(rank)](ConfigId c) -> long {
+      const auto it = rank.find(c);
+      return it == rank.end() ? std::numeric_limits<long>::max() : it->second;
+    };
+  }
+
+  void step(const PreparedScenario& inst,
+            const std::vector<const PreparedScenario*>& upcoming) {
+    const SubtaskGraph& graph = *inst.graph;
+    const Placement& placement = inst.placement;
+    const bool reuse_on = uses_reuse(options_.approach);
+
+    Binding binding;
+    if (reuse_on) {
+      NextUseRank oracle;
+      if (options_.replacement == ReplacementPolicy::oracle)
+        oracle = make_next_use_oracle();
+      binding = bind_tiles(graph, placement, store_, options_.replacement,
+                           values_for(inst), rng_, oracle);
+    } else {
+      binding.phys_of_tile.resize(
+          static_cast<std::size_t>(placement.tiles_used));
+      for (int v = 0; v < placement.tiles_used; ++v)
+        binding.phys_of_tile[static_cast<std::size_t>(v)] = v;
+      binding.resident.assign(graph.size(), false);
+    }
+
+    const InstanceSchedule sched = schedule_instance(inst, binding);
+
+    // Commit the timeline into the shared configuration store.
+    if (reuse_on) commit_to_store(inst, binding, sched);
+
+    // Inter-task optimisation: use the port's final idle period for the
+    // upcoming tasks' critical loads.
+    if (intertask_enabled() && !upcoming.empty())
+      tail_prefetch(inst, binding, sched, upcoming);
+
+    account(inst, binding, sched);
+    clock_ += sched.span;
+  }
+
+  InstanceSchedule schedule_instance(const PreparedScenario& inst,
+                                     const Binding& binding) {
+    const SubtaskGraph& graph = *inst.graph;
+    const Placement& placement = inst.placement;
+    InstanceSchedule sched;
+    switch (options_.approach) {
+      case Approach::no_prefetch: {
+        const LoadPlan plan = on_demand_all(graph, placement);
+        sched.eval = evaluate(graph, placement, options_.platform, plan);
+        break;
+      }
+      case Approach::design_time_prefetch: {
+        const LoadPlan plan = explicit_plan(graph, inst.design_order);
+        sched.eval = evaluate(graph, placement, options_.platform, plan);
+        break;
+      }
+      case Approach::runtime_heuristic:
+      case Approach::runtime_intertask: {
+        const auto needs = loads_excluding(graph, placement, binding.resident);
+        sched.eval = list_prefetch_with_priority(
+            graph, placement, options_.platform, needs, inst.weights);
+        break;
+      }
+      case Approach::hybrid: {
+        HybridRunOutcome outcome =
+            hybrid_runtime(graph, placement, options_.platform, inst.hybrid,
+                           binding.resident);
+        sched.eval = std::move(outcome.eval);
+        sched.init_duration = outcome.init_duration;
+        sched.init_loads = std::move(outcome.init_loads);
+        sched.cancelled = outcome.cancelled_loads;
+        break;
+      }
+    }
+    sched.span = sched.init_duration + sched.eval.makespan;
+    return sched;
+  }
+
+  void commit_to_store(const PreparedScenario& inst, const Binding& binding,
+                       const InstanceSchedule& sched) {
+    const SubtaskGraph& graph = *inst.graph;
+    const Placement& placement = inst.placement;
+    const time_us offset = clock_ + sched.init_duration;
+    const std::vector<time_us>& values = values_for(inst);
+
+    // Initialization-phase loads occupy the port back to back from the
+    // instance start.
+    time_us init_cursor = clock_;
+    for (const SubtaskId s : sched.init_loads) {
+      const auto tile = static_cast<std::size_t>(
+          placement.tile_of[static_cast<std::size_t>(s)]);
+      init_cursor += load_duration(graph, s);
+      store_.record_load(binding.phys_of_tile[tile], graph.subtask(s).config,
+                         init_cursor,
+                         static_cast<double>(values[static_cast<std::size_t>(s)]));
+    }
+    // Scheduled loads and executions, walked per tile in execution order so
+    // that the last load on a tile determines its resident configuration.
+    for (int v = 0; v < placement.tiles_used; ++v) {
+      const PhysTileId phys =
+          binding.phys_of_tile[static_cast<std::size_t>(v)];
+      for (SubtaskId s :
+           placement.tile_sequence[static_cast<std::size_t>(v)]) {
+        const auto idx = static_cast<std::size_t>(s);
+        if (sched.eval.load_end[idx] != k_no_time)
+          store_.record_load(phys, graph.subtask(s).config,
+                             offset + sched.eval.load_end[idx],
+                             static_cast<double>(values[idx]));
+        store_.record_use(phys, offset + sched.eval.exec_end[idx]);
+      }
+    }
+  }
+
+  /// Candidate loads one future task would want prefetched, in
+  /// initialization order.
+  std::vector<SubtaskId> prefetch_candidates(
+      const PreparedScenario& future) const {
+    if (options_.approach == Approach::runtime_intertask) {
+      // The run-time heuristic has no CS concept: it prefetches whatever it
+      // would load first, i.e. every DRHW subtask by descending weight.
+      std::vector<SubtaskId> candidates;
+      for (std::size_t s = 0; s < future.graph->size(); ++s)
+        if (future.placement.on_drhw(static_cast<SubtaskId>(s)))
+          candidates.push_back(static_cast<SubtaskId>(s));
+      std::sort(candidates.begin(), candidates.end(),
+                [&](SubtaskId a, SubtaskId b) {
+                  const auto wa = future.weights[static_cast<std::size_t>(a)];
+                  const auto wb = future.weights[static_cast<std::size_t>(b)];
+                  if (wa != wb) return wa > wb;
+                  return a < b;
+                });
+      return candidates;
+    }
+    std::vector<SubtaskId> candidates = future.hybrid.critical;
+    if (options_.intertask_beyond_critical)
+      for (SubtaskId s : future.hybrid.stored_order) candidates.push_back(s);
+    return candidates;
+  }
+
+  void tail_prefetch(const PreparedScenario& inst, const Binding& binding,
+                     const InstanceSchedule& sched,
+                     const std::vector<const PreparedScenario*>& upcoming) {
+    const Placement& placement = inst.placement;
+    const time_us offset = clock_ + sched.init_duration;
+    const time_us window_end = clock_ + sched.span;
+
+    // The port is free after the last load of this instance.
+    time_us port_cursor = clock_ + sched.init_duration;
+    if (sched.eval.last_load_end != k_no_time)
+      port_cursor = offset + sched.eval.last_load_end;
+    if (port_cursor >= window_end) return;
+
+    // A tile may be reconfigured for a future task once this instance has
+    // no executions left on it.
+    std::vector<time_us> tile_free(
+        static_cast<std::size_t>(store_.tiles()), clock_);
+    for (int v = 0; v < placement.tiles_used; ++v) {
+      const auto phys = static_cast<std::size_t>(
+          binding.phys_of_tile[static_cast<std::size_t>(v)]);
+      tile_free[phys] = offset + sched.eval.tile_last_exec_end
+                                     [static_cast<std::size_t>(v)];
+    }
+
+    // Walk the emitted sequence outward. Configurations wanted by the
+    // *immediately* next task must not be evicted (that would trade one
+    // hidden load for one exposed one); for deeper tasks the value ordering
+    // below already steers evictions toward cheap-to-reload configurations.
+    std::unordered_set<ConfigId> protected_configs;
+    if (!upcoming.empty()) {
+      const SubtaskGraph& next_graph = *upcoming.front()->graph;
+      for (std::size_t s = 0; s < next_graph.size(); ++s)
+        protected_configs.insert(
+            next_graph.subtask(static_cast<SubtaskId>(s)).config);
+    }
+    // Belady-style victim ranking within the emitted horizon: a resident
+    // configuration used again soon is a worse victim than one whose next
+    // use is far away (or unknown).
+    std::unordered_map<ConfigId, long> next_use;
+    for (std::size_t d = 0; d < upcoming.size(); ++d) {
+      const SubtaskGraph& g = *upcoming[d]->graph;
+      for (std::size_t s = 0; s < g.size(); ++s)
+        next_use.try_emplace(g.subtask(static_cast<SubtaskId>(s)).config,
+                             static_cast<long>(d));
+    }
+    const auto use_rank = [&](ConfigId c) -> long {
+      const auto it = next_use.find(c);
+      return it == next_use.end() ? std::numeric_limits<long>::max()
+                                  : it->second;
+    };
+
+    std::vector<char> targeted(static_cast<std::size_t>(store_.tiles()), 0);
+    for (const PreparedScenario* future : upcoming) {
+      const SubtaskGraph& future_graph = *future->graph;
+
+      for (SubtaskId s : prefetch_candidates(*future)) {
+        const ConfigId config = future_graph.subtask(s).config;
+        if (store_.holds(config)) continue;
+        const time_us duration = load_duration(future_graph, s);
+
+        // Eligible victim: not already targeted, not holding a protected
+        // config, and free early enough for the load to fit. Among the
+        // fitting tiles prefer the lowest-value (then oldest) resident so
+        // pinned configurations survive.
+        PhysTileId victim = k_no_phys_tile;
+        time_us victim_start = 0;
+        for (int t = 0; t < store_.tiles(); ++t) {
+          const auto idx = static_cast<std::size_t>(t);
+          if (targeted[idx]) continue;
+          const ConfigId resident = store_.config_on(t);
+          if (resident != k_no_config &&
+              protected_configs.count(resident) > 0)
+            continue;
+          const time_us start = std::max(port_cursor, tile_free[idx]);
+          if (start + duration > window_end) continue;
+          bool better = victim == k_no_phys_tile;
+          if (!better) {
+            const long rank_t = use_rank(store_.config_on(t));
+            const long rank_v = use_rank(store_.config_on(victim));
+            if (rank_t != rank_v)
+              better = rank_t > rank_v;
+            else if (store_.value_of(t) != store_.value_of(victim))
+              better = store_.value_of(t) < store_.value_of(victim);
+            else if (start != victim_start)
+              better = start < victim_start;
+            else
+              better = store_.last_used(t) < store_.last_used(victim);
+          }
+          if (better) {
+            victim = t;
+            victim_start = start;
+          }
+        }
+        if (victim == k_no_phys_tile) return;  // nothing later fits either
+        targeted[static_cast<std::size_t>(victim)] = 1;
+        const time_us done = victim_start + duration;
+        store_.record_load(
+            victim, config, done,
+            static_cast<double>(
+                values_for(*future)[static_cast<std::size_t>(s)]));
+        port_cursor = done;
+        ++report_.intertask_prefetches;
+        ++report_.loads;
+        report_.energy += options_.platform.reconfig_energy;
+      }
+    }
+  }
+
+  void account(const PreparedScenario& inst, const Binding& binding,
+               const InstanceSchedule& sched) {
+    const SubtaskGraph& graph = *inst.graph;
+    report_.total_ideal += inst.ideal;
+    report_.total_actual += sched.span;
+    ++report_.instances;
+
+    long drhw = 0;
+    double exec_energy = 0.0;
+    for (std::size_t s = 0; s < graph.size(); ++s) {
+      if (inst.placement.on_drhw(static_cast<SubtaskId>(s))) ++drhw;
+      exec_energy += graph.subtask(static_cast<SubtaskId>(s)).exec_energy;
+    }
+    report_.drhw_subtask_instances += drhw;
+    report_.reused_subtasks += binding.reused_subtasks;
+
+    const long instance_loads =
+        static_cast<long>(sched.init_loads.size()) + sched.eval.loads;
+    report_.loads += instance_loads;
+    report_.init_loads += static_cast<long>(sched.init_loads.size());
+    report_.cancelled_loads += sched.cancelled;
+    report_.energy +=
+        exec_energy +
+        options_.platform.reconfig_energy * static_cast<double>(instance_loads);
+    report_.energy_saved += options_.platform.reconfig_energy *
+                            static_cast<double>(drhw - instance_loads);
+  }
+
+  void finalize() {
+    if (report_.total_ideal > 0)
+      report_.overhead_pct =
+          100.0 *
+          static_cast<double>(report_.total_actual - report_.total_ideal) /
+          static_cast<double>(report_.total_ideal);
+    if (report_.drhw_subtask_instances > 0)
+      report_.reuse_pct = 100.0 * static_cast<double>(report_.reused_subtasks) /
+                          static_cast<double>(report_.drhw_subtask_instances);
+  }
+
+  struct QueuedInstance {
+    const PreparedScenario* scenario;
+    int batch;  ///< iteration that emitted this instance
+  };
+
+  SimOptions options_;
+  const IterationSampler& sampler_;
+  Rng rng_;
+  ConfigStore store_;
+  std::deque<QueuedInstance> queue_;
+  int iterations_drawn_ = 0;
+  time_us clock_ = 0;
+  SimReport report_;
+};
+
+}  // namespace
+
+SimReport run_simulation(const SimOptions& options,
+                         const IterationSampler& sampler) {
+  return SystemSimulation(options, sampler).run();
+}
+
+}  // namespace drhw

@@ -1,0 +1,122 @@
+#pragma once
+
+/// \file system_sim.hpp
+/// The experimental rig of the paper's Section 7: a multi-iteration
+/// simulation of task instances arriving in a dynamic, randomised order on
+/// one platform, with configuration reuse across instances and — for the
+/// inter-task-optimising approaches — prefetching into the reconfiguration
+/// port's final idle period of the preceding task.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "platform/platform.hpp"
+#include "prefetch/critical_subtasks.hpp"
+#include "prefetch/evaluator.hpp"
+#include "reuse/reuse_module.hpp"
+#include "schedule/placement.hpp"
+#include "util/rng.hpp"
+
+namespace drhw {
+
+/// The five simulated scheduling approaches of Section 7.
+enum class Approach {
+  /// No prefetch module, no reuse: every load is issued on demand.
+  no_prefetch,
+  /// Optimal prefetch order computed at design time; reuse impossible
+  /// ("at design-time there is not enough information available").
+  design_time_prefetch,
+  /// The run-time heuristic of ref. [7] with reuse support.
+  runtime_heuristic,
+  /// runtime_heuristic plus the inter-task optimisation of Section 6.
+  runtime_intertask,
+  /// The paper's hybrid design-time/run-time heuristic (with inter-task
+  /// initialization-phase prefetch).
+  hybrid,
+};
+
+const char* to_string(Approach approach);
+
+/// Everything precomputed at design time for one (task, scenario) pair on a
+/// given platform. Instances reference these by pointer, so the owning
+/// container must outlive the simulation.
+struct PreparedScenario {
+  const SubtaskGraph* graph = nullptr;
+  Placement placement;
+  std::vector<time_us> weights;           ///< ALAP weights
+  std::vector<SubtaskId> design_order;    ///< B&B order loading everything
+  HybridSchedule hybrid;                  ///< CS set + stored schedule
+  /// weights plus a large bonus for critical subtasks; the value vector of
+  /// the critical_first replacement policy.
+  std::vector<time_us> replacement_values;
+  time_us ideal = 0;
+};
+
+/// Runs the full design-time tool flow for one scenario graph.
+PreparedScenario prepare_scenario(const SubtaskGraph& graph, int tiles,
+                                  const PlatformConfig& platform,
+                                  const HybridDesignOptions& options = {});
+
+/// Replaces the per-scenario replacement values of one task's scenarios by
+/// scenario-mix-stable values: criticality *fraction* times the bonus plus
+/// the mean weight per subtask position. Without this, a configuration
+/// loaded under a rare scenario in which it happens to be critical would
+/// keep a pinned value forever and displace genuinely critical
+/// configurations from the pool. Requires all scenarios to share the task's
+/// subtask structure (true for scenario variants by construction).
+void harmonize_replacement_values(std::vector<PreparedScenario>& scenarios);
+
+/// Draws the task-instance sequence of one iteration. Returned pointers
+/// must stay valid for the whole simulation.
+using IterationSampler =
+    std::function<std::vector<const PreparedScenario*>(Rng&)>;
+
+struct SimOptions {
+  PlatformConfig platform;
+  Approach approach = Approach::hybrid;
+  ReplacementPolicy replacement = ReplacementPolicy::lru;
+  /// Let the hybrid tail-prefetch continue into the next task's stored
+  /// (non-critical) loads after its CS is resident (extension; the paper
+  /// prefetches the initialization phase only).
+  bool intertask_beyond_critical = false;
+  /// Disable the inter-task optimisation for the hybrid approach
+  /// (ablation; the paper's hybrid includes it).
+  bool hybrid_intertask = true;
+  /// Whether the inter-task optimisation may look across iteration
+  /// boundaries. False models independent run-time scheduler invocations
+  /// (the multimedia mix: the next iteration's tasks are unknown); true
+  /// models a streaming pipeline whose task order repeats (the Pocket GL
+  /// frame loop, where the upcoming task is always known).
+  bool cross_iteration_lookahead = false;
+  /// How many upcoming tasks of the emitted sequence the inter-task
+  /// optimisation may prefetch for. 1 is the paper's literal "subsequent
+  /// task"; deeper values exploit the same idle windows for later tasks of
+  /// the sequence the run-time scheduler has already emitted.
+  int intertask_lookahead = 1;
+  std::uint64_t seed = 1;
+  int iterations = 1000;
+};
+
+/// Aggregate results over all iterations.
+struct SimReport {
+  time_us total_ideal = 0;
+  time_us total_actual = 0;
+  double overhead_pct = 0.0;  ///< 100 * (actual - ideal) / ideal
+  long instances = 0;
+  long drhw_subtask_instances = 0;
+  long reused_subtasks = 0;  ///< resident at bind time (incl. prefetched)
+  double reuse_pct = 0.0;
+  long loads = 0;            ///< loads performed (incl. init + prefetches)
+  long init_loads = 0;       ///< loads in hybrid initialization phases
+  long cancelled_loads = 0;  ///< stored loads cancelled by the hybrid
+  long intertask_prefetches = 0;
+  double energy = 0.0;        ///< exec + reconfiguration energy
+  double energy_saved = 0.0;  ///< reconfiguration energy avoided via reuse
+};
+
+/// Simulates `options.iterations` iterations of the sampler's stream.
+SimReport run_simulation(const SimOptions& options,
+                         const IterationSampler& sampler);
+
+}  // namespace drhw

@@ -1,0 +1,67 @@
+#include "tcm/pareto.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "schedule/list_scheduler.hpp"
+#include "util/check.hpp"
+
+namespace drhw {
+
+std::vector<ParetoPoint> build_pareto_curve(const SubtaskGraph& graph,
+                                            int max_tiles,
+                                            const PlatformConfig& platform,
+                                            const EnergyModel& model) {
+  if (max_tiles < 1) throw std::invalid_argument("max_tiles must be >= 1");
+
+  double exec_energy = 0.0;
+  for (std::size_t s = 0; s < graph.size(); ++s)
+    exec_energy += graph.subtask(static_cast<SubtaskId>(s)).exec_energy;
+  const double reconfig_energy =
+      platform.reconfig_energy * static_cast<double>(graph.drhw_count());
+
+  std::vector<ParetoPoint> points;
+  for (int tiles = 1; tiles <= max_tiles; ++tiles) {
+    ParetoPoint point;
+    point.placement = list_schedule(graph, tiles, platform.isps);
+    point.tiles = point.placement.tiles_used;
+    point.exec_time = point.placement.ideal_makespan;
+    point.energy = model.exec_scale * exec_energy + reconfig_energy +
+                   model.per_tile * point.tiles;
+    const int used = point.tiles;
+    points.push_back(std::move(point));
+    // Larger budgets cannot help once the scheduler stopped using them.
+    if (used < tiles) break;
+  }
+
+  // Prune dominated points (>= time and >= energy than another point).
+  std::vector<ParetoPoint> front;
+  for (const auto& candidate : points) {
+    const bool dominated = std::any_of(
+        points.begin(), points.end(), [&](const ParetoPoint& other) {
+          const bool better_or_equal = other.exec_time <= candidate.exec_time &&
+                                       other.energy <= candidate.energy;
+          const bool strictly_better = other.exec_time < candidate.exec_time ||
+                                       other.energy < candidate.energy;
+          return better_or_equal && strictly_better;
+        });
+    if (!dominated) front.push_back(candidate);
+  }
+  std::sort(front.begin(), front.end(),
+            [](const ParetoPoint& a, const ParetoPoint& b) {
+              if (a.exec_time != b.exec_time) return a.exec_time > b.exec_time;
+              return a.energy < b.energy;
+            });
+  // Drop duplicate (time, energy) pairs that may survive when two budgets
+  // produce identical schedules.
+  front.erase(std::unique(front.begin(), front.end(),
+                          [](const ParetoPoint& a, const ParetoPoint& b) {
+                            return a.exec_time == b.exec_time &&
+                                   a.energy == b.energy;
+                          }),
+              front.end());
+  DRHW_CHECK(!front.empty());
+  return front;
+}
+
+}  // namespace drhw

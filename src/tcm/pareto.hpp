@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file pareto.hpp
+/// Minimal reimplementation of the TCM design-time layer (paper refs [9,10])
+/// that the prefetch modules plug into: per scenario, a Pareto curve of
+/// (execution time, energy) points, each carrying a concrete assignment and
+/// schedule of the subtasks over the processing elements.
+///
+/// The curve is produced by sweeping the tile budget: more tiles shorten the
+/// schedule but cost activation/leakage energy. Reconfiguration energy is
+/// charged for every DRHW subtask (the design-time scheduler cannot predict
+/// reuse — exactly the paper's motivation for run-time load cancellation).
+
+#include <vector>
+
+#include "graph/subtask_graph.hpp"
+#include "platform/platform.hpp"
+#include "schedule/placement.hpp"
+
+namespace drhw {
+
+/// One point of a scenario's Pareto curve.
+struct ParetoPoint {
+  int tiles = 0;           ///< tile budget this point was scheduled with
+  time_us exec_time = 0;   ///< ideal makespan (reconfiguration neglected)
+  double energy = 0.0;     ///< estimated energy of one execution
+  Placement placement;     ///< the concrete schedule
+};
+
+/// Energy model knobs for Pareto generation.
+struct EnergyModel {
+  /// Energy charged per tile actually used (activation + leakage proxy).
+  double per_tile = 2.0;
+  /// Multiplier on the sum of subtask exec_energy values.
+  double exec_scale = 1.0;
+};
+
+/// Builds the Pareto curve for one scenario by sweeping tile budgets
+/// 1..max_tiles and pruning dominated points. Points are returned by
+/// strictly decreasing exec_time and strictly increasing energy.
+std::vector<ParetoPoint> build_pareto_curve(const SubtaskGraph& graph,
+                                            int max_tiles,
+                                            const PlatformConfig& platform,
+                                            const EnergyModel& model = {});
+
+}  // namespace drhw

@@ -1,0 +1,80 @@
+#include "tcm/runtime_selector.hpp"
+
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace drhw {
+
+std::optional<std::size_t> select_point(const std::vector<ParetoPoint>& curve,
+                                        time_us deadline,
+                                        int available_tiles) {
+  std::optional<std::size_t> best;       // min energy meeting the deadline
+  std::optional<std::size_t> fastest;    // fallback: min exec_time fitting
+  for (std::size_t i = 0; i < curve.size(); ++i) {
+    if (curve[i].tiles > available_tiles) continue;
+    if (!fastest || curve[i].exec_time < curve[*fastest].exec_time)
+      fastest = i;
+    if (curve[i].exec_time <= deadline &&
+        (!best || curve[i].energy < curve[*best].energy))
+      best = i;
+  }
+  if (best) return best;
+  return fastest;
+}
+
+std::vector<std::size_t> select_points_for_pipeline(
+    const std::vector<const std::vector<ParetoPoint>*>& curves,
+    time_us pipeline_deadline, int available_tiles) {
+  const std::size_t n = curves.size();
+  std::vector<std::size_t> chosen(n);
+
+  // Start at each task's minimum-energy fitting point.
+  for (std::size_t t = 0; t < n; ++t) {
+    std::optional<std::size_t> min_energy;
+    for (std::size_t i = 0; i < curves[t]->size(); ++i) {
+      const auto& p = (*curves[t])[i];
+      if (p.tiles > available_tiles) continue;
+      if (!min_energy || p.energy < (*curves[t])[*min_energy].energy)
+        min_energy = i;
+    }
+    if (!min_energy) return {};
+    chosen[t] = *min_energy;
+  }
+
+  auto total_time = [&]() {
+    time_us sum = 0;
+    for (std::size_t t = 0; t < n; ++t)
+      sum += (*curves[t])[chosen[t]].exec_time;
+    return sum;
+  };
+
+  // Steepest-descent upgrades until the deadline is met or exhausted.
+  while (total_time() > pipeline_deadline) {
+    double best_ratio = -1.0;
+    std::size_t best_task = 0;
+    std::size_t best_point = 0;
+    for (std::size_t t = 0; t < n; ++t) {
+      const auto& cur = (*curves[t])[chosen[t]];
+      for (std::size_t i = 0; i < curves[t]->size(); ++i) {
+        const auto& cand = (*curves[t])[i];
+        if (cand.tiles > available_tiles) continue;
+        if (cand.exec_time >= cur.exec_time) continue;
+        const double gain = static_cast<double>(cur.exec_time - cand.exec_time);
+        const double cost = cand.energy - cur.energy;
+        const double ratio =
+            cost <= 0.0 ? std::numeric_limits<double>::max() : gain / cost;
+        if (ratio > best_ratio) {
+          best_ratio = ratio;
+          best_task = t;
+          best_point = i;
+        }
+      }
+    }
+    if (best_ratio < 0.0) break;  // no faster point anywhere: best effort
+    chosen[best_task] = best_point;
+  }
+  return chosen;
+}
+
+}  // namespace drhw

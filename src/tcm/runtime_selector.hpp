@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file runtime_selector.hpp
+/// The TCM run-time scheduler's point-selection step (paper ref [10]):
+/// periodically pick, for each running task, the Pareto point that consumes
+/// the least energy while still meeting the timing constraints.
+
+#include <optional>
+#include <vector>
+
+#include "tcm/pareto.hpp"
+
+namespace drhw {
+
+/// Selects the minimum-energy point whose exec_time meets `deadline` and
+/// whose tile demand fits `available_tiles`. Returns nullopt when no point
+/// fits the tile budget; returns the fastest fitting point when none meets
+/// the deadline (best effort, as TCM does under overload).
+std::optional<std::size_t> select_point(const std::vector<ParetoPoint>& curve,
+                                        time_us deadline, int available_tiles);
+
+/// Greedy multi-task selection: start every task at its minimum-energy
+/// fitting point; while the *sum* of execution times exceeds the global
+/// deadline, upgrade the task offering the best time-gain per extra energy.
+/// Models one TCM run-time invocation over a sequential task pipeline.
+/// Returns one point index per curve (empty when any task cannot fit the
+/// tile budget at all).
+std::vector<std::size_t> select_points_for_pipeline(
+    const std::vector<const std::vector<ParetoPoint>*>& curves,
+    time_us pipeline_deadline, int available_tiles);
+
+}  // namespace drhw

@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file check.hpp
+/// Internal invariant checking.
+///
+/// DRHW_CHECK is active in all build types: scheduler invariants guard
+/// against silent mis-schedules, and their cost is negligible next to the
+/// event-driven evaluation itself.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace drhw {
+
+/// Thrown when an internal invariant is violated; indicates a library bug
+/// rather than bad user input (user input errors throw std::invalid_argument).
+class InternalError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "DRHW_CHECK failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InternalError(os.str());
+}
+}  // namespace detail
+
+}  // namespace drhw
+
+#define DRHW_CHECK(expr)                                              \
+  do {                                                                \
+    if (!(expr))                                                      \
+      ::drhw::detail::check_failed(#expr, __FILE__, __LINE__, "");    \
+  } while (false)
+
+#define DRHW_CHECK_MSG(expr, msg)                                     \
+  do {                                                                \
+    if (!(expr))                                                      \
+      ::drhw::detail::check_failed(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)

@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file ids.hpp
+/// Index-typed identifiers for subtasks, tiles and tasks.
+///
+/// Plain integer indices are used (dense, vector-friendly) but wrapped in
+/// distinct aliases so signatures document which index space they expect.
+
+#include <cstdint>
+
+namespace drhw {
+
+/// Index of a subtask within one SubtaskGraph.
+using SubtaskId = std::int32_t;
+
+/// Index of a *virtual* tile within one placement (0..tiles_used-1).
+using TileId = std::int32_t;
+
+/// Index of a *physical* tile on the platform.
+using PhysTileId = std::int32_t;
+
+/// Globally unique identity of a configuration bitstream. Two subtasks share
+/// a ConfigId iff one's loaded configuration can be reused by the other.
+using ConfigId = std::int32_t;
+
+/// Index of a task within an application set.
+using TaskId = std::int32_t;
+
+inline constexpr SubtaskId k_no_subtask = -1;
+inline constexpr TileId k_no_tile = -1;
+inline constexpr PhysTileId k_no_phys_tile = -1;
+inline constexpr ConfigId k_no_config = -1;
+
+}  // namespace drhw

@@ -1,0 +1,50 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace drhw {
+
+void RunningStats::add(double x) {
+  samples_.push_back(x);
+  sum_ += x;
+  sum_sq_ += x * x;
+}
+
+double RunningStats::mean() const {
+  DRHW_CHECK(!samples_.empty());
+  return sum_ / static_cast<double>(samples_.size());
+}
+
+double RunningStats::min() const {
+  DRHW_CHECK(!samples_.empty());
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double RunningStats::max() const {
+  DRHW_CHECK(!samples_.empty());
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double RunningStats::stddev() const {
+  const auto n = static_cast<double>(samples_.size());
+  if (samples_.size() < 2) return 0.0;
+  const double m = mean();
+  double var = (sum_sq_ - n * m * m) / (n - 1.0);
+  return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+double RunningStats::percentile(double p) const {
+  DRHW_CHECK(!samples_.empty());
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+}  // namespace drhw

@@ -1,0 +1,33 @@
+#pragma once
+
+/// \file stats.hpp
+/// Streaming accumulator for experiment statistics.
+
+#include <cstddef>
+#include <vector>
+
+namespace drhw {
+
+/// Accumulates samples and reports count/mean/min/max/stddev and percentiles.
+/// Percentile queries sort an internal copy lazily; cheap at harness scale.
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return samples_.size(); }
+  double mean() const;
+  double min() const;
+  double max() const;
+  /// Sample standard deviation (n-1 denominator); 0 for fewer than 2 samples.
+  double stddev() const;
+  /// Nearest-rank percentile, p in [0,100]. Requires at least one sample.
+  double percentile(double p) const;
+  double sum() const { return sum_; }
+
+ private:
+  std::vector<double> samples_;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+};
+
+}  // namespace drhw

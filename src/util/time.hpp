@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file time.hpp
+/// Simulated-time representation used throughout the library.
+///
+/// All schedule arithmetic is done in integer microseconds so that results
+/// are exact and platform independent (the paper works at millisecond
+/// granularity; 1 us resolution leaves ample headroom for the 0.2 ms
+/// subtasks of the Pocket GL application).
+
+#include <cstdint>
+
+namespace drhw {
+
+/// Simulated time or duration in microseconds.
+using time_us = std::int64_t;
+
+/// Sentinel for "no time recorded" (e.g. a subtask that needed no load).
+inline constexpr time_us k_no_time = -1;
+
+/// Convert whole milliseconds to time_us.
+constexpr time_us ms(std::int64_t v) { return v * 1000; }
+
+/// Convert microseconds to time_us (identity; documents intent at call sites).
+constexpr time_us us(std::int64_t v) { return v; }
+
+/// Convert a time_us value to fractional milliseconds for reporting.
+constexpr double to_ms(time_us v) { return static_cast<double>(v) / 1000.0; }
+
+}  // namespace drhw

@@ -1,0 +1,197 @@
+// Structural tests for the reconstructed benchmark applications: subtask
+// counts, configuration sharing, scenario distributions, and the Pocket GL
+// statistics the paper quotes (40 scenarios, 20 inter-task scenarios,
+// execution times 0.2..30 ms averaging ~5.7 ms).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "apps/multimedia.hpp"
+#include "apps/pocket_gl.hpp"
+#include "graph/algorithms.hpp"
+
+namespace drhw {
+namespace {
+
+TEST(Multimedia, TaskSetMatchesTable1Structure) {
+  ConfigSpace cs;
+  const auto tasks = make_multimedia_taskset(cs);
+  ASSERT_EQ(tasks.size(), 4u);
+  // Row order and subtask counts of Table 1.
+  EXPECT_EQ(tasks[0].name, "pattern_rec");
+  EXPECT_EQ(tasks[0].scenarios[0].size(), 6u);
+  EXPECT_EQ(tasks[1].name, "jpeg_dec");
+  EXPECT_EQ(tasks[1].scenarios[0].size(), 4u);
+  EXPECT_EQ(tasks[2].name, "parallel_jpeg");
+  EXPECT_EQ(tasks[2].scenarios[0].size(), 8u);
+  EXPECT_EQ(tasks[3].name, "mpeg_enc");
+  EXPECT_EQ(tasks[3].scenarios.size(), 3u);  // B, P, I frames
+  for (const auto& g : tasks[3].scenarios) EXPECT_EQ(g.size(), 5u);
+}
+
+TEST(Multimedia, IdealTimesMatchTable1) {
+  ConfigSpace cs;
+  const auto tasks = make_multimedia_taskset(cs);
+  // Ideal execution time is the makespan with unlimited tiles = the
+  // critical path (the Hough banks run in parallel).
+  EXPECT_EQ(critical_path_length(tasks[0].scenarios[0]), ms(94));
+  EXPECT_EQ(critical_path_length(tasks[1].scenarios[0]), ms(81));
+  // MPEG: the ideal of the table is the *makespan* average (33 ms); the
+  // sum of exec times per scenario is checked structurally here.
+  time_us sum = 0;
+  for (const auto& g : tasks[3].scenarios) sum += g.total_exec_time();
+  EXPECT_EQ(sum, ms(40) + ms(35) + ms(44));  // B, P, I exec-time sums
+}
+
+TEST(Multimedia, ScenarioProbabilitiesSumToOne) {
+  ConfigSpace cs;
+  for (const auto& task : make_multimedia_taskset(cs)) {
+    double sum = 0;
+    for (double p : task.scenario_probability) sum += p;
+    EXPECT_NEAR(sum, 1.0, 1e-9) << task.name;
+    EXPECT_EQ(task.scenario_probability.size(), task.scenarios.size());
+  }
+}
+
+TEST(Multimedia, MpegScenariosShareConfigs) {
+  ConfigSpace cs;
+  const auto task = make_mpeg_encoder(cs);
+  for (std::size_t s = 0; s < 5; ++s) {
+    const auto c0 = task.scenarios[0].subtask(static_cast<SubtaskId>(s)).config;
+    for (const auto& g : task.scenarios)
+      EXPECT_EQ(g.subtask(static_cast<SubtaskId>(s)).config, c0);
+  }
+}
+
+TEST(Multimedia, TasksUseDistinctConfigs) {
+  ConfigSpace cs;
+  const auto tasks = make_multimedia_taskset(cs);
+  std::set<ConfigId> seen;
+  std::size_t total = 0;
+  for (const auto& task : tasks) {
+    std::set<ConfigId> mine;
+    for (const auto& g : task.scenarios)
+      for (std::size_t s = 0; s < g.size(); ++s)
+        mine.insert(g.subtask(static_cast<SubtaskId>(s)).config);
+    for (ConfigId c : mine) EXPECT_TRUE(seen.insert(c).second);
+    total += mine.size();
+  }
+  EXPECT_EQ(total, 6u + 4u + 8u + 5u);  // 23 distinct configurations
+  EXPECT_EQ(static_cast<std::size_t>(cs.count()), total);
+}
+
+TEST(PocketGl, StructureMatchesPaper) {
+  ConfigSpace cs;
+  const auto app = make_pocket_gl(cs);
+  ASSERT_EQ(app.tasks.size(), 6u);  // 6 dynamic tasks
+  std::size_t subtasks = 0;
+  int scenarios = 0;
+  for (const auto& t : app.tasks) {
+    subtasks += t.scenarios[0].size();
+    scenarios += static_cast<int>(t.scenarios.size());
+  }
+  EXPECT_EQ(subtasks, 10u);   // 10 subtasks in total
+  EXPECT_EQ(scenarios, 40);   // 40 scenarios
+  EXPECT_EQ(app.tasks[3].scenarios.size(), 10u);  // "task 4 has ten"
+  EXPECT_EQ(app.tasks[4].scenarios.size(), 4u);   // "task 5 has four"
+  EXPECT_EQ(app.combos.size(), 20u);  // 20 inter-task scenarios
+}
+
+TEST(PocketGl, CombosCoverEveryScenario) {
+  ConfigSpace cs;
+  const auto app = make_pocket_gl(cs);
+  for (std::size_t t = 0; t < app.tasks.size(); ++t) {
+    std::set<int> used;
+    for (const auto& combo : app.combos) {
+      const int sc = combo.scenario_of_task[t];
+      ASSERT_GE(sc, 0);
+      ASSERT_LT(sc, static_cast<int>(app.tasks[t].scenarios.size()));
+      used.insert(sc);
+    }
+    EXPECT_EQ(used.size(), app.tasks[t].scenarios.size())
+        << "task " << t << " has unused scenarios";
+  }
+  double prob = 0;
+  for (const auto& combo : app.combos) prob += combo.probability;
+  EXPECT_NEAR(prob, 1.0, 1e-9);
+}
+
+TEST(PocketGl, ExecutionTimeStatisticsMatchPaper) {
+  ConfigSpace cs;
+  const auto app = make_pocket_gl(cs);
+  time_us lo = std::numeric_limits<time_us>::max(), hi = 0;
+  double sum = 0;
+  int count = 0;
+  for (const auto& combo : app.combos) {
+    for (std::size_t t = 0; t < app.tasks.size(); ++t) {
+      const auto& g = app.tasks[t].scenarios[static_cast<std::size_t>(
+          combo.scenario_of_task[t])];
+      for (std::size_t s = 0; s < g.size(); ++s) {
+        const time_us e = g.subtask(static_cast<SubtaskId>(s)).exec_time;
+        lo = std::min(lo, e);
+        hi = std::max(hi, e);
+        sum += static_cast<double>(e);
+        ++count;
+      }
+    }
+  }
+  EXPECT_EQ(lo, us(200));    // "going from 0.2 ms"
+  EXPECT_EQ(hi, us(30000));  // "... to 30 ms"
+  EXPECT_NEAR(sum / count / 1000.0, 5.7, 0.2);  // "average ... 5.7 ms"
+}
+
+TEST(PocketGl, ScenariosOfATaskShareConfigs) {
+  ConfigSpace cs;
+  const auto app = make_pocket_gl(cs);
+  std::set<ConfigId> all;
+  for (const auto& task : app.tasks) {
+    for (std::size_t s = 0; s < task.scenarios[0].size(); ++s) {
+      const auto c =
+          task.scenarios[0].subtask(static_cast<SubtaskId>(s)).config;
+      for (const auto& g : task.scenarios)
+        EXPECT_EQ(g.subtask(static_cast<SubtaskId>(s)).config, c);
+      all.insert(c);
+    }
+  }
+  EXPECT_EQ(all.size(), 10u);  // one configuration per subtask overall
+}
+
+TEST(PocketGl, MergedFrameIsASequentialPipeline) {
+  ConfigSpace cs;
+  const auto app = make_pocket_gl(cs);
+  const auto frame = merge_frame(app, app.combos[0]);
+  EXPECT_EQ(frame.size(), 10u);
+  EXPECT_EQ(frame.sources().size(), 1u);
+  EXPECT_EQ(frame.sinks().size(), 1u);
+  // Total exec time equals the sum over the combo's scenarios.
+  time_us expected = 0;
+  for (std::size_t t = 0; t < app.tasks.size(); ++t)
+    expected += app.tasks[t]
+                    .scenarios[static_cast<std::size_t>(
+                        app.combos[0].scenario_of_task[t])]
+                    .total_exec_time();
+  EXPECT_EQ(frame.total_exec_time(), expected);
+}
+
+TEST(PocketGl, MergedFramePreservesConfigs) {
+  ConfigSpace cs;
+  const auto app = make_pocket_gl(cs);
+  const auto frame = merge_frame(app, app.combos[3]);
+  std::set<ConfigId> frame_configs;
+  for (std::size_t s = 0; s < frame.size(); ++s)
+    frame_configs.insert(frame.subtask(static_cast<SubtaskId>(s)).config);
+  EXPECT_EQ(frame_configs.size(), 10u);
+}
+
+TEST(ConfigSpace, StableIdsPerKey) {
+  ConfigSpace cs;
+  const auto a = cs.id_for("t", "u");
+  const auto b = cs.id_for("t", "v");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(cs.id_for("t", "u"), a);
+  EXPECT_EQ(cs.count(), 2);
+}
+
+}  // namespace
+}  // namespace drhw

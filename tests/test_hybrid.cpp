@@ -1,0 +1,154 @@
+// Tests for the hybrid run-time phase: initialization phase, load
+// cancellation, and its end-to-end guarantees.
+
+#include <gtest/gtest.h>
+
+#include "apps/multimedia.hpp"
+#include "graph/generators.hpp"
+#include "prefetch/hybrid.hpp"
+#include "util/check.hpp"
+#include "schedule/list_scheduler.hpp"
+
+namespace drhw {
+namespace {
+
+struct Prepared {
+  SubtaskGraph graph;
+  Placement placement;
+  HybridSchedule design;
+  PlatformConfig platform = virtex2_platform(8);
+};
+
+Prepared prepare_jpeg() {
+  ConfigSpace cs;
+  auto task = make_jpeg_decoder(cs);
+  Prepared p{std::move(task.scenarios[0]), {}, {}, virtex2_platform(8)};
+  p.placement = list_schedule(p.graph, 8);
+  p.design = compute_hybrid_schedule(p.graph, p.placement, p.platform);
+  return p;
+}
+
+TEST(HybridRuntime, AllCriticalResidentMeansZeroOverhead) {
+  const auto p = prepare_jpeg();
+  std::vector<bool> resident(p.graph.size(), false);
+  for (SubtaskId s : p.design.critical)
+    resident[static_cast<std::size_t>(s)] = true;
+  const auto out =
+      hybrid_runtime(p.graph, p.placement, p.platform, p.design, resident);
+  EXPECT_TRUE(out.init_loads.empty());
+  EXPECT_EQ(out.init_duration, 0);
+  EXPECT_EQ(out.total_makespan, p.design.ideal_makespan);
+  EXPECT_EQ(out.cancelled_loads, 0);
+}
+
+TEST(HybridRuntime, NothingResidentPaysExactlyInitPhase) {
+  const auto p = prepare_jpeg();
+  const std::vector<bool> resident(p.graph.size(), false);
+  const auto out =
+      hybrid_runtime(p.graph, p.placement, p.platform, p.design, resident);
+  EXPECT_EQ(out.init_loads.size(), p.design.critical.size());
+  EXPECT_EQ(out.init_duration,
+            static_cast<time_us>(p.design.critical.size()) * ms(4));
+  // The stored schedule itself hides everything, so the only overhead is
+  // the initialization phase.
+  EXPECT_EQ(out.total_makespan,
+            p.design.ideal_makespan + out.init_duration);
+}
+
+TEST(HybridRuntime, ResidentNonCriticalLoadIsCancelled) {
+  const auto p = prepare_jpeg();
+  std::vector<bool> resident(p.graph.size(), false);
+  ASSERT_FALSE(p.design.stored_order.empty());
+  const SubtaskId cancelled = p.design.stored_order[1];
+  resident[static_cast<std::size_t>(cancelled)] = true;
+  const auto out =
+      hybrid_runtime(p.graph, p.placement, p.platform, p.design, resident);
+  EXPECT_EQ(out.cancelled_loads, 1);
+  EXPECT_EQ(out.eval.load_start[static_cast<std::size_t>(cancelled)],
+            k_no_time);
+  // Cancelling never hurts: still ideal + init.
+  EXPECT_EQ(out.total_makespan,
+            p.design.ideal_makespan + out.init_duration);
+}
+
+TEST(HybridRuntime, CancellationPreservesRelativeOrder) {
+  const auto p = prepare_jpeg();
+  std::vector<bool> resident(p.graph.size(), false);
+  resident[static_cast<std::size_t>(p.design.stored_order[0])] = true;
+  const auto out =
+      hybrid_runtime(p.graph, p.placement, p.platform, p.design, resident);
+  // Remaining loads appear in the stored order.
+  std::vector<SubtaskId> expected;
+  for (SubtaskId s : p.design.stored_order)
+    if (!resident[static_cast<std::size_t>(s)]) expected.push_back(s);
+  EXPECT_EQ(out.eval.load_order, expected);
+}
+
+TEST(HybridRuntime, InitOrderFollowsDesignOrder) {
+  ConfigSpace cs;
+  auto task = make_mpeg_encoder(cs);
+  const auto& g = task.scenarios[0];
+  const auto placement = list_schedule(g, 8);
+  const auto platform = virtex2_platform(8);
+  const auto design = compute_hybrid_schedule(g, placement, platform);
+  ASSERT_EQ(design.critical.size(), 2u);
+  const std::vector<bool> resident(g.size(), false);
+  const auto out = hybrid_runtime(g, placement, platform, design, resident);
+  EXPECT_EQ(out.init_loads, design.critical);
+}
+
+class HybridMonotonicity : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HybridMonotonicity, MoreResidencyNeverHurts) {
+  Rng rng(GetParam());
+  LayeredGraphParams params;
+  params.subtasks = 10;
+  const auto g = make_layered_graph(params, rng);
+  const auto placement = list_schedule(g, 4);
+  const auto platform = virtex2_platform(4);
+  const auto design = compute_hybrid_schedule(g, placement, platform);
+
+  std::vector<bool> some(g.size(), false);
+  for (std::size_t s = 0; s < g.size(); ++s)
+    if (placement.on_drhw(static_cast<SubtaskId>(s)) && rng.next_bool(0.4))
+      some[s] = true;
+  std::vector<bool> more = some;
+  for (std::size_t s = 0; s < g.size(); ++s)
+    if (placement.on_drhw(static_cast<SubtaskId>(s)) && rng.next_bool(0.5))
+      more[s] = true;
+
+  const auto base =
+      hybrid_runtime(g, placement, platform, design, some);
+  const auto better =
+      hybrid_runtime(g, placement, platform, design, more);
+  EXPECT_LE(better.total_makespan, base.total_makespan);
+}
+
+TEST_P(HybridMonotonicity, TotalNeverWorseThanInitPlusIdeal) {
+  Rng rng(GetParam() * 13 + 5);
+  LayeredGraphParams params;
+  params.subtasks = 12;
+  const auto g = make_layered_graph(params, rng);
+  const auto placement = list_schedule(g, 5);
+  const auto platform = virtex2_platform(5);
+  const auto design = compute_hybrid_schedule(g, placement, platform);
+  const std::vector<bool> resident(g.size(), false);
+  const auto out = hybrid_runtime(g, placement, platform, design, resident);
+  // Stored schedule has zero penalty by construction, so the whole
+  // instance costs exactly the initialization phase.
+  EXPECT_EQ(out.total_makespan, design.ideal_makespan + out.init_duration);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HybridMonotonicity,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+TEST(HybridRuntime, RejectsWrongResidentSize) {
+  const auto p = prepare_jpeg();
+  const std::vector<bool> tiny(1, false);
+  EXPECT_THROW(
+      hybrid_runtime(p.graph, p.placement, p.platform, p.design, tiny),
+      InternalError);
+}
+
+}  // namespace
+}  // namespace drhw

@@ -1,0 +1,174 @@
+// Focused tests for the inter-task optimisation (paper Section 6 and
+// Figure 5): the final idle period of the reconfiguration circuitry is used
+// to run the next task's initialization phase.
+
+#include <gtest/gtest.h>
+
+#include "sim/system_sim.hpp"
+
+namespace drhw {
+namespace {
+
+/// Builds a single-subtask DRHW task with the given execution time.
+SubtaskGraph single(const char* name, time_us exec, ConfigId config) {
+  SubtaskGraph g(name);
+  g.add_subtask({name, exec, Resource::drhw, config, 0.0});
+  g.finalize();
+  return g;
+}
+
+/// Two tasks on an ample (4-tile) platform: everything stays resident after
+/// the first iteration, so only the cold start can cost anything.
+struct TwoTaskFixture : ::testing::Test {
+  void SetUp() override {
+    platform = virtex2_platform(4);
+    big = single("big", ms(40), 100);
+    small = single("small", ms(3), 200);
+    prepared_big = prepare_scenario(big, platform.tiles, platform);
+    prepared_small = prepare_scenario(small, platform.tiles, platform);
+  }
+
+  IterationSampler sequence_sampler() {
+    return [this](Rng&) {
+      return std::vector<const PreparedScenario*>{&prepared_big,
+                                                  &prepared_small};
+    };
+  }
+
+  SimOptions options(Approach a) {
+    SimOptions opt;
+    opt.platform = platform;
+    opt.approach = a;
+    opt.seed = 1;
+    opt.iterations = 10;
+    return opt;
+  }
+
+  PlatformConfig platform;
+  SubtaskGraph big, small;
+  PreparedScenario prepared_big, prepared_small;
+};
+
+TEST_F(TwoTaskFixture, TailWindowHidesColdInitializationOfNextTask) {
+  const auto r = run_simulation(options(Approach::hybrid),
+                                sequence_sampler());
+  // Iteration 1: big pays its init (4 ms); small's init is prefetched into
+  // big's 40 ms window. Afterwards both configurations stay resident.
+  EXPECT_EQ(r.total_actual - r.total_ideal, ms(4));
+  EXPECT_EQ(r.intertask_prefetches, 1);
+}
+
+TEST_F(TwoTaskFixture, WithoutIntertaskBothColdInitsExposed) {
+  auto opt = options(Approach::hybrid);
+  opt.hybrid_intertask = false;
+  const auto r = run_simulation(opt, sequence_sampler());
+  EXPECT_EQ(r.total_actual - r.total_ideal, ms(8));
+  EXPECT_EQ(r.intertask_prefetches, 0);
+}
+
+TEST_F(TwoTaskFixture, WindowTooSmallMeansNoPrefetch) {
+  // Reversed order: small (3 ms window) precedes big; a 4 ms load cannot
+  // fit, so big pays its own cold init instead.
+  auto sampler = [this](Rng&) {
+    return std::vector<const PreparedScenario*>{&prepared_small,
+                                                &prepared_big};
+  };
+  const auto r = run_simulation(options(Approach::hybrid), sampler);
+  EXPECT_EQ(r.intertask_prefetches, 0);
+  EXPECT_EQ(r.total_actual - r.total_ideal, ms(8));  // cold starts only
+}
+
+TEST_F(TwoTaskFixture, RuntimeIntertaskPrefetchesByWeight) {
+  const auto r = run_simulation(options(Approach::runtime_intertask),
+                                sequence_sampler());
+  EXPECT_EQ(r.intertask_prefetches, 1);
+  EXPECT_EQ(r.total_actual - r.total_ideal, ms(4));
+}
+
+TEST_F(TwoTaskFixture, BusyTileCannotBePrefetched) {
+  // One tile: the only tile executes until the window closes, so the
+  // inter-task optimisation never fires and both tasks reload every time.
+  const auto pf1 = virtex2_platform(1);
+  auto big1 = prepare_scenario(big, 1, pf1);
+  auto small1 = prepare_scenario(small, 1, pf1);
+  SimOptions opt;
+  opt.platform = pf1;
+  opt.approach = Approach::hybrid;
+  opt.seed = 1;
+  opt.iterations = 5;
+  auto sampler = [&](Rng&) {
+    return std::vector<const PreparedScenario*>{&big1, &small1};
+  };
+  const auto r = run_simulation(opt, sampler);
+  EXPECT_EQ(r.intertask_prefetches, 0);
+  EXPECT_EQ(r.total_actual - r.total_ideal, 5 * ms(8));
+}
+
+TEST_F(TwoTaskFixture, EnergyAccountsLoadsIncludingPrefetches) {
+  auto opt = options(Approach::hybrid);
+  opt.iterations = 4;
+  const auto r = run_simulation(opt, sequence_sampler());
+  // Cold start: one init for big, one prefetch for small; then resident.
+  EXPECT_EQ(r.loads, 2);
+  EXPECT_DOUBLE_EQ(r.energy, 2 * platform.reconfig_energy);
+}
+
+/// Three single-subtask tasks cycling through a two-tile pool: capacity
+/// pressure forces reloads every iteration, which is where the inter-task
+/// optimisation pays off continuously.
+struct PressureFixture : ::testing::Test {
+  void SetUp() override {
+    platform = virtex2_platform(2);
+    a = single("a", ms(3), 1);
+    b = single("b", ms(3), 2);
+    z = single("z", ms(40), 3);
+    pa = prepare_scenario(a, 2, platform);
+    pb = prepare_scenario(b, 2, platform);
+    pz = prepare_scenario(z, 2, platform);
+  }
+  SimOptions options() {
+    SimOptions opt;
+    opt.platform = platform;
+    opt.approach = Approach::hybrid;
+    opt.seed = 1;
+    opt.iterations = 10;
+    return opt;
+  }
+  IterationSampler sampler() {
+    return [this](Rng&) {
+      return std::vector<const PreparedScenario*>{&pa, &pb, &pz};
+    };
+  }
+  PlatformConfig platform;
+  SubtaskGraph a, b, z;
+  PreparedScenario pa, pb, pz;
+};
+
+TEST_F(PressureFixture, CrossIterationLookaheadKeepsHelping) {
+  auto batch_only = options();
+  const auto r_batch = run_simulation(batch_only, sampler());
+
+  auto cross = options();
+  cross.cross_iteration_lookahead = true;
+  const auto r_cross = run_simulation(cross, sampler());
+
+  // z's long tail can host the next iteration's cold loads only when the
+  // horizon crosses the iteration boundary.
+  EXPECT_GT(r_cross.intertask_prefetches, r_batch.intertask_prefetches);
+  EXPECT_LT(r_cross.total_actual, r_batch.total_actual);
+}
+
+TEST_F(PressureFixture, DeeperLookaheadNeverHurts) {
+  auto d1 = options();
+  d1.cross_iteration_lookahead = true;
+  d1.intertask_lookahead = 1;
+  auto d3 = d1;
+  d3.intertask_lookahead = 3;
+  const auto r1 = run_simulation(d1, sampler());
+  const auto r3 = run_simulation(d3, sampler());
+  EXPECT_LE(r3.total_actual, r1.total_actual);
+  EXPECT_GE(r3.intertask_prefetches, r1.intertask_prefetches);
+}
+
+}  // namespace
+}  // namespace drhw

@@ -1,0 +1,217 @@
+// Tests for the multi-iteration system simulator: approach orderings,
+// determinism, reuse accounting, and the Figure 6/7 relationships.
+
+#include <gtest/gtest.h>
+
+#include "sim/system_sim.hpp"
+#include "sim/workloads.hpp"
+
+namespace drhw {
+namespace {
+
+SimOptions base_options(const PlatformConfig& pf, Approach a) {
+  SimOptions opt;
+  opt.platform = pf;
+  opt.approach = a;
+  opt.seed = 7;
+  opt.iterations = 120;
+  return opt;
+}
+
+struct MultimediaFixture : ::testing::Test {
+  void SetUp() override {
+    platform = virtex2_platform(8);
+    workload = make_multimedia_workload(platform);
+    sampler = multimedia_sampler(*workload);
+  }
+  PlatformConfig platform = virtex2_platform(8);
+  std::unique_ptr<MultimediaWorkload> workload;
+  IterationSampler sampler;
+};
+
+TEST_F(MultimediaFixture, DeterministicForSeed) {
+  const auto opt = base_options(platform, Approach::hybrid);
+  const auto r1 = run_simulation(opt, sampler);
+  const auto r2 = run_simulation(opt, sampler);
+  EXPECT_EQ(r1.total_actual, r2.total_actual);
+  EXPECT_EQ(r1.loads, r2.loads);
+  EXPECT_EQ(r1.reused_subtasks, r2.reused_subtasks);
+}
+
+TEST_F(MultimediaFixture, DifferentSeedsDiffer) {
+  auto opt = base_options(platform, Approach::hybrid);
+  const auto r1 = run_simulation(opt, sampler);
+  opt.seed = 8;
+  const auto r2 = run_simulation(opt, sampler);
+  EXPECT_NE(r1.total_ideal, r2.total_ideal);  // different random mixes
+}
+
+TEST_F(MultimediaFixture, ApproachOrderingMatchesFig6) {
+  double overhead[5];
+  const Approach approaches[5] = {
+      Approach::no_prefetch, Approach::design_time_prefetch,
+      Approach::runtime_heuristic, Approach::runtime_intertask,
+      Approach::hybrid};
+  for (int a = 0; a < 5; ++a)
+    overhead[a] =
+        run_simulation(base_options(platform, approaches[a]), sampler)
+            .overhead_pct;
+
+  // No-prefetch is worst (~23-27%), design-time optimal ~7%, the run-time
+  // heuristic with reuse better still, and the inter-task approaches hide
+  // at least 95% of the original overhead.
+  EXPECT_GT(overhead[0], 20.0);
+  EXPECT_LT(overhead[1], overhead[0] / 2.5);
+  EXPECT_LT(overhead[2], overhead[1]);
+  EXPECT_LT(overhead[3], 2.0);
+  EXPECT_LT(overhead[4], 2.0);
+  EXPECT_LE(overhead[3], overhead[2]);
+  EXPECT_LE(overhead[4], overhead[2]);
+  EXPECT_GE(1.0 - overhead[4] / overhead[0], 0.9);  // >=90% hidden
+}
+
+TEST_F(MultimediaFixture, ReuseOnlyForRuntimeApproaches) {
+  EXPECT_EQ(run_simulation(base_options(platform, Approach::no_prefetch),
+                           sampler)
+                .reused_subtasks,
+            0);
+  EXPECT_EQ(
+      run_simulation(base_options(platform, Approach::design_time_prefetch),
+                     sampler)
+          .reused_subtasks,
+      0);
+  EXPECT_GT(run_simulation(base_options(platform, Approach::runtime_heuristic),
+                           sampler)
+                .reused_subtasks,
+            0);
+}
+
+TEST_F(MultimediaFixture, ReusePercentageModestAt8Tiles) {
+  // Paper: "with less than 20% of the subtasks reused (for 8 tiles)".
+  const auto r = run_simulation(
+      base_options(platform, Approach::runtime_heuristic), sampler);
+  EXPECT_GT(r.reuse_pct, 2.0);
+  EXPECT_LT(r.reuse_pct, 25.0);
+}
+
+TEST_F(MultimediaFixture, MoreTilesMoreReuseLessOverhead) {
+  const auto pf16 = virtex2_platform(16);
+  const auto w16 = make_multimedia_workload(pf16);
+  const auto s16 = multimedia_sampler(*w16);
+  const auto r8 = run_simulation(
+      base_options(platform, Approach::runtime_heuristic), sampler);
+  const auto r16 =
+      run_simulation(base_options(pf16, Approach::runtime_heuristic), s16);
+  EXPECT_GT(r16.reuse_pct, r8.reuse_pct);
+  EXPECT_LT(r16.overhead_pct, r8.overhead_pct);
+}
+
+TEST_F(MultimediaFixture, HybridCancellationsAndInitLoadsAccounted) {
+  const auto r =
+      run_simulation(base_options(platform, Approach::hybrid), sampler);
+  EXPECT_GT(r.init_loads, 0);
+  EXPECT_GT(r.cancelled_loads, 0);
+  EXPECT_GT(r.intertask_prefetches, 0);
+  EXPECT_GT(r.loads, 0);
+  // Energy saved equals reconfiguration energy of avoided loads.
+  EXPECT_GT(r.energy_saved, 0.0);
+}
+
+TEST_F(MultimediaFixture, HybridWithoutIntertaskIsWorse) {
+  auto with = base_options(platform, Approach::hybrid);
+  auto without = with;
+  without.hybrid_intertask = false;
+  const auto r_with = run_simulation(with, sampler);
+  const auto r_without = run_simulation(without, sampler);
+  EXPECT_LT(r_with.overhead_pct, r_without.overhead_pct);
+  EXPECT_EQ(r_without.intertask_prefetches, 0);
+}
+
+TEST_F(MultimediaFixture, IdealTimeIndependentOfApproach) {
+  const auto a = run_simulation(
+      base_options(platform, Approach::no_prefetch), sampler);
+  const auto b = run_simulation(base_options(platform, Approach::hybrid),
+                                sampler);
+  EXPECT_EQ(a.total_ideal, b.total_ideal);
+  EXPECT_EQ(a.instances, b.instances);
+}
+
+struct PocketGlFixture : ::testing::Test {
+  void SetUp() override {
+    platform = virtex2_platform(8);
+    workload = make_pocket_gl_workload(platform);
+    task_sampler = pocket_gl_task_sampler(*workload);
+    frame_sampler = pocket_gl_frame_sampler(*workload);
+  }
+  SimOptions options(Approach a) {
+    auto opt = base_options(platform, a);
+    opt.replacement = ReplacementPolicy::critical_first;
+    opt.cross_iteration_lookahead = true;
+    opt.intertask_lookahead = 3;
+    return opt;
+  }
+  PlatformConfig platform = virtex2_platform(8);
+  std::unique_ptr<PocketGlWorkload> workload;
+  IterationSampler task_sampler;
+  IterationSampler frame_sampler;
+};
+
+TEST_F(PocketGlFixture, BaselinesMatchSection7Numbers) {
+  // "the reconfiguration overhead was initially 71% of the ideal execution
+  // time. Applying an optimal configuration prefetch technique at
+  // design-time it is reduced to 25%."
+  const auto np =
+      run_simulation(options(Approach::no_prefetch), task_sampler);
+  EXPECT_NEAR(np.overhead_pct, 71.0, 2.0);
+  const auto dt = run_simulation(options(Approach::design_time_prefetch),
+                                 frame_sampler);
+  EXPECT_NEAR(dt.overhead_pct, 25.0, 2.0);
+}
+
+TEST_F(PocketGlFixture, HybridHidesAtLeast93PercentAt8Tiles) {
+  const auto np =
+      run_simulation(options(Approach::no_prefetch), task_sampler);
+  const auto hy = run_simulation(options(Approach::hybrid), task_sampler);
+  EXPECT_LT(hy.overhead_pct, 2.0);  // "less than 2% for eight tiles"
+  EXPECT_GE(1.0 - hy.overhead_pct / np.overhead_pct, 0.93);
+}
+
+TEST_F(PocketGlFixture, FrameSamplerEmitsOneInstancePerIteration) {
+  Rng rng(3);
+  const auto frame = frame_sampler(rng);
+  ASSERT_EQ(frame.size(), 1u);
+  EXPECT_EQ(frame[0]->graph->size(), 10u);
+  const auto tasks = task_sampler(rng);
+  ASSERT_EQ(tasks.size(), 6u);
+}
+
+TEST(Workloads, DrawIndexRespectsDistribution) {
+  Rng rng(5);
+  const std::vector<double> probs{0.1, 0.6, 0.3};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 30000; ++i)
+    ++counts[draw_index(probs, rng)];
+  EXPECT_NEAR(counts[0] / 30000.0, 0.1, 0.02);
+  EXPECT_NEAR(counts[1] / 30000.0, 0.6, 0.02);
+  EXPECT_NEAR(counts[2] / 30000.0, 0.3, 0.02);
+}
+
+TEST(Workloads, MultimediaSamplerNeverEmpty) {
+  const auto pf = virtex2_platform(8);
+  const auto w = make_multimedia_workload(pf);
+  auto sampler = multimedia_sampler(*w, 0.05);  // tiny inclusion probability
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) EXPECT_FALSE(sampler(rng).empty());
+}
+
+TEST(Approach, Names) {
+  EXPECT_STREQ(to_string(Approach::no_prefetch), "no-prefetch");
+  EXPECT_STREQ(to_string(Approach::design_time_prefetch), "design-time");
+  EXPECT_STREQ(to_string(Approach::runtime_heuristic), "run-time");
+  EXPECT_STREQ(to_string(Approach::runtime_intertask),
+               "run-time+inter-task");
+  EXPECT_STREQ(to_string(Approach::hybrid), "hybrid");
+}
+
+}  // namespace
+}  // namespace drhw

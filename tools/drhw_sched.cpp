@@ -1,0 +1,197 @@
+// drhw_sched — command-line driver for the hybrid prefetch scheduling flow.
+//
+// Usage:
+//   drhw_sched demo                         write a sample task graph JSON
+//   drhw_sched info <graph.json>            graph statistics + CS set
+//   drhw_sched schedule <graph.json> [opts] run the flow, print Gantt charts
+//   drhw_sched dot <graph.json>             Graphviz export
+//
+// Options for `schedule`:
+//   --tiles N          DRHW tiles (default 8)
+//   --latency-us L     reconfiguration latency in us (default 4000)
+//   --ports N          reconfiguration ports (default 1)
+//   --resident a,b,c   subtask ids already resident (reuse)
+
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "graph/algorithms.hpp"
+#include "graph/dot.hpp"
+#include "graph/serialization.hpp"
+#include "platform/platform.hpp"
+#include "prefetch/bnb.hpp"
+#include "prefetch/critical_subtasks.hpp"
+#include "prefetch/hybrid.hpp"
+#include "schedule/list_scheduler.hpp"
+#include "sim/gantt.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace drhw;
+
+int usage() {
+  std::cerr << "usage: drhw_sched demo\n"
+               "       drhw_sched info <graph.json>\n"
+               "       drhw_sched schedule <graph.json> [--tiles N]"
+               " [--latency-us L] [--ports N] [--resident a,b,c]\n"
+               "       drhw_sched dot <graph.json>\n";
+  return 2;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::invalid_argument("cannot open '" + path + "'");
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+SubtaskGraph demo_graph() {
+  SubtaskGraph g("demo_pipeline");
+  const auto a = g.add_subtask({"capture", ms(6), Resource::drhw});
+  const auto b = g.add_subtask({"filter", ms(12), Resource::drhw});
+  const auto c = g.add_subtask({"feature", ms(9), Resource::drhw});
+  const auto d = g.add_subtask({"classify", ms(7), Resource::drhw});
+  const auto e = g.add_subtask({"report", ms(2), Resource::isp});
+  g.add_edge(a, b);
+  g.add_edge(a, c);
+  g.add_edge(b, d);
+  g.add_edge(c, d);
+  g.add_edge(d, e);
+  g.finalize();
+  return g;
+}
+
+int cmd_demo() {
+  std::cout << graph_to_json(demo_graph());
+  return 0;
+}
+
+int cmd_info(const std::string& path) {
+  const auto graph = graph_from_json(read_file(path));
+  const auto platform = virtex2_platform(8);
+  const auto placement = list_schedule(graph, platform.tiles, 1);
+  const auto design = compute_hybrid_schedule(graph, placement, platform);
+  const auto weights = subtask_weights(graph);
+
+  std::cout << "graph: " << graph.name() << "\n"
+            << "subtasks: " << graph.size() << " (" << graph.drhw_count()
+            << " on DRHW)\n"
+            << "critical path: " << fmt_ms(critical_path_length(graph))
+            << " ms\n"
+            << "ideal makespan (8 tiles): " << fmt_ms(placement.ideal_makespan)
+            << " ms\n";
+  TablePrinter table({"id", "name", "exec", "resource", "weight",
+                      "critical"});
+  for (std::size_t s = 0; s < graph.size(); ++s) {
+    const auto& node = graph.subtask(static_cast<SubtaskId>(s));
+    const bool critical =
+        std::find(design.critical.begin(), design.critical.end(),
+                  static_cast<SubtaskId>(s)) != design.critical.end();
+    table.add_row({std::to_string(s), node.name,
+                   fmt_ms(node.exec_time) + " ms",
+                   node.resource == Resource::drhw ? "drhw" : "isp",
+                   fmt_ms(weights[s]) + " ms", critical ? "yes" : ""});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_schedule(const std::string& path, int tiles, time_us latency,
+                 int ports, const std::vector<int>& resident_ids) {
+  const auto graph = graph_from_json(read_file(path));
+  PlatformConfig platform = virtex2_platform(tiles);
+  platform.reconfig_latency = latency;
+  platform.reconfig_ports = ports;
+  platform.validate();
+
+  const auto placement = list_schedule(graph, tiles, 1);
+  std::cout << "ideal makespan: " << fmt_ms(placement.ideal_makespan)
+            << " ms\n\n";
+
+  const auto on_demand =
+      evaluate(graph, placement, platform, on_demand_all(graph, placement));
+  std::cout << "on-demand loading: " << fmt_ms(on_demand.makespan)
+            << " ms\n"
+            << render_gantt(graph, placement, on_demand) << "\n";
+
+  std::vector<bool> needs(graph.size(), false);
+  for (std::size_t s = 0; s < graph.size(); ++s)
+    needs[s] = placement.on_drhw(static_cast<SubtaskId>(s));
+  const auto optimal = optimal_prefetch(graph, placement, platform, needs);
+  std::cout << "optimal prefetch: " << fmt_ms(optimal.eval.makespan)
+            << " ms\n"
+            << render_gantt(graph, placement, optimal.eval) << "\n";
+
+  const auto design = compute_hybrid_schedule(graph, placement, platform);
+  std::vector<bool> resident(graph.size(), false);
+  for (int id : resident_ids) {
+    if (id < 0 || static_cast<std::size_t>(id) >= graph.size())
+      throw std::invalid_argument("--resident id out of range");
+    resident[static_cast<std::size_t>(id)] = true;
+  }
+  const auto run =
+      hybrid_runtime(graph, placement, platform, design, resident);
+  std::cout << "hybrid (|CS| = " << design.critical.size() << ", "
+            << run.init_loads.size() << " init loads, "
+            << run.cancelled_loads << " cancelled): "
+            << fmt_ms(run.total_makespan) << " ms\n";
+  GanttOptions options;
+  options.init_duration = run.init_duration;
+  options.init_loads = run.init_loads;
+  std::cout << render_gantt(graph, placement, run.eval, options);
+  return 0;
+}
+
+int cmd_dot(const std::string& path) {
+  const auto graph = graph_from_json(read_file(path));
+  write_dot(std::cout, graph);
+  return 0;
+}
+
+std::vector<int> parse_id_list(const std::string& arg) {
+  std::vector<int> ids;
+  std::istringstream is(arg);
+  std::string token;
+  while (std::getline(is, token, ',')) ids.push_back(std::stoi(token));
+  return ids;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) return usage();
+  try {
+    if (args[0] == "demo") return cmd_demo();
+    if (args[0] == "info" && args.size() >= 2) return cmd_info(args[1]);
+    if (args[0] == "dot" && args.size() >= 2) return cmd_dot(args[1]);
+    if (args[0] == "schedule" && args.size() >= 2) {
+      int tiles = 8, ports = 1;
+      time_us latency = ms(4);
+      std::vector<int> resident;
+      for (std::size_t i = 2; i + 1 < args.size(); i += 2) {
+        if (args[i] == "--tiles")
+          tiles = std::stoi(args[i + 1]);
+        else if (args[i] == "--latency-us")
+          latency = std::stoll(args[i + 1]);
+        else if (args[i] == "--ports")
+          ports = std::stoi(args[i + 1]);
+        else if (args[i] == "--resident")
+          resident = parse_id_list(args[i + 1]);
+        else
+          return usage();
+      }
+      return cmd_schedule(args[1], tiles, latency, ports, resident);
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return usage();
+}
