@@ -1,60 +1,39 @@
 // Ablation: platform-model extensions beyond the paper — ICN communication
 // latency (per-hop mesh cost) and multi-port reconfiguration controllers —
 // evaluated on the Table 1 tasks without reuse, like the paper's
-// deterministic columns.
+// deterministic columns (every task scenario once, optimal prefetch order).
+//
+// Both sweeps are expressed as campaign-engine scenarios: the ICN sweep
+// registers a packed/spread scenario pair per hop latency, the port sweep
+// is a cartesian build_sweep() over ports x approach.
 
 #include <iostream>
+#include <map>
 
-#include "apps/multimedia.hpp"
-#include "prefetch/bnb.hpp"
-#include "prefetch/list_prefetch.hpp"
-#include "schedule/list_scheduler.hpp"
+#include "runner/campaign.hpp"
+#include "runner/scenario.hpp"
 #include "util/table.hpp"
 
 namespace {
 
 using namespace drhw;
 
-struct Numbers {
-  double ideal_ms = 0;
-  double on_demand_pct = 0;
-  double prefetch_pct = 0;
-};
-
-Numbers measure(const std::vector<BenchmarkTask>& tasks,
-                const PlatformConfig& platform) {
-  Numbers out;
-  double ideal = 0, od = 0, pf = 0;
-  for (const auto& task : tasks) {
-    for (const auto& g : task.scenarios) {
-      const auto placement = list_schedule_icn(g, platform);
-      ideal += static_cast<double>(placement.ideal_makespan);
-      std::vector<bool> needs(g.size(), false);
-      for (std::size_t s = 0; s < g.size(); ++s)
-        needs[s] = placement.on_drhw(static_cast<SubtaskId>(s));
-      LoadPlan demand;
-      demand.policy = LoadPolicy::on_demand;
-      demand.needs_load = needs;
-      od += static_cast<double>(
-          evaluate(g, placement, platform, demand).makespan -
-          placement.ideal_makespan);
-      pf += static_cast<double>(
-          list_prefetch(g, placement, platform, needs).makespan -
-          placement.ideal_makespan);
-    }
-  }
-  out.ideal_ms = ideal / 1000.0;
-  out.on_demand_pct = 100.0 * od / ideal;
-  out.prefetch_pct = 100.0 * pf / ideal;
-  return out;
+Scenario multimedia_exhaustive(const std::string& name,
+                               const std::string& family) {
+  Scenario s;
+  s.name = name;
+  s.family = family;
+  s.workload = WorkloadKind::multimedia;
+  s.exhaustive = true;
+  s.sim.platform = virtex2_platform(8);
+  s.sim.iterations = 1;
+  return s;
 }
 
 }  // namespace
 
 int main() {
   using namespace drhw;
-  ConfigSpace configs;
-  const auto tasks = make_multimedia_taskset(configs);
 
   std::cout
       << "ICN communication-latency sweep (3x3 mesh, multimedia set, no "
@@ -68,37 +47,48 @@ int main() {
          "Packing minimises communication but removes every prefetch "
          "window: a load\non a shared tile cannot start before the "
          "previous execution finishes.\n\n";
+
+  const time_us hops[] = {us(0), us(100), us(250), us(500), ms(1), ms(4)};
+  ScenarioRegistry icn_registry;
+  for (const time_us hop : hops) {
+    for (const bool packed : {true, false}) {
+      Scenario s = multimedia_exhaustive(
+          "ablation_icn/hop" + std::to_string(hop) + "/" +
+              (packed ? "packed" : "spread"),
+          "ablation_icn");
+      s.sim.platform = virtex2_platform(9);
+      s.sim.platform.icn.mesh_width = 3;
+      s.sim.platform.icn.hop_latency = hop;
+      s.sim.platform.icn.isp_bridge_latency = hop;
+      s.sim.approach = Approach::design_time_prefetch;
+      s.design.comm_aware_placement = packed;
+      icn_registry.add(std::move(s));
+    }
+  }
+  const auto icn_results = CampaignRunner().run(icn_registry.scenarios());
+
+  std::map<time_us, std::map<bool, SimReport>> icn_rows;
+  for (const ScenarioResult& result : icn_results) {
+    if (!result.ok) {
+      std::cerr << result.scenario.name << " failed: " << result.error
+                << "\n";
+      return 1;
+    }
+    icn_rows[result.scenario.sim.platform.icn.hop_latency]
+            [result.scenario.design.comm_aware_placement] = result.report;
+  }
+
   TablePrinter icn_table({"hop latency", "packed: total", "packed: prefetch",
                           "spread: total", "spread: prefetch"});
-  for (const time_us hop : {us(0), us(100), us(250), us(500), ms(1), ms(4)}) {
-    PlatformConfig platform = virtex2_platform(9);
-    platform.icn.mesh_width = 3;
-    platform.icn.hop_latency = hop;
-    platform.icn.isp_bridge_latency = hop;
-
-    auto total_with = [&](bool comm_aware) {
-      double total = 0, ideal = 0;
-      for (const auto& task : tasks)
-        for (const auto& g : task.scenarios) {
-          const auto placement = comm_aware
-                                     ? list_schedule_icn(g, platform)
-                                     : list_schedule(g, platform.tiles);
-          std::vector<bool> needs(g.size(), false);
-          for (std::size_t s = 0; s < g.size(); ++s)
-            needs[s] = placement.on_drhw(static_cast<SubtaskId>(s));
-          total += static_cast<double>(
-              list_prefetch(g, placement, platform, needs).makespan);
-          ideal += static_cast<double>(placement.ideal_makespan);
-        }
-      return std::pair<double, double>(total, 100.0 * (total - ideal) / ideal);
-    };
-    const auto [packed_total, packed_pct] = total_with(true);
-    const auto [spread_total, spread_pct] = total_with(false);
-    icn_table.add_row({fmt_ms(hop, 2) + " ms",
-                       fmt(packed_total / 1000.0, 1) + " ms",
-                       "+" + fmt_pct(packed_pct, 1),
-                       fmt(spread_total / 1000.0, 1) + " ms",
-                       "+" + fmt_pct(spread_pct, 1)});
+  for (const time_us hop : hops) {
+    const SimReport& packed = icn_rows.at(hop).at(true);
+    const SimReport& spread = icn_rows.at(hop).at(false);
+    icn_table.add_row(
+        {fmt_ms(hop, 2) + " ms",
+         fmt(static_cast<double>(packed.total_actual) / 1000.0, 1) + " ms",
+         "+" + fmt_pct(packed.overhead_pct, 1),
+         fmt(static_cast<double>(spread.total_actual) / 1000.0, 1) + " ms",
+         "+" + fmt_pct(spread.overhead_pct, 1)});
   }
   icn_table.print(std::cout);
   std::cout << "\nAs long as a hop costs less than the exposed load latency, "
@@ -108,15 +98,30 @@ int main() {
                "tile.\n\n";
 
   std::cout << "Reconfiguration-port sweep (multimedia set, no reuse)\n\n";
-  TablePrinter port_table({"ports", "on-demand", "prefetch [7]"});
-  for (int ports = 1; ports <= 4; ++ports) {
-    PlatformConfig platform = virtex2_platform(8);
-    platform.reconfig_ports = ports;
-    const auto n = measure(tasks, platform);
-    port_table.add_row({std::to_string(ports),
-                        "+" + fmt_pct(n.on_demand_pct, 1),
-                        "+" + fmt_pct(n.prefetch_pct, 1)});
+  SweepConfig sweep;
+  sweep.family = "ablation_ports";
+  sweep.base = multimedia_exhaustive("ablation_ports/base", "ablation_ports");
+  sweep.ports = {1, 2, 3, 4};
+  sweep.approaches = {Approach::no_prefetch, Approach::design_time_prefetch};
+  const auto port_results = CampaignRunner().run(build_sweep(sweep));
+
+  std::map<int, std::map<Approach, double>> port_rows;
+  for (const ScenarioResult& result : port_results) {
+    if (!result.ok) {
+      std::cerr << result.scenario.name << " failed: " << result.error
+                << "\n";
+      return 1;
+    }
+    port_rows[result.scenario.sim.platform.reconfig_ports]
+             [result.scenario.sim.approach] = result.report.overhead_pct;
   }
+
+  TablePrinter port_table({"ports", "on-demand", "optimal prefetch"});
+  for (const auto& [ports, by_approach] : port_rows)
+    port_table.add_row(
+        {std::to_string(ports),
+         "+" + fmt_pct(by_approach.at(Approach::no_prefetch), 1),
+         "+" + fmt_pct(by_approach.at(Approach::design_time_prefetch), 1)});
   port_table.print(std::cout);
   std::cout << "\nExtra ports barely help the prefetched schedules: on these "
                "graphs a single\nserialised port is already hidden behind "

@@ -21,7 +21,7 @@ using namespace drhw;
 
 enum class Priority { alap_weight, exec_time, topo_order, reverse_topo };
 
-const char* name(Priority p) {
+[[maybe_unused]] const char* name(Priority p) {
   switch (p) {
     case Priority::alap_weight:
       return "ALAP weight (paper)";

@@ -8,10 +8,16 @@
 // Replacement policy: LRU — chosen because it reproduces the paper's
 // "<20% of the subtasks reused (for 8 tiles)". The replacement ablation
 // bench sweeps the other policies.
+//
+// The scenario grid comes from the campaign engine's built-in registry
+// (family "fig6") and runs on the worker pool; per-scenario seeding makes
+// the table identical at any thread count.
 
 #include <iostream>
+#include <map>
 
-#include "sim/workloads.hpp"
+#include "runner/campaign.hpp"
+#include "runner/scenario.hpp"
 #include "util/table.hpp"
 
 int main() {
@@ -21,36 +27,34 @@ int main() {
 
   std::cout << "Figure 6 — overhead vs DRHW tiles, multimedia set, "
             << k_iterations << " random iterations\n\n";
+
+  const auto scenarios =
+      ScenarioRegistry::builtin(k_iterations, k_seed).match("fig6");
+  const auto results = CampaignRunner().run(scenarios);
+
+  // Pivot (tiles, approach) -> report.
+  std::map<int, std::map<Approach, SimReport>> rows;
+  for (const ScenarioResult& result : results) {
+    if (!result.ok) {
+      std::cerr << result.scenario.name << " failed: " << result.error
+                << "\n";
+      return 1;
+    }
+    rows[result.scenario.sim.platform.tiles]
+        [result.scenario.sim.approach] = result.report;
+  }
+
   TablePrinter table({"tiles", "no-prefetch", "design-time", "run-time",
                       "run-time+inter-task", "hybrid", "reuse%(run-time)"});
-
-  for (int tiles = 8; tiles <= 16; ++tiles) {
-    const auto platform = virtex2_platform(tiles);
-    const auto workload = make_multimedia_workload(platform);
-    const auto sampler = multimedia_sampler(*workload);
-
-    double overhead[5] = {0, 0, 0, 0, 0};
-    double reuse_rt = 0;
-    const Approach approaches[5] = {
-        Approach::no_prefetch, Approach::design_time_prefetch,
-        Approach::runtime_heuristic, Approach::runtime_intertask,
-        Approach::hybrid};
-    for (int a = 0; a < 5; ++a) {
-      SimOptions opt;
-      opt.platform = platform;
-      opt.approach = approaches[a];
-      opt.replacement = ReplacementPolicy::lru;
-      opt.seed = k_seed;
-      opt.iterations = k_iterations;
-      const auto report = run_simulation(opt, sampler);
-      overhead[a] = report.overhead_pct;
-      if (approaches[a] == Approach::runtime_heuristic)
-        reuse_rt = report.reuse_pct;
-    }
-    table.add_row({std::to_string(tiles), fmt_pct(overhead[0]),
-                   fmt_pct(overhead[1]), fmt_pct(overhead[2], 2),
-                   fmt_pct(overhead[3], 2), fmt_pct(overhead[4], 2),
-                   fmt_pct(reuse_rt)});
+  for (const auto& [tiles, by_approach] : rows) {
+    table.add_row(
+        {std::to_string(tiles),
+         fmt_pct(by_approach.at(Approach::no_prefetch).overhead_pct),
+         fmt_pct(by_approach.at(Approach::design_time_prefetch).overhead_pct),
+         fmt_pct(by_approach.at(Approach::runtime_heuristic).overhead_pct, 2),
+         fmt_pct(by_approach.at(Approach::runtime_intertask).overhead_pct, 2),
+         fmt_pct(by_approach.at(Approach::hybrid).overhead_pct, 2),
+         fmt_pct(by_approach.at(Approach::runtime_heuristic).reuse_pct)});
   }
   table.print(std::cout);
 

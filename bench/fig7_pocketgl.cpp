@@ -9,12 +9,17 @@
 // pipeline repeats every iteration, so the run-time scheduler always knows
 // the upcoming tasks (paper Section 6: the TCM run-time emits the scheduled
 // task sequence).
+//
+// The (tiles x approach) grid comes from the campaign engine's built-in
+// registry (family "fig7"); the design-time baseline automatically sees the
+// merged whole-frame graphs.
 
+#include <algorithm>
 #include <iostream>
+#include <map>
 
-#include "prefetch/critical_subtasks.hpp"
-#include "schedule/list_scheduler.hpp"
-#include "sim/workloads.hpp"
+#include "runner/campaign.hpp"
+#include "runner/scenario.hpp"
 #include "util/table.hpp"
 
 int main() {
@@ -24,62 +29,57 @@ int main() {
 
   std::cout << "Figure 7 — overhead vs DRHW tiles, Pocket GL renderer, "
             << k_frames << " frames\n\n";
+
+  const auto scenarios =
+      ScenarioRegistry::builtin(k_frames, k_seed).match("fig7");
+  WorkloadCache cache;
+  const auto results = CampaignRunner().run(scenarios, cache);
+
+  std::map<int, std::map<Approach, SimReport>> rows;
+  for (const ScenarioResult& result : results) {
+    if (!result.ok) {
+      std::cerr << result.scenario.name << " failed: " << result.error
+                << "\n";
+      return 1;
+    }
+    rows[result.scenario.sim.platform.tiles]
+        [result.scenario.sim.approach] = result.report;
+  }
+
   TablePrinter table({"tiles", "no-prefetch", "design-time", "run-time",
                       "run-time+inter-task", "hybrid", "reuse%(hybrid)"});
-
-  double critical_pct = 0.0;
-  for (int tiles = 5; tiles <= 10; ++tiles) {
-    const auto platform = virtex2_platform(tiles);
-    const auto workload = make_pocket_gl_workload(platform);
-    const auto task_sampler = pocket_gl_task_sampler(*workload);
-    const auto frame_sampler = pocket_gl_frame_sampler(*workload);
-
-    double overhead[5] = {0, 0, 0, 0, 0};
-    double reuse_hybrid = 0;
-    const Approach approaches[5] = {
-        Approach::no_prefetch, Approach::design_time_prefetch,
-        Approach::runtime_heuristic, Approach::runtime_intertask,
-        Approach::hybrid};
-    for (int a = 0; a < 5; ++a) {
-      SimOptions opt;
-      opt.platform = platform;
-      opt.approach = approaches[a];
-      opt.replacement = ReplacementPolicy::critical_first;
-      opt.cross_iteration_lookahead = true;
-      opt.intertask_lookahead = 3;
-      opt.seed = k_seed;
-      opt.iterations = k_frames;
-      // Baselines see the merged frame graph (the 20 inter-task scenarios
-      // are enumerable at design time); the run-time approaches schedule
-      // task by task.
-      const bool merged = approaches[a] == Approach::design_time_prefetch;
-      const auto report =
-          run_simulation(opt, merged ? frame_sampler : task_sampler);
-      overhead[a] = report.overhead_pct;
-      if (approaches[a] == Approach::hybrid) reuse_hybrid = report.reuse_pct;
-    }
-    table.add_row({std::to_string(tiles), fmt_pct(overhead[0]),
-                   fmt_pct(overhead[1]), fmt_pct(overhead[2], 2),
-                   fmt_pct(overhead[3], 2), fmt_pct(overhead[4], 2),
-                   fmt_pct(reuse_hybrid)});
-
-    // Critical-subtask statistics (tile-count independent for these small
-    // tasks; compute once).
-    if (tiles == 5) {
-      int critical = 0, total = 0;
-      for (const auto& combo : workload->app.combos) {
-        for (std::size_t t = 0; t < workload->app.tasks.size(); ++t) {
-          const auto& prepared =
-              workload->prepared[t][static_cast<std::size_t>(
-                  combo.scenario_of_task[t])];
-          critical += static_cast<int>(prepared.hybrid.critical.size());
-          total += static_cast<int>(prepared.graph->size());
-        }
-      }
-      critical_pct = 100.0 * critical / total;
-    }
+  for (const auto& [tiles, by_approach] : rows) {
+    table.add_row(
+        {std::to_string(tiles),
+         fmt_pct(by_approach.at(Approach::no_prefetch).overhead_pct),
+         fmt_pct(by_approach.at(Approach::design_time_prefetch).overhead_pct),
+         fmt_pct(by_approach.at(Approach::runtime_heuristic).overhead_pct, 2),
+         fmt_pct(by_approach.at(Approach::runtime_intertask).overhead_pct, 2),
+         fmt_pct(by_approach.at(Approach::hybrid).overhead_pct, 2),
+         fmt_pct(by_approach.at(Approach::hybrid).reuse_pct)});
   }
   table.print(std::cout);
+
+  // Critical-subtask statistics (tile-count independent for these small
+  // tasks; read off the cached tiles-5 workload the campaign already
+  // prepared).
+  const auto tiles5 = std::find_if(
+      scenarios.begin(), scenarios.end(), [](const Scenario& s) {
+        return s.sim.platform.tiles == 5 &&
+               s.workload == WorkloadKind::pocket_gl;
+      });
+  const auto workload = cache.pocket_gl(*tiles5);
+  int critical = 0, total = 0;
+  for (const auto& combo : workload->app.combos) {
+    for (std::size_t t = 0; t < workload->app.tasks.size(); ++t) {
+      const auto& prepared =
+          workload->prepared[t][static_cast<std::size_t>(
+              combo.scenario_of_task[t])];
+      critical += static_cast<int>(prepared.hybrid.critical.size());
+      total += static_cast<int>(prepared.graph->size());
+    }
+  }
+  const double critical_pct = 100.0 * critical / total;
 
   std::cout << "\ncritical subtasks: " << fmt_pct(critical_pct, 1)
             << " (paper: 62%)\n";

@@ -5,110 +5,65 @@
 // of 32 was leading to a 192-increase factor in the scheduling execution
 // time"), whereas the hybrid heuristic's run-time phase only filters the
 // stored schedule by the reuse set — effectively free and scale-invariant.
+//
+// The size sweep runs as sched_cost scenarios of the campaign engine
+// (built-in family "scalability"), so the per-size measurements execute
+// concurrently on the worker pool.
 
-#include <chrono>
-#include <functional>
 #include <iostream>
 
-#include "graph/generators.hpp"
-#include "prefetch/critical_subtasks.hpp"
-#include "prefetch/hybrid.hpp"
-#include "prefetch/list_prefetch.hpp"
-#include "schedule/list_scheduler.hpp"
+#include "runner/campaign.hpp"
+#include "runner/scenario.hpp"
 #include "util/table.hpp"
-
-namespace {
-
-using namespace drhw;
-using clock_type = std::chrono::steady_clock;
-
-double micros_per_call(const std::function<void()>& fn, int calls) {
-  // One warm-up call, then timed batch.
-  fn();
-  const auto t0 = clock_type::now();
-  for (int i = 0; i < calls; ++i) fn();
-  const auto t1 = clock_type::now();
-  return std::chrono::duration<double, std::micro>(t1 - t0).count() / calls;
-}
-
-/// Keeps the optimizer from eliding the measured call.
-template <typename T>
-void benchmark_sink(T&& value) {
-  volatile auto size = value.load_order.size();
-  (void)size;
-}
-
-}  // namespace
 
 int main() {
   using namespace drhw;
-  const auto platform = virtex2_platform(8);
 
   std::cout << "Section 4 scalability — scheduling cost vs subtask count\n\n";
+
+  const auto scenarios = ScenarioRegistry::builtin().match("scalability");
+  // sched_cost scenarios are executed serially by the engine, so the
+  // timings never compete for cores.
+  const auto results = CampaignRunner().run(scenarios);
+
   TablePrinter table({"subtasks", "run-time heuristic [7] (us)",
                       "hybrid run-time phase (us)", "ratio vs N=14"});
-
   double base_list = 0.0;
-  for (int n : {14, 28, 56, 112, 224, 448}) {
-    Rng rng(static_cast<std::uint64_t>(n));
-    LayeredGraphParams params;
-    params.subtasks = n;
-    params.min_layer_width = 2;
-    params.max_layer_width = 6;
-    const auto graph = make_layered_graph(params, rng);
-    const auto placement = list_schedule(graph, platform.tiles);
-    std::vector<bool> needs(graph.size(), false);
-    for (std::size_t s = 0; s < graph.size(); ++s)
-      needs[s] = placement.on_drhw(static_cast<SubtaskId>(s));
-
-    // For the hybrid, the heavy lifting happens at design time; the
-    // run-time phase only has to apply the reuse set.
-    HybridDesignOptions options;
-    options.scheduler = DesignScheduler::list_heuristic;
-    const auto design =
-        compute_hybrid_schedule(graph, placement, platform, options);
-    std::vector<bool> resident(graph.size(), false);
-    Rng res_rng(7);
-    for (std::size_t s = 0; s < graph.size(); ++s)
-      if (needs[s]) resident[s] = res_rng.next_bool(0.3);
-
-    const int calls = n <= 56 ? 200 : 50;
-    const double list_us = micros_per_call(
-        [&] { list_prefetch(graph, placement, platform, needs); }, calls);
-    // The hybrid's run-time cost is the decision only (init selection +
-    // cancellation); the timing of the stored schedule was fixed at design
-    // time and simply executes.
-    const double hybrid_us = micros_per_call(
-        [&] { benchmark_sink(hybrid_decide(design, resident)); }, calls);
-    if (n == 14) base_list = list_us;
-    table.add_row({std::to_string(n), fmt(list_us, 1), fmt(hybrid_us, 2),
-                   fmt(list_us / base_list, 1) + "x"});
+  for (const ScenarioResult& result : results) {
+    if (!result.ok) {
+      std::cerr << result.scenario.name << " failed: " << result.error
+                << "\n";
+      return 1;
+    }
+    const int subtasks = result.scenario.synthetic.graph.subtasks;
+    if (base_list == 0.0) base_list = result.list_sched_us;
+    table.add_row({std::to_string(subtasks), fmt(result.list_sched_us, 1),
+                   fmt(result.hybrid_sched_us, 2),
+                   fmt(result.list_sched_us / base_list, 1) + "x"});
   }
   table.print(std::cout);
 
-  // The "<0.1 ms for 20 tasks with 14 subtasks" claim.
-  std::vector<SubtaskGraph> graphs;
-  std::vector<Placement> placements;
-  for (int i = 0; i < 20; ++i) {
-    Rng rng(static_cast<std::uint64_t>(100 + i));
-    LayeredGraphParams params;
-    params.subtasks = 14;
-    graphs.push_back(make_layered_graph(params, rng));
-    placements.push_back(list_schedule(graphs.back(), platform.tiles));
+  // The "<0.1 ms for 20 tasks with 14 subtasks" claim: one sched_cost
+  // scenario over a 20-graph task set; the batch cost is 20x the mean
+  // per-graph scheduling cost.
+  Scenario batch;
+  batch.name = "scalability/batch20x14";
+  batch.family = "scalability";
+  batch.mode = ScenarioMode::sched_cost;
+  batch.workload = WorkloadKind::synthetic;
+  batch.synthetic.tasks = 20;
+  batch.synthetic.graph.subtasks = 14;
+  batch.synthetic.graph_seed = 100;
+  batch.timing_calls = 50;
+  batch.time_all_loads = true;  // the paper schedules all 14 loads per task
+  const ScenarioResult batch_result = run_scenario(batch);
+  if (!batch_result.ok) {
+    std::cerr << batch.name << " failed: " << batch_result.error << "\n";
+    return 1;
   }
-  const double batch_us = micros_per_call(
-      [&] {
-        for (int i = 0; i < 20; ++i) {
-          std::vector<bool> needs(graphs[static_cast<std::size_t>(i)].size(),
-                                  true);
-          list_prefetch(graphs[static_cast<std::size_t>(i)],
-                        placements[static_cast<std::size_t>(i)], platform,
-                        needs);
-        }
-      },
-      50);
   std::cout << "\n20 tasks x 14 subtasks scheduled by [7]-style heuristic in "
-            << fmt(batch_us / 1000.0, 3) << " ms  (paper: < 0.1 ms)\n";
+            << fmt(batch_result.list_sched_us * 20.0 / 1000.0, 3)
+            << " ms  (paper: < 0.1 ms)\n";
   std::cout << "Note: the hybrid run-time phase stays flat because all "
                "schedule computation happened at design time.\n";
   return 0;

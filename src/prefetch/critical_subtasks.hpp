@@ -48,6 +48,10 @@ struct HybridDesignOptions {
   /// auto_select switches from B&B to the list heuristic above this many
   /// pending loads.
   int bnb_load_threshold = 9;
+  /// Compute the initial placement with the communication-aware list
+  /// scheduler (list_schedule_icn) instead of the default one-subtask-per-
+  /// tile scheduler. Only relevant under a non-ideal ICN model.
+  bool comm_aware_placement = false;
 };
 
 /// Runs the Figure 4 loop. Postcondition (checked): evaluating the stored

@@ -1,0 +1,318 @@
+#include "runner/campaign.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <map>
+#include <mutex>
+#include <numeric>
+#include <sstream>
+#include <thread>
+
+#include "prefetch/hybrid.hpp"
+#include "prefetch/list_prefetch.hpp"
+#include "schedule/list_scheduler.hpp"
+#include "sim/workloads.hpp"
+#include "util/check.hpp"
+
+namespace drhw {
+
+namespace {
+
+std::shared_ptr<const SyntheticWorkload> make_synthetic_workload(
+    const Scenario& scenario) {
+  auto workload = std::make_shared<SyntheticWorkload>();
+  workload->graphs.reserve(static_cast<std::size_t>(scenario.synthetic.tasks));
+  for (int t = 0; t < scenario.synthetic.tasks; ++t) {
+    Rng rng(scenario.synthetic.graph_seed +
+            static_cast<std::uint64_t>(t) * 0x9e3779b97f4a7c15ULL);
+    workload->graphs.push_back(
+        make_layered_graph(scenario.synthetic.graph, rng));
+  }
+  for (const SubtaskGraph& graph : workload->graphs)
+    workload->prepared.push_back(
+        prepare_scenario(graph, scenario.sim.platform.tiles,
+                         scenario.sim.platform, scenario.design));
+  return workload;
+}
+
+/// Everything prepare_scenario() reads: platform shape + design options.
+std::string prepare_key(const Scenario& scenario) {
+  const PlatformConfig& p = scenario.sim.platform;
+  std::ostringstream key;
+  key << p.tiles << "/" << p.reconfig_latency << "/" << p.reconfig_ports
+      << "/" << p.isps << "/" << p.reconfig_energy << "/"
+      << p.icn.mesh_width << "/" << p.icn.hop_latency << "/"
+      << p.icn.isp_bridge_latency << "/"
+      << static_cast<int>(scenario.design.scheduler) << "/"
+      << scenario.design.bnb_load_threshold << "/"
+      << scenario.design.comm_aware_placement;
+  return key.str();
+}
+
+}  // namespace
+
+template <typename T, typename Build>
+std::shared_ptr<const T> WorkloadCache::lookup(FutureMap<T>& cache,
+                                               const std::string& key,
+                                               Build build) {
+  std::promise<std::shared_ptr<const T>> promise;
+  std::shared_future<std::shared_ptr<const T>> future;
+  bool builder = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = cache.find(key);
+    if (it != cache.end()) {
+      future = it->second;
+    } else {
+      future = promise.get_future().share();
+      cache.emplace(key, future);
+      builder = true;
+    }
+  }
+  if (builder) {
+    try {
+      promise.set_value(build());
+    } catch (...) {
+      promise.set_exception(std::current_exception());
+    }
+  }
+  return future.get();
+}
+
+std::shared_ptr<const MultimediaWorkload> WorkloadCache::multimedia(
+    const Scenario& scenario) {
+  std::string key = prepare_key(scenario);
+  for (const std::string& task : scenario.task_filter) key += "/" + task;
+  return lookup(multimedia_, key, [scenario] {
+    return std::shared_ptr<const MultimediaWorkload>(
+        make_multimedia_workload(scenario.sim.platform, scenario.design,
+                                 scenario.task_filter));
+  });
+}
+
+std::shared_ptr<const PocketGlWorkload> WorkloadCache::pocket_gl(
+    const Scenario& scenario) {
+  return lookup(pocket_gl_, prepare_key(scenario), [scenario] {
+    return std::shared_ptr<const PocketGlWorkload>(
+        make_pocket_gl_workload(scenario.sim.platform, scenario.design));
+  });
+}
+
+std::shared_ptr<const SyntheticWorkload> WorkloadCache::synthetic(
+    const Scenario& scenario) {
+  std::ostringstream key;
+  const SyntheticParams& p = scenario.synthetic;
+  key << prepare_key(scenario) << "/" << p.tasks << "/" << p.graph_seed << "/"
+      << p.graph.subtasks << "/" << p.graph.min_layer_width << "/"
+      << p.graph.max_layer_width << "/" << p.graph.min_exec << "/"
+      << p.graph.max_exec << "/" << p.graph.edge_density << "/"
+      << p.graph.isp_fraction;
+  return lookup(synthetic_, key.str(),
+                [scenario] { return make_synthetic_workload(scenario); });
+}
+
+namespace {
+
+/// Random mix over single-scenario tasks, mirroring multimedia_sampler:
+/// shuffle the task order, include each with `include_prob`, at least one.
+IterationSampler synthetic_sampler(const SyntheticWorkload& workload,
+                                   double include_prob) {
+  const SyntheticWorkload* w = &workload;
+  return [w, include_prob](Rng& rng) {
+    std::vector<std::size_t> order(w->prepared.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    rng.shuffle(order);
+    std::vector<const PreparedScenario*> instances;
+    for (std::size_t t : order)
+      if (rng.next_bool(include_prob)) instances.push_back(&w->prepared[t]);
+    if (instances.empty())
+      instances.push_back(&w->prepared[rng.pick_index(w->prepared)]);
+    return instances;
+  };
+}
+
+double micros_per_call(const std::function<void()>& fn, int calls) {
+  fn();  // warm-up
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < calls; ++i) fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::micro>(t1 - t0).count() / calls;
+}
+
+/// Section 4 scalability measurement: cost of one run-time scheduling
+/// decision for the list heuristic of ref. [7] vs the hybrid's run-time
+/// phase, averaged over the scenario's graphs.
+void run_sched_cost(const Scenario& scenario, WorkloadCache& cache,
+                    ScenarioResult& result) {
+  const auto workload = cache.synthetic(scenario);
+  double list_total = 0.0;
+  double hybrid_total = 0.0;
+  for (const PreparedScenario& prepared : workload->prepared) {
+    const SubtaskGraph& graph = *prepared.graph;
+    std::vector<bool> needs(graph.size(), scenario.time_all_loads);
+    if (!scenario.time_all_loads)
+      for (std::size_t s = 0; s < graph.size(); ++s)
+        needs[s] = prepared.placement.on_drhw(static_cast<SubtaskId>(s));
+    std::vector<bool> resident(graph.size(), false);
+    Rng resident_rng(scenario.sim.seed);
+    for (std::size_t s = 0; s < graph.size(); ++s)
+      if (needs[s]) resident[s] = resident_rng.next_bool(0.3);
+
+    list_total += micros_per_call(
+        [&] {
+          list_prefetch(graph, prepared.placement, scenario.sim.platform,
+                        needs);
+        },
+        scenario.timing_calls);
+    hybrid_total += micros_per_call(
+        [&] {
+          volatile auto loads =
+              hybrid_decide(prepared.hybrid, resident).init_loads.size();
+          (void)loads;
+        },
+        scenario.timing_calls);
+  }
+  const auto n = static_cast<double>(workload->prepared.size());
+  result.list_sched_us = list_total / n;
+  result.hybrid_sched_us = hybrid_total / n;
+}
+
+void run_simulate(const Scenario& scenario, WorkloadCache& cache,
+                  ScenarioResult& result) {
+  const SimOptions& options = scenario.sim;
+  switch (scenario.workload) {
+    case WorkloadKind::multimedia: {
+      const auto workload = cache.multimedia(scenario);
+      const IterationSampler sampler =
+          scenario.exhaustive ? exhaustive_sampler(*workload)
+                              : multimedia_sampler(*workload,
+                                                   scenario.include_prob);
+      result.report = run_simulation(options, sampler);
+      break;
+    }
+    case WorkloadKind::pocket_gl: {
+      const auto workload = cache.pocket_gl(scenario);
+      result.report =
+          run_simulation(options, pocket_gl_task_sampler(*workload));
+      break;
+    }
+    case WorkloadKind::pocket_gl_frames: {
+      const auto workload = cache.pocket_gl(scenario);
+      result.report =
+          run_simulation(options, pocket_gl_frame_sampler(*workload));
+      break;
+    }
+    case WorkloadKind::synthetic: {
+      const auto workload = cache.synthetic(scenario);
+      result.report = run_simulation(
+          options, synthetic_sampler(*workload, scenario.include_prob));
+      break;
+    }
+  }
+}
+
+ScenarioResult run_scenario_cached(const Scenario& scenario,
+                                   bool record_wall_time,
+                                   WorkloadCache& cache) {
+  ScenarioResult result;
+  result.scenario = scenario;
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    scenario.validate();
+    if (scenario.mode == ScenarioMode::sched_cost)
+      run_sched_cost(scenario, cache, result);
+    else
+      run_simulate(scenario, cache, result);
+    result.ok = true;
+  } catch (const std::exception& e) {
+    result.error = e.what();
+  }
+  if (record_wall_time) {
+    const auto t1 = std::chrono::steady_clock::now();
+    result.wall_ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+  }
+  return result;
+}
+
+}  // namespace
+
+ScenarioResult run_scenario(const Scenario& scenario, bool record_wall_time,
+                            WorkloadCache* cache) {
+  if (cache) return run_scenario_cached(scenario, record_wall_time, *cache);
+  WorkloadCache local;
+  return run_scenario_cached(scenario, record_wall_time, local);
+}
+
+CampaignRunner::CampaignRunner(CampaignOptions options)
+    : options_(std::move(options)) {}
+
+std::vector<ScenarioResult> CampaignRunner::run(
+    const std::vector<Scenario>& scenarios) const {
+  WorkloadCache cache;
+  return run(scenarios, cache);
+}
+
+std::vector<ScenarioResult> CampaignRunner::run(
+    const std::vector<Scenario>& scenarios, WorkloadCache& cache) const {
+  std::vector<ScenarioResult> results(scenarios.size());
+  if (scenarios.empty()) return results;
+
+  // sched_cost scenarios are wall-clock microbenchmarks; running them
+  // while other scenarios compete for cores would corrupt their timings,
+  // so they execute serially after the parallel phase.
+  std::vector<std::size_t> parallel_indices;
+  std::vector<std::size_t> serial_indices;
+  for (std::size_t i = 0; i < scenarios.size(); ++i)
+    (scenarios[i].mode == ScenarioMode::sched_cost ? serial_indices
+                                                   : parallel_indices)
+        .push_back(i);
+
+  std::atomic<std::size_t> completed{0};
+  std::mutex callback_mutex;
+  const auto execute = [&](std::size_t index) {
+    results[index] = run_scenario_cached(scenarios[index],
+                                         options_.record_wall_time, cache);
+    const std::size_t done = completed.fetch_add(1) + 1;
+    if (options_.on_result) {
+      std::lock_guard<std::mutex> lock(callback_mutex);
+      options_.on_result(results[index], done, scenarios.size());
+    }
+  };
+
+  unsigned thread_count =
+      options_.threads > 0
+          ? static_cast<unsigned>(options_.threads)
+          : std::max(1u, std::thread::hardware_concurrency());
+  thread_count = std::min<unsigned>(
+      thread_count, static_cast<unsigned>(parallel_indices.size()));
+
+  // Work queue: a shared atomic cursor over the index array. Results are
+  // written to the slot matching the scenario index, so the output order —
+  // and, because every scenario seeds its own RNGs from the descriptor,
+  // every simulation metric — is independent of the interleaving.
+  std::atomic<std::size_t> cursor{0};
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t at = cursor.fetch_add(1);
+      if (at >= parallel_indices.size()) return;
+      execute(parallel_indices[at]);
+    }
+  };
+
+  if (thread_count <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(thread_count);
+    for (unsigned t = 0; t < thread_count; ++t) pool.emplace_back(worker);
+    for (std::thread& thread : pool) thread.join();
+  }
+
+  for (std::size_t index : serial_indices) execute(index);
+  return results;
+}
+
+}  // namespace drhw

@@ -1,0 +1,121 @@
+#pragma once
+
+/// \file campaign.hpp
+/// Parallel campaign engine: executes batches of Scenario descriptors on a
+/// worker-thread pool and collects per-scenario results. Scenarios are
+/// fully independent (each builds its own workload and seeds its own RNG
+/// from the descriptor), so the aggregated simulation metrics are
+/// bit-identical at any thread count; only the wall-clock fields vary.
+
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "runner/scenario.hpp"
+#include "sim/workloads.hpp"
+
+namespace drhw {
+
+/// Graphs and design-time preparation for a synthetic scenario. Owns the
+/// graphs; PreparedScenario entries point into them.
+struct SyntheticWorkload {
+  std::vector<SubtaskGraph> graphs;
+  std::vector<PreparedScenario> prepared;
+};
+
+/// Memoises design-time workload preparation across scenarios: the five
+/// approaches of a Figure 6/7 grid point share one prepared workload
+/// instead of redoing the B&B and hybrid design flow. Thread-safe; each
+/// workload is built exactly once even under concurrent lookups, and a
+/// build failure propagates to every scenario that needs it. Keys cover
+/// every field preparation depends on (platform shape, design options,
+/// task filter / generator parameters).
+class WorkloadCache {
+ public:
+  std::shared_ptr<const MultimediaWorkload> multimedia(
+      const Scenario& scenario);
+  /// Shared by WorkloadKind::pocket_gl and pocket_gl_frames (only the
+  /// sampler differs).
+  std::shared_ptr<const PocketGlWorkload> pocket_gl(const Scenario& scenario);
+  std::shared_ptr<const SyntheticWorkload> synthetic(
+      const Scenario& scenario);
+
+ private:
+  template <typename T>
+  using FutureMap =
+      std::map<std::string, std::shared_future<std::shared_ptr<const T>>>;
+
+  template <typename T, typename Build>
+  std::shared_ptr<const T> lookup(FutureMap<T>& cache, const std::string& key,
+                                  Build build);
+
+  std::mutex mutex_;
+  FutureMap<MultimediaWorkload> multimedia_;
+  FutureMap<PocketGlWorkload> pocket_gl_;
+  FutureMap<SyntheticWorkload> synthetic_;
+};
+
+/// Outcome of one scenario execution.
+struct ScenarioResult {
+  Scenario scenario;
+  /// Simulation metrics (zero in sched_cost mode).
+  SimReport report;
+  /// Mean run-time scheduling cost of the list heuristic of ref. [7] in
+  /// microseconds (sched_cost mode only).
+  double list_sched_us = 0.0;
+  /// Mean cost of the hybrid run-time phase in microseconds (sched_cost
+  /// mode only).
+  double hybrid_sched_us = 0.0;
+  /// Wall-clock execution time of this scenario in milliseconds.
+  /// Non-deterministic; excluded from aggregate statistics.
+  double wall_ms = 0.0;
+  bool ok = false;
+  /// Exception text when ok is false.
+  std::string error;
+};
+
+struct CampaignOptions {
+  /// Worker threads; 0 picks std::thread::hardware_concurrency().
+  int threads = 0;
+  /// Record per-scenario wall-clock times. Disable for bit-identical
+  /// reports across runs and thread counts.
+  bool record_wall_time = true;
+  /// Progress callback, invoked under a mutex after each scenario with
+  /// (result, completed count, total count).
+  std::function<void(const ScenarioResult&, std::size_t, std::size_t)>
+      on_result;
+};
+
+/// Executes one scenario synchronously (the engine's unit of work).
+/// Exceptions are captured into the result's `error`. Pass a cache to
+/// share workload preparation with other executions.
+ScenarioResult run_scenario(const Scenario& scenario,
+                            bool record_wall_time = true,
+                            WorkloadCache* cache = nullptr);
+
+/// Thread-pool campaign executor. Simulation scenarios run on the worker
+/// pool; sched_cost scenarios (wall-clock microbenchmarks) run serially
+/// afterwards so their timings never compete for cores.
+class CampaignRunner {
+ public:
+  explicit CampaignRunner(CampaignOptions options = {});
+
+  /// Runs all scenarios and returns results in scenario order, regardless
+  /// of the execution interleaving.
+  std::vector<ScenarioResult> run(const std::vector<Scenario>& scenarios) const;
+
+  /// Same, sharing (and populating) an external workload cache, so
+  /// callers can reuse the prepared workloads after the campaign.
+  std::vector<ScenarioResult> run(const std::vector<Scenario>& scenarios,
+                                  WorkloadCache& cache) const;
+
+ private:
+  CampaignOptions options_;
+};
+
+}  // namespace drhw

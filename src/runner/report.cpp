@@ -1,0 +1,613 @@
+#include "runner/report.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+namespace drhw {
+
+bool operator==(const MetricSummary& a, const MetricSummary& b) {
+  return a.count == b.count && a.mean == b.mean && a.stddev == b.stddev &&
+         a.min == b.min && a.max == b.max && a.p50 == b.p50 && a.p95 == b.p95;
+}
+
+std::map<std::string, double> deterministic_metrics(
+    const ScenarioResult& result) {
+  std::map<std::string, double> metrics;
+  if (!result.ok || result.scenario.mode != ScenarioMode::simulate)
+    return metrics;
+  const SimReport& r = result.report;
+  metrics["makespan_ms"] = static_cast<double>(r.total_actual) / 1000.0;
+  metrics["overhead_pct"] = r.overhead_pct;
+  metrics["reuse_pct"] = r.reuse_pct;
+  metrics["reuse_hits"] = static_cast<double>(r.reused_subtasks);
+  metrics["loads"] = static_cast<double>(r.loads);
+  metrics["energy"] = r.energy;
+  metrics["energy_saved"] = r.energy_saved;
+  return metrics;
+}
+
+void StatsAggregator::add(const ScenarioResult& result) {
+  for (Group* group : {&total_, &groups_[result.scenario.family]}) {
+    ++group->scenarios;
+    if (!result.ok) ++group->failed;
+    for (const auto& [name, value] : deterministic_metrics(result))
+      group->samples[name].push_back(value);
+  }
+}
+
+void StatsAggregator::add(const std::vector<ScenarioResult>& results) {
+  for (const ScenarioResult& result : results) add(result);
+}
+
+namespace {
+
+GroupSummary summarize_group(const std::string& family, std::size_t scenarios,
+                             std::size_t failed,
+                             const std::map<std::string, std::vector<double>>&
+                                 samples) {
+  GroupSummary summary;
+  summary.family = family;
+  summary.scenarios = scenarios;
+  summary.failed = failed;
+  for (const auto& [name, values] : samples) {
+    RunningStats stats;
+    for (double v : values) stats.add(v);
+    MetricSummary m;
+    m.count = stats.count();
+    m.mean = stats.mean();
+    m.stddev = stats.stddev();
+    m.min = stats.min();
+    m.max = stats.max();
+    m.p50 = stats.percentile(50);
+    m.p95 = stats.percentile(95);
+    summary.metrics[name] = m;
+  }
+  return summary;
+}
+
+}  // namespace
+
+std::vector<GroupSummary> StatsAggregator::by_family() const {
+  std::vector<GroupSummary> out;
+  for (const auto& [family, group] : groups_)
+    out.push_back(summarize_group(family, group.scenarios, group.failed,
+                                  group.samples));
+  return out;
+}
+
+GroupSummary StatsAggregator::overall() const {
+  return summarize_group("", total_.scenarios, total_.failed, total_.samples);
+}
+
+// --- JSON / CSV writers ----------------------------------------------------
+
+namespace {
+
+/// Shortest representation that parses back to the identical double.
+std::string fmt_double(double value) {
+  char buffer[64];
+  for (int precision : {15, 16, 17}) {
+    std::snprintf(buffer, sizeof(buffer), "%.*g", precision, value);
+    if (std::strtod(buffer, nullptr) == value) break;
+  }
+  return buffer;
+}
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// All numeric metrics of one result: the deterministic ones plus the
+/// wall-clock measurements (reported, never aggregated).
+std::map<std::string, double> all_metrics(const ScenarioResult& result) {
+  std::map<std::string, double> metrics = deterministic_metrics(result);
+  if (result.ok && result.scenario.mode == ScenarioMode::sched_cost) {
+    metrics["list_sched_us"] = result.list_sched_us;
+    metrics["hybrid_sched_us"] = result.hybrid_sched_us;
+  }
+  metrics["wall_ms"] = result.wall_ms;
+  return metrics;
+}
+
+void write_summary_json(std::ostream& os, const GroupSummary& summary,
+                        int indent) {
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  os << "{\n"
+     << pad << "  \"family\": \"" << json_escape(summary.family) << "\",\n"
+     << pad << "  \"scenarios\": " << summary.scenarios << ",\n"
+     << pad << "  \"failed\": " << summary.failed << ",\n"
+     << pad << "  \"metrics\": {";
+  bool first = true;
+  for (const auto& [name, m] : summary.metrics) {
+    os << (first ? "" : ",") << "\n"
+       << pad << "    \"" << name << "\": {\"count\": " << m.count
+       << ", \"mean\": " << fmt_double(m.mean)
+       << ", \"stddev\": " << fmt_double(m.stddev)
+       << ", \"min\": " << fmt_double(m.min)
+       << ", \"max\": " << fmt_double(m.max)
+       << ", \"p50\": " << fmt_double(m.p50)
+       << ", \"p95\": " << fmt_double(m.p95) << "}";
+    first = false;
+  }
+  os << "\n" << pad << "  }\n" << pad << "}";
+}
+
+}  // namespace
+
+std::string campaign_to_json(const std::vector<ScenarioResult>& results,
+                             const StatsAggregator& aggregator) {
+  std::ostringstream os;
+  os << "{\n  \"schema\": \"drhw-campaign-v1\",\n  \"scenarios\": [";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const ScenarioResult& result = results[i];
+    const Scenario& s = result.scenario;
+    os << (i == 0 ? "" : ",") << "\n    {\n"
+       << "      \"name\": \"" << json_escape(s.name) << "\",\n"
+       << "      \"family\": \"" << json_escape(s.family) << "\",\n"
+       << "      \"workload\": \"" << to_string(s.workload) << "\",\n"
+       << "      \"mode\": \"" << to_string(s.mode) << "\",\n"
+       << "      \"approach\": \"" << to_string(s.sim.approach) << "\",\n"
+       << "      \"replacement\": \"" << to_string(s.sim.replacement)
+       << "\",\n"
+       << "      \"tiles\": " << s.sim.platform.tiles << ",\n"
+       << "      \"reconfig_latency_us\": " << s.sim.platform.reconfig_latency
+       << ",\n"
+       << "      \"ports\": " << s.sim.platform.reconfig_ports << ",\n"
+       << "      \"seed\": " << s.sim.seed << ",\n"
+       << "      \"iterations\": " << s.sim.iterations << ",\n"
+       << "      \"ok\": " << (result.ok ? "true" : "false") << ",\n"
+       << "      \"error\": \"" << json_escape(result.error) << "\",\n"
+       << "      \"metrics\": {";
+    bool first = true;
+    for (const auto& [name, value] : all_metrics(result)) {
+      os << (first ? "" : ", ") << "\"" << name
+         << "\": " << fmt_double(value);
+      first = false;
+    }
+    os << "}\n    }";
+  }
+  os << "\n  ],\n  \"families\": [";
+  const auto families = aggregator.by_family();
+  for (std::size_t i = 0; i < families.size(); ++i) {
+    os << (i == 0 ? "" : ",") << "\n    ";
+    write_summary_json(os, families[i], 4);
+  }
+  os << "\n  ],\n  \"overall\": ";
+  write_summary_json(os, aggregator.overall(), 2);
+  os << "\n}\n";
+  return os.str();
+}
+
+namespace {
+
+const char* const k_csv_metric_columns[] = {
+    "makespan_ms", "overhead_pct",  "reuse_pct",       "reuse_hits",
+    "loads",       "energy",        "energy_saved",    "list_sched_us",
+    "hybrid_sched_us", "wall_ms"};
+
+std::string csv_escape(const std::string& text) {
+  if (text.find_first_of(",\"\n") == std::string::npos) return text;
+  std::string out = "\"";
+  for (char c : text) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string campaign_to_csv(const std::vector<ScenarioResult>& results) {
+  std::ostringstream os;
+  os << "name,family,workload,mode,approach,replacement,tiles,"
+        "reconfig_latency_us,ports,seed,iterations,ok,error";
+  for (const char* column : k_csv_metric_columns) os << "," << column;
+  os << "\n";
+  for (const ScenarioResult& result : results) {
+    const Scenario& s = result.scenario;
+    os << csv_escape(s.name) << "," << csv_escape(s.family) << ","
+       << to_string(s.workload) << "," << to_string(s.mode) << ","
+       << to_string(s.sim.approach) << "," << to_string(s.sim.replacement)
+       << "," << s.sim.platform.tiles << "," << s.sim.platform.reconfig_latency
+       << "," << s.sim.platform.reconfig_ports << "," << s.sim.seed << ","
+       << s.sim.iterations << "," << (result.ok ? "1" : "0") << ","
+       << csv_escape(result.error);
+    const auto metrics = all_metrics(result);
+    for (const char* column : k_csv_metric_columns) {
+      const auto it = metrics.find(column);
+      os << ",";
+      if (it != metrics.end()) os << fmt_double(it->second);
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+// --- JSON reader -----------------------------------------------------------
+
+namespace {
+
+/// Minimal recursive-descent JSON parser, sufficient for the campaign
+/// report schema (objects, arrays, strings, numbers, booleans, null).
+class JsonParser {
+ public:
+  struct Value {
+    enum class Kind { null, boolean, number, string, array, object } kind =
+        Kind::null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string text;
+    std::vector<Value> items;
+    std::vector<std::pair<std::string, Value>> members;
+
+    const Value* find(const std::string& key) const {
+      for (const auto& [k, v] : members)
+        if (k == key) return &v;
+      return nullptr;
+    }
+    const Value& at(const std::string& key) const {
+      const Value* v = find(key);
+      if (!v)
+        throw std::invalid_argument("campaign JSON: missing key '" + key +
+                                    "'");
+      return *v;
+    }
+  };
+
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  Value parse() {
+    Value v = parse_value();
+    skip_space();
+    if (pos_ != text_.size())
+      throw std::invalid_argument("campaign JSON: trailing characters at " +
+                                  std::to_string(pos_));
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) {
+    throw std::invalid_argument("campaign JSON: " + what + " at offset " +
+                                std::to_string(pos_));
+  }
+
+  void skip_space() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  Value parse_value() {
+    skip_space();
+    switch (peek()) {
+      case '{':
+        return parse_object();
+      case '[':
+        return parse_array();
+      case '"': {
+        Value v;
+        v.kind = Value::Kind::string;
+        v.text = parse_string();
+        return v;
+      }
+      case 't':
+      case 'f': {
+        Value v;
+        v.kind = Value::Kind::boolean;
+        v.boolean = peek() == 't';
+        const char* word = v.boolean ? "true" : "false";
+        for (const char* c = word; *c; ++c) expect(*c);
+        return v;
+      }
+      case 'n': {
+        for (const char* c = "null"; *c; ++c) expect(*c);
+        return Value{};
+      }
+      default:
+        return parse_number();
+    }
+  }
+
+  Value parse_object() {
+    Value v;
+    v.kind = Value::Kind::object;
+    expect('{');
+    skip_space();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      skip_space();
+      std::string key = parse_string();
+      skip_space();
+      expect(':');
+      v.members.emplace_back(std::move(key), parse_value());
+      skip_space();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  Value parse_array() {
+    Value v;
+    v.kind = Value::Kind::array;
+    expect('[');
+    skip_space();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      v.items.push_back(parse_value());
+      skip_space();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      char e = text_[pos_++];
+      switch (e) {
+        case '"':
+        case '\\':
+        case '/':
+          out += e;
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          const unsigned long code =
+              std::strtoul(text_.substr(pos_, 4).c_str(), nullptr, 16);
+          pos_ += 4;
+          // Campaign reports only escape control characters, so a plain
+          // one-byte append is sufficient.
+          out += static_cast<char>(code);
+          break;
+        }
+        default:
+          fail("unknown escape");
+      }
+    }
+  }
+
+  Value parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-'))
+      ++pos_;
+    if (pos_ == start) fail("expected a value");
+    Value v;
+    v.kind = Value::Kind::number;
+    v.text = text_.substr(start, pos_ - start);
+    v.number = std::strtod(v.text.c_str(), nullptr);
+    return v;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+MetricSummary parse_metric_summary(const JsonParser::Value& v) {
+  MetricSummary m;
+  m.count = static_cast<std::size_t>(v.at("count").number);
+  m.mean = v.at("mean").number;
+  m.stddev = v.at("stddev").number;
+  m.min = v.at("min").number;
+  m.max = v.at("max").number;
+  m.p50 = v.at("p50").number;
+  m.p95 = v.at("p95").number;
+  return m;
+}
+
+GroupSummary parse_group_summary(const JsonParser::Value& v) {
+  GroupSummary summary;
+  summary.family = v.at("family").text;
+  summary.scenarios = static_cast<std::size_t>(v.at("scenarios").number);
+  summary.failed = static_cast<std::size_t>(v.at("failed").number);
+  for (const auto& [name, metric] : v.at("metrics").members)
+    summary.metrics[name] = parse_metric_summary(metric);
+  return summary;
+}
+
+}  // namespace
+
+ParsedCampaign campaign_from_json(const std::string& json) {
+  const auto root = JsonParser(json).parse();
+  ParsedCampaign campaign;
+  campaign.schema = root.at("schema").text;
+  if (campaign.schema != "drhw-campaign-v1")
+    throw std::invalid_argument("unknown campaign schema '" +
+                                campaign.schema + "'");
+  for (const auto& item : root.at("scenarios").items) {
+    ParsedScenario s;
+    s.name = item.at("name").text;
+    s.family = item.at("family").text;
+    s.workload = item.at("workload").text;
+    s.mode = item.at("mode").text;
+    s.approach = item.at("approach").text;
+    s.replacement = item.at("replacement").text;
+    s.tiles = static_cast<int>(item.at("tiles").number);
+    s.reconfig_latency_us =
+        std::strtoll(item.at("reconfig_latency_us").text.c_str(), nullptr, 10);
+    s.ports = static_cast<int>(item.at("ports").number);
+    s.seed = std::strtoull(item.at("seed").text.c_str(), nullptr, 10);
+    s.iterations = static_cast<int>(item.at("iterations").number);
+    s.ok = item.at("ok").boolean;
+    s.error = item.at("error").text;
+    for (const auto& [name, value] : item.at("metrics").members)
+      s.metrics[name] = value.number;
+    campaign.scenarios.push_back(std::move(s));
+  }
+  for (const auto& item : root.at("families").items)
+    campaign.families.push_back(parse_group_summary(item));
+  campaign.overall = parse_group_summary(root.at("overall"));
+  return campaign;
+}
+
+namespace {
+
+std::vector<std::string> split_csv_line(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  bool quoted = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cell += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        cell += c;
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == ',') {
+      cells.push_back(std::move(cell));
+      cell.clear();
+    } else {
+      cell += c;
+    }
+  }
+  cells.push_back(std::move(cell));
+  return cells;
+}
+
+}  // namespace
+
+std::vector<ParsedScenario> campaign_from_csv(const std::string& csv) {
+  std::istringstream is(csv);
+  std::string line;
+  if (!std::getline(is, line))
+    throw std::invalid_argument("campaign CSV: empty input");
+  const std::vector<std::string> header = split_csv_line(line);
+  std::vector<ParsedScenario> out;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    const std::vector<std::string> cells = split_csv_line(line);
+    if (cells.size() != header.size())
+      throw std::invalid_argument("campaign CSV: row width mismatch");
+    ParsedScenario s;
+    for (std::size_t i = 0; i < header.size(); ++i) {
+      const std::string& key = header[i];
+      const std::string& value = cells[i];
+      if (key == "name")
+        s.name = value;
+      else if (key == "family")
+        s.family = value;
+      else if (key == "workload")
+        s.workload = value;
+      else if (key == "mode")
+        s.mode = value;
+      else if (key == "approach")
+        s.approach = value;
+      else if (key == "replacement")
+        s.replacement = value;
+      else if (key == "tiles")
+        s.tiles = std::atoi(value.c_str());
+      else if (key == "reconfig_latency_us")
+        s.reconfig_latency_us = std::strtoll(value.c_str(), nullptr, 10);
+      else if (key == "ports")
+        s.ports = std::atoi(value.c_str());
+      else if (key == "seed")
+        s.seed = std::strtoull(value.c_str(), nullptr, 10);
+      else if (key == "iterations")
+        s.iterations = std::atoi(value.c_str());
+      else if (key == "ok")
+        s.ok = value == "1";
+      else if (key == "error")
+        s.error = value;
+      else if (!value.empty())
+        s.metrics[key] = std::strtod(value.c_str(), nullptr);
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace drhw

@@ -1,0 +1,117 @@
+#pragma once
+
+/// \file report.hpp
+/// Campaign result aggregation and serialisation. The StatsAggregator
+/// folds per-scenario SimReport metrics into per-family and whole-campaign
+/// summary distributions (mean/stddev/min/max/p50/p95); the JSON and CSV
+/// writers produce machine-readable reports, and the matching readers
+/// round-trip them (used by tooling and the regression tests).
+///
+/// Only deterministic metrics enter the aggregates; wall-clock fields
+/// (wall_ms, the sched_cost timings) are reported per scenario but never
+/// aggregated, so aggregate blocks are bit-identical across thread counts
+/// and machines.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "runner/campaign.hpp"
+
+namespace drhw {
+
+/// Summary of one metric's distribution over a scenario group.
+struct MetricSummary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+};
+
+bool operator==(const MetricSummary& a, const MetricSummary& b);
+
+/// Aggregated statistics for one family (or the whole campaign).
+struct GroupSummary {
+  std::string family;  ///< empty for the whole-campaign summary
+  std::size_t scenarios = 0;
+  std::size_t failed = 0;
+  /// metric name -> distribution. Metrics: makespan_ms, overhead_pct,
+  /// reuse_pct, reuse_hits, loads, energy, energy_saved.
+  std::map<std::string, MetricSummary> metrics;
+};
+
+/// Folds ScenarioResults into group summaries keyed by scenario family.
+class StatsAggregator {
+ public:
+  void add(const ScenarioResult& result);
+  void add(const std::vector<ScenarioResult>& results);
+
+  /// Per-family summaries, ordered by family name.
+  std::vector<GroupSummary> by_family() const;
+  /// One summary over every aggregated scenario.
+  GroupSummary overall() const;
+
+ private:
+  struct Group {
+    std::size_t scenarios = 0;
+    std::size_t failed = 0;
+    /// metric name -> samples, in insertion order.
+    std::map<std::string, std::vector<double>> samples;
+  };
+  Group total_;
+  std::map<std::string, Group> groups_;
+};
+
+/// The deterministic metric samples extracted from one result (the values
+/// the aggregator folds). Exposed so tests and writers agree on one list.
+std::map<std::string, double> deterministic_metrics(
+    const ScenarioResult& result);
+
+// --- serialisation ---------------------------------------------------------
+
+/// Whole campaign as JSON: schema tag, one object per scenario (descriptor
+/// + metrics), per-family aggregate blocks and the overall block. Doubles
+/// are printed with round-trip precision.
+std::string campaign_to_json(const std::vector<ScenarioResult>& results,
+                             const StatsAggregator& aggregator);
+
+/// Per-scenario results as CSV (one header row, one row per scenario).
+std::string campaign_to_csv(const std::vector<ScenarioResult>& results);
+
+/// Parsed form of a campaign report (reader side of the round trip).
+struct ParsedScenario {
+  std::string name;
+  std::string family;
+  std::string workload;
+  std::string mode;
+  std::string approach;
+  std::string replacement;
+  int tiles = 0;
+  long long reconfig_latency_us = 0;
+  int ports = 0;
+  std::uint64_t seed = 0;
+  int iterations = 0;
+  bool ok = false;
+  std::string error;
+  /// metric name -> value, exactly the columns/keys of the writers.
+  std::map<std::string, double> metrics;
+};
+
+struct ParsedCampaign {
+  std::string schema;
+  std::vector<ParsedScenario> scenarios;
+  std::vector<GroupSummary> families;
+  GroupSummary overall;
+};
+
+/// Parses campaign_to_json() output. Throws std::invalid_argument on
+/// malformed input.
+ParsedCampaign campaign_from_json(const std::string& json);
+
+/// Parses campaign_to_csv() output (scenario rows only).
+std::vector<ParsedScenario> campaign_from_csv(const std::string& csv);
+
+}  // namespace drhw

@@ -1,0 +1,274 @@
+#include "runner/scenario.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+#include "util/check.hpp"
+
+namespace drhw {
+
+const char* to_string(WorkloadKind kind) {
+  switch (kind) {
+    case WorkloadKind::multimedia:
+      return "multimedia";
+    case WorkloadKind::pocket_gl:
+      return "pocket_gl";
+    case WorkloadKind::pocket_gl_frames:
+      return "pocket_gl_frames";
+    case WorkloadKind::synthetic:
+      return "synthetic";
+  }
+  return "?";
+}
+
+WorkloadKind workload_kind_from_string(const std::string& text) {
+  if (text == "multimedia") return WorkloadKind::multimedia;
+  if (text == "pocket_gl") return WorkloadKind::pocket_gl;
+  if (text == "pocket_gl_frames") return WorkloadKind::pocket_gl_frames;
+  if (text == "synthetic") return WorkloadKind::synthetic;
+  throw std::invalid_argument("unknown workload kind '" + text + "'");
+}
+
+const char* to_string(ScenarioMode mode) {
+  switch (mode) {
+    case ScenarioMode::simulate:
+      return "simulate";
+    case ScenarioMode::sched_cost:
+      return "sched_cost";
+  }
+  return "?";
+}
+
+void Scenario::validate() const {
+  if (name.empty()) throw std::invalid_argument("scenario without a name");
+  if (family.empty())
+    throw std::invalid_argument("scenario '" + name + "' without a family");
+  sim.platform.validate();
+  if (sim.iterations < 1)
+    throw std::invalid_argument("scenario '" + name + "': iterations < 1");
+  if (include_prob <= 0.0 || include_prob > 1.0)
+    throw std::invalid_argument("scenario '" + name +
+                                "': include_prob outside (0, 1]");
+  if (workload == WorkloadKind::synthetic) {
+    if (synthetic.tasks < 1)
+      throw std::invalid_argument("scenario '" + name +
+                                  "': synthetic.tasks < 1");
+    if (synthetic.graph.subtasks < 1)
+      throw std::invalid_argument("scenario '" + name +
+                                  "': synthetic graph without subtasks");
+  }
+  if (!task_filter.empty() && workload != WorkloadKind::multimedia)
+    throw std::invalid_argument("scenario '" + name +
+                                "': task_filter requires multimedia");
+  if (exhaustive && workload != WorkloadKind::multimedia)
+    throw std::invalid_argument("scenario '" + name +
+                                "': exhaustive requires multimedia");
+  if (mode == ScenarioMode::sched_cost && timing_calls < 1)
+    throw std::invalid_argument("scenario '" + name + "': timing_calls < 1");
+  if (mode == ScenarioMode::sched_cost &&
+      workload != WorkloadKind::synthetic)
+    throw std::invalid_argument("scenario '" + name +
+                                "': sched_cost requires a synthetic workload");
+}
+
+void ScenarioRegistry::add(Scenario scenario) {
+  scenario.validate();
+  for (const Scenario& existing : scenarios_)
+    if (existing.name == scenario.name)
+      throw std::invalid_argument("duplicate scenario name '" +
+                                  scenario.name + "'");
+  scenarios_.push_back(std::move(scenario));
+}
+
+void ScenarioRegistry::add(std::vector<Scenario> scenarios) {
+  for (Scenario& scenario : scenarios) add(std::move(scenario));
+}
+
+std::vector<Scenario> ScenarioRegistry::match(
+    const std::string& substring) const {
+  std::vector<Scenario> out;
+  for (const Scenario& scenario : scenarios_)
+    if (substring.empty() ||
+        scenario.name.find(substring) != std::string::npos ||
+        scenario.family.find(substring) != std::string::npos)
+      out.push_back(scenario);
+  return out;
+}
+
+namespace {
+
+constexpr Approach k_all_approaches[5] = {
+    Approach::no_prefetch, Approach::design_time_prefetch,
+    Approach::runtime_heuristic, Approach::runtime_intertask,
+    Approach::hybrid};
+
+Scenario base_scenario(const std::string& name, const std::string& family,
+                       int tiles, Approach approach, std::uint64_t seed,
+                       int iterations) {
+  Scenario s;
+  s.name = name;
+  s.family = family;
+  s.sim.platform = virtex2_platform(tiles);
+  s.sim.approach = approach;
+  s.sim.seed = seed;
+  s.sim.iterations = iterations;
+  return s;
+}
+
+}  // namespace
+
+ScenarioRegistry ScenarioRegistry::builtin(int iterations,
+                                           std::uint64_t seed) {
+  DRHW_CHECK(iterations >= 1);
+  ScenarioRegistry registry;
+
+  // Table 1: the deterministic columns — every (task, scenario) pair once,
+  // no reuse, on-demand loading vs the optimal prefetch order.
+  for (const char* task :
+       {"jpeg_dec", "parallel_jpeg", "mpeg_enc", "pattern_rec"}) {
+    for (Approach approach :
+         {Approach::no_prefetch, Approach::design_time_prefetch}) {
+      Scenario s = base_scenario(
+          std::string("table1/") + task + "/" + to_string(approach), "table1",
+          8, approach, seed, 1);
+      s.task_filter = {task};
+      s.exhaustive = true;
+      registry.add(std::move(s));
+    }
+  }
+
+  // Figure 6: multimedia mix under dynamic behaviour, tiles 8..16.
+  for (int tiles = 8; tiles <= 16; ++tiles) {
+    for (Approach approach : k_all_approaches) {
+      Scenario s = base_scenario("fig6/tiles" + std::to_string(tiles) + "/" +
+                                     to_string(approach),
+                                 "fig6", tiles, approach, seed, iterations);
+      s.sim.replacement = ReplacementPolicy::lru;
+      registry.add(std::move(s));
+    }
+  }
+
+  // Figure 7: Pocket GL frame loop, tiles 5..10. The design-time baseline
+  // sees the merged whole-frame graphs; everything else runs task by task.
+  for (int tiles = 5; tiles <= 10; ++tiles) {
+    for (Approach approach : k_all_approaches) {
+      Scenario s = base_scenario("fig7/tiles" + std::to_string(tiles) + "/" +
+                                     to_string(approach),
+                                 "fig7", tiles, approach, seed, iterations);
+      s.workload = approach == Approach::design_time_prefetch
+                       ? WorkloadKind::pocket_gl_frames
+                       : WorkloadKind::pocket_gl;
+      s.sim.replacement = ReplacementPolicy::critical_first;
+      s.sim.cross_iteration_lookahead = true;
+      s.sim.intertask_lookahead = 3;
+      registry.add(std::move(s));
+    }
+  }
+
+  // Application mixes: JPEG-only (both decoders compete for the same
+  // configurations) and the JPEG + MPEG codec mix.
+  const std::vector<std::pair<std::string, std::vector<std::string>>> mixes = {
+      {"jpeg", {"jpeg_dec", "parallel_jpeg"}},
+      {"jpeg_mpeg", {"jpeg_dec", "parallel_jpeg", "mpeg_enc"}},
+  };
+  for (const auto& [mix_name, tasks] : mixes) {
+    for (Approach approach : k_all_approaches) {
+      Scenario s = base_scenario("mix/" + mix_name + "/" + to_string(approach),
+                                 "mix", 8, approach, seed, iterations);
+      s.task_filter = tasks;
+      registry.add(std::move(s));
+    }
+  }
+
+  // Synthetic generator mixes at three graph sizes.
+  for (int subtasks : {14, 28, 56}) {
+    for (Approach approach :
+         {Approach::no_prefetch, Approach::runtime_heuristic,
+          Approach::hybrid}) {
+      Scenario s = base_scenario("synthetic/n" + std::to_string(subtasks) +
+                                     "/" + to_string(approach),
+                                 "synthetic", 8, approach, seed, iterations);
+      s.workload = WorkloadKind::synthetic;
+      s.synthetic.tasks = 4;
+      s.synthetic.graph.subtasks = subtasks;
+      s.synthetic.graph.min_layer_width = 2;
+      s.synthetic.graph.max_layer_width = 6;
+      s.synthetic.graph_seed = static_cast<std::uint64_t>(subtasks);
+      registry.add(std::move(s));
+    }
+  }
+
+  // Platform-shape sweep on the multimedia mix.
+  SweepConfig sweep;
+  sweep.family = "sweep";
+  sweep.base = base_scenario("sweep/base", "sweep", 8, Approach::hybrid, seed,
+                             iterations);
+  sweep.tiles = {8, 12, 16};
+  sweep.latencies = {ms(4), us(500)};
+  sweep.ports = {1, 2};
+  sweep.approaches = {Approach::runtime_heuristic, Approach::hybrid};
+  sweep.seeds = {seed};
+  registry.add(build_sweep(sweep));
+
+  // Section 4 scalability: run-time scheduler cost vs subtask count.
+  for (int subtasks : {14, 28, 56, 112, 224, 448}) {
+    Scenario s = base_scenario("scalability/n" + std::to_string(subtasks),
+                               "scalability", 8, Approach::hybrid, seed, 1);
+    s.mode = ScenarioMode::sched_cost;
+    s.workload = WorkloadKind::synthetic;
+    s.synthetic.tasks = 1;
+    s.synthetic.graph.subtasks = subtasks;
+    s.synthetic.graph.min_layer_width = 2;
+    s.synthetic.graph.max_layer_width = 6;
+    s.synthetic.graph_seed = static_cast<std::uint64_t>(subtasks);
+    s.timing_calls = subtasks <= 56 ? 200 : 50;
+    registry.add(std::move(s));
+  }
+
+  return registry;
+}
+
+std::vector<Scenario> build_sweep(const SweepConfig& config) {
+  const std::vector<int> tiles =
+      config.tiles.empty() ? std::vector<int>{config.base.sim.platform.tiles}
+                           : config.tiles;
+  const std::vector<time_us> latencies =
+      config.latencies.empty()
+          ? std::vector<time_us>{config.base.sim.platform.reconfig_latency}
+          : config.latencies;
+  const std::vector<int> ports =
+      config.ports.empty()
+          ? std::vector<int>{config.base.sim.platform.reconfig_ports}
+          : config.ports;
+  const std::vector<Approach> approaches =
+      config.approaches.empty()
+          ? std::vector<Approach>{config.base.sim.approach}
+          : config.approaches;
+  const std::vector<std::uint64_t> seeds =
+      config.seeds.empty() ? std::vector<std::uint64_t>{config.base.sim.seed}
+                           : config.seeds;
+
+  std::vector<Scenario> out;
+  for (int t : tiles)
+    for (time_us latency : latencies)
+      for (int p : ports)
+        for (Approach approach : approaches)
+          for (std::uint64_t seed : seeds) {
+            Scenario s = config.base;
+            s.family = config.family;
+            s.sim.platform.tiles = t;
+            s.sim.platform.reconfig_latency = latency;
+            s.sim.platform.reconfig_ports = p;
+            s.sim.approach = approach;
+            s.sim.seed = seed;
+            s.name = config.family + "/t" + std::to_string(t) + "/l" +
+                     std::to_string(latency) + "/p" + std::to_string(p) + "/" +
+                     to_string(approach) + "/s" + std::to_string(seed);
+            s.validate();
+            out.push_back(std::move(s));
+          }
+  return out;
+}
+
+}  // namespace drhw

@@ -1,0 +1,149 @@
+#pragma once
+
+/// \file scenario.hpp
+/// Declarative scenario descriptors for the campaign engine: one Scenario
+/// fully determines a simulation experiment (platform shape, workload
+/// source, scheduling approach, RNG seed, iteration count), so campaigns
+/// can be enumerated, filtered, sharded across worker threads, and
+/// reproduced bit-identically from the descriptor alone.
+///
+/// The ScenarioRegistry catalogues the paper's experiments (Table 1
+/// deterministic columns, the Figure 6 multimedia mix, the Figure 7
+/// Pocket GL frame loop, JPEG/MPEG subset mixes and synthetic generator
+/// sweeps); build_sweep() produces cartesian-product parameter sweeps
+/// (tiles x latency x ports x approach x seed) on top of any workload.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "sim/system_sim.hpp"
+
+namespace drhw {
+
+/// Where a scenario's task graphs come from.
+enum class WorkloadKind {
+  /// The 4-task multimedia set of Table 1 / Figure 6 (optionally a named
+  /// subset, e.g. the JPEG/MPEG mixes).
+  multimedia,
+  /// The Pocket GL renderer, scheduled task by task (Figure 7 run-time
+  /// approaches).
+  pocket_gl,
+  /// The Pocket GL renderer as merged whole-frame graphs (Figure 7
+  /// design-time baseline).
+  pocket_gl_frames,
+  /// Randomly generated layered task graphs (Section 4 scaling sweeps).
+  synthetic,
+};
+
+const char* to_string(WorkloadKind kind);
+WorkloadKind workload_kind_from_string(const std::string& text);
+
+/// What the campaign engine measures for a scenario.
+enum class ScenarioMode {
+  /// Run the Section 7 system simulation and report the SimReport metrics.
+  simulate,
+  /// Time the run-time scheduler itself (list heuristic of ref. [7] vs the
+  /// hybrid run-time phase) on the scenario's graphs — the Section 4
+  /// scalability experiment. Wall-clock based, so excluded from the
+  /// deterministic aggregate statistics.
+  sched_cost,
+};
+
+const char* to_string(ScenarioMode mode);
+
+/// Parameters of the synthetic-workload generator (WorkloadKind::synthetic).
+struct SyntheticParams {
+  /// Number of independently generated task graphs in the mix.
+  int tasks = 4;
+  /// Per-graph generator parameters.
+  LayeredGraphParams graph;
+  /// Seed for graph generation (independent of the simulation seed so the
+  /// same task set can be simulated under many seeds).
+  std::uint64_t graph_seed = 1;
+};
+
+/// A fully self-contained experiment description.
+struct Scenario {
+  /// Unique name within a campaign, e.g. "fig6/tiles12/hybrid".
+  std::string name;
+  /// Grouping key for aggregate statistics, e.g. "fig6".
+  std::string family;
+  WorkloadKind workload = WorkloadKind::multimedia;
+  ScenarioMode mode = ScenarioMode::simulate;
+  /// Restrict the multimedia set to these task names (empty = all four).
+  /// Valid names: jpeg_dec, parallel_jpeg, mpeg_enc, pattern_rec.
+  std::vector<std::string> task_filter;
+  /// Per-iteration task inclusion probability of the random mix sampler.
+  double include_prob = 0.8;
+  /// Deterministic sampler: every iteration emits each (task, scenario)
+  /// pair exactly once in declaration order (the Table 1 columns).
+  bool exhaustive = false;
+  SyntheticParams synthetic;
+  /// Design-time flow options (scheduler selection, placement style).
+  HybridDesignOptions design;
+  /// Platform, approach, replacement policy, seed and iteration count.
+  SimOptions sim;
+  /// Timed calls per measurement in sched_cost mode.
+  int timing_calls = 50;
+  /// sched_cost mode: schedule every subtask as a pending load (the
+  /// paper's "20 tasks with 14 subtasks" batch claim) instead of only the
+  /// DRHW-placed subset.
+  bool time_all_loads = false;
+
+  /// Throws std::invalid_argument when the descriptor is inconsistent.
+  void validate() const;
+};
+
+/// Ordered, name-unique collection of scenarios.
+class ScenarioRegistry {
+ public:
+  /// Adds one scenario. Throws std::invalid_argument on duplicate names or
+  /// an invalid descriptor.
+  void add(Scenario scenario);
+  /// Adds a batch of scenarios (same checks as add()).
+  void add(std::vector<Scenario> scenarios);
+
+  const std::vector<Scenario>& scenarios() const { return scenarios_; }
+  std::size_t size() const { return scenarios_.size(); }
+
+  /// Scenarios whose name or family contains `substring` (empty matches
+  /// everything).
+  std::vector<Scenario> match(const std::string& substring) const;
+
+  /// The built-in catalogue of the paper's experiments:
+  ///   table1/*      deterministic on-demand vs optimal-prefetch columns
+  ///   fig6/*        multimedia mix, tiles 8..16, all five approaches
+  ///   fig7/*        Pocket GL frame loop, tiles 5..10, all five approaches
+  ///   mix/*         JPEG-only and JPEG+MPEG subset mixes
+  ///   synthetic/*   layered-generator mixes at three graph sizes
+  ///   sweep/*       cartesian tiles x latency x ports x approach sweep
+  ///   scalability/* run-time scheduler cost vs subtask count (sched_cost)
+  static ScenarioRegistry builtin(int iterations = 1000,
+                                  std::uint64_t seed = 2005);
+
+ private:
+  std::vector<Scenario> scenarios_;
+};
+
+/// Cartesian-product sweep description. Every combination of the axis
+/// vectors becomes one scenario; empty axes default to a single value taken
+/// from `base`.
+struct SweepConfig {
+  std::string family = "sweep";
+  /// Template scenario: workload, mode, sampler settings and any SimOptions
+  /// not covered by an axis are copied from here.
+  Scenario base;
+  std::vector<int> tiles;
+  std::vector<time_us> latencies;
+  std::vector<int> ports;
+  std::vector<Approach> approaches;
+  std::vector<std::uint64_t> seeds;
+};
+
+/// Expands the sweep. Scenario names are
+/// "<family>/t<tiles>/l<latency_us>/p<ports>/<approach>/s<seed>".
+std::vector<Scenario> build_sweep(const SweepConfig& config);
+
+}  // namespace drhw

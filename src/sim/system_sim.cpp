@@ -38,7 +38,13 @@ PreparedScenario prepare_scenario(const SubtaskGraph& graph, int tiles,
                                   const HybridDesignOptions& options) {
   PreparedScenario prepared;
   prepared.graph = &graph;
-  prepared.placement = list_schedule(graph, tiles, platform.isps);
+  if (options.comm_aware_placement) {
+    PlatformConfig sized = platform;
+    sized.tiles = tiles;
+    prepared.placement = list_schedule_icn(graph, sized);
+  } else {
+    prepared.placement = list_schedule(graph, tiles, platform.isps);
+  }
   prepared.weights = subtask_weights(graph);
   std::vector<bool> all(graph.size(), false);
   for (std::size_t s = 0; s < graph.size(); ++s)

@@ -1,6 +1,8 @@
 #include "sim/workloads.hpp"
 
+#include <algorithm>
 #include <numeric>
+#include <stdexcept>
 
 #include "util/check.hpp"
 
@@ -18,9 +20,28 @@ std::size_t draw_index(const std::vector<double>& probabilities, Rng& rng) {
 }
 
 std::unique_ptr<MultimediaWorkload> make_multimedia_workload(
-    const PlatformConfig& platform, const HybridDesignOptions& options) {
+    const PlatformConfig& platform, const HybridDesignOptions& options,
+    const std::vector<std::string>& task_filter) {
   auto workload = std::make_unique<MultimediaWorkload>();
   workload->tasks = make_multimedia_taskset(workload->configs);
+  if (!task_filter.empty()) {
+    std::vector<BenchmarkTask> subset;
+    for (const std::string& name : task_filter) {
+      if (std::any_of(
+              subset.begin(), subset.end(),
+              [&](const BenchmarkTask& task) { return task.name == name; }))
+        throw std::invalid_argument("duplicate multimedia task '" + name +
+                                    "' in task filter");
+      const auto it = std::find_if(
+          workload->tasks.begin(), workload->tasks.end(),
+          [&](const BenchmarkTask& task) { return task.name == name; });
+      if (it == workload->tasks.end())
+        throw std::invalid_argument("unknown multimedia task '" + name + "'");
+      subset.push_back(std::move(*it));
+      workload->tasks.erase(it);
+    }
+    workload->tasks = std::move(subset);
+  }
   workload->prepared.resize(workload->tasks.size());
   for (std::size_t t = 0; t < workload->tasks.size(); ++t) {
     for (const SubtaskGraph& scenario : workload->tasks[t].scenarios)
@@ -52,6 +73,17 @@ IterationSampler multimedia_sampler(const MultimediaWorkload& workload,
           draw_index(w->tasks[t].scenario_probability, rng);
       instances.push_back(&w->prepared[t][scenario]);
     }
+    return instances;
+  };
+}
+
+IterationSampler exhaustive_sampler(const MultimediaWorkload& workload) {
+  const MultimediaWorkload* w = &workload;
+  return [w](Rng&) {
+    std::vector<const PreparedScenario*> instances;
+    for (const auto& task_scenarios : w->prepared)
+      for (const PreparedScenario& prepared : task_scenarios)
+        instances.push_back(&prepared);
     return instances;
   };
 }

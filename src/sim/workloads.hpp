@@ -24,8 +24,12 @@ struct MultimediaWorkload {
 };
 
 /// Builds graphs and runs the design-time flow for `platform`.
+/// `task_filter` restricts the set to the named tasks (jpeg_dec,
+/// parallel_jpeg, mpeg_enc, pattern_rec) in filter order; empty keeps all
+/// four. Throws std::invalid_argument on an unknown task name.
 std::unique_ptr<MultimediaWorkload> make_multimedia_workload(
-    const PlatformConfig& platform, const HybridDesignOptions& options = {});
+    const PlatformConfig& platform, const HybridDesignOptions& options = {},
+    const std::vector<std::string>& task_filter = {});
 
 /// Sampler modelling Section 7: "the applications executed during each
 /// iteration vary randomly" — every iteration includes each task with
@@ -33,6 +37,11 @@ std::unique_ptr<MultimediaWorkload> make_multimedia_workload(
 /// each included task's scenario from its scenario distribution.
 IterationSampler multimedia_sampler(const MultimediaWorkload& workload,
                                     double include_prob = 0.8);
+
+/// Deterministic sampler: every iteration emits each (task, scenario) pair
+/// exactly once in declaration order. With one iteration and a reuse-free
+/// approach this reproduces the deterministic Table 1 columns.
+IterationSampler exhaustive_sampler(const MultimediaWorkload& workload);
 
 /// The Pocket GL renderer prepared for one platform.
 struct PocketGlWorkload {

@@ -51,8 +51,9 @@ inline void expect_valid_schedule(const SubtaskGraph& graph,
       EXPECT_LE(r.load_end[s], r.exec_start[s]);
       EXPECT_GE(r.load_start[s], port_available_from);
       const SubtaskId prev = placement.prev_on_unit(static_cast<SubtaskId>(s));
-      if (prev != k_no_subtask)
+      if (prev != k_no_subtask) {
         EXPECT_GE(r.load_start[s], r.exec_end[static_cast<std::size_t>(prev)]);
+      }
     } else {
       EXPECT_EQ(r.load_start[s], k_no_time);
     }

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+
 #include "graph/generators.hpp"
 #include "platform/platform.hpp"
 #include "prefetch/bnb.hpp"

@@ -111,8 +111,9 @@ TEST_P(EndToEndProperty, MixedIspDrhwGraphsWork) {
   expect_valid_schedule(s.graph, s.placement, s.platform, plan, r);
   // ISP subtasks never load.
   for (std::size_t i = 0; i < s.graph.size(); ++i)
-    if (!s.placement.on_drhw(static_cast<SubtaskId>(i)))
+    if (!s.placement.on_drhw(static_cast<SubtaskId>(i))) {
       EXPECT_EQ(r.load_start[i], k_no_time);
+    }
 }
 
 TEST_P(EndToEndProperty, ExplicitReplayReproducesDynamicPolicies) {

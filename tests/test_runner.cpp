@@ -1,0 +1,308 @@
+// Tests for the campaign engine: scenario registry enumeration and
+// validation, sweep expansion, thread-count-independent determinism of the
+// parallel runner, and JSON/CSV report round trips.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "runner/campaign.hpp"
+#include "runner/report.hpp"
+#include "runner/scenario.hpp"
+
+namespace drhw {
+namespace {
+
+Scenario quick_scenario(const std::string& name, const std::string& family,
+                        Approach approach, std::uint64_t seed) {
+  Scenario s;
+  s.name = name;
+  s.family = family;
+  s.workload = WorkloadKind::synthetic;
+  s.synthetic.tasks = 3;
+  s.synthetic.graph.subtasks = 10;
+  s.synthetic.graph_seed = 7;
+  s.sim.approach = approach;
+  s.sim.seed = seed;
+  s.sim.iterations = 25;
+  return s;
+}
+
+/// A small but heterogeneous campaign: synthetic mixes, a deterministic
+/// multimedia scenario and a Pocket GL scenario.
+std::vector<Scenario> quick_campaign() {
+  std::vector<Scenario> scenarios;
+  for (Approach approach :
+       {Approach::no_prefetch, Approach::runtime_heuristic, Approach::hybrid})
+    for (std::uint64_t seed : {1ull, 2ull})
+      scenarios.push_back(quick_scenario(
+          std::string("quick/") + to_string(approach) + "/s" +
+              std::to_string(seed),
+          "quick", approach, seed));
+  Scenario table1;
+  table1.name = "t1/jpeg_dec";
+  table1.family = "t1";
+  table1.task_filter = {"jpeg_dec"};
+  table1.exhaustive = true;
+  table1.sim.approach = Approach::no_prefetch;
+  table1.sim.iterations = 1;
+  scenarios.push_back(table1);
+  Scenario gl;
+  gl.name = "gl/hybrid";
+  gl.family = "gl";
+  gl.workload = WorkloadKind::pocket_gl;
+  gl.sim.platform = virtex2_platform(6);
+  gl.sim.approach = Approach::hybrid;
+  gl.sim.replacement = ReplacementPolicy::critical_first;
+  gl.sim.iterations = 10;
+  scenarios.push_back(gl);
+  return scenarios;
+}
+
+TEST(ScenarioRegistry, BuiltinEnumeratesThePaperExperiments) {
+  const auto registry = ScenarioRegistry::builtin(100, 2005);
+  EXPECT_GE(registry.size(), 100u);
+
+  std::set<std::string> names;
+  std::set<std::string> families;
+  for (const Scenario& s : registry.scenarios()) {
+    EXPECT_NO_THROW(s.validate()) << s.name;
+    names.insert(s.name);
+    families.insert(s.family);
+  }
+  EXPECT_EQ(names.size(), registry.size()) << "scenario names must be unique";
+  for (const char* family : {"table1", "fig6", "fig7", "mix", "synthetic",
+                             "sweep", "scalability"})
+    EXPECT_TRUE(families.count(family)) << family;
+
+  // Figure 6 sweeps tiles 8..16 for all five approaches.
+  EXPECT_EQ(registry.match("fig6").size(), 9u * 5u);
+  // Figure 7's design-time baseline sees the merged frame graphs.
+  for (const Scenario& s : registry.match("fig7"))
+    EXPECT_EQ(s.workload == WorkloadKind::pocket_gl_frames,
+              s.sim.approach == Approach::design_time_prefetch)
+        << s.name;
+}
+
+TEST(ScenarioRegistry, RejectsDuplicatesAndInvalidDescriptors) {
+  ScenarioRegistry registry;
+  registry.add(quick_scenario("a", "f", Approach::hybrid, 1));
+  EXPECT_THROW(registry.add(quick_scenario("a", "f", Approach::hybrid, 2)),
+               std::invalid_argument);
+
+  Scenario bad = quick_scenario("b", "f", Approach::hybrid, 1);
+  bad.sim.iterations = 0;
+  EXPECT_THROW(registry.add(bad), std::invalid_argument);
+
+  Scenario filtered = quick_scenario("c", "f", Approach::hybrid, 1);
+  filtered.task_filter = {"jpeg_dec"};  // synthetic workloads have no filter
+  EXPECT_THROW(registry.add(filtered), std::invalid_argument);
+}
+
+TEST(ScenarioRegistry, MatchFiltersByNameAndFamily) {
+  const auto registry = ScenarioRegistry::builtin(10, 1);
+  EXPECT_EQ(registry.match("").size(), registry.size());
+  for (const Scenario& s : registry.match("tiles12"))
+    EXPECT_NE(s.name.find("tiles12"), std::string::npos);
+  EXPECT_FALSE(registry.match("fig7").empty());
+  EXPECT_TRUE(registry.match("no-such-scenario").empty());
+}
+
+TEST(SweepBuilder, ExpandsTheCartesianProduct) {
+  SweepConfig sweep;
+  sweep.family = "s";
+  sweep.base = quick_scenario("s/base", "s", Approach::hybrid, 1);
+  sweep.tiles = {4, 8};
+  sweep.latencies = {ms(4), us(500), us(100)};
+  sweep.ports = {1, 2};
+  sweep.approaches = {Approach::runtime_heuristic, Approach::hybrid};
+  sweep.seeds = {1, 2, 3};
+  const auto scenarios = build_sweep(sweep);
+  EXPECT_EQ(scenarios.size(), 2u * 3u * 2u * 2u * 3u);
+
+  std::set<std::string> names;
+  for (const Scenario& s : scenarios) names.insert(s.name);
+  EXPECT_EQ(names.size(), scenarios.size());
+
+  // Empty axes fall back to the base scenario's value.
+  SweepConfig narrow;
+  narrow.family = "n";
+  narrow.base = quick_scenario("n/base", "n", Approach::hybrid, 9);
+  narrow.tiles = {5};
+  const auto single = build_sweep(narrow);
+  ASSERT_EQ(single.size(), 1u);
+  EXPECT_EQ(single[0].sim.platform.tiles, 5);
+  EXPECT_EQ(single[0].sim.seed, 9u);
+  EXPECT_EQ(single[0].sim.approach, Approach::hybrid);
+}
+
+TEST(CampaignRunner, ResultsAreIdenticalAcrossThreadCounts) {
+  const auto scenarios = quick_campaign();
+
+  CampaignOptions one;
+  one.threads = 1;
+  one.record_wall_time = false;
+  const auto serial = CampaignRunner(one).run(scenarios);
+
+  CampaignOptions eight;
+  eight.threads = 8;
+  eight.record_wall_time = false;
+  const auto parallel = CampaignRunner(eight).run(scenarios);
+
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_TRUE(serial[i].ok) << serial[i].error;
+    EXPECT_EQ(serial[i].scenario.name, parallel[i].scenario.name);
+    EXPECT_EQ(deterministic_metrics(serial[i]),
+              deterministic_metrics(parallel[i]))
+        << serial[i].scenario.name;
+  }
+
+  // Aggregates and the full serialised reports are bit-identical.
+  StatsAggregator agg_serial, agg_parallel;
+  agg_serial.add(serial);
+  agg_parallel.add(parallel);
+  EXPECT_EQ(agg_serial.overall().metrics, agg_parallel.overall().metrics);
+  EXPECT_EQ(campaign_to_json(serial, agg_serial),
+            campaign_to_json(parallel, agg_parallel));
+  EXPECT_EQ(campaign_to_csv(serial), campaign_to_csv(parallel));
+}
+
+TEST(CampaignRunner, ProgressCallbackSeesEveryScenario) {
+  const auto scenarios = quick_campaign();
+  CampaignOptions options;
+  options.threads = 4;
+  std::set<std::string> seen;
+  std::size_t last_total = 0;
+  options.on_result = [&](const ScenarioResult& result, std::size_t done,
+                          std::size_t total) {
+    seen.insert(result.scenario.name);
+    EXPECT_GE(done, 1u);
+    EXPECT_LE(done, total);
+    last_total = total;
+  };
+  CampaignRunner(options).run(scenarios);
+  EXPECT_EQ(seen.size(), scenarios.size());
+  EXPECT_EQ(last_total, scenarios.size());
+}
+
+TEST(CampaignRunner, CapturesScenarioFailuresWithoutAborting) {
+  std::vector<Scenario> scenarios = quick_campaign();
+  Scenario bad = scenarios[0];
+  bad.name = "bad/unknown-task";
+  bad.workload = WorkloadKind::multimedia;
+  bad.task_filter = {"no_such_task"};
+  scenarios.insert(scenarios.begin() + 1, bad);
+
+  const auto results = CampaignRunner().run(scenarios);
+  ASSERT_EQ(results.size(), scenarios.size());
+  EXPECT_FALSE(results[1].ok);
+  EXPECT_NE(results[1].error.find("no_such_task"), std::string::npos);
+  for (std::size_t i = 0; i < results.size(); ++i)
+    if (i != 1) {
+      EXPECT_TRUE(results[i].ok) << results[i].error;
+    }
+}
+
+TEST(CampaignRunner, ExhaustiveTable1ScenarioMatchesThePaperColumn) {
+  // Table 1 row "JPEG dec": 4 subtasks, 81 ms ideal, +20% on demand.
+  Scenario s;
+  s.name = "t1/jpeg_dec";
+  s.family = "t1";
+  s.task_filter = {"jpeg_dec"};
+  s.exhaustive = true;
+  s.sim.approach = Approach::no_prefetch;
+  s.sim.iterations = 1;
+  const auto result = run_scenario(s);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.report.total_ideal, ms(81));
+  EXPECT_NEAR(result.report.overhead_pct, 20.0, 1.0);
+}
+
+TEST(Report, JsonRoundTripPreservesEverything) {
+  const auto scenarios = quick_campaign();
+  CampaignOptions options;
+  options.record_wall_time = false;
+  const auto results = CampaignRunner(options).run(scenarios);
+  StatsAggregator aggregator;
+  aggregator.add(results);
+
+  const std::string json = campaign_to_json(results, aggregator);
+  const ParsedCampaign parsed = campaign_from_json(json);
+
+  EXPECT_EQ(parsed.schema, "drhw-campaign-v1");
+  ASSERT_EQ(parsed.scenarios.size(), results.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const ParsedScenario& p = parsed.scenarios[i];
+    const Scenario& s = results[i].scenario;
+    EXPECT_EQ(p.name, s.name);
+    EXPECT_EQ(p.family, s.family);
+    EXPECT_EQ(p.workload, to_string(s.workload));
+    EXPECT_EQ(p.approach, to_string(s.sim.approach));
+    EXPECT_EQ(p.replacement, to_string(s.sim.replacement));
+    EXPECT_EQ(p.tiles, s.sim.platform.tiles);
+    EXPECT_EQ(p.reconfig_latency_us, s.sim.platform.reconfig_latency);
+    EXPECT_EQ(p.ports, s.sim.platform.reconfig_ports);
+    EXPECT_EQ(p.seed, s.sim.seed);
+    EXPECT_EQ(p.iterations, s.sim.iterations);
+    EXPECT_EQ(p.ok, results[i].ok);
+    // Metric doubles survive the round trip bit-exactly.
+    for (const auto& [name, value] : deterministic_metrics(results[i])) {
+      ASSERT_TRUE(p.metrics.count(name)) << name;
+      EXPECT_EQ(p.metrics.at(name), value) << name;
+    }
+  }
+
+  const auto families = aggregator.by_family();
+  ASSERT_EQ(parsed.families.size(), families.size());
+  for (std::size_t i = 0; i < families.size(); ++i) {
+    EXPECT_EQ(parsed.families[i].family, families[i].family);
+    EXPECT_EQ(parsed.families[i].scenarios, families[i].scenarios);
+    EXPECT_EQ(parsed.families[i].metrics, families[i].metrics);
+  }
+  EXPECT_EQ(parsed.overall.metrics, aggregator.overall().metrics);
+}
+
+TEST(Report, CsvRoundTripPreservesScenarioRows) {
+  auto scenarios = quick_campaign();
+  // Exercise CSV quoting via a failing scenario with a comma in its error.
+  Scenario bad = scenarios[0];
+  bad.name = "bad/comma";
+  bad.workload = WorkloadKind::multimedia;
+  bad.task_filter = {"x,y"};
+  scenarios.push_back(bad);
+
+  CampaignOptions options;
+  options.record_wall_time = false;
+  const auto results = CampaignRunner(options).run(scenarios);
+
+  const std::string csv = campaign_to_csv(results);
+  const auto parsed = campaign_from_csv(csv);
+  ASSERT_EQ(parsed.size(), results.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(parsed[i].name, results[i].scenario.name);
+    EXPECT_EQ(parsed[i].family, results[i].scenario.family);
+    EXPECT_EQ(parsed[i].ok, results[i].ok);
+    EXPECT_EQ(parsed[i].error, results[i].error);
+    EXPECT_EQ(parsed[i].seed, results[i].scenario.sim.seed);
+    for (const auto& [name, value] : deterministic_metrics(results[i])) {
+      ASSERT_TRUE(parsed[i].metrics.count(name)) << name;
+      EXPECT_EQ(parsed[i].metrics.at(name), value) << name;
+    }
+  }
+}
+
+TEST(Report, AggregatorExcludesWallClockMetrics) {
+  const auto results = CampaignRunner().run(quick_campaign());
+  StatsAggregator aggregator;
+  aggregator.add(results);
+  const GroupSummary overall = aggregator.overall();
+  EXPECT_FALSE(overall.metrics.count("wall_ms"));
+  EXPECT_FALSE(overall.metrics.count("list_sched_us"));
+  EXPECT_TRUE(overall.metrics.count("overhead_pct"));
+  EXPECT_EQ(overall.scenarios, results.size());
+}
+
+}  // namespace
+}  // namespace drhw

@@ -5,14 +5,27 @@
 //   drhw_sched info <graph.json>            graph statistics + CS set
 //   drhw_sched schedule <graph.json> [opts] run the flow, print Gantt charts
 //   drhw_sched dot <graph.json>             Graphviz export
+//   drhw_sched campaign [opts]              run a scenario campaign
 //
 // Options for `schedule`:
 //   --tiles N          DRHW tiles (default 8)
 //   --latency-us L     reconfiguration latency in us (default 4000)
 //   --ports N          reconfiguration ports (default 1)
 //   --resident a,b,c   subtask ids already resident (reuse)
+//
+// Options for `campaign`:
+//   --list             print the matching scenarios and exit
+//   --dry-run          enumerate + validate the campaign, don't simulate
+//   --filter STR       keep scenarios whose name or family contains STR
+//   --threads N        worker threads (default: hardware concurrency)
+//   --iterations N     override the per-scenario iteration count
+//   --seed S           base RNG seed for the built-in registry
+//   --json FILE        write the full JSON report
+//   --csv FILE         write the per-scenario CSV report
+//   --quiet            suppress per-scenario progress lines
 
 #include <algorithm>
+#include <chrono>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -26,6 +39,9 @@
 #include "prefetch/bnb.hpp"
 #include "prefetch/critical_subtasks.hpp"
 #include "prefetch/hybrid.hpp"
+#include "runner/campaign.hpp"
+#include "runner/report.hpp"
+#include "runner/scenario.hpp"
 #include "schedule/list_scheduler.hpp"
 #include "sim/gantt.hpp"
 #include "util/table.hpp"
@@ -39,7 +55,10 @@ int usage() {
                "       drhw_sched info <graph.json>\n"
                "       drhw_sched schedule <graph.json> [--tiles N]"
                " [--latency-us L] [--ports N] [--resident a,b,c]\n"
-               "       drhw_sched dot <graph.json>\n";
+               "       drhw_sched dot <graph.json>\n"
+               "       drhw_sched campaign [--list] [--dry-run]"
+               " [--filter STR] [--threads N] [--iterations N] [--seed S]"
+               " [--json FILE] [--csv FILE] [--quiet]\n";
   return 2;
 }
 
@@ -154,6 +173,109 @@ int cmd_dot(const std::string& path) {
   return 0;
 }
 
+struct CampaignCliOptions {
+  bool list = false;
+  bool dry_run = false;
+  bool quiet = false;
+  std::string filter;
+  int threads = 0;
+  int iterations = 1000;
+  std::uint64_t seed = 2005;
+  std::string json_path;
+  std::string csv_path;
+};
+
+int cmd_campaign(const CampaignCliOptions& cli) {
+  const auto registry = ScenarioRegistry::builtin(cli.iterations, cli.seed);
+  const std::vector<Scenario> scenarios = registry.match(cli.filter);
+  if (scenarios.empty()) {
+    std::cerr << "no scenario matches filter '" << cli.filter << "'\n";
+    return 1;
+  }
+
+  if (cli.list || cli.dry_run) {
+    TablePrinter table({"name", "workload", "approach", "tiles", "latency",
+                        "iterations"});
+    for (const Scenario& s : scenarios) {
+      s.validate();
+      table.add_row({s.name, to_string(s.workload), to_string(s.sim.approach),
+                     std::to_string(s.sim.platform.tiles),
+                     fmt_ms(s.sim.platform.reconfig_latency, 1) + " ms",
+                     std::to_string(s.sim.iterations)});
+    }
+    if (cli.list) table.print(std::cout);
+    std::cout << (cli.dry_run ? "dry run: " : "") << scenarios.size()
+              << " scenarios validated\n";
+    return 0;
+  }
+
+  // Open the report files up front: an unwritable path must not cost a
+  // full campaign run.
+  std::ofstream json_out, csv_out;
+  if (!cli.json_path.empty()) {
+    json_out.open(cli.json_path);
+    if (!json_out)
+      throw std::invalid_argument("cannot write " + cli.json_path);
+  }
+  if (!cli.csv_path.empty()) {
+    csv_out.open(cli.csv_path);
+    if (!csv_out) throw std::invalid_argument("cannot write " + cli.csv_path);
+  }
+
+  CampaignOptions options;
+  options.threads = cli.threads;
+  if (!cli.quiet) {
+    options.on_result = [](const ScenarioResult& result, std::size_t done,
+                           std::size_t total) {
+      std::cerr << "[" << done << "/" << total << "] " << result.scenario.name
+                << (result.ok ? "" : "  FAILED: " + result.error) << "  ("
+                << fmt(result.wall_ms, 0) << " ms)\n";
+    };
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto results = CampaignRunner(options).run(scenarios);
+  const auto t1 = std::chrono::steady_clock::now();
+  const double wall_s = std::chrono::duration<double>(t1 - t0).count();
+
+  StatsAggregator aggregator;
+  aggregator.add(results);
+
+  std::size_t failed = 0;
+  for (const ScenarioResult& result : results) failed += !result.ok;
+
+  TablePrinter table({"family", "scenarios", "failed", "overhead mean",
+                      "overhead p95", "reuse mean", "makespan mean"});
+  auto metric_cell = [](const GroupSummary& g, const char* metric,
+                        double MetricSummary::*field, const char* suffix) {
+    const auto it = g.metrics.find(metric);
+    return it == g.metrics.end() ? std::string("-")
+                                 : fmt(it->second.*field, 2) + suffix;
+  };
+  for (const GroupSummary& g : aggregator.by_family())
+    table.add_row(
+        {g.family, std::to_string(g.scenarios), std::to_string(g.failed),
+         metric_cell(g, "overhead_pct", &MetricSummary::mean, "%"),
+         metric_cell(g, "overhead_pct", &MetricSummary::p95, "%"),
+         metric_cell(g, "reuse_pct", &MetricSummary::mean, "%"),
+         metric_cell(g, "makespan_ms", &MetricSummary::mean, " ms")});
+  table.print(std::cout);
+  std::cout << "\n"
+            << results.size() << " scenarios in " << fmt(wall_s, 1) << " s ("
+            << fmt(static_cast<double>(results.size()) / wall_s, 1)
+            << "/s)\n";
+
+  if (json_out.is_open()) {
+    json_out << campaign_to_json(results, aggregator);
+    std::cout << "JSON report: " << cli.json_path << "\n";
+  }
+  if (csv_out.is_open()) {
+    csv_out << campaign_to_csv(results);
+    std::cout << "CSV report: " << cli.csv_path << "\n";
+  }
+  return failed == 0 ? 0 : 1;
+}
+
 std::vector<int> parse_id_list(const std::string& arg) {
   std::vector<int> ids;
   std::istringstream is(arg);
@@ -169,6 +291,34 @@ int main(int argc, char** argv) {
   if (args.empty()) return usage();
   try {
     if (args[0] == "demo") return cmd_demo();
+    if (args[0] == "campaign") {
+      CampaignCliOptions cli;
+      for (std::size_t i = 1; i < args.size(); ++i) {
+        const std::string& arg = args[i];
+        const bool has_value = i + 1 < args.size();
+        if (arg == "--list")
+          cli.list = true;
+        else if (arg == "--dry-run")
+          cli.dry_run = true;
+        else if (arg == "--quiet")
+          cli.quiet = true;
+        else if (arg == "--filter" && has_value)
+          cli.filter = args[++i];
+        else if (arg == "--threads" && has_value)
+          cli.threads = std::stoi(args[++i]);
+        else if (arg == "--iterations" && has_value)
+          cli.iterations = std::stoi(args[++i]);
+        else if (arg == "--seed" && has_value)
+          cli.seed = std::stoull(args[++i]);
+        else if (arg == "--json" && has_value)
+          cli.json_path = args[++i];
+        else if (arg == "--csv" && has_value)
+          cli.csv_path = args[++i];
+        else
+          return usage();
+      }
+      return cmd_campaign(cli);
+    }
     if (args[0] == "info" && args.size() >= 2) return cmd_info(args[1]);
     if (args[0] == "dot" && args.size() >= 2) return cmd_dot(args[1]);
     if (args[0] == "schedule" && args.size() >= 2) {
