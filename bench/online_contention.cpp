@@ -1,0 +1,56 @@
+// Online contention sweep: the regime the paper's Section 7 rig cannot
+// reach. Task instances arrive from a Poisson process and compete for the
+// shared tile pool and the single reconfiguration port; this bench sweeps
+// the arrival rate from near-idle to saturation and reports, per approach,
+// how the reconfiguration overhead (per-instance span stretch), response
+// time and port utilisation degrade.
+//
+// Near rate -> 0 the per-instance numbers reduce to the sequential Figure 6
+// rig (see tests/test_event_sim.cpp); at saturation the port becomes the
+// bottleneck and the prefetching approaches separate sharply from the
+// on-demand baseline.
+
+#include <iostream>
+
+#include "sim/event_sim.hpp"
+#include "sim/workloads.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace drhw;
+  constexpr int k_tiles = 16;
+  constexpr int k_iterations = 400;
+  constexpr std::uint64_t k_seed = 2005;
+
+  const PlatformConfig platform = virtex2_platform(k_tiles);
+  const auto workload = make_multimedia_workload(platform);
+  const auto sampler = multimedia_sampler(*workload);
+
+  std::cout << "Online contention — multimedia mix, " << k_tiles
+            << " tiles, 1 port, Poisson arrivals, " << k_iterations
+            << " iterations\n\n";
+
+  for (const double rate : {5.0, 20.0, 60.0, 150.0}) {
+    std::cout << "arrival rate " << fmt(rate, 0) << " instances/s\n";
+    TablePrinter table({"approach", "overhead", "reuse", "response mean",
+                        "queueing mean", "port util", "prefetches"});
+    for (const Approach approach : k_all_approaches) {
+      OnlineSimOptions options;
+      options.platform = platform;
+      options.approach = approach;
+      options.arrivals.rate_per_s = rate;
+      options.seed = k_seed;
+      options.iterations = k_iterations;
+      const OnlineReport r = run_online_simulation(options, sampler);
+      table.add_row({to_string(approach), fmt_pct(r.sim.overhead_pct, 2),
+                     fmt_pct(r.sim.reuse_pct),
+                     fmt(r.mean_response_ms, 1) + " ms",
+                     fmt(r.mean_queueing_ms, 1) + " ms",
+                     fmt_pct(r.port_utilisation_pct),
+                     std::to_string(r.sim.intertask_prefetches)});
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+  return 0;
+}

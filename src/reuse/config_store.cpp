@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/check.hpp"
+
 namespace drhw {
 
 ConfigStore::ConfigStore(int tiles) {
@@ -23,6 +25,9 @@ std::optional<PhysTileId> ConfigStore::find(ConfigId config) const {
 void ConfigStore::record_load(PhysTileId tile, ConfigId config, time_us when,
                               double value) {
   auto& state = tiles_[checked(tile)];
+  DRHW_CHECK_MSG(when >= state.last_used,
+                 "configuration load recorded before the tile's last event — "
+                 "per-tile timeline must be monotone");
   state.config = config;
   state.last_used = when;
   state.value = value;
@@ -30,7 +35,10 @@ void ConfigStore::record_load(PhysTileId tile, ConfigId config, time_us when,
 
 void ConfigStore::record_use(PhysTileId tile, time_us when) {
   auto& state = tiles_[checked(tile)];
-  if (when > state.last_used) state.last_used = when;
+  DRHW_CHECK_MSG(when >= state.last_used,
+                 "tile use recorded before the tile's last event — "
+                 "per-tile timeline must be monotone");
+  state.last_used = when;
 }
 
 time_us ConfigStore::last_used(PhysTileId tile) const {

@@ -11,7 +11,7 @@ Binding bind_tiles(const SubtaskGraph& graph, const Placement& placement,
                    const ConfigStore& store, ReplacementPolicy policy,
                    const std::vector<time_us>& values, Rng& rng,
                    const NextUseRank& next_use) {
-  if (placement.tiles_used > store.tiles())
+  if (placement.tiles_occupied() > store.tiles())
     throw std::invalid_argument("placement needs more tiles than available");
   DRHW_CHECK(values.size() == graph.size());
 
@@ -23,10 +23,12 @@ Binding bind_tiles(const SubtaskGraph& graph, const Placement& placement,
   std::vector<char> claimed(static_cast<std::size_t>(store.tiles()), 0);
 
   // Phase 1 — reuse matching: a virtual tile whose first subtask's
-  // configuration is resident binds to that physical tile.
+  // configuration is resident binds to that physical tile. ICN-aware
+  // placements may contain empty virtual tiles (a mesh position no subtask
+  // was assigned to); they execute nothing and stay unbound.
   for (int v = 0; v < placement.tiles_used; ++v) {
     const auto& seq = placement.tile_sequence[static_cast<std::size_t>(v)];
-    DRHW_CHECK(!seq.empty());
+    if (seq.empty()) continue;
     const SubtaskId first = seq.front();
     const ConfigId config = graph.subtask(first).config;
     if (const auto tile = store.find(config);
@@ -41,6 +43,8 @@ Binding bind_tiles(const SubtaskGraph& graph, const Placement& placement,
   // Phase 2 — replacement: bind the rest, preferring empty tiles, then the
   // policy's victim among the unclaimed.
   for (int v = 0; v < placement.tiles_used; ++v) {
+    if (placement.tile_sequence[static_cast<std::size_t>(v)].empty())
+      continue;  // unbound by design, see phase 1
     auto& slot = binding.phys_of_tile[static_cast<std::size_t>(v)];
     if (slot != k_no_phys_tile) continue;
 

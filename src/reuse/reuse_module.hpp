@@ -38,7 +38,9 @@ enum class ReplacementPolicy {
 
 /// Result of binding one placement onto the physical tile pool.
 struct Binding {
-  /// Physical tile for each virtual tile of the placement.
+  /// Physical tile for each virtual tile of the placement. Virtual tiles
+  /// with an empty execution sequence (possible in ICN-aware placements)
+  /// stay at k_no_phys_tile — they execute nothing and hold no tile.
   std::vector<PhysTileId> phys_of_tile;
   /// Per subtask: configuration already resident on its bound tile.
   std::vector<bool> resident;

@@ -179,38 +179,67 @@ void run_sched_cost(const Scenario& scenario, WorkloadCache& cache,
   result.hybrid_sched_us = hybrid_total / n;
 }
 
-void run_simulate(const Scenario& scenario, WorkloadCache& cache,
-                  ScenarioResult& result) {
-  const SimOptions& options = scenario.sim;
+/// The scenario's iteration sampler plus an owner handle keeping the cached
+/// workload (which the sampler captures by pointer) alive.
+struct SampledWorkload {
+  std::shared_ptr<const void> owner;
+  IterationSampler sampler;
+};
+
+SampledWorkload make_sampler(const Scenario& scenario, WorkloadCache& cache) {
   switch (scenario.workload) {
     case WorkloadKind::multimedia: {
       const auto workload = cache.multimedia(scenario);
-      const IterationSampler sampler =
+      IterationSampler sampler =
           scenario.exhaustive ? exhaustive_sampler(*workload)
                               : multimedia_sampler(*workload,
                                                    scenario.include_prob);
-      result.report = run_simulation(options, sampler);
-      break;
+      return {workload, std::move(sampler)};
     }
     case WorkloadKind::pocket_gl: {
       const auto workload = cache.pocket_gl(scenario);
-      result.report =
-          run_simulation(options, pocket_gl_task_sampler(*workload));
-      break;
+      return {workload, pocket_gl_task_sampler(*workload)};
     }
     case WorkloadKind::pocket_gl_frames: {
       const auto workload = cache.pocket_gl(scenario);
-      result.report =
-          run_simulation(options, pocket_gl_frame_sampler(*workload));
-      break;
+      return {workload, pocket_gl_frame_sampler(*workload)};
     }
     case WorkloadKind::synthetic: {
       const auto workload = cache.synthetic(scenario);
-      result.report = run_simulation(
-          options, synthetic_sampler(*workload, scenario.include_prob));
-      break;
+      return {workload, synthetic_sampler(*workload, scenario.include_prob)};
     }
   }
+  throw std::invalid_argument("unknown workload kind");
+}
+
+void run_simulate(const Scenario& scenario, WorkloadCache& cache,
+                  ScenarioResult& result) {
+  const SampledWorkload workload = make_sampler(scenario, cache);
+  result.report = run_simulation(scenario.sim, workload.sampler);
+}
+
+void run_online(const Scenario& scenario, WorkloadCache& cache,
+                ScenarioResult& result) {
+  const SampledWorkload workload = make_sampler(scenario, cache);
+  OnlineSimOptions options;
+  options.platform = scenario.sim.platform;
+  options.approach = scenario.sim.approach;
+  options.replacement = scenario.sim.replacement;
+  options.arrivals = scenario.arrivals;
+  options.port_discipline = scenario.port_discipline;
+  options.hybrid_intertask = scenario.sim.hybrid_intertask;
+  options.intertask_beyond_critical = scenario.sim.intertask_beyond_critical;
+  options.intertask_lookahead = scenario.sim.intertask_lookahead;
+  options.seed = scenario.sim.seed;
+  options.iterations = scenario.sim.iterations;
+  OnlineReport report = run_online_simulation(options, workload.sampler);
+  result.report = std::move(report.sim);
+  result.mean_response_ms = report.mean_response_ms;
+  result.max_response_ms = report.max_response_ms;
+  result.mean_queueing_ms = report.mean_queueing_ms;
+  result.max_queueing_ms = report.max_queueing_ms;
+  result.port_utilisation_pct = report.port_utilisation_pct;
+  result.horizon_ms = to_ms(report.horizon);
 }
 
 ScenarioResult run_scenario_cached(const Scenario& scenario,
@@ -223,6 +252,8 @@ ScenarioResult run_scenario_cached(const Scenario& scenario,
     scenario.validate();
     if (scenario.mode == ScenarioMode::sched_cost)
       run_sched_cost(scenario, cache, result);
+    else if (scenario.mode == ScenarioMode::online)
+      run_online(scenario, cache, result);
     else
       run_simulate(scenario, cache, result);
     result.ok = true;

@@ -63,8 +63,18 @@ class WorkloadCache {
 /// Outcome of one scenario execution.
 struct ScenarioResult {
   Scenario scenario;
-  /// Simulation metrics (zero in sched_cost mode).
+  /// Simulation metrics (zero in sched_cost mode; in online mode these are
+  /// the OnlineReport's embedded SimReport metrics).
   SimReport report;
+  /// Online mode only: response time (arrival -> retire), queueing delay
+  /// (arrival -> admission), reconfiguration-port utilisation and the
+  /// completion time of the last instance. Simulated time — deterministic.
+  double mean_response_ms = 0.0;
+  double max_response_ms = 0.0;
+  double mean_queueing_ms = 0.0;
+  double max_queueing_ms = 0.0;
+  double port_utilisation_pct = 0.0;
+  double horizon_ms = 0.0;
   /// Mean run-time scheduling cost of the list heuristic of ref. [7] in
   /// microseconds (sched_cost mode only).
   double list_sched_us = 0.0;

@@ -1,6 +1,7 @@
 #include "runner/report.hpp"
 
 #include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
@@ -18,7 +19,7 @@ bool operator==(const MetricSummary& a, const MetricSummary& b) {
 std::map<std::string, double> deterministic_metrics(
     const ScenarioResult& result) {
   std::map<std::string, double> metrics;
-  if (!result.ok || result.scenario.mode != ScenarioMode::simulate)
+  if (!result.ok || result.scenario.mode == ScenarioMode::sched_cost)
     return metrics;
   const SimReport& r = result.report;
   metrics["makespan_ms"] = static_cast<double>(r.total_actual) / 1000.0;
@@ -28,6 +29,15 @@ std::map<std::string, double> deterministic_metrics(
   metrics["loads"] = static_cast<double>(r.loads);
   metrics["energy"] = r.energy;
   metrics["energy_saved"] = r.energy_saved;
+  if (result.scenario.mode == ScenarioMode::online) {
+    // Simulated-time online metrics: deterministic, so aggregated.
+    metrics["response_ms"] = result.mean_response_ms;
+    metrics["response_max_ms"] = result.max_response_ms;
+    metrics["queueing_ms"] = result.mean_queueing_ms;
+    metrics["queueing_max_ms"] = result.max_queueing_ms;
+    metrics["port_util_pct"] = result.port_utilisation_pct;
+    metrics["horizon_ms"] = result.horizon_ms;
+  }
   return metrics;
 }
 
@@ -89,13 +99,27 @@ GroupSummary StatsAggregator::overall() const {
 namespace {
 
 /// Shortest representation that parses back to the identical double.
-std::string fmt_double(double value) {
-  char buffer[64];
+/// Non-finite values have no JSON number representation — "%g" would emit
+/// `nan`/`inf`, which no JSON parser (ours included) accepts — so they are
+/// serialised as null (JSON) / an empty cell (CSV), both read back as
+/// "missing".
+bool fmt_double(double value, char (&buffer)[64]) {
+  if (!std::isfinite(value)) return false;
   for (int precision : {15, 16, 17}) {
     std::snprintf(buffer, sizeof(buffer), "%.*g", precision, value);
     if (std::strtod(buffer, nullptr) == value) break;
   }
-  return buffer;
+  return true;
+}
+
+std::string fmt_json_double(double value) {
+  char buffer[64];
+  return fmt_double(value, buffer) ? std::string(buffer) : std::string("null");
+}
+
+std::string fmt_csv_double(double value) {
+  char buffer[64];
+  return fmt_double(value, buffer) ? std::string(buffer) : std::string();
 }
 
 std::string json_escape(const std::string& text) {
@@ -155,12 +179,12 @@ void write_summary_json(std::ostream& os, const GroupSummary& summary,
   for (const auto& [name, m] : summary.metrics) {
     os << (first ? "" : ",") << "\n"
        << pad << "    \"" << name << "\": {\"count\": " << m.count
-       << ", \"mean\": " << fmt_double(m.mean)
-       << ", \"stddev\": " << fmt_double(m.stddev)
-       << ", \"min\": " << fmt_double(m.min)
-       << ", \"max\": " << fmt_double(m.max)
-       << ", \"p50\": " << fmt_double(m.p50)
-       << ", \"p95\": " << fmt_double(m.p95) << "}";
+       << ", \"mean\": " << fmt_json_double(m.mean)
+       << ", \"stddev\": " << fmt_json_double(m.stddev)
+       << ", \"min\": " << fmt_json_double(m.min)
+       << ", \"max\": " << fmt_json_double(m.max)
+       << ", \"p50\": " << fmt_json_double(m.p50)
+       << ", \"p95\": " << fmt_json_double(m.p95) << "}";
     first = false;
   }
   os << "\n" << pad << "  }\n" << pad << "}";
@@ -188,14 +212,22 @@ std::string campaign_to_json(const std::vector<ScenarioResult>& results,
        << ",\n"
        << "      \"ports\": " << s.sim.platform.reconfig_ports << ",\n"
        << "      \"seed\": " << s.sim.seed << ",\n"
-       << "      \"iterations\": " << s.sim.iterations << ",\n"
+       << "      \"iterations\": " << s.sim.iterations << ",\n";
+    if (s.mode == ScenarioMode::online)
+      os << "      \"arrival_kind\": \"" << to_string(s.arrivals.kind)
+         << "\",\n"
+         << "      \"arrival_rate_per_s\": "
+         << fmt_json_double(s.arrivals.rate_per_s) << ",\n"
+         << "      \"port_discipline\": \"" << to_string(s.port_discipline)
+         << "\",\n";
+    os
        << "      \"ok\": " << (result.ok ? "true" : "false") << ",\n"
        << "      \"error\": \"" << json_escape(result.error) << "\",\n"
        << "      \"metrics\": {";
     bool first = true;
     for (const auto& [name, value] : all_metrics(result)) {
       os << (first ? "" : ", ") << "\"" << name
-         << "\": " << fmt_double(value);
+         << "\": " << fmt_json_double(value);
       first = false;
     }
     os << "}\n    }";
@@ -215,9 +247,12 @@ std::string campaign_to_json(const std::vector<ScenarioResult>& results,
 namespace {
 
 const char* const k_csv_metric_columns[] = {
-    "makespan_ms", "overhead_pct",  "reuse_pct",       "reuse_hits",
-    "loads",       "energy",        "energy_saved",    "list_sched_us",
-    "hybrid_sched_us", "wall_ms"};
+    "makespan_ms",     "overhead_pct",    "reuse_pct",
+    "reuse_hits",      "loads",           "energy",
+    "energy_saved",    "response_ms",     "response_max_ms",
+    "queueing_ms",     "queueing_max_ms", "port_util_pct",
+    "horizon_ms",      "list_sched_us",   "hybrid_sched_us",
+    "wall_ms"};
 
 std::string csv_escape(const std::string& text) {
   if (text.find_first_of(",\"\n") == std::string::npos) return text;
@@ -251,7 +286,7 @@ std::string campaign_to_csv(const std::vector<ScenarioResult>& results) {
     for (const char* column : k_csv_metric_columns) {
       const auto it = metrics.find(column);
       os << ",";
-      if (it != metrics.end()) os << fmt_double(it->second);
+      if (it != metrics.end()) os << fmt_csv_double(it->second);
     }
     os << "\n";
   }
@@ -514,10 +549,16 @@ ParsedCampaign campaign_from_json(const std::string& json) {
     s.ports = static_cast<int>(item.at("ports").number);
     s.seed = std::strtoull(item.at("seed").text.c_str(), nullptr, 10);
     s.iterations = static_cast<int>(item.at("iterations").number);
+    if (const auto* kind = item.find("arrival_kind")) s.arrival_kind = kind->text;
+    if (const auto* rate = item.find("arrival_rate_per_s"))
+      s.arrival_rate_per_s = rate->number;
+    if (const auto* discipline = item.find("port_discipline"))
+      s.port_discipline = discipline->text;
     s.ok = item.at("ok").boolean;
     s.error = item.at("error").text;
     for (const auto& [name, value] : item.at("metrics").members)
-      s.metrics[name] = value.number;
+      if (value.kind != JsonParser::Value::Kind::null)  // null = non-finite
+        s.metrics[name] = value.number;
     campaign.scenarios.push_back(std::move(s));
   }
   for (const auto& item : root.at("families").items)

@@ -94,6 +94,10 @@ struct ParsedScenario {
   int ports = 0;
   std::uint64_t seed = 0;
   int iterations = 0;
+  /// Online scenarios only (empty / 0 otherwise).
+  std::string arrival_kind;
+  double arrival_rate_per_s = 0.0;
+  std::string port_discipline;
   bool ok = false;
   std::string error;
   /// metric name -> value, exactly the columns/keys of the writers.

@@ -1,6 +1,7 @@
 #include "runner/scenario.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <set>
 #include <stdexcept>
 
@@ -36,6 +37,8 @@ const char* to_string(ScenarioMode mode) {
       return "simulate";
     case ScenarioMode::sched_cost:
       return "sched_cost";
+    case ScenarioMode::online:
+      return "online";
   }
   return "?";
 }
@@ -70,6 +73,13 @@ void Scenario::validate() const {
       workload != WorkloadKind::synthetic)
     throw std::invalid_argument("scenario '" + name +
                                 "': sched_cost requires a synthetic workload");
+  if (mode == ScenarioMode::online) {
+    try {
+      arrivals.validate();
+    } catch (const std::invalid_argument& e) {
+      throw std::invalid_argument("scenario '" + name + "': " + e.what());
+    }
+  }
 }
 
 void ScenarioRegistry::add(Scenario scenario) {
@@ -97,11 +107,6 @@ std::vector<Scenario> ScenarioRegistry::match(
 }
 
 namespace {
-
-constexpr Approach k_all_approaches[5] = {
-    Approach::no_prefetch, Approach::design_time_prefetch,
-    Approach::runtime_heuristic, Approach::runtime_intertask,
-    Approach::hybrid};
 
 Scenario base_scenario(const std::string& name, const std::string& family,
                        int tiles, Approach approach, std::uint64_t seed,
@@ -211,6 +216,46 @@ ScenarioRegistry ScenarioRegistry::builtin(int iterations,
   sweep.seeds = {seed};
   registry.add(build_sweep(sweep));
 
+  // Online mode: Poisson arrivals contending for the tile pool and the
+  // single reconfiguration port, at a moderate and a saturating rate.
+  // 16 tiles keep several instances live at once (at 8 tiles the pool
+  // serialises admissions and only the backlog prefetch differs).
+  for (double rate : {20.0, 100.0}) {
+    for (Approach approach : k_all_approaches) {
+      Scenario s = base_scenario(
+          "online_poisson/r" + std::to_string(static_cast<int>(rate)) + "/" +
+              to_string(approach),
+          "online_poisson", 16, approach, seed, iterations);
+      s.mode = ScenarioMode::online;
+      s.arrivals.kind = ArrivalProcess::Kind::poisson;
+      s.arrivals.rate_per_s = rate;
+      registry.add(std::move(s));
+    }
+  }
+
+  // Online mode: bursty arrivals (bursts of 4 instances back to back).
+  for (Approach approach : k_all_approaches) {
+    Scenario s = base_scenario(
+        std::string("online_burst/") + to_string(approach), "online_burst",
+        16, approach, seed, iterations);
+    s.mode = ScenarioMode::online;
+    s.arrivals.kind = ArrivalProcess::Kind::bursty;
+    s.arrivals.rate_per_s = 8.0;
+    s.arrivals.burst_size = 4;
+    registry.add(std::move(s));
+  }
+
+  // Online arrival-rate x tile-count sweep.
+  SweepConfig online_sweep;
+  online_sweep.family = "online_sweep";
+  online_sweep.base = base_scenario("online_sweep/base", "online_sweep", 16,
+                                    Approach::hybrid, seed, iterations);
+  online_sweep.base.mode = ScenarioMode::online;
+  online_sweep.tiles = {10, 16, 24};
+  online_sweep.approaches = {Approach::runtime_heuristic, Approach::hybrid};
+  online_sweep.arrival_rates = {10.0, 40.0, 160.0};
+  registry.add(build_sweep(online_sweep));
+
   // Section 4 scalability: run-time scheduler cost vs subtask count.
   for (int subtasks : {14, 28, 56, 112, 224, 448}) {
     Scenario s = base_scenario("scalability/n" + std::to_string(subtasks),
@@ -248,26 +293,43 @@ std::vector<Scenario> build_sweep(const SweepConfig& config) {
   const std::vector<std::uint64_t> seeds =
       config.seeds.empty() ? std::vector<std::uint64_t>{config.base.sim.seed}
                            : config.seeds;
+  const std::vector<double> rates =
+      config.arrival_rates.empty()
+          ? std::vector<double>{config.base.arrivals.rate_per_s}
+          : config.arrival_rates;
+  if (!config.arrival_rates.empty() &&
+      config.base.mode != ScenarioMode::online)
+    throw std::invalid_argument(
+        "sweep '" + config.family +
+        "': an arrival-rate axis requires an online base scenario");
 
   std::vector<Scenario> out;
   for (int t : tiles)
     for (time_us latency : latencies)
       for (int p : ports)
         for (Approach approach : approaches)
-          for (std::uint64_t seed : seeds) {
-            Scenario s = config.base;
-            s.family = config.family;
-            s.sim.platform.tiles = t;
-            s.sim.platform.reconfig_latency = latency;
-            s.sim.platform.reconfig_ports = p;
-            s.sim.approach = approach;
-            s.sim.seed = seed;
-            s.name = config.family + "/t" + std::to_string(t) + "/l" +
-                     std::to_string(latency) + "/p" + std::to_string(p) + "/" +
-                     to_string(approach) + "/s" + std::to_string(seed);
-            s.validate();
-            out.push_back(std::move(s));
-          }
+          for (std::uint64_t seed : seeds)
+            for (double rate : rates) {
+              Scenario s = config.base;
+              s.family = config.family;
+              s.sim.platform.tiles = t;
+              s.sim.platform.reconfig_latency = latency;
+              s.sim.platform.reconfig_ports = p;
+              s.sim.approach = approach;
+              s.sim.seed = seed;
+              s.arrivals.rate_per_s = rate;
+              s.name = config.family + "/t" + std::to_string(t) + "/l" +
+                       std::to_string(latency) + "/p" + std::to_string(p) +
+                       "/" + to_string(approach) + "/s" +
+                       std::to_string(seed);
+              if (!config.arrival_rates.empty()) {
+                char rate_text[32];
+                std::snprintf(rate_text, sizeof(rate_text), "%g", rate);
+                s.name += std::string("/r") + rate_text;
+              }
+              s.validate();
+              out.push_back(std::move(s));
+            }
   return out;
 }
 

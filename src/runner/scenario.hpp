@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "graph/generators.hpp"
+#include "sim/event_sim.hpp"
 #include "sim/system_sim.hpp"
 
 namespace drhw {
@@ -49,6 +50,10 @@ enum class ScenarioMode {
   /// scalability experiment. Wall-clock based, so excluded from the
   /// deterministic aggregate statistics.
   sched_cost,
+  /// Run the event-driven online simulation (event_sim.hpp): stochastic
+  /// arrivals contending for the tile pool and the reconfiguration port.
+  /// Reports the SimReport metrics plus response/queueing/port-utilisation.
+  online,
 };
 
 const char* to_string(ScenarioMode mode);
@@ -85,6 +90,10 @@ struct Scenario {
   HybridDesignOptions design;
   /// Platform, approach, replacement policy, seed and iteration count.
   SimOptions sim;
+  /// Online mode only: the arrival process of the instance stream.
+  ArrivalProcess arrivals;
+  /// Online mode only: arbitration between live instances at the port.
+  PortDiscipline port_discipline = PortDiscipline::fifo;
   /// Timed calls per measurement in sched_cost mode.
   int timing_calls = 50;
   /// sched_cost mode: schedule every subtask as a pending load (the
@@ -113,13 +122,16 @@ class ScenarioRegistry {
   std::vector<Scenario> match(const std::string& substring) const;
 
   /// The built-in catalogue of the paper's experiments:
-  ///   table1/*      deterministic on-demand vs optimal-prefetch columns
-  ///   fig6/*        multimedia mix, tiles 8..16, all five approaches
-  ///   fig7/*        Pocket GL frame loop, tiles 5..10, all five approaches
-  ///   mix/*         JPEG-only and JPEG+MPEG subset mixes
-  ///   synthetic/*   layered-generator mixes at three graph sizes
-  ///   sweep/*       cartesian tiles x latency x ports x approach sweep
-  ///   scalability/* run-time scheduler cost vs subtask count (sched_cost)
+  ///   table1/*         deterministic on-demand vs optimal-prefetch columns
+  ///   fig6/*           multimedia mix, tiles 8..16, all five approaches
+  ///   fig7/*           Pocket GL frame loop, tiles 5..10, all five approaches
+  ///   mix/*            JPEG-only and JPEG+MPEG subset mixes
+  ///   synthetic/*      layered-generator mixes at three graph sizes
+  ///   sweep/*          cartesian tiles x latency x ports x approach sweep
+  ///   scalability/*    run-time scheduler cost vs subtask count (sched_cost)
+  ///   online_poisson/* online mode, Poisson arrivals, all five approaches
+  ///   online_burst/*   online mode, bursty arrivals, all five approaches
+  ///   online_sweep/*   online arrival-rate x tile-count cartesian sweep
   static ScenarioRegistry builtin(int iterations = 1000,
                                   std::uint64_t seed = 2005);
 
@@ -140,6 +152,9 @@ struct SweepConfig {
   std::vector<int> ports;
   std::vector<Approach> approaches;
   std::vector<std::uint64_t> seeds;
+  /// Online scenarios only: arrival-rate axis (instances or bursts per
+  /// second, depending on the base scenario's arrival kind).
+  std::vector<double> arrival_rates;
 };
 
 /// Expands the sweep. Scenario names are

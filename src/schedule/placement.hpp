@@ -43,6 +43,16 @@ struct Placement {
   /// k_no_subtask if `s` is first on its unit.
   SubtaskId prev_on_unit(SubtaskId s) const;
 
+  /// Virtual tiles that actually execute something. ICN-aware placements
+  /// may contain empty virtual tiles (tile ids double as mesh coordinates,
+  /// so holes cannot be compacted away); only the occupied ones claim a
+  /// physical tile.
+  int tiles_occupied() const {
+    int occupied = 0;
+    for (const auto& seq : tile_sequence) occupied += !seq.empty();
+    return occupied;
+  }
+
   /// True when `s` is mapped to a DRHW tile.
   bool on_drhw(SubtaskId s) const {
     return tile_of[static_cast<std::size_t>(s)] != k_no_tile;

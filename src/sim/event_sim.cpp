@@ -1,0 +1,879 @@
+#include "sim/event_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "prefetch/hybrid.hpp"
+#include "reuse/config_store.hpp"
+#include "util/check.hpp"
+
+namespace drhw {
+
+void ArrivalProcess::validate() const {
+  if (kind != Kind::closed_loop && !(rate_per_s > 0.0))
+    throw std::invalid_argument("arrival rate must be positive");
+  if (kind == Kind::bursty && burst_size < 1)
+    throw std::invalid_argument("burst size must be >= 1");
+  if (intra_burst_gap < 0)
+    throw std::invalid_argument("negative intra-burst gap");
+  if (think_time < 0) throw std::invalid_argument("negative think time");
+}
+
+const char* to_string(ArrivalProcess::Kind kind) {
+  switch (kind) {
+    case ArrivalProcess::Kind::poisson:
+      return "poisson";
+    case ArrivalProcess::Kind::bursty:
+      return "bursty";
+    case ArrivalProcess::Kind::closed_loop:
+      return "closed_loop";
+  }
+  return "?";
+}
+
+ArrivalProcess::Kind arrival_kind_from_string(const std::string& text) {
+  if (text == "poisson") return ArrivalProcess::Kind::poisson;
+  if (text == "bursty") return ArrivalProcess::Kind::bursty;
+  if (text == "closed_loop") return ArrivalProcess::Kind::closed_loop;
+  throw std::invalid_argument("unknown arrival kind '" + text + "'");
+}
+
+const char* to_string(PortDiscipline discipline) {
+  switch (discipline) {
+    case PortDiscipline::fifo:
+      return "fifo";
+    case PortDiscipline::priority:
+      return "priority";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Event kinds, ordered so that simultaneous events resolve exactly like
+/// the single-instance evaluator: a completing load is visible to an
+/// execution becoming ready at the same instant, and instance arrivals
+/// (which snapshot the configuration store for binding) observe every
+/// completion of that instant first.
+enum EventKind : int {
+  k_ev_load_done = 0,
+  k_ev_comm = 1,
+  k_ev_exec_done = 2,
+  k_ev_arrival = 3,
+};
+
+struct Event {
+  time_us time;
+  int kind;
+  std::int32_t job;  ///< -1 for backlog-prefetch load completions
+  SubtaskId subtask; ///< prefetch completions carry the target tile here
+
+  friend bool operator>(const Event& a, const Event& b) {
+    if (a.time != b.time) return a.time > b.time;
+    if (a.kind != b.kind) return a.kind > b.kind;
+    if (a.job != b.job) return a.job > b.job;
+    return a.subtask > b.subtask;
+  }
+};
+
+/// One task instance of the arrival stream.
+struct Job {
+  const PreparedScenario* prep = nullptr;
+  std::size_t base = 0;  ///< offset into the per-subtask state arenas
+  time_us arrival = 0;
+  time_us admit = k_no_time;
+  time_us retire = k_no_time;
+  bool arrived = false;
+  bool admitted = false;
+
+  LoadPolicy policy = LoadPolicy::on_demand;
+  std::vector<SubtaskId> order;  ///< explicit port order (init prefix first)
+  std::size_t next_explicit = 0;
+  std::size_t init_count = 0;  ///< leading entries of `order` that are
+                               ///< initialization-phase loads
+  int init_pending = 0;
+  bool init_done = true;
+
+  std::vector<PhysTileId> phys_of_tile;
+  int reused = 0;
+  int cancelled = 0;
+  long loads = 0;
+  std::size_t finished_count = 0;
+};
+
+class OnlineSimulation {
+ public:
+  OnlineSimulation(const OnlineSimOptions& options,
+                   const IterationSampler& sampler)
+      : options_(options),
+        store_(options.platform.tiles),
+        bind_rng_(options.seed ^ 0x5DEECE66DULL) {
+    options_.platform.validate();
+    options_.arrivals.validate();
+    DRHW_CHECK_MSG(options_.iterations >= 1, "online run needs >= 1 iteration");
+
+    // Draw the whole instance stream up front. The sampler is the only
+    // consumer of this generator, so the stream equals the sequential
+    // simulator's on the same seed; arrival gaps come from an independent
+    // generator so they cannot perturb it.
+    Rng stream_rng(options_.seed);
+    for (int it = 0; it < options_.iterations; ++it)
+      for (const PreparedScenario* prep : sampler(stream_rng)) {
+        DRHW_CHECK(prep != nullptr);
+        Job job;
+        job.prep = prep;
+        jobs_.push_back(std::move(job));
+      }
+    setup_arenas();
+    setup_arrivals();
+  }
+
+  OnlineReport run() {
+    while (!events_.empty()) {
+      const Event ev = events_.top();
+      events_.pop();
+      switch (ev.kind) {
+        case k_ev_load_done:
+          on_load_done(ev.job, ev.subtask, ev.time);
+          break;
+        case k_ev_comm:
+          on_comm_arrival(ev.job, ev.subtask, ev.time);
+          break;
+        case k_ev_exec_done:
+          on_exec_done(ev.job, ev.subtask, ev.time);
+          break;
+        case k_ev_arrival:
+          on_arrival(ev.job, ev.time);
+          break;
+      }
+    }
+    for (const Job& job : jobs_)
+      DRHW_CHECK_MSG(job.retire != k_no_time, "online simulation stalled");
+    finalize();
+    return std::move(report_);
+  }
+
+ private:
+  // -- setup -------------------------------------------------------------
+
+  void setup_arenas() {
+    std::size_t total = 0;
+    std::size_t max_events = 16;
+    for (Job& job : jobs_) {
+      job.base = total;
+      const SubtaskGraph& graph = *job.prep->graph;
+      total += graph.size();
+      max_events += 2 * graph.size() + 4;  // loads + exec completions
+      for (std::size_t s = 0; s < graph.size(); ++s)  // comm arrivals
+        max_events += graph.successors(static_cast<SubtaskId>(s)).size();
+    }
+    preds_left_.assign(total, 0);
+    dag_ready_.assign(total, k_no_time);
+    arrived_.assign(total, k_no_time);
+    exec_end_.assign(total, k_no_time);
+    started_.assign(total, 0);
+    finished_.assign(total, 0);
+    load_started_.assign(total, 0);
+    config_done_.assign(total, 0);
+    needs_.assign(total, 0);
+    init_load_.assign(total, 0);
+
+    const auto tiles = static_cast<std::size_t>(options_.platform.tiles);
+    held_.assign(tiles, 0);
+    reserved_.assign(tiles, 0);
+    prefetch_config_.assign(tiles, k_no_config);
+    prefetch_value_.assign(tiles, 0.0);
+    port_free_.assign(static_cast<std::size_t>(options_.platform.reconfig_ports),
+                      0);
+
+    // Pre-sized event storage: the hot loop never reallocates.
+    std::vector<Event> storage;
+    storage.reserve(max_events);
+    events_ = EventQueue(std::greater<>(), std::move(storage));
+    report_.spans.assign(jobs_.size(), 0);
+    live_.reserve(tiles + 1);
+    protected_scratch_.assign(tiles, 0);
+
+    if (options_.replacement == ReplacementPolicy::oracle) {
+      // Built once; each admission binary-searches the shared NextUseIndex
+      // instead of rescanning the remaining stream (O(instances^2)).
+      for (std::size_t j = 0; j < jobs_.size(); ++j) {
+        const SubtaskGraph& graph = *jobs_[j].prep->graph;
+        for (std::size_t s = 0; s < graph.size(); ++s)
+          next_use_index_.add(graph.subtask(static_cast<SubtaskId>(s)).config,
+                              static_cast<long>(j));
+      }
+    }
+  }
+
+  void setup_arrivals() {
+    if (jobs_.empty()) return;
+    Rng gap_rng(options_.seed ^ 0x9E3779B97F4A7C15ULL);
+    const auto exp_gap = [&]() -> time_us {
+      const double u = gap_rng.next_double();
+      const double seconds = -std::log(1.0 - u) / options_.arrivals.rate_per_s;
+      return static_cast<time_us>(std::llround(seconds * 1e6));
+    };
+    switch (options_.arrivals.kind) {
+      case ArrivalProcess::Kind::poisson: {
+        time_us t = 0;
+        for (std::size_t j = 0; j < jobs_.size(); ++j) {
+          t += exp_gap();
+          jobs_[j].arrival = t;
+        }
+        break;
+      }
+      case ArrivalProcess::Kind::bursty: {
+        time_us burst_start = 0;
+        for (std::size_t j = 0; j < jobs_.size(); ++j) {
+          const auto in_burst = static_cast<time_us>(
+              j % static_cast<std::size_t>(options_.arrivals.burst_size));
+          if (in_burst == 0) burst_start += exp_gap();
+          jobs_[j].arrival =
+              burst_start + in_burst * options_.arrivals.intra_burst_gap;
+        }
+        break;
+      }
+      case ArrivalProcess::Kind::closed_loop:
+        jobs_[0].arrival = 0;  // the rest arrive as predecessors retire
+        break;
+    }
+    if (options_.arrivals.kind == ArrivalProcess::Kind::closed_loop) {
+      events_.push({0, k_ev_arrival, 0, k_no_subtask});
+    } else {
+      for (std::size_t j = 0; j < jobs_.size(); ++j)
+        events_.push({jobs_[j].arrival, k_ev_arrival,
+                      static_cast<std::int32_t>(j), k_no_subtask});
+    }
+  }
+
+  // -- shared helpers ----------------------------------------------------
+
+  bool intertask_enabled() const {
+    return approach_uses_intertask(options_.approach,
+                                   options_.hybrid_intertask);
+  }
+
+  const std::vector<time_us>& values_for(const Job& job) const {
+    return options_.replacement == ReplacementPolicy::critical_first
+               ? job.prep->replacement_values
+               : job.prep->weights;
+  }
+
+  time_us load_duration(const Job& job, SubtaskId s) const {
+    const time_us own = job.prep->graph->subtask(s).load_time;
+    return own != k_no_time ? own : options_.platform.reconfig_latency;
+  }
+
+  // -- admission ---------------------------------------------------------
+
+  std::size_t free_tile_count() const {
+    std::size_t free = 0;
+    for (std::size_t t = 0; t < held_.size(); ++t)
+      free += !held_[t] && !reserved_[t];
+    return free;
+  }
+
+  void try_admit(time_us t) {
+    while (next_admit_ < jobs_.size()) {
+      Job& job = jobs_[next_admit_];
+      if (!job.arrived) break;
+      const auto needed =
+          static_cast<std::size_t>(job.prep->placement.tiles_occupied());
+      if (free_tile_count() < needed) break;  // FIFO head-of-line
+      admit(static_cast<std::int32_t>(next_admit_), t);
+      ++next_admit_;
+    }
+  }
+
+  /// Next-use oracle over the full remaining arrival stream (every job
+  /// after `self` in arrival order), mirroring the sequential simulator.
+  NextUseRank make_oracle(std::size_t self) const {
+    return next_use_index_.rank_from(static_cast<long>(self) + 1);
+  }
+
+  void admit(std::int32_t index, time_us t) {
+    Job& job = jobs_[static_cast<std::size_t>(index)];
+    const SubtaskGraph& graph = *job.prep->graph;
+    const Placement& placement = job.prep->placement;
+    job.admitted = true;
+    job.admit = t;
+
+    // Free-tile view of the pool: binding may only choose among tiles no
+    // live instance holds and no prefetch has reserved.
+    std::vector<PhysTileId> free_tiles;
+    for (int p = 0; p < store_.tiles(); ++p)
+      if (!held_[static_cast<std::size_t>(p)] &&
+          !reserved_[static_cast<std::size_t>(p)])
+        free_tiles.push_back(p);
+
+    std::vector<bool> resident(graph.size(), false);
+    if (approach_uses_reuse(options_.approach)) {
+      ConfigStore view(static_cast<int>(free_tiles.size()));
+      for (std::size_t i = 0; i < free_tiles.size(); ++i) {
+        const PhysTileId p = free_tiles[i];
+        if (store_.config_on(p) != k_no_config)
+          view.record_load(static_cast<PhysTileId>(i), store_.config_on(p),
+                           store_.last_used(p), store_.value_of(p));
+      }
+      NextUseRank oracle;
+      if (options_.replacement == ReplacementPolicy::oracle)
+        oracle = make_oracle(static_cast<std::size_t>(index));
+      Binding binding =
+          bind_tiles(graph, placement, view, options_.replacement,
+                     values_for(job), bind_rng_, oracle);
+      job.phys_of_tile.assign(binding.phys_of_tile.size(), k_no_phys_tile);
+      for (std::size_t v = 0; v < binding.phys_of_tile.size(); ++v)
+        if (binding.phys_of_tile[v] != k_no_phys_tile)
+          job.phys_of_tile[v] =
+              free_tiles[static_cast<std::size_t>(binding.phys_of_tile[v])];
+      resident = std::move(binding.resident);
+      job.reused = binding.reused_subtasks;
+    } else {
+      job.phys_of_tile.assign(static_cast<std::size_t>(placement.tiles_used),
+                              k_no_phys_tile);
+      std::size_t next_free = 0;
+      for (int v = 0; v < placement.tiles_used; ++v) {
+        if (placement.tile_sequence[static_cast<std::size_t>(v)].empty())
+          continue;
+        job.phys_of_tile[static_cast<std::size_t>(v)] =
+            free_tiles[next_free++];
+      }
+    }
+    for (const PhysTileId p : job.phys_of_tile)
+      if (p != k_no_phys_tile) held_[static_cast<std::size_t>(p)] = 1;
+
+    build_plan(job, resident);
+
+    // Per-subtask scheduling state.
+    for (std::size_t s = 0; s < graph.size(); ++s) {
+      preds_left_[job.base + s] = static_cast<int>(
+          graph.predecessors(static_cast<SubtaskId>(s)).size());
+      if (!needs_[job.base + s]) config_done_[job.base + s] = 1;
+    }
+    live_.push_back(index);
+    report_.sim.reused_subtasks += job.reused;
+    queue_sum_ += static_cast<double>(t - job.arrival);
+    queue_max_ = std::max(queue_max_, t - job.arrival);
+
+    // Initial enables, exactly like the evaluator's t = 0 marks.
+    for (std::size_t s = 0; s < graph.size(); ++s) {
+      const auto id = static_cast<SubtaskId>(s);
+      if (placement.position_of[s] == 0) mark_arrival(index, id, t);
+      if (graph.predecessors(id).empty()) mark_dag_ready(index, id, t);
+    }
+    try_port(t);
+  }
+
+  /// Translates the instance's Approach into its load plan. Mirrors the
+  /// sequential simulator's schedule_instance() dispatch.
+  void build_plan(Job& job, const std::vector<bool>& resident) {
+    const SubtaskGraph& graph = *job.prep->graph;
+    const Placement& placement = job.prep->placement;
+    const auto mark_needs = [&](SubtaskId s) { needs_[job.base +
+                                                     static_cast<std::size_t>(
+                                                         s)] = 1; };
+    switch (options_.approach) {
+      case Approach::no_prefetch:
+        job.policy = LoadPolicy::on_demand;
+        for (std::size_t s = 0; s < graph.size(); ++s)
+          if (placement.on_drhw(static_cast<SubtaskId>(s)))
+            mark_needs(static_cast<SubtaskId>(s));
+        break;
+      case Approach::design_time_prefetch:
+        job.policy = LoadPolicy::explicit_order;
+        job.order = job.prep->design_order;
+        for (SubtaskId s : job.order) mark_needs(s);
+        break;
+      case Approach::runtime_heuristic:
+      case Approach::runtime_intertask:
+        job.policy = LoadPolicy::priority;
+        for (std::size_t s = 0; s < graph.size(); ++s)
+          if (placement.on_drhw(static_cast<SubtaskId>(s)) && !resident[s])
+            mark_needs(static_cast<SubtaskId>(s));
+        break;
+      case Approach::hybrid: {
+        // The initialization-phase loads become ordinary head-of-order port
+        // requests; the stored schedule starts once they all completed.
+        const HybridDecision decision =
+            hybrid_decide(job.prep->hybrid, resident);
+        job.policy = LoadPolicy::explicit_order;
+        job.order = decision.init_loads;
+        job.init_count = decision.init_loads.size();
+        job.order.insert(job.order.end(), decision.load_order.begin(),
+                         decision.load_order.end());
+        job.cancelled = decision.cancelled_loads;
+        job.init_pending = static_cast<int>(job.init_count);
+        job.init_done = job.init_pending == 0;
+        for (std::size_t i = 0; i < job.order.size(); ++i) {
+          mark_needs(job.order[i]);
+          if (i < job.init_count)
+            init_load_[job.base + static_cast<std::size_t>(job.order[i])] = 1;
+        }
+        report_.sim.cancelled_loads += job.cancelled;
+        break;
+      }
+    }
+  }
+
+  // -- state transitions (mirroring the single-instance evaluator) -------
+
+  void mark_arrival(std::int32_t j, SubtaskId s, time_us t) {
+    Job& job = jobs_[static_cast<std::size_t>(j)];
+    const std::size_t idx = job.base + static_cast<std::size_t>(s);
+    DRHW_CHECK(arrived_[idx] == k_no_time);
+    arrived_[idx] = t;
+    if (needs_[idx]) try_port(t);
+    // Always re-check execution: an initialization-phase load is exempt
+    // from the unit-order arrival gate, so its config can already be done
+    // by the time the subtask arrives — without this call nothing would
+    // ever release the execution (missed wakeup -> stalled simulation).
+    try_exec(j, s, t);
+  }
+
+  void mark_dag_ready(std::int32_t j, SubtaskId s, time_us t) {
+    Job& job = jobs_[static_cast<std::size_t>(j)];
+    const std::size_t idx = job.base + static_cast<std::size_t>(s);
+    DRHW_CHECK(dag_ready_[idx] == k_no_time);
+    dag_ready_[idx] = t;
+    if (needs_[idx] && job.policy == LoadPolicy::on_demand &&
+        arrived_[idx] != k_no_time)
+      try_port(t);
+    try_exec(j, s, t);
+  }
+
+  void try_exec(std::int32_t j, SubtaskId s, time_us t) {
+    Job& job = jobs_[static_cast<std::size_t>(j)];
+    const std::size_t idx = job.base + static_cast<std::size_t>(s);
+    if (started_[idx]) return;
+    if (dag_ready_[idx] == k_no_time || arrived_[idx] == k_no_time) return;
+    if (needs_[idx] && !config_done_[idx]) return;
+    if (!job.init_done) return;  // stored schedule waits for the init phase
+    started_[idx] = 1;
+    exec_end_[idx] = t + job.prep->graph->subtask(s).exec_time;
+    events_.push({exec_end_[idx], k_ev_exec_done, j, s});
+  }
+
+  // -- the shared reconfiguration port -----------------------------------
+
+  /// Next serviceable load of one live instance under its own policy, or
+  /// k_no_subtask. Pure scan; the caller starts the load explicitly.
+  SubtaskId job_candidate(const Job& job) const {
+    const SubtaskGraph& graph = *job.prep->graph;
+    switch (job.policy) {
+      case LoadPolicy::explicit_order: {
+        for (std::size_t i = job.next_explicit; i < job.order.size(); ++i) {
+          const SubtaskId s = job.order[i];
+          const std::size_t idx = job.base + static_cast<std::size_t>(s);
+          if (load_started_[idx]) continue;
+          // Initialization-phase loads are not gated on the unit order —
+          // they precede every execution of the instance.
+          if (i >= job.init_count && arrived_[idx] == k_no_time)
+            return k_no_subtask;  // head-of-line block
+          return s;
+        }
+        return k_no_subtask;
+      }
+      case LoadPolicy::priority: {
+        SubtaskId best = k_no_subtask;
+        for (std::size_t s = 0; s < graph.size(); ++s) {
+          const std::size_t idx = job.base + s;
+          if (!needs_[idx] || load_started_[idx] ||
+              arrived_[idx] == k_no_time)
+            continue;
+          if (best == k_no_subtask ||
+              job.prep->weights[s] >
+                  job.prep->weights[static_cast<std::size_t>(best)])
+            best = static_cast<SubtaskId>(s);
+        }
+        return best;
+      }
+      case LoadPolicy::on_demand: {
+        SubtaskId best = k_no_subtask;
+        time_us best_ready = 0;
+        for (std::size_t s = 0; s < graph.size(); ++s) {
+          const std::size_t idx = job.base + s;
+          if (!needs_[idx] || load_started_[idx] ||
+              arrived_[idx] == k_no_time || dag_ready_[idx] == k_no_time)
+            continue;
+          if (best == k_no_subtask || dag_ready_[idx] < best_ready) {
+            best = static_cast<SubtaskId>(s);
+            best_ready = dag_ready_[idx];
+          }
+        }
+        return best;
+      }
+    }
+    return k_no_subtask;
+  }
+
+  void start_job_load(std::int32_t j, SubtaskId s, std::size_t port,
+                      time_us t) {
+    Job& job = jobs_[static_cast<std::size_t>(j)];
+    const std::size_t idx = job.base + static_cast<std::size_t>(s);
+    load_started_[idx] = 1;
+    ++inflight_[job.prep->graph->subtask(s).config];
+    const time_us duration = load_duration(job, s);
+    port_free_[port] = t + duration;
+    port_busy_ += duration;
+    ++job.loads;
+    if (job.policy == LoadPolicy::explicit_order)
+      while (job.next_explicit < job.order.size() &&
+             load_started_[job.base + static_cast<std::size_t>(
+                                          job.order[job.next_explicit])])
+        ++job.next_explicit;
+    events_.push({t + duration, k_ev_load_done, j, s});
+  }
+
+  /// True while any load of `config` — a live instance's own load on any
+  /// port, or a backlog prefetch — is in flight. Prefetching a config that
+  /// is about to become resident anyway would double the port time.
+  bool config_in_flight(ConfigId config) const {
+    return inflight_.count(config) > 0;
+  }
+
+  /// Candidate loads of one prepared scenario, computed once per distinct
+  /// preparation (the stream repeats few graphs; the weight sort of the
+  /// runtime_intertask variant is not free on every idle-port event).
+  const std::vector<SubtaskId>& cached_candidates(
+      const PreparedScenario* prep) {
+    const auto it = candidate_cache_.find(prep);
+    if (it != candidate_cache_.end()) return it->second;
+    return candidate_cache_
+        .emplace(prep, intertask_prefetch_candidates(
+                           *prep, options_.approach,
+                           options_.intertask_beyond_critical))
+        .first->second;
+  }
+
+  /// Prefetches one configuration for a queued (arrived, unadmitted)
+  /// instance onto a free tile. Returns true if a load was started.
+  bool start_backlog_prefetch(std::size_t port, time_us t) {
+    if (next_admit_ >= jobs_.size() || !jobs_[next_admit_].arrived)
+      return false;  // empty backlog: the common idle-port case, O(1)
+    // Configurations the queue's head wants must not be evicted from free
+    // tiles — that would trade a hidden load for an exposed one.
+    // protected_scratch_ is a member: no allocation on the event path.
+    std::fill(protected_scratch_.begin(), protected_scratch_.end(), 0);
+    {
+      const SubtaskGraph& head = *jobs_[next_admit_].prep->graph;
+      for (std::size_t t2 = 0; t2 < held_.size(); ++t2) {
+        const ConfigId resident =
+            store_.config_on(static_cast<PhysTileId>(t2));
+        if (resident == k_no_config) continue;
+        for (std::size_t s = 0; s < head.size(); ++s)
+          if (head.subtask(static_cast<SubtaskId>(s)).config == resident) {
+            protected_scratch_[t2] = 1;
+            break;
+          }
+      }
+    }
+    int scanned = 0;
+    for (std::size_t j = next_admit_;
+         j < jobs_.size() && scanned < options_.intertask_lookahead; ++j) {
+      const Job& queued = jobs_[j];
+      if (!queued.arrived || queued.admitted) break;  // FIFO arrival order
+      ++scanned;
+      for (const SubtaskId s : cached_candidates(queued.prep)) {
+        const ConfigId config = queued.prep->graph->subtask(s).config;
+        if (config == k_no_config || store_.holds(config) ||
+            config_in_flight(config))
+          continue;
+        // Victim among free, unreserved, unprotected tiles: empty first,
+        // then lowest value, then least recently used.
+        PhysTileId victim = k_no_phys_tile;
+        for (int p = 0; p < store_.tiles(); ++p) {
+          const auto idx = static_cast<std::size_t>(p);
+          if (held_[idx] || reserved_[idx] || protected_scratch_[idx])
+            continue;
+          if (store_.config_on(p) == k_no_config) {
+            victim = p;
+            break;
+          }
+          bool better = victim == k_no_phys_tile;
+          if (!better) {
+            if (store_.value_of(p) != store_.value_of(victim))
+              better = store_.value_of(p) < store_.value_of(victim);
+            else
+              better = store_.last_used(p) < store_.last_used(victim);
+          }
+          if (better) victim = p;
+        }
+        if (victim == k_no_phys_tile) return false;  // pool exhausted
+        const auto vidx = static_cast<std::size_t>(victim);
+        reserved_[vidx] = 1;
+        ++inflight_[config];
+        prefetch_config_[vidx] = config;
+        prefetch_value_[vidx] = static_cast<double>(
+            values_for(queued)[static_cast<std::size_t>(s)]);
+        const time_us duration = load_duration(queued, s);
+        port_free_[port] = t + duration;
+        port_busy_ += duration;
+        ++report_.sim.intertask_prefetches;
+        ++report_.sim.loads;
+        report_.sim.energy += options_.platform.reconfig_energy;
+        events_.push({t + duration, k_ev_load_done, -1,
+                      static_cast<SubtaskId>(victim)});
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void try_port(time_us t) {
+    for (;;) {
+      std::size_t port = 0;
+      for (std::size_t p = 1; p < port_free_.size(); ++p)
+        if (port_free_[p] < port_free_[port]) port = p;
+      if (port_free_[port] > t) return;  // its LoadDone will retrigger us
+
+      std::int32_t best_job = -1;
+      SubtaskId best_subtask = k_no_subtask;
+      for (const std::int32_t j : live_) {
+        const Job& job = jobs_[static_cast<std::size_t>(j)];
+        const SubtaskId s = job_candidate(job);
+        if (s == k_no_subtask) continue;
+        if (options_.port_discipline == PortDiscipline::fifo) {
+          best_job = j;
+          best_subtask = s;
+          break;  // live_ is in admission order
+        }
+        if (best_job == -1 ||
+            job.prep->weights[static_cast<std::size_t>(s)] >
+                jobs_[static_cast<std::size_t>(best_job)]
+                    .prep->weights[static_cast<std::size_t>(best_subtask)]) {
+          best_job = j;
+          best_subtask = s;
+        }
+      }
+      if (best_job != -1) {
+        start_job_load(best_job, best_subtask, port, t);
+        continue;
+      }
+      if (intertask_enabled() && start_backlog_prefetch(port, t)) continue;
+      return;
+    }
+  }
+
+  // -- event handlers ----------------------------------------------------
+
+  void on_arrival(std::int32_t j, time_us t) {
+    jobs_[static_cast<std::size_t>(j)].arrived = true;
+    try_admit(t);
+    try_port(t);
+  }
+
+  void on_load_done(std::int32_t j, SubtaskId s, time_us t) {
+    if (j < 0) {  // backlog prefetch completion; `s` carries the tile
+      const auto tile = static_cast<std::size_t>(s);
+      store_.record_load(static_cast<PhysTileId>(tile),
+                         prefetch_config_[tile], t, prefetch_value_[tile]);
+      release_inflight(prefetch_config_[tile]);
+      reserved_[tile] = 0;
+      prefetch_config_[tile] = k_no_config;
+      try_admit(t);
+      try_port(t);
+      return;
+    }
+    Job& job = jobs_[static_cast<std::size_t>(j)];
+    const std::size_t idx = job.base + static_cast<std::size_t>(s);
+    config_done_[idx] = 1;
+    release_inflight(job.prep->graph->subtask(s).config);
+    const TileId tile =
+        job.prep->placement.tile_of[static_cast<std::size_t>(s)];
+    store_.record_load(
+        job.phys_of_tile[static_cast<std::size_t>(tile)],
+        job.prep->graph->subtask(s).config, t,
+        static_cast<double>(values_for(job)[static_cast<std::size_t>(s)]));
+    if (init_load_[idx] && --job.init_pending == 0) {
+      job.init_done = true;
+      // The stored schedule starts now: release every execution whose other
+      // gates already fired.
+      for (std::size_t k = 0; k < job.prep->graph->size(); ++k)
+        try_exec(j, static_cast<SubtaskId>(k), t);
+    }
+    try_exec(j, s, t);
+    try_port(t);
+  }
+
+  void on_comm_arrival(std::int32_t j, SubtaskId s, time_us t) {
+    Job& job = jobs_[static_cast<std::size_t>(j)];
+    if (--preds_left_[job.base + static_cast<std::size_t>(s)] == 0)
+      mark_dag_ready(j, s, t);
+  }
+
+  void on_exec_done(std::int32_t j, SubtaskId s, time_us t) {
+    Job& job = jobs_[static_cast<std::size_t>(j)];
+    const SubtaskGraph& graph = *job.prep->graph;
+    const Placement& placement = job.prep->placement;
+    const std::size_t idx = job.base + static_cast<std::size_t>(s);
+    finished_[idx] = 1;
+    ++job.finished_count;
+
+    const TileId tile = placement.tile_of[static_cast<std::size_t>(s)];
+    const auto& seq =
+        tile != k_no_tile
+            ? placement.tile_sequence[static_cast<std::size_t>(tile)]
+            : placement.isp_sequence[static_cast<std::size_t>(
+                  placement.isp_of[static_cast<std::size_t>(s)])];
+    const auto pos =
+        static_cast<std::size_t>(placement.position_of[static_cast<std::size_t>(s)]);
+    if (pos + 1 < seq.size()) mark_arrival(j, seq[pos + 1], t);
+    if (tile != k_no_tile)
+      store_.record_use(job.phys_of_tile[static_cast<std::size_t>(tile)], t);
+
+    for (SubtaskId succ : graph.successors(s)) {
+      const time_us comm = edge_comm(job, s, succ);
+      if (comm == 0) {
+        if (--preds_left_[job.base + static_cast<std::size_t>(succ)] == 0)
+          mark_dag_ready(j, succ, t);
+      } else {
+        events_.push({t + comm, k_ev_comm, j, succ});
+      }
+    }
+    if (job.finished_count == graph.size()) retire(j, t);
+    try_port(t);
+  }
+
+  void release_inflight(ConfigId config) {
+    const auto it = inflight_.find(config);
+    DRHW_CHECK(it != inflight_.end() && it->second > 0);
+    if (--it->second == 0) inflight_.erase(it);
+  }
+
+  time_us edge_comm(const Job& job, SubtaskId from, SubtaskId to) const {
+    const Placement& placement = job.prep->placement;
+    const auto f = static_cast<std::size_t>(from);
+    const auto g = static_cast<std::size_t>(to);
+    const bool from_isp = placement.tile_of[f] == k_no_tile;
+    const bool to_isp = placement.tile_of[g] == k_no_tile;
+    return icn_comm_latency(
+        options_.platform,
+        from_isp ? placement.isp_of[f] : placement.tile_of[f], from_isp,
+        to_isp ? placement.isp_of[g] : placement.tile_of[g], to_isp);
+  }
+
+  void retire(std::int32_t j, time_us t) {
+    Job& job = jobs_[static_cast<std::size_t>(j)];
+    job.retire = t;
+    for (const PhysTileId p : job.phys_of_tile)
+      if (p != k_no_phys_tile) held_[static_cast<std::size_t>(p)] = 0;
+    live_.erase(std::find(live_.begin(), live_.end(), j));
+
+    // Accounting, mirroring the sequential simulator's account().
+    const SubtaskGraph& graph = *job.prep->graph;
+    const time_us span = t - job.admit;
+    report_.spans[static_cast<std::size_t>(j)] = span;  // arrival order
+    report_.sim.total_ideal += job.prep->ideal;
+    report_.sim.total_actual += span;
+    ++report_.sim.instances;
+    long drhw = 0;
+    double exec_energy = 0.0;
+    for (std::size_t s = 0; s < graph.size(); ++s) {
+      if (job.prep->placement.on_drhw(static_cast<SubtaskId>(s))) ++drhw;
+      exec_energy += graph.subtask(static_cast<SubtaskId>(s)).exec_energy;
+    }
+    report_.sim.drhw_subtask_instances += drhw;
+    report_.sim.loads += job.loads;
+    report_.sim.init_loads += static_cast<long>(job.init_count);
+    report_.sim.energy +=
+        exec_energy +
+        options_.platform.reconfig_energy * static_cast<double>(job.loads);
+    report_.sim.energy_saved += options_.platform.reconfig_energy *
+                            static_cast<double>(drhw - job.loads);
+    response_sum_ += static_cast<double>(t - job.arrival);
+    response_max_ = std::max(response_max_, t - job.arrival);
+    horizon_ = std::max(horizon_, t);
+
+    if (options_.arrivals.kind == ArrivalProcess::Kind::closed_loop) {
+      const auto next = static_cast<std::size_t>(j) + 1;
+      if (next < jobs_.size()) {
+        jobs_[next].arrival = t + options_.arrivals.think_time;
+        events_.push({jobs_[next].arrival, k_ev_arrival,
+                      static_cast<std::int32_t>(next), k_no_subtask});
+      }
+    }
+    try_admit(t);
+  }
+
+  void finalize() {
+    if (report_.sim.total_ideal > 0)
+      report_.sim.overhead_pct =
+          100.0 *
+          static_cast<double>(report_.sim.total_actual -
+                              report_.sim.total_ideal) /
+          static_cast<double>(report_.sim.total_ideal);
+    if (report_.sim.drhw_subtask_instances > 0)
+      report_.sim.reuse_pct =
+          100.0 * static_cast<double>(report_.sim.reused_subtasks) /
+          static_cast<double>(report_.sim.drhw_subtask_instances);
+    report_.horizon = horizon_;
+    const auto n = static_cast<double>(jobs_.size());
+    if (!jobs_.empty()) {
+      report_.mean_response_ms = response_sum_ / n / 1000.0;
+      report_.mean_queueing_ms = queue_sum_ / n / 1000.0;
+    }
+    report_.max_response_ms = to_ms(response_max_);
+    report_.max_queueing_ms = to_ms(queue_max_);
+    time_us busy_horizon = horizon_;
+    for (const time_us p : port_free_)
+      busy_horizon = std::max(busy_horizon, p);
+    if (busy_horizon > 0)
+      report_.port_utilisation_pct =
+          100.0 * static_cast<double>(port_busy_) /
+          (static_cast<double>(busy_horizon) *
+           static_cast<double>(port_free_.size()));
+  }
+
+  using EventQueue =
+      std::priority_queue<Event, std::vector<Event>, std::greater<>>;
+
+  OnlineSimOptions options_;
+  ConfigStore store_;
+  Rng bind_rng_;
+  std::vector<Job> jobs_;
+  EventQueue events_;
+  std::vector<std::int32_t> live_;  ///< admitted, unretired; admission order
+  std::size_t next_admit_ = 0;
+
+  // Per-subtask state arenas (indexed job.base + subtask id).
+  std::vector<int> preds_left_;
+  std::vector<time_us> dag_ready_, arrived_, exec_end_;
+  std::vector<char> started_, finished_, load_started_, config_done_, needs_,
+      init_load_;
+
+  // Tile pool and port state.
+  std::vector<char> held_, reserved_;
+  std::vector<ConfigId> prefetch_config_;
+  std::vector<double> prefetch_value_;
+  std::vector<time_us> port_free_;
+  time_us port_busy_ = 0;
+  std::vector<char> protected_scratch_;  ///< backlog-prefetch scratch
+  std::unordered_map<ConfigId, int> inflight_;  ///< loads in flight per config
+  std::unordered_map<const PreparedScenario*, std::vector<SubtaskId>>
+      candidate_cache_;
+  NextUseIndex next_use_index_;  ///< oracle policy only
+
+  // Online metric accumulators.
+  double response_sum_ = 0.0;
+  double queue_sum_ = 0.0;
+  time_us response_max_ = 0;
+  time_us queue_max_ = 0;
+  time_us horizon_ = 0;
+
+  OnlineReport report_;
+};
+
+}  // namespace
+
+OnlineReport run_online_simulation(const OnlineSimOptions& options,
+                                   const IterationSampler& sampler) {
+  return OnlineSimulation(options, sampler).run();
+}
+
+}  // namespace drhw

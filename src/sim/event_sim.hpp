@@ -1,0 +1,132 @@
+#pragma once
+
+/// \file event_sim.hpp
+/// Event-driven *online* multi-task simulation kernel.
+///
+/// The Section 7 rig (system_sim.hpp) executes task instances strictly one
+/// after another, so the reconfiguration port is never contended between
+/// concurrently-live tasks. This kernel opens that regime: task instances
+/// arrive from a stochastic process, queue for admission onto the shared
+/// physical tile pool (FIFO, head-of-line), and — once live — compete for
+/// the platform's reconfiguration port(s) with every other live instance.
+///
+/// Model:
+///  * One global event queue (task arrival, load start/complete, subtask
+///    execution complete, instance retire) drives absolute simulated time.
+///  * Admission: an arrived instance is admitted when enough tiles are free
+///    for its placement; binding onto the free tiles goes through the
+///    existing ConfigStore / bind_tiles reuse machinery, so configurations
+///    left behind by retired instances are reused across live instances.
+///  * The reconfiguration port is an explicit shared resource serving one
+///    load at a time (per port). Arbitration between live instances is
+///    either fifo (oldest admitted instance first) or priority (highest
+///    ALAP-weight load first). Within one instance the load order follows
+///    the instance's own Approach, exactly as in the single-instance
+///    evaluator: on-demand, priority, or explicit/stored order with
+///    head-of-line semantics.
+///  * The hybrid's initialization-phase loads become ordinary port requests
+///    — they can be delayed by a competing instance's in-flight load, and
+///    the instance's stored schedule begins only when they all completed.
+///  * Inter-task prefetch (runtime_intertask, hybrid): when no live
+///    instance has a serviceable load, the port prefetches critical
+///    configurations for *queued* (arrived, not yet admitted) instances
+///    onto free tiles, reserving the target tile until the load completes.
+///
+/// Determinism: the instance stream and every arrival gap are drawn up
+/// front from seeded generators, so a run is bit-identical across repeats
+/// and across campaign-runner thread counts. At arrival rate -> 0 (no two
+/// instances ever live together, single port) the per-instance makespans
+/// reduce exactly to the sequential simulator's spans on the same sampler
+/// stream — see tests/test_event_sim.cpp.
+///
+/// ISPs are per-instance (each instance brings its own ISP context);
+/// modelling ISP contention is an open item, as are preemption and
+/// defragmentation (see ROADMAP.md).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/system_sim.hpp"
+
+namespace drhw {
+
+/// Stochastic arrival process of the online workload. One "arrival" is one
+/// task instance of the flattened sampler stream.
+struct ArrivalProcess {
+  enum class Kind {
+    /// Independent exponential inter-arrival gaps (mean rate `rate_per_s`).
+    poisson,
+    /// Bursts of `burst_size` instances spaced `intra_burst_gap` apart;
+    /// exponential gaps between burst starts (mean `rate_per_s` bursts/s).
+    bursty,
+    /// Exactly one instance outstanding: the next instance arrives
+    /// `think_time` after the previous one retires (saturation probe).
+    closed_loop,
+  };
+  Kind kind = Kind::poisson;
+  double rate_per_s = 20.0;
+  int burst_size = 4;
+  time_us intra_burst_gap = 0;
+  time_us think_time = ms(1);
+
+  /// Throws std::invalid_argument when the description is unusable.
+  void validate() const;
+};
+
+const char* to_string(ArrivalProcess::Kind kind);
+ArrivalProcess::Kind arrival_kind_from_string(const std::string& text);
+
+/// Arbitration between live instances at the shared reconfiguration port.
+enum class PortDiscipline {
+  fifo,      ///< oldest admitted instance with a serviceable load first
+  priority,  ///< highest ALAP-weight serviceable load first
+};
+
+const char* to_string(PortDiscipline discipline);
+
+struct OnlineSimOptions {
+  PlatformConfig platform;
+  Approach approach = Approach::hybrid;
+  ReplacementPolicy replacement = ReplacementPolicy::lru;
+  ArrivalProcess arrivals;
+  PortDiscipline port_discipline = PortDiscipline::fifo;
+  /// Inter-task (backlog) prefetch toggle for the hybrid approach, mirroring
+  /// SimOptions::hybrid_intertask; runtime_intertask always prefetches.
+  bool hybrid_intertask = true;
+  /// Continue prefetching a queued hybrid task's stored (non-critical)
+  /// loads once its CS is resident, mirroring
+  /// SimOptions::intertask_beyond_critical.
+  bool intertask_beyond_critical = false;
+  /// How many queued instances the backlog prefetch may serve.
+  int intertask_lookahead = 1;
+  std::uint64_t seed = 1;
+  /// Sampler batches to draw (the flattened instances of these batches form
+  /// the arrival stream) — same workload volume as a sequential run with
+  /// the same iteration count.
+  int iterations = 1000;
+};
+
+/// Aggregate results of one online simulation.
+struct OnlineReport {
+  /// The sequential simulator's metrics, identically defined (overhead is
+  /// measured on per-instance spans, i.e. excludes queueing time).
+  SimReport sim;
+  /// Completion time of the last instance (simulated time).
+  time_us horizon = 0;
+  double mean_response_ms = 0.0;  ///< retire - arrival, mean over instances
+  double max_response_ms = 0.0;
+  double mean_queueing_ms = 0.0;  ///< admission - arrival (tile wait)
+  double max_queueing_ms = 0.0;
+  double port_utilisation_pct = 0.0;  ///< port busy time / (ports * horizon)
+  /// Per-instance admit -> retire spans in arrival order (equivalence
+  /// tests; size == sim.instances).
+  std::vector<time_us> spans;
+};
+
+/// Runs the online simulation. The sampler (and everything its instances
+/// point to) must outlive the call.
+OnlineReport run_online_simulation(const OnlineSimOptions& options,
+                                   const IterationSampler& sampler);
+
+}  // namespace drhw

@@ -33,6 +33,51 @@ const char* to_string(Approach approach) {
   return "?";
 }
 
+bool approach_uses_reuse(Approach approach) {
+  return approach == Approach::runtime_heuristic ||
+         approach == Approach::runtime_intertask ||
+         approach == Approach::hybrid;
+}
+
+bool approach_uses_intertask(Approach approach, bool hybrid_intertask) {
+  return approach == Approach::runtime_intertask ||
+         (approach == Approach::hybrid && hybrid_intertask);
+}
+
+std::vector<SubtaskId> intertask_prefetch_candidates(
+    const PreparedScenario& future, Approach approach, bool beyond_critical) {
+  if (approach == Approach::runtime_intertask) {
+    // The run-time heuristic has no CS concept: it prefetches whatever it
+    // would load first, i.e. every DRHW subtask by descending weight.
+    std::vector<SubtaskId> candidates;
+    for (std::size_t s = 0; s < future.graph->size(); ++s)
+      if (future.placement.on_drhw(static_cast<SubtaskId>(s)))
+        candidates.push_back(static_cast<SubtaskId>(s));
+    std::sort(candidates.begin(), candidates.end(),
+              [&](SubtaskId a, SubtaskId b) {
+                const auto wa = future.weights[static_cast<std::size_t>(a)];
+                const auto wb = future.weights[static_cast<std::size_t>(b)];
+                if (wa != wb) return wa > wb;
+                return a < b;
+              });
+    return candidates;
+  }
+  std::vector<SubtaskId> candidates = future.hybrid.critical;
+  if (beyond_critical)
+    for (SubtaskId s : future.hybrid.stored_order) candidates.push_back(s);
+  return candidates;
+}
+
+NextUseRank NextUseIndex::rank_from(long position) const {
+  return [this, position](ConfigId c) -> long {
+    const auto it = positions_.find(c);
+    if (it == positions_.end()) return std::numeric_limits<long>::max();
+    const auto pos =
+        std::lower_bound(it->second.begin(), it->second.end(), position);
+    return pos == it->second.end() ? std::numeric_limits<long>::max() : *pos;
+  };
+}
+
 PreparedScenario prepare_scenario(const SubtaskGraph& graph, int tiles,
                                   const PlatformConfig& platform,
                                   const HybridDesignOptions& options) {
@@ -120,6 +165,7 @@ class SystemSimulation {
       if (queue_.empty()) break;
       const QueuedInstance current = queue_.front();
       queue_.pop_front();
+      ++consumed_;
       refill();
       // The inter-task optimisation can only look at tasks the run-time
       // scheduler has already emitted — within the same iteration batch,
@@ -140,18 +186,23 @@ class SystemSimulation {
   }
 
  private:
-  static bool uses_reuse(Approach a) {
-    return a == Approach::runtime_heuristic ||
-           a == Approach::runtime_intertask || a == Approach::hybrid;
-  }
   bool intertask_enabled() const {
-    return options_.approach == Approach::runtime_intertask ||
-           (options_.approach == Approach::hybrid && options_.hybrid_intertask);
+    return approach_uses_intertask(options_.approach,
+                                   options_.hybrid_intertask);
   }
 
   void refill() {
+    // The oracle replacement policy is entitled to the full remaining
+    // instance stream (it *is* an oracle): draw every iteration up front so
+    // that "needed just past the lookahead window" and "never needed again"
+    // rank differently. Eager drawing is stream-equivalent — the sampler is
+    // the only rng_ consumer under the oracle policy, so the drawn sequence
+    // is identical to the lazy one. Other policies keep the lazy window.
     const auto want =
-        static_cast<std::size_t>(std::max(2, options_.intertask_lookahead + 1));
+        options_.replacement == ReplacementPolicy::oracle
+            ? std::numeric_limits<std::size_t>::max()
+            : static_cast<std::size_t>(
+                  std::max(2, options_.intertask_lookahead + 1));
     while (queue_.size() < want && iterations_drawn_ < options_.iterations) {
       auto batch = sampler_(rng_);
       ++iterations_drawn_;
@@ -175,30 +226,31 @@ class SystemSimulation {
     return own != k_no_time ? own : options_.platform.reconfig_latency;
   }
 
-  /// Oracle help: rank of the next instance (0 = next) whose graph uses the
-  /// config, or a large value when it does not appear in the horizon.
+  /// Oracle help: rank of the config's next use, or a large value when it
+  /// is never used again. Under the oracle policy refill() has drawn the
+  /// whole remaining stream, so the ranking covers every future instance,
+  /// not just a lookahead window — and the NextUseIndex is built once
+  /// instead of rescanning the O(instances) queue on every step.
   NextUseRank make_next_use_oracle() {
-    std::unordered_map<ConfigId, long> rank;
-    long position = 0;
-    for (const QueuedInstance& queued : queue_) {
-      const SubtaskGraph& g = *queued.scenario->graph;
-      for (std::size_t s = 0; s < g.size(); ++s) {
-        const ConfigId c = g.subtask(static_cast<SubtaskId>(s)).config;
-        rank.try_emplace(c, position);
+    if (!oracle_index_built_) {
+      oracle_index_built_ = true;
+      long position = consumed_;
+      for (const QueuedInstance& queued : queue_) {
+        const SubtaskGraph& g = *queued.scenario->graph;
+        for (std::size_t s = 0; s < g.size(); ++s)
+          next_use_index_.add(g.subtask(static_cast<SubtaskId>(s)).config,
+                              position);
+        ++position;
       }
-      ++position;
     }
-    return [rank = std::move(rank)](ConfigId c) -> long {
-      const auto it = rank.find(c);
-      return it == rank.end() ? std::numeric_limits<long>::max() : it->second;
-    };
+    return next_use_index_.rank_from(consumed_);
   }
 
   void step(const PreparedScenario& inst,
             const std::vector<const PreparedScenario*>& upcoming) {
     const SubtaskGraph& graph = *inst.graph;
     const Placement& placement = inst.placement;
-    const bool reuse_on = uses_reuse(options_.approach);
+    const bool reuse_on = approach_uses_reuse(options_.approach);
 
     Binding binding;
     if (reuse_on) {
@@ -226,6 +278,7 @@ class SystemSimulation {
       tail_prefetch(inst, binding, sched, upcoming);
 
     account(inst, binding, sched);
+    if (options_.record_spans) report_.spans.push_back(sched.span);
     clock_ += sched.span;
   }
 
@@ -302,32 +355,6 @@ class SystemSimulation {
     }
   }
 
-  /// Candidate loads one future task would want prefetched, in
-  /// initialization order.
-  std::vector<SubtaskId> prefetch_candidates(
-      const PreparedScenario& future) const {
-    if (options_.approach == Approach::runtime_intertask) {
-      // The run-time heuristic has no CS concept: it prefetches whatever it
-      // would load first, i.e. every DRHW subtask by descending weight.
-      std::vector<SubtaskId> candidates;
-      for (std::size_t s = 0; s < future.graph->size(); ++s)
-        if (future.placement.on_drhw(static_cast<SubtaskId>(s)))
-          candidates.push_back(static_cast<SubtaskId>(s));
-      std::sort(candidates.begin(), candidates.end(),
-                [&](SubtaskId a, SubtaskId b) {
-                  const auto wa = future.weights[static_cast<std::size_t>(a)];
-                  const auto wb = future.weights[static_cast<std::size_t>(b)];
-                  if (wa != wb) return wa > wb;
-                  return a < b;
-                });
-      return candidates;
-    }
-    std::vector<SubtaskId> candidates = future.hybrid.critical;
-    if (options_.intertask_beyond_critical)
-      for (SubtaskId s : future.hybrid.stored_order) candidates.push_back(s);
-    return candidates;
-  }
-
   void tail_prefetch(const PreparedScenario& inst, const Binding& binding,
                      const InstanceSchedule& sched,
                      const std::vector<const PreparedScenario*>& upcoming) {
@@ -346,10 +373,11 @@ class SystemSimulation {
     std::vector<time_us> tile_free(
         static_cast<std::size_t>(store_.tiles()), clock_);
     for (int v = 0; v < placement.tiles_used; ++v) {
-      const auto phys = static_cast<std::size_t>(
-          binding.phys_of_tile[static_cast<std::size_t>(v)]);
-      tile_free[phys] = offset + sched.eval.tile_last_exec_end
-                                     [static_cast<std::size_t>(v)];
+      const PhysTileId phys = binding.phys_of_tile[static_cast<std::size_t>(v)];
+      if (phys == k_no_phys_tile) continue;  // empty virtual tile, unbound
+      tile_free[static_cast<std::size_t>(phys)] =
+          offset +
+          sched.eval.tile_last_exec_end[static_cast<std::size_t>(v)];
     }
 
     // Walk the emitted sequence outward. Configurations wanted by the
@@ -383,7 +411,9 @@ class SystemSimulation {
     for (const PreparedScenario* future : upcoming) {
       const SubtaskGraph& future_graph = *future->graph;
 
-      for (SubtaskId s : prefetch_candidates(*future)) {
+      for (SubtaskId s : intertask_prefetch_candidates(
+               *future, options_.approach,
+               options_.intertask_beyond_critical)) {
         const ConfigId config = future_graph.subtask(s).config;
         if (store_.holds(config)) continue;
         const time_us duration = load_duration(future_graph, s);
@@ -486,6 +516,11 @@ class SystemSimulation {
   ConfigStore store_;
   std::deque<QueuedInstance> queue_;
   int iterations_drawn_ = 0;
+  long consumed_ = 0;  ///< instances popped off the queue so far
+  /// Built once, on the first bind under the oracle policy (the queue then
+  /// holds the whole remaining stream).
+  bool oracle_index_built_ = false;
+  NextUseIndex next_use_index_;
   time_us clock_ = 0;
   SimReport report_;
 };

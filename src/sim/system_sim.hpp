@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <unordered_map>
 #include <vector>
 
 #include "platform/platform.hpp"
@@ -38,6 +39,20 @@ enum class Approach {
 
 const char* to_string(Approach approach);
 
+/// All five approaches in the paper's presentation order — the single
+/// authoritative list for registries, CLIs, benches and tests.
+inline constexpr Approach k_all_approaches[5] = {
+    Approach::no_prefetch, Approach::design_time_prefetch,
+    Approach::runtime_heuristic, Approach::runtime_intertask,
+    Approach::hybrid};
+
+/// True when `approach` runs the reuse/replacement modules of Figure 2.
+bool approach_uses_reuse(Approach approach);
+
+/// True when `approach` performs the Section 6 inter-task optimisation
+/// (the sequential tail prefetch / the online backlog prefetch).
+bool approach_uses_intertask(Approach approach, bool hybrid_intertask);
+
 /// Everything precomputed at design time for one (task, scenario) pair on a
 /// given platform. Instances reference these by pointer, so the owning
 /// container must outlive the simulation.
@@ -57,6 +72,33 @@ struct PreparedScenario {
 PreparedScenario prepare_scenario(const SubtaskGraph& graph, int tiles,
                                   const PlatformConfig& platform,
                                   const HybridDesignOptions& options = {});
+
+/// Candidate loads one future task would want prefetched, in initialization
+/// order. runtime_intertask has no CS concept and prefetches every DRHW
+/// subtask by descending weight; the hybrid prefetches its CS order, plus
+/// the stored order when `beyond_critical`. Shared by the sequential tail
+/// prefetch and the online backlog prefetch — the two must stay in
+/// lockstep for the rate->0 equivalence between the simulators.
+std::vector<SubtaskId> intertask_prefetch_candidates(
+    const PreparedScenario& future, Approach approach, bool beyond_critical);
+
+/// Next-use index for the oracle replacement policy: per-config stream
+/// positions, added in non-decreasing order. rank_from(p) yields, per
+/// config, the absolute position of its first use at or after p (or a
+/// large value when it is never used again) — order-preserving, which is
+/// all the replacement module compares. Shared by both simulators so their
+/// oracle semantics stay in lockstep.
+class NextUseIndex {
+ public:
+  void add(ConfigId config, long position) {
+    positions_[config].push_back(position);
+  }
+  /// The returned closure references this index and must not outlive it.
+  NextUseRank rank_from(long position) const;
+
+ private:
+  std::unordered_map<ConfigId, std::vector<long>> positions_;
+};
 
 /// Replaces the per-scenario replacement values of one task's scenarios by
 /// scenario-mix-stable values: criticality *fraction* times the bonus plus
@@ -96,6 +138,9 @@ struct SimOptions {
   int intertask_lookahead = 1;
   std::uint64_t seed = 1;
   int iterations = 1000;
+  /// Collect the per-instance spans into SimReport::spans (equivalence
+  /// tests against the online kernel; off by default to keep reports small).
+  bool record_spans = false;
 };
 
 /// Aggregate results over all iterations.
@@ -113,6 +158,8 @@ struct SimReport {
   long intertask_prefetches = 0;
   double energy = 0.0;        ///< exec + reconfiguration energy
   double energy_saved = 0.0;  ///< reconfiguration energy avoided via reuse
+  /// Per-instance spans in stream order (only when SimOptions::record_spans).
+  std::vector<time_us> spans;
 };
 
 /// Simulates `options.iterations` iterations of the sampler's stream.

@@ -1,0 +1,324 @@
+// Tests for the event-driven online simulation kernel: determinism (rerun
+// and campaign-thread-count invariance), rate -> 0 equivalence against the
+// sequential Section 7 simulator, contention behaviour on the shared port
+// and tile pool, and the arrival processes.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "runner/campaign.hpp"
+#include "runner/report.hpp"
+#include "runner/scenario.hpp"
+#include "sim/event_sim.hpp"
+#include "sim/workloads.hpp"
+
+namespace drhw {
+namespace {
+
+struct OnlineFixture : ::testing::Test {
+  void SetUp() override {
+    platform = virtex2_platform(16);
+    workload = make_multimedia_workload(platform);
+    sampler = multimedia_sampler(*workload);
+  }
+  OnlineSimOptions options(Approach a, double rate) {
+    OnlineSimOptions opt;
+    opt.platform = platform;
+    opt.approach = a;
+    opt.arrivals.rate_per_s = rate;
+    opt.seed = 7;
+    opt.iterations = 60;
+    return opt;
+  }
+  PlatformConfig platform;
+  std::unique_ptr<MultimediaWorkload> workload;
+  IterationSampler sampler;
+};
+
+TEST_F(OnlineFixture, RerunsAreBitIdentical) {
+  for (Approach a : k_all_approaches) {
+    const auto opt = options(a, 40.0);
+    const auto r1 = run_online_simulation(opt, sampler);
+    const auto r2 = run_online_simulation(opt, sampler);
+    EXPECT_EQ(r1.spans, r2.spans) << to_string(a);
+    EXPECT_EQ(r1.sim.total_actual, r2.sim.total_actual) << to_string(a);
+    EXPECT_EQ(r1.sim.loads, r2.sim.loads) << to_string(a);
+    EXPECT_EQ(r1.mean_response_ms, r2.mean_response_ms) << to_string(a);
+    EXPECT_EQ(r1.horizon, r2.horizon) << to_string(a);
+  }
+}
+
+TEST_F(OnlineFixture, AllApproachesRunOnPoissonAndBurstyArrivals) {
+  for (Approach a : k_all_approaches) {
+    for (ArrivalProcess::Kind kind :
+         {ArrivalProcess::Kind::poisson, ArrivalProcess::Kind::bursty}) {
+      auto opt = options(a, 30.0);
+      opt.arrivals.kind = kind;
+      opt.arrivals.burst_size = 4;
+      const auto r = run_online_simulation(opt, sampler);
+      EXPECT_GT(r.sim.instances, 0) << to_string(a);
+      EXPECT_EQ(static_cast<long>(r.spans.size()), r.sim.instances);
+      EXPECT_GE(r.sim.total_actual, r.sim.total_ideal) << to_string(a);
+      EXPECT_GE(r.port_utilisation_pct, 0.0);
+      EXPECT_LE(r.port_utilisation_pct, 100.0);
+      EXPECT_GE(r.mean_response_ms, r.mean_queueing_ms);
+    }
+  }
+}
+
+/// rate -> 0: arrivals are so far apart that no two instances are ever
+/// live together, so per-instance makespans must reduce to the sequential
+/// simulator's spans on the same sampler stream. The sequential reference
+/// runs without inter-task prefetch for the intertask-capable approaches:
+/// an online scheduler with an empty backlog has nothing to prefetch for.
+TEST_F(OnlineFixture, RateToZeroMatchesSequentialSimulatorPerInstance) {
+  const struct {
+    Approach online;
+    Approach sequential;
+    bool hybrid_intertask;
+  } cases[] = {
+      {Approach::no_prefetch, Approach::no_prefetch, true},
+      {Approach::design_time_prefetch, Approach::design_time_prefetch, true},
+      {Approach::runtime_heuristic, Approach::runtime_heuristic, true},
+      {Approach::runtime_intertask, Approach::runtime_heuristic, true},
+      {Approach::hybrid, Approach::hybrid, false},
+  };
+  for (const auto& c : cases) {
+    auto opt = options(c.online, 0.0001);  // mean gap 10^4 s >> any span
+    const auto online = run_online_simulation(opt, sampler);
+
+    SimOptions seq;
+    seq.platform = platform;
+    seq.approach = c.sequential;
+    seq.hybrid_intertask = c.hybrid_intertask;
+    seq.seed = opt.seed;
+    seq.iterations = opt.iterations;
+    seq.record_spans = true;
+    const auto sequential = run_simulation(seq, sampler);
+
+    EXPECT_EQ(online.mean_queueing_ms, 0.0) << to_string(c.online);
+    ASSERT_EQ(online.spans.size(), sequential.spans.size())
+        << to_string(c.online);
+    EXPECT_EQ(online.spans, sequential.spans) << to_string(c.online);
+    EXPECT_EQ(online.sim.total_actual, sequential.total_actual);
+    EXPECT_EQ(online.sim.loads, sequential.loads) << to_string(c.online);
+    EXPECT_EQ(online.sim.reused_subtasks, sequential.reused_subtasks);
+    EXPECT_EQ(online.sim.init_loads, sequential.init_loads);
+    EXPECT_EQ(online.sim.cancelled_loads, sequential.cancelled_loads);
+  }
+}
+
+TEST_F(OnlineFixture, ContentionStretchesResponseAndLoadsThePort) {
+  const auto idle = run_online_simulation(options(Approach::no_prefetch, 0.001),
+                                          sampler);
+  const auto busy = run_online_simulation(options(Approach::no_prefetch, 80.0),
+                                          sampler);
+  // Same instance stream, so the ideal time is identical; contention can
+  // only stretch spans and responses.
+  EXPECT_EQ(idle.sim.total_ideal, busy.sim.total_ideal);
+  EXPECT_GT(busy.sim.overhead_pct, idle.sim.overhead_pct)
+      << "port contention must show up in per-instance spans";
+  EXPECT_GT(busy.mean_response_ms, idle.mean_response_ms);
+  EXPECT_GT(busy.mean_queueing_ms, 0.0);
+  EXPECT_EQ(idle.mean_queueing_ms, 0.0);
+  EXPECT_GT(busy.port_utilisation_pct, 10 * idle.port_utilisation_pct);
+}
+
+TEST_F(OnlineFixture, BacklogPrefetchHidesLoadsUnderContention) {
+  const auto without =
+      run_online_simulation(options(Approach::runtime_heuristic, 60.0),
+                            sampler);
+  const auto with =
+      run_online_simulation(options(Approach::runtime_intertask, 60.0),
+                            sampler);
+  EXPECT_GT(with.sim.intertask_prefetches, 0);
+  EXPECT_EQ(without.sim.intertask_prefetches, 0);
+  EXPECT_LT(with.sim.overhead_pct, without.sim.overhead_pct);
+  EXPECT_GT(with.sim.reuse_pct, without.sim.reuse_pct);
+
+  auto hybrid_off = options(Approach::hybrid, 60.0);
+  hybrid_off.hybrid_intertask = false;
+  EXPECT_EQ(run_online_simulation(hybrid_off, sampler).sim.intertask_prefetches,
+            0);
+}
+
+TEST(OnlineKernel, InitLoadCompletingBeforeUnitArrivalDoesNotStall) {
+  // Regression: on a one-tile platform both independent DRHW subtasks pack
+  // onto the same tile and both become critical, so the second subtask's
+  // initialization-phase load (exempt from the unit-order arrival gate)
+  // completes before the subtask "arrives" behind its tile predecessor.
+  // The arrival handler used to skip the execution re-check for subtasks
+  // with a pending load, leaving the execution unreleased forever and
+  // aborting the run with "online simulation stalled".
+  const PlatformConfig platform = virtex2_platform(1);
+  SubtaskGraph graph("packed");
+  graph.add_subtask({"a", ms(10), Resource::drhw});
+  graph.add_subtask({"b", ms(10), Resource::drhw});
+  graph.finalize();
+  const PreparedScenario prepared =
+      prepare_scenario(graph, platform.tiles, platform);
+  const IterationSampler sampler = [&](Rng&) {
+    return std::vector<const PreparedScenario*>{&prepared};
+  };
+
+  OnlineSimOptions opt;
+  opt.platform = platform;
+  opt.approach = Approach::hybrid;
+  opt.arrivals.rate_per_s = 10.0;
+  opt.iterations = 5;
+  const auto r = run_online_simulation(opt, sampler);
+  EXPECT_EQ(r.sim.instances, 5);
+  EXPECT_EQ(r.spans.size(), 5u);
+}
+
+TEST_F(OnlineFixture, ClosedLoopNeverQueues) {
+  auto opt = options(Approach::runtime_heuristic, 0.0);
+  opt.arrivals.kind = ArrivalProcess::Kind::closed_loop;
+  opt.arrivals.think_time = ms(2);
+  opt.iterations = 30;
+  const auto r = run_online_simulation(opt, sampler);
+  EXPECT_GT(r.sim.instances, 0);
+  // Exactly one instance is outstanding at a time: admission is immediate.
+  EXPECT_EQ(r.mean_queueing_ms, 0.0);
+  EXPECT_EQ(r.max_queueing_ms, 0.0);
+}
+
+TEST_F(OnlineFixture, OracleReplacementRunsOnTheFullStreamIndex) {
+  auto opt = options(Approach::runtime_heuristic, 40.0);
+  opt.replacement = ReplacementPolicy::oracle;
+  const auto r1 = run_online_simulation(opt, sampler);
+  const auto r2 = run_online_simulation(opt, sampler);
+  EXPECT_EQ(r1.spans, r2.spans);
+  // The clairvoyant policy cannot reuse less than plain LRU here.
+  opt.replacement = ReplacementPolicy::lru;
+  const auto lru = run_online_simulation(opt, sampler);
+  EXPECT_GE(r1.sim.reused_subtasks, lru.sim.reused_subtasks);
+}
+
+TEST_F(OnlineFixture, MultiPortPlatformsLoadInParallel) {
+  auto one = options(Approach::no_prefetch, 80.0);
+  auto two = one;
+  two.platform.reconfig_ports = 2;
+  const auto r1 = run_online_simulation(one, sampler);
+  const auto r2 = run_online_simulation(two, sampler);
+  EXPECT_EQ(r1.sim.loads, r2.sim.loads);  // same work, more bandwidth
+  EXPECT_LE(r2.sim.total_actual, r1.sim.total_actual);
+  EXPECT_LT(r2.mean_response_ms, r1.mean_response_ms);
+}
+
+TEST_F(OnlineFixture, PriorityDisciplineRunsAndStaysDeterministic) {
+  auto opt = options(Approach::runtime_heuristic, 60.0);
+  opt.port_discipline = PortDiscipline::priority;
+  const auto r1 = run_online_simulation(opt, sampler);
+  const auto r2 = run_online_simulation(opt, sampler);
+  EXPECT_EQ(r1.spans, r2.spans);
+  EXPECT_GT(r1.sim.instances, 0);
+}
+
+TEST(OnlineScenarios, CampaignResultsIdenticalAcrossThreadCounts) {
+  const auto registry = ScenarioRegistry::builtin(40, 2005);
+  const auto scenarios = registry.match("online");
+  ASSERT_FALSE(scenarios.empty());
+
+  CampaignOptions one;
+  one.threads = 1;
+  one.record_wall_time = false;
+  CampaignOptions eight;
+  eight.threads = 8;
+  eight.record_wall_time = false;
+  const auto serial = CampaignRunner(one).run(scenarios);
+  const auto parallel = CampaignRunner(eight).run(scenarios);
+
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_TRUE(serial[i].ok) << serial[i].scenario.name << ": "
+                              << serial[i].error;
+    EXPECT_EQ(deterministic_metrics(serial[i]),
+              deterministic_metrics(parallel[i]))
+        << serial[i].scenario.name;
+  }
+
+  StatsAggregator agg_serial, agg_parallel;
+  agg_serial.add(serial);
+  agg_parallel.add(parallel);
+  EXPECT_EQ(campaign_to_json(serial, agg_serial),
+            campaign_to_json(parallel, agg_parallel));
+}
+
+TEST(OnlineScenarios, OnlineMetricsFlowIntoReports) {
+  Scenario s;
+  s.name = "online/test";
+  s.family = "online";
+  s.mode = ScenarioMode::online;
+  s.sim.platform = virtex2_platform(12);
+  s.sim.approach = Approach::hybrid;
+  s.sim.iterations = 30;
+  s.arrivals.rate_per_s = 50.0;
+  const auto result = run_scenario(s, false);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_GT(result.mean_response_ms, 0.0);
+  EXPECT_GT(result.horizon_ms, 0.0);
+
+  const auto metrics = deterministic_metrics(result);
+  for (const char* key : {"response_ms", "response_max_ms", "queueing_ms",
+                          "queueing_max_ms", "port_util_pct", "horizon_ms",
+                          "overhead_pct", "makespan_ms"})
+    EXPECT_TRUE(metrics.count(key)) << key;
+
+  StatsAggregator aggregator;
+  aggregator.add(result);
+  const auto parsed = campaign_from_json(campaign_to_json({result},
+                                                          aggregator));
+  ASSERT_EQ(parsed.scenarios.size(), 1u);
+  EXPECT_EQ(parsed.scenarios[0].mode, "online");
+  EXPECT_EQ(parsed.scenarios[0].arrival_kind, "poisson");
+  EXPECT_EQ(parsed.scenarios[0].arrival_rate_per_s, 50.0);
+  EXPECT_EQ(parsed.scenarios[0].port_discipline, "fifo");
+  EXPECT_EQ(parsed.scenarios[0].metrics.at("response_ms"),
+            result.mean_response_ms);
+  const auto rows = campaign_from_csv(campaign_to_csv({result}));
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].metrics.at("response_ms"), result.mean_response_ms);
+}
+
+TEST(OnlineScenarios, SweepExpandsArrivalRateAxis) {
+  SweepConfig sweep;
+  sweep.family = "os";
+  sweep.base.name = "os/base";
+  sweep.base.family = "os";
+  sweep.base.mode = ScenarioMode::online;
+  sweep.base.sim.iterations = 10;
+  sweep.tiles = {8, 16};
+  sweep.approaches = {Approach::hybrid};
+  sweep.arrival_rates = {10.0, 80.0};
+  const auto scenarios = build_sweep(sweep);
+  EXPECT_EQ(scenarios.size(), 4u);
+  for (const auto& s : scenarios) EXPECT_EQ(s.mode, ScenarioMode::online);
+  EXPECT_NE(scenarios[0].name.find("/r10"), std::string::npos);
+
+  // A rate axis on a non-online base is a descriptor error.
+  SweepConfig bad = sweep;
+  bad.base.mode = ScenarioMode::simulate;
+  EXPECT_THROW(build_sweep(bad), std::invalid_argument);
+}
+
+TEST(ArrivalProcess, ValidatesAndNames) {
+  ArrivalProcess arrivals;
+  arrivals.rate_per_s = 0.0;
+  EXPECT_THROW(arrivals.validate(), std::invalid_argument);
+  arrivals.rate_per_s = 5.0;
+  arrivals.kind = ArrivalProcess::Kind::bursty;
+  arrivals.burst_size = 0;
+  EXPECT_THROW(arrivals.validate(), std::invalid_argument);
+  EXPECT_STREQ(to_string(ArrivalProcess::Kind::poisson), "poisson");
+  EXPECT_STREQ(to_string(ArrivalProcess::Kind::bursty), "bursty");
+  EXPECT_STREQ(to_string(ArrivalProcess::Kind::closed_loop), "closed_loop");
+  EXPECT_EQ(arrival_kind_from_string("bursty"), ArrivalProcess::Kind::bursty);
+  EXPECT_THROW(arrival_kind_from_string("nope"), std::invalid_argument);
+  EXPECT_STREQ(to_string(PortDiscipline::fifo), "fifo");
+  EXPECT_STREQ(to_string(PortDiscipline::priority), "priority");
+}
+
+}  // namespace
+}  // namespace drhw

@@ -1,0 +1,100 @@
+// Golden-number regression test: pins the seeded Table 1 and Figure 6
+// campaign outputs (exact doubles) so that refactors of the simulator,
+// the workloads or the campaign engine cannot silently shift the
+// paper-reproduction results. Every quantity below is deterministic by
+// construction (integer simulated time, descriptor-seeded RNGs, fixed
+// aggregation order), so the comparison is exact, not approximate.
+//
+// If a change legitimately alters these numbers (e.g. a modelling fix),
+// regenerate them with the seeded campaign below and update the tables —
+// and say so loudly in the commit message.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <map>
+#include <string>
+
+#include "runner/campaign.hpp"
+#include "runner/report.hpp"
+#include "runner/scenario.hpp"
+
+namespace drhw {
+namespace {
+
+constexpr int k_iterations = 60;
+constexpr std::uint64_t k_seed = 2005;
+
+std::vector<ScenarioResult> run_family(const std::string& family) {
+  const auto registry = ScenarioRegistry::builtin(k_iterations, k_seed);
+  CampaignOptions options;
+  options.record_wall_time = false;
+  return CampaignRunner(options).run(registry.match(family));
+}
+
+TEST(GoldenCampaign, Table1ColumnsAreExactlyPinned) {
+  // name -> {makespan_ms, overhead_pct}. The deterministic Table 1 columns:
+  // every (task, scenario) pair once, on-demand vs optimal prefetch.
+  const std::map<std::string, std::array<double, 2>> golden = {
+      {"table1/jpeg_dec/no-prefetch", {97, 19.753086419753085}},
+      {"table1/jpeg_dec/design-time", {85, 4.9382716049382713}},
+      {"table1/parallel_jpeg/no-prefetch", {77, 35.087719298245617}},
+      {"table1/parallel_jpeg/design-time", {61, 7.0175438596491224}},
+      {"table1/mpeg_enc/no-prefetch", {155, 56.565656565656568}},
+      {"table1/mpeg_enc/design-time", {117, 18.181818181818183}},
+      {"table1/pattern_rec/no-prefetch", {110, 17.021276595744681}},
+      {"table1/pattern_rec/design-time", {98, 4.2553191489361701}},
+  };
+  const auto results = run_family("table1");
+  ASSERT_EQ(results.size(), golden.size());
+  for (const auto& result : results) {
+    ASSERT_TRUE(result.ok) << result.scenario.name << ": " << result.error;
+    const auto it = golden.find(result.scenario.name);
+    ASSERT_NE(it, golden.end()) << result.scenario.name;
+    const auto metrics = deterministic_metrics(result);
+    EXPECT_EQ(metrics.at("makespan_ms"), it->second[0])
+        << result.scenario.name;
+    EXPECT_EQ(metrics.at("overhead_pct"), it->second[1])
+        << result.scenario.name;
+  }
+}
+
+TEST(GoldenCampaign, Fig6ApproachMeansAreExactlyPinned) {
+  // approach -> {mean makespan_ms, mean overhead_pct, mean reuse_pct} over
+  // the tiles 8..16 grid, seeded multimedia mix, 60 iterations.
+  const std::map<std::string, std::array<double, 3>> golden = {
+      {"design-time", {13981, 6.8638691431628853, 0}},
+      {"hybrid", {13273.666666666666, 1.4573619710056307, 41.571720712824998}},
+      {"no-prefetch", {16583, 26.752273943285182, 0}},
+      {"run-time", {13819.555555555555, 5.629867427620237,
+                    27.948193592365374}},
+      {"run-time+inter-task", {13225.333333333334, 1.0879258070269304,
+                               64.319797448631817}},
+  };
+  const auto results = run_family("fig6");
+  ASSERT_EQ(results.size(), 45u);  // tiles 8..16 x five approaches
+
+  std::map<std::string, std::array<double, 4>> acc;  // sums + count
+  for (const auto& result : results) {
+    ASSERT_TRUE(result.ok) << result.scenario.name << ": " << result.error;
+    const auto metrics = deterministic_metrics(result);
+    auto& a = acc[to_string(result.scenario.sim.approach)];
+    a[0] += metrics.at("makespan_ms");
+    a[1] += metrics.at("overhead_pct");
+    a[2] += metrics.at("reuse_pct");
+    a[3] += 1.0;
+  }
+  ASSERT_EQ(acc.size(), golden.size());
+  for (const auto& [approach, expected] : golden) {
+    const auto it = acc.find(approach);
+    ASSERT_NE(it, acc.end()) << approach;
+    const auto& a = it->second;
+    EXPECT_EQ(a[3], 9.0) << approach;  // one scenario per tile count
+    EXPECT_EQ(a[0] / a[3], expected[0]) << approach << " makespan";
+    EXPECT_EQ(a[1] / a[3], expected[1]) << approach << " overhead";
+    EXPECT_EQ(a[2] / a[3], expected[2]) << approach << " reuse";
+  }
+}
+
+}  // namespace
+}  // namespace drhw

@@ -42,7 +42,12 @@ TEST(ConfigStore, UseUpdatesRecencyMonotonically) {
   store.record_load(0, 1, ms(5), 1.0);
   store.record_use(0, ms(9));
   EXPECT_EQ(store.last_used(0), ms(9));
-  store.record_use(0, ms(2));  // stale event must not move time backwards
+  // The per-tile timeline is an invariant, not a suggestion: a stale event
+  // indicates a simulator accounting bug and must fail loudly.
+  EXPECT_THROW(store.record_use(0, ms(2)), InternalError);
+  EXPECT_THROW(store.record_load(0, 2, ms(2), 1.0), InternalError);
+  EXPECT_EQ(store.last_used(0), ms(9));
+  store.record_use(0, ms(9));  // equal timestamps are legal (zero-width events)
   EXPECT_EQ(store.last_used(0), ms(9));
 }
 
@@ -97,6 +102,31 @@ TEST_F(BindFixture, MatchesResidentFirstSubtask) {
   // Subtask 2 sits alone on virtual tile 2 (chain spread on 4 tiles).
   EXPECT_EQ(b.phys_of_tile[static_cast<std::size_t>(placement.tile_of[2])],
             5);
+}
+
+TEST_F(BindFixture, SkipsEmptyVirtualTiles) {
+  // ICN-aware placements may leave a mesh position unused in the middle of
+  // the virtual tile range (only trailing empties are compacted, because
+  // tile ids double as mesh coordinates). Binding must leave such tiles
+  // unbound instead of crashing or wasting a physical tile on them.
+  Placement holed = placement;
+  holed.tile_sequence.insert(holed.tile_sequence.begin() + 1,
+                             std::vector<SubtaskId>{});
+  holed.tiles_used = static_cast<int>(holed.tile_sequence.size());
+  for (std::size_t s = 0; s < graph->size(); ++s)
+    if (holed.tile_of[s] >= 1) ++holed.tile_of[s];
+  ConfigStore store(6);
+  const auto b = bind_tiles(*graph, holed, store, ReplacementPolicy::lru,
+                            weights, rng);
+  ASSERT_EQ(b.phys_of_tile.size(), 5u);
+  EXPECT_EQ(b.phys_of_tile[1], k_no_phys_tile);
+  std::set<PhysTileId> bound;
+  for (std::size_t v = 0; v < b.phys_of_tile.size(); ++v)
+    if (v != 1) {
+      EXPECT_NE(b.phys_of_tile[v], k_no_phys_tile);
+      bound.insert(b.phys_of_tile[v]);
+    }
+  EXPECT_EQ(bound.size(), 4u) << "each non-empty tile gets a distinct tile";
 }
 
 TEST_F(BindFixture, OnlyFirstPositionSubtaskCanBeReused) {

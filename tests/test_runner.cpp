@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <set>
 
 #include "runner/campaign.hpp"
@@ -291,6 +293,82 @@ TEST(Report, CsvRoundTripPreservesScenarioRows) {
       EXPECT_EQ(parsed[i].metrics.at(name), value) << name;
     }
   }
+}
+
+TEST(Report, SingleSampleAggregatesAreFiniteAndRoundTrip) {
+  // n = 1 families: stddev must be exactly 0 (not garbage from the
+  // cancellation formula), percentiles collapse onto the sample, and the
+  // serialised report must stay parseable.
+  const auto result =
+      run_scenario(quick_scenario("solo/one", "solo", Approach::hybrid, 3),
+                   /*record_wall_time=*/false);
+  ASSERT_TRUE(result.ok) << result.error;
+  StatsAggregator aggregator;
+  aggregator.add(result);
+  const GroupSummary overall = aggregator.overall();
+  ASSERT_FALSE(overall.metrics.empty());
+  for (const auto& [name, m] : overall.metrics) {
+    EXPECT_EQ(m.count, 1u) << name;
+    EXPECT_EQ(m.stddev, 0.0) << name;
+    EXPECT_EQ(m.p50, m.mean) << name;
+    EXPECT_EQ(m.p95, m.mean) << name;
+    EXPECT_EQ(m.min, m.max) << name;
+    for (double v : {m.mean, m.stddev, m.min, m.max, m.p50, m.p95})
+      EXPECT_TRUE(std::isfinite(v)) << name;
+  }
+  const ParsedCampaign parsed =
+      campaign_from_json(campaign_to_json({result}, aggregator));
+  EXPECT_EQ(parsed.overall.metrics, overall.metrics);
+}
+
+TEST(Report, NonFiniteMetricsSerialiseAsMissingNotGarbage) {
+  // A NaN/inf measurement (e.g. a wall-clock anomaly) must not poison the
+  // reports: JSON writes null, CSV writes an empty cell, and both parse
+  // back as "metric missing" instead of throwing mid-document.
+  ScenarioResult weird =
+      run_scenario(quick_scenario("w/a", "w", Approach::no_prefetch, 1),
+                   /*record_wall_time=*/false);
+  ASSERT_TRUE(weird.ok) << weird.error;
+  weird.wall_ms = std::numeric_limits<double>::quiet_NaN();
+  ScenarioResult inf = weird;
+  inf.scenario.name = "w/b";
+  inf.wall_ms = std::numeric_limits<double>::infinity();
+
+  StatsAggregator aggregator;
+  aggregator.add(weird);
+  aggregator.add(inf);
+  const std::string json = campaign_to_json({weird, inf}, aggregator);
+  EXPECT_EQ(json.find("nan"), std::string::npos);
+  EXPECT_EQ(json.find("inf"), std::string::npos);
+  const ParsedCampaign parsed = campaign_from_json(json);
+  ASSERT_EQ(parsed.scenarios.size(), 2u);
+  EXPECT_FALSE(parsed.scenarios[0].metrics.count("wall_ms"));
+  EXPECT_TRUE(parsed.scenarios[0].metrics.count("makespan_ms"));
+
+  const auto rows = campaign_from_csv(campaign_to_csv({weird, inf}));
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_FALSE(rows[0].metrics.count("wall_ms"));
+  EXPECT_FALSE(rows[1].metrics.count("wall_ms"));
+}
+
+TEST(Report, CsvRoundTripsNamesWithCommasAndQuotes) {
+  ScenarioResult result =
+      run_scenario(quick_scenario("q/base", "q", Approach::no_prefetch, 1),
+                   /*record_wall_time=*/false);
+  ASSERT_TRUE(result.ok) << result.error;
+  result.scenario.name = "sweep/\"quoted\",t=8,l=4ms";
+  result.scenario.family = "fam,ily\"";
+  const auto rows = campaign_from_csv(campaign_to_csv({result}));
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].name, result.scenario.name);
+  EXPECT_EQ(rows[0].family, result.scenario.family);
+
+  StatsAggregator aggregator;
+  aggregator.add(result);
+  const ParsedCampaign parsed =
+      campaign_from_json(campaign_to_json({result}, aggregator));
+  EXPECT_EQ(parsed.scenarios[0].name, result.scenario.name);
+  EXPECT_EQ(parsed.scenarios[0].family, result.scenario.family);
 }
 
 TEST(Report, AggregatorExcludesWallClockMetrics) {

@@ -136,6 +136,84 @@ TEST_F(MultimediaFixture, IdealTimeIndependentOfApproach) {
   EXPECT_EQ(a.instances, b.instances);
 }
 
+/// One single-DRHW-subtask task with a fixed configuration identity.
+SubtaskGraph one_config_task(const std::string& name, ConfigId config) {
+  SubtaskGraph g(name);
+  Subtask node;
+  node.name = name;
+  node.exec_time = ms(10);
+  node.resource = Resource::drhw;
+  node.config = config;
+  g.add_subtask(node);
+  g.finalize();
+  return g;
+}
+
+TEST(OracleReplacement, SeesBeyondTheLookaheadWindow) {
+  // Regression: the oracle used to rank configurations only inside the lazy
+  // lookahead window, so "needed just past the window" collapsed into
+  // "never needed again" and the tie-break evicted by recency. Stream
+  // (one instance per iteration):  B  A  D  E  D  D  B
+  // At E's eviction the store holds {B, A, D} on three tiles. The window-
+  // limited oracle sees only [D, D], ranks both A and B as "never", and
+  // evicts B (least recently used) — provably wrong, because B returns two
+  // instances later while A never does. The full-stream oracle evicts A.
+  const PlatformConfig platform = virtex2_platform(3);
+  const ConfigId cfg_b = 1, cfg_a = 2, cfg_d = 3, cfg_e = 4;
+  std::vector<SubtaskGraph> graphs;
+  graphs.push_back(one_config_task("B", cfg_b));
+  graphs.push_back(one_config_task("A", cfg_a));
+  graphs.push_back(one_config_task("D", cfg_d));
+  graphs.push_back(one_config_task("E", cfg_e));
+  std::vector<PreparedScenario> prepared;
+  for (const SubtaskGraph& g : graphs)
+    prepared.push_back(prepare_scenario(g, platform.tiles, platform));
+
+  const std::size_t stream[] = {0, 1, 2, 3, 2, 2, 0};  // B A D E D D B
+  std::size_t at = 0;
+  const IterationSampler sampler = [&](Rng&) {
+    return std::vector<const PreparedScenario*>{&prepared[stream[at++]]};
+  };
+
+  SimOptions opt;
+  opt.platform = platform;
+  opt.approach = Approach::runtime_heuristic;
+  opt.replacement = ReplacementPolicy::oracle;
+  opt.iterations = 7;
+  const auto r = run_simulation(opt, sampler);
+  EXPECT_EQ(r.instances, 7);
+  // Loads: B, A, D, E — and nothing else; D (twice) and the returning B are
+  // resident because the oracle sacrificed A, which never comes back.
+  EXPECT_EQ(r.loads, 4);
+  EXPECT_EQ(r.reused_subtasks, 3);
+}
+
+TEST(MeshPlacement, ReuseApproachesRunOnCommAwarePlacements) {
+  // Regression: ICN-aware placements can leave an empty virtual tile in the
+  // middle of the range; binding used to crash on it, so any reuse approach
+  // on a mesh platform with comm-aware placement aborted mid-campaign.
+  PlatformConfig mesh = virtex2_platform(9);
+  mesh.icn.mesh_width = 3;
+  mesh.icn.hop_latency = us(50);
+  mesh.icn.isp_bridge_latency = us(120);
+  HybridDesignOptions design;
+  design.comm_aware_placement = true;
+  const auto workload = make_multimedia_workload(mesh, design);
+  for (Approach a : {Approach::runtime_heuristic, Approach::runtime_intertask,
+                     Approach::hybrid}) {
+    SimOptions opt;
+    opt.platform = mesh;
+    opt.approach = a;
+    opt.replacement = ReplacementPolicy::critical_first;
+    opt.intertask_lookahead = 3;
+    opt.seed = 5;
+    opt.iterations = 40;
+    const auto r = run_simulation(opt, multimedia_sampler(*workload, 0.9));
+    EXPECT_GT(r.instances, 0) << to_string(a);
+    EXPECT_GE(r.total_actual, r.total_ideal) << to_string(a);
+  }
+}
+
 struct PocketGlFixture : ::testing::Test {
   void SetUp() override {
     platform = virtex2_platform(8);

@@ -6,6 +6,7 @@
 //   drhw_sched schedule <graph.json> [opts] run the flow, print Gantt charts
 //   drhw_sched dot <graph.json>             Graphviz export
 //   drhw_sched campaign [opts]              run a scenario campaign
+//   drhw_sched online [opts]                online (event-driven) simulation
 //
 // Options for `schedule`:
 //   --tiles N          DRHW tiles (default 8)
@@ -23,6 +24,22 @@
 //   --json FILE        write the full JSON report
 //   --csv FILE         write the per-scenario CSV report
 //   --quiet            suppress per-scenario progress lines
+//
+// Options for `online` (one row per approach, shared arrival stream):
+//   --workload W       multimedia | pocket_gl (default multimedia)
+//   --tiles N          DRHW tiles (default 16)
+//   --latency-us L     reconfiguration latency in us (default 4000)
+//   --ports N          reconfiguration ports (default 1)
+//   --arrivals K       poisson | bursty | closed_loop (default poisson)
+//   --rate R           arrivals (or bursts) per second (default 20)
+//   --burst N          instances per burst (bursty; default 4)
+//   --think-us T       closed-loop think time in us (default 1000)
+//   --discipline D     fifo | priority port arbitration (default fifo)
+//   --replacement R    lru | weight | critical-first | random | oracle
+//   --lookahead N      backlog-prefetch depth in queued instances (default 1)
+//   --iterations N     sampler batches to draw (default 500)
+//   --seed S           RNG seed (default 2005)
+//   --approach A       restrict to one approach (default: all five)
 
 #include <algorithm>
 #include <chrono>
@@ -43,7 +60,9 @@
 #include "runner/report.hpp"
 #include "runner/scenario.hpp"
 #include "schedule/list_scheduler.hpp"
+#include "sim/event_sim.hpp"
 #include "sim/gantt.hpp"
+#include "sim/workloads.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -58,7 +77,12 @@ int usage() {
                "       drhw_sched dot <graph.json>\n"
                "       drhw_sched campaign [--list] [--dry-run]"
                " [--filter STR] [--threads N] [--iterations N] [--seed S]"
-               " [--json FILE] [--csv FILE] [--quiet]\n";
+               " [--json FILE] [--csv FILE] [--quiet]\n"
+               "       drhw_sched online [--workload W] [--tiles N]"
+               " [--latency-us L] [--ports N] [--arrivals K] [--rate R]"
+               " [--burst N] [--think-us T] [--discipline D]"
+               " [--replacement R] [--lookahead N]"
+               " [--iterations N] [--seed S] [--approach A]\n";
   return 2;
 }
 
@@ -276,6 +300,101 @@ int cmd_campaign(const CampaignCliOptions& cli) {
   return failed == 0 ? 0 : 1;
 }
 
+struct OnlineCliOptions {
+  std::string workload = "multimedia";
+  int tiles = 16;
+  time_us latency = ms(4);
+  int ports = 1;
+  ArrivalProcess arrivals;
+  PortDiscipline discipline = PortDiscipline::fifo;
+  ReplacementPolicy replacement = ReplacementPolicy::lru;
+  int lookahead = 1;
+  int iterations = 500;
+  std::uint64_t seed = 2005;
+  std::string approach;  ///< empty = all five
+};
+
+ReplacementPolicy replacement_from_string(const std::string& text) {
+  for (ReplacementPolicy policy :
+       {ReplacementPolicy::lru, ReplacementPolicy::weight_aware,
+        ReplacementPolicy::critical_first, ReplacementPolicy::random_tile,
+        ReplacementPolicy::oracle})
+    if (text == to_string(policy)) return policy;
+  throw std::invalid_argument(
+      "unknown replacement policy '" + text +
+      "' (use lru, weight, critical-first, random or oracle)");
+}
+
+Approach approach_from_string(const std::string& text) {
+  for (Approach a : k_all_approaches)
+    if (text == to_string(a)) return a;
+  throw std::invalid_argument("unknown approach '" + text +
+                              "' (use e.g. no-prefetch, run-time, hybrid)");
+}
+
+int cmd_online(const OnlineCliOptions& cli) {
+  PlatformConfig platform = virtex2_platform(cli.tiles);
+  platform.reconfig_latency = cli.latency;
+  platform.reconfig_ports = cli.ports;
+  platform.validate();
+  cli.arrivals.validate();
+
+  std::unique_ptr<MultimediaWorkload> multimedia;
+  std::unique_ptr<PocketGlWorkload> pocket_gl;
+  IterationSampler sampler;
+  if (cli.workload == "multimedia") {
+    multimedia = make_multimedia_workload(platform);
+    sampler = multimedia_sampler(*multimedia);
+  } else if (cli.workload == "pocket_gl") {
+    pocket_gl = make_pocket_gl_workload(platform);
+    sampler = pocket_gl_task_sampler(*pocket_gl);
+  } else {
+    throw std::invalid_argument("online workload must be multimedia or "
+                                "pocket_gl");
+  }
+
+  std::cout << "online simulation: " << cli.workload << ", " << cli.tiles
+            << " tiles, " << cli.ports << " port(s), "
+            << to_string(cli.arrivals.kind) << " arrivals";
+  if (cli.arrivals.kind != ArrivalProcess::Kind::closed_loop)
+    std::cout << " @ " << fmt(cli.arrivals.rate_per_s, 1) << "/s";
+  std::cout << ", " << to_string(cli.discipline) << " port, "
+            << cli.iterations << " iterations, seed " << cli.seed << "\n\n";
+
+  std::vector<Approach> approaches;
+  if (cli.approach.empty())
+    approaches.assign(std::begin(k_all_approaches),
+                      std::end(k_all_approaches));
+  else
+    approaches = {approach_from_string(cli.approach)};
+
+  TablePrinter table({"approach", "instances", "overhead", "reuse",
+                      "response mean", "response max", "queueing mean",
+                      "port util", "prefetches"});
+  for (Approach approach : approaches) {
+    OnlineSimOptions options;
+    options.platform = platform;
+    options.approach = approach;
+    options.arrivals = cli.arrivals;
+    options.port_discipline = cli.discipline;
+    options.replacement = cli.replacement;
+    options.intertask_lookahead = cli.lookahead;
+    options.seed = cli.seed;
+    options.iterations = cli.iterations;
+    const OnlineReport report = run_online_simulation(options, sampler);
+    table.add_row({to_string(approach), std::to_string(report.sim.instances),
+                   fmt_pct(report.sim.overhead_pct, 2),
+                   fmt_pct(report.sim.reuse_pct),
+                   fmt(report.mean_response_ms, 1) + " ms",
+                   fmt(report.max_response_ms, 1) + " ms",
+                   fmt(report.mean_queueing_ms, 1) + " ms",
+                   fmt_pct(report.port_utilisation_pct),
+                   std::to_string(report.sim.intertask_prefetches)});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
 std::vector<int> parse_id_list(const std::string& arg) {
   std::vector<int> ids;
   std::istringstream is(arg);
@@ -318,6 +437,52 @@ int main(int argc, char** argv) {
           return usage();
       }
       return cmd_campaign(cli);
+    }
+    if (args[0] == "online") {
+      OnlineCliOptions cli;
+      for (std::size_t i = 1; i < args.size(); ++i) {
+        const std::string& arg = args[i];
+        const bool has_value = i + 1 < args.size();
+        if (arg == "--workload" && has_value)
+          cli.workload = args[++i];
+        else if (arg == "--tiles" && has_value)
+          cli.tiles = std::stoi(args[++i]);
+        else if (arg == "--latency-us" && has_value)
+          cli.latency = std::stoll(args[++i]);
+        else if (arg == "--ports" && has_value)
+          cli.ports = std::stoi(args[++i]);
+        else if (arg == "--arrivals" && has_value)
+          cli.arrivals.kind = arrival_kind_from_string(args[++i]);
+        else if (arg == "--rate" && has_value)
+          cli.arrivals.rate_per_s = std::stod(args[++i]);
+        else if (arg == "--burst" && has_value)
+          cli.arrivals.burst_size = std::stoi(args[++i]);
+        else if (arg == "--think-us" && has_value)
+          cli.arrivals.think_time = std::stoll(args[++i]);
+        else if (arg == "--discipline" && has_value) {
+          const std::string& value = args[++i];
+          if (value == "priority")
+            cli.discipline = PortDiscipline::priority;
+          else if (value == "fifo")
+            cli.discipline = PortDiscipline::fifo;
+          else
+            throw std::invalid_argument("unknown port discipline '" + value +
+                                        "' (use fifo or priority)");
+        }
+        else if (arg == "--replacement" && has_value)
+          cli.replacement = replacement_from_string(args[++i]);
+        else if (arg == "--lookahead" && has_value)
+          cli.lookahead = std::stoi(args[++i]);
+        else if (arg == "--iterations" && has_value)
+          cli.iterations = std::stoi(args[++i]);
+        else if (arg == "--seed" && has_value)
+          cli.seed = std::stoull(args[++i]);
+        else if (arg == "--approach" && has_value)
+          cli.approach = args[++i];
+        else
+          return usage();
+      }
+      return cmd_online(cli);
     }
     if (args[0] == "info" && args.size() >= 2) return cmd_info(args[1]);
     if (args[0] == "dot" && args.size() >= 2) return cmd_dot(args[1]);
