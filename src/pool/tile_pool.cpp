@@ -1,0 +1,430 @@
+#include "pool/tile_pool.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/check.hpp"
+
+namespace drhw {
+
+const char* to_string(AdmissionPolicy policy) {
+  switch (policy) {
+    case AdmissionPolicy::fifo_hol:
+      return "fifo_hol";
+    case AdmissionPolicy::backfill_bypass:
+      return "backfill_bypass";
+    case AdmissionPolicy::window_reorder:
+      return "window_reorder";
+  }
+  return "?";
+}
+
+AdmissionPolicy admission_policy_from_string(const std::string& text) {
+  if (text == "fifo_hol") return AdmissionPolicy::fifo_hol;
+  if (text == "backfill_bypass") return AdmissionPolicy::backfill_bypass;
+  if (text == "window_reorder") return AdmissionPolicy::window_reorder;
+  throw std::invalid_argument("unknown admission policy '" + text + "'");
+}
+
+void PoolOptions::validate() const {
+  if (reorder_window < 1)
+    throw std::invalid_argument("pool reorder window must be >= 1");
+  if (max_bypass < 0)
+    throw std::invalid_argument("pool bypass bound must be >= 0");
+  if (defrag && !contiguous)
+    throw std::invalid_argument(
+        "pool defragmentation requires contiguous allocation — without a "
+        "contiguity requirement there is nothing to defragment");
+}
+
+TilePoolManager::TilePoolManager(int tiles, const PoolOptions& options)
+    : options_(options), store_(tiles) {
+  options_.validate();
+  const auto n = static_cast<std::size_t>(tiles);
+  held_.assign(n, 0);
+  reserved_.assign(n, 0);
+  owner_.assign(n, -1);
+  prefetch_config_.assign(n, k_no_config);
+  prefetch_value_.assign(n, 0.0);
+}
+
+// --- admission queue --------------------------------------------------------
+
+void TilePoolManager::enqueue(std::int32_t job, int needed, time_us now) {
+  DRHW_CHECK_MSG(needed >= 0 && needed <= tiles(),
+                 "queued instance needs more tiles than the pool has");
+  queue_.push_back(Waiting{job, needed, now, 0});
+}
+
+std::int32_t TilePoolManager::queue_head() const {
+  return queue_.empty() ? -1 : queue_.front().job;
+}
+
+bool TilePoolManager::fits(int needed) const {
+  return options_.contiguous ? largest_free_block() >= needed
+                             : free_count() >= needed;
+}
+
+std::int32_t TilePoolManager::select(time_us) {
+  if (queue_.empty()) return -1;
+  const std::size_t none = queue_.size();
+  std::size_t pick = none;
+  switch (options_.admission) {
+    case AdmissionPolicy::fifo_hol:
+      if (fits(queue_.front().needed)) pick = 0;
+      break;
+    case AdmissionPolicy::backfill_bypass: {
+      if (fits(queue_.front().needed)) {
+        pick = 0;
+        break;
+      }
+      if (queue_.front().skips >= options_.max_bypass) break;
+      for (std::size_t i = 1; i < queue_.size(); ++i)
+        if (queue_[i].needed < queue_.front().needed &&
+            fits(queue_[i].needed)) {
+          pick = i;
+          break;
+        }
+      break;
+    }
+    case AdmissionPolicy::window_reorder: {
+      const std::size_t window = std::min(
+          queue_.size(), static_cast<std::size_t>(options_.reorder_window));
+      for (std::size_t i = 0; i < window; ++i)
+        if (fits(queue_[i].needed) &&
+            (pick == none || queue_[i].needed > queue_[pick].needed))
+          pick = i;
+      if (pick != none && pick != 0 &&
+          queue_.front().skips >= options_.max_bypass)
+        pick = fits(queue_.front().needed) ? 0 : none;
+      break;
+    }
+  }
+  if (pick >= queue_.size()) return -1;
+  for (std::size_t i = 0; i < pick; ++i) {
+    ++queue_[i].skips;
+    ++queue_skips_;
+  }
+  return queue_[pick].job;
+}
+
+std::vector<PhysTileId> TilePoolManager::offer(
+    std::int32_t job, const std::vector<ConfigId>& wanted) const {
+  std::vector<PhysTileId> out;
+  if (!options_.contiguous) {
+    for (int t = 0; t < tiles(); ++t)
+      if (tile_free(static_cast<std::size_t>(t))) out.push_back(t);
+    return out;
+  }
+
+  int needed = -1;
+  for (const Waiting& w : queue_)
+    if (w.job == job) {
+      needed = w.needed;
+      break;
+    }
+  DRHW_CHECK_MSG(needed >= 0, "offer() for a job that is not queued");
+  if (needed == 0) return out;
+
+  // Placement-aware block selection: among the free blocks of the job's
+  // size, prefer the one with the most wanted configurations already
+  // resident (reuse), then the least overlap with the defragmentation
+  // window (so backfilled instances do not re-fragment the run the defrag
+  // pass is clearing), then the leftmost.
+  int best_start = -1, best_score = -1, best_overlap = 0;
+  for (int s = 0; s + needed <= tiles(); ++s) {
+    bool free_run = true;
+    int score = 0, overlap = 0;
+    for (int t = s; t < s + needed; ++t) {
+      const auto idx = static_cast<std::size_t>(t);
+      if (!tile_free(idx)) {
+        free_run = false;
+        break;
+      }
+      const ConfigId resident = store_.config_on(t);
+      if (resident != k_no_config &&
+          std::find(wanted.begin(), wanted.end(), resident) != wanted.end())
+        ++score;
+      if (defrag_window_ >= 0 && t >= defrag_window_ &&
+          t < defrag_window_ + defrag_window_size_)
+        ++overlap;
+    }
+    if (!free_run) continue;
+    if (best_start < 0 || score > best_score ||
+        (score == best_score && overlap < best_overlap)) {
+      best_start = s;
+      best_score = score;
+      best_overlap = overlap;
+    }
+  }
+  DRHW_CHECK_MSG(best_start >= 0,
+                 "offer() called without a fitting contiguous block");
+  for (int t = best_start; t < best_start + needed; ++t) out.push_back(t);
+  return out;
+}
+
+void TilePoolManager::occupy(std::int32_t job,
+                             const std::vector<PhysTileId>& tiles,
+                             time_us now) {
+  touch(now);
+  for (const PhysTileId t : tiles) {
+    const std::size_t idx = checked(t);
+    DRHW_CHECK_MSG(tile_free(idx), "occupying a tile that is not free");
+    held_[idx] = 1;
+    owner_[idx] = job;
+  }
+  const auto it =
+      std::find_if(queue_.begin(), queue_.end(),
+                   [job](const Waiting& w) { return w.job == job; });
+  DRHW_CHECK_MSG(it != queue_.end(), "occupy() for a job that is not queued");
+  queue_.erase(it);
+  if (defrag_target_ == job) {
+    defrag_target_ = -1;
+    defrag_window_ = -1;
+    defrag_window_size_ = 0;
+  }
+}
+
+void TilePoolManager::release(std::int32_t job, time_us now) {
+  touch(now);
+  for (std::size_t t = 0; t < held_.size(); ++t)
+    if (owner_[t] == job) {
+      held_[t] = 0;
+      owner_[t] = -1;
+    }
+}
+
+// --- backlog-prefetch reservations ------------------------------------------
+
+PhysTileId TilePoolManager::prefetch_victim(
+    const std::vector<char>& protected_tiles) const {
+  PhysTileId victim = k_no_phys_tile;
+  for (int p = 0; p < tiles(); ++p) {
+    const auto idx = static_cast<std::size_t>(p);
+    if (!tile_free(idx) || protected_tiles[idx]) continue;
+    if (store_.config_on(p) == k_no_config) return p;
+    bool better = victim == k_no_phys_tile;
+    if (!better) {
+      if (store_.value_of(p) != store_.value_of(victim))
+        better = store_.value_of(p) < store_.value_of(victim);
+      else
+        better = store_.last_used(p) < store_.last_used(victim);
+    }
+    if (better) victim = p;
+  }
+  return victim;
+}
+
+void TilePoolManager::reserve(PhysTileId tile, ConfigId config, double value,
+                              time_us now) {
+  touch(now);
+  const std::size_t idx = checked(tile);
+  DRHW_CHECK_MSG(tile_free(idx), "reserving a tile that is not free");
+  reserved_[idx] = 1;
+  prefetch_config_[idx] = config;
+  prefetch_value_[idx] = value;
+}
+
+ConfigId TilePoolManager::finish_prefetch(PhysTileId tile, time_us now) {
+  touch(now);
+  const std::size_t idx = checked(tile);
+  DRHW_CHECK_MSG(reserved_[idx], "prefetch completion on an unreserved tile");
+  const ConfigId config = prefetch_config_[idx];
+  store_.record_load(tile, config, now, prefetch_value_[idx]);
+  reserved_[idx] = 0;
+  prefetch_config_[idx] = k_no_config;
+  return config;
+}
+
+// --- occupancy queries ------------------------------------------------------
+
+bool TilePoolManager::held(PhysTileId tile) const {
+  return held_[checked(tile)] != 0;
+}
+
+bool TilePoolManager::reserved(PhysTileId tile) const {
+  return reserved_[checked(tile)] != 0;
+}
+
+std::int32_t TilePoolManager::owner(PhysTileId tile) const {
+  return owner_[checked(tile)];
+}
+
+int TilePoolManager::free_count() const {
+  int free = 0;
+  for (std::size_t t = 0; t < held_.size(); ++t) free += tile_free(t);
+  return free;
+}
+
+int TilePoolManager::largest_free_block() const {
+  int best = 0, run = 0;
+  for (std::size_t t = 0; t < held_.size(); ++t) {
+    run = tile_free(t) ? run + 1 : 0;
+    best = std::max(best, run);
+  }
+  return best;
+}
+
+double TilePoolManager::fragmentation_pct() const {
+  const int free = free_count();
+  if (free == 0) return 0.0;
+  return 100.0 * (1.0 - static_cast<double>(largest_free_block()) /
+                            static_cast<double>(free));
+}
+
+// --- defragmentation --------------------------------------------------------
+
+bool TilePoolManager::head_fragmentation_blocked() const {
+  if (!options_.contiguous || queue_.empty()) return false;
+  const int needed = queue_.front().needed;
+  return free_count() >= needed && largest_free_block() < needed;
+}
+
+int TilePoolManager::window_blockers(int start, int needed,
+                                     const std::vector<char>& movable) const {
+  int blockers = 0;
+  for (int t = start; t < start + needed; ++t) {
+    const auto idx = static_cast<std::size_t>(t);
+    if (reserved_[idx]) return -1;
+    if (held_[idx]) {
+      if (!movable[idx]) return -1;
+      ++blockers;
+    }
+  }
+  return blockers;
+}
+
+std::optional<MigrationPlan> TilePoolManager::plan_defrag(
+    const std::vector<char>& movable) {
+  if (!options_.defrag || migration_in_flight() ||
+      !head_fragmentation_blocked())
+    return std::nullopt;
+  const Waiting& head = queue_.front();
+  const int needed = head.needed;
+  if (defrag_target_ != head.job) {
+    defrag_target_ = head.job;
+    defrag_window_ = -1;
+  }
+  defrag_window_size_ = needed;
+  if (defrag_window_ >= 0 &&
+      window_blockers(defrag_window_, needed, movable) <= 0)
+    defrag_window_ = -1;  // taken over, drained, or no longer clearable
+  if (defrag_window_ < 0) {
+    int best = -1, best_blockers = tiles() + 1;
+    for (int s = 0; s + needed <= tiles(); ++s) {
+      const int blockers = window_blockers(s, needed, movable);
+      if (blockers > 0 && blockers < best_blockers) {
+        best = s;
+        best_blockers = blockers;
+      }
+    }
+    if (best < 0) return std::nullopt;
+    defrag_window_ = best;
+  }
+
+  PhysTileId src = k_no_phys_tile;
+  for (int t = defrag_window_; t < defrag_window_ + needed; ++t)
+    if (held_[static_cast<std::size_t>(t)]) {
+      src = t;
+      break;
+    }
+  if (src == k_no_phys_tile) return std::nullopt;  // window already clear
+  PhysTileId dst = k_no_phys_tile;
+  for (int t = 0; t < tiles(); ++t) {
+    if (t >= defrag_window_ && t < defrag_window_ + needed) continue;
+    if (tile_free(static_cast<std::size_t>(t))) {
+      dst = t;
+      break;
+    }
+  }
+  if (dst == k_no_phys_tile) return std::nullopt;  // nowhere to move to
+
+  MigrationPlan plan;
+  plan.src = src;
+  plan.dst = dst;
+  plan.owner = owner_[static_cast<std::size_t>(src)];
+  plan.config = store_.config_on(src);
+  plan.value = store_.value_of(src);
+  return plan;
+}
+
+void TilePoolManager::begin_migration(const MigrationPlan& plan, time_us now) {
+  touch(now);
+  DRHW_CHECK_MSG(plan.needs_port(), "free remaps use apply_remap()");
+  DRHW_CHECK(held_[checked(plan.src)] && !migration_in_flight());
+  const std::size_t dst = checked(plan.dst);
+  DRHW_CHECK_MSG(!held_[dst] && !reserved_[dst],
+                 "migration destination is not free");
+  reserved_[dst] = 1;
+  migrating_tile_ = plan.src;
+}
+
+bool TilePoolManager::finish_migration(const MigrationPlan& plan,
+                                       time_us now) {
+  touch(now);
+  const std::size_t src = checked(plan.src);
+  const std::size_t dst = checked(plan.dst);
+  DRHW_CHECK(migrating_tile_ == plan.src && reserved_[dst]);
+  reserved_[dst] = 0;
+  migrating_tile_ = k_no_phys_tile;
+  ++defrag_moves_;
+  // The transfer only holds when the owner is still live on `src` and no
+  // competing load overwrote the source mid-flight; otherwise the loaded
+  // copy stays behind as an ordinary reusable cached configuration.
+  const bool transfer = held_[src] && owner_[src] == plan.owner &&
+                        store_.config_on(plan.src) == plan.config;
+  if (transfer) {
+    store_.relocate(plan.src, plan.dst, now);
+    held_[dst] = 1;
+    owner_[dst] = plan.owner;
+    held_[src] = 0;
+    owner_[src] = -1;
+  } else {
+    store_.record_load(plan.dst, plan.config, now, plan.value);
+  }
+  return transfer;
+}
+
+void TilePoolManager::apply_remap(const MigrationPlan& plan, time_us now) {
+  touch(now);
+  DRHW_CHECK_MSG(!plan.needs_port(), "port migrations use begin/finish");
+  const std::size_t src = checked(plan.src);
+  const std::size_t dst = checked(plan.dst);
+  DRHW_CHECK(held_[src] && owner_[src] == plan.owner);
+  DRHW_CHECK(!held_[dst] && !reserved_[dst]);
+  held_[dst] = 1;
+  owner_[dst] = plan.owner;
+  held_[src] = 0;
+  owner_[src] = -1;
+  ++defrag_moves_;
+}
+
+// --- metrics ----------------------------------------------------------------
+
+void TilePoolManager::touch(time_us now) {
+  if (now > last_change_) {
+    frag_integral_ +=
+        fragmentation_pct() * static_cast<double>(now - last_change_);
+    last_change_ = now;
+  }
+}
+
+double TilePoolManager::mean_fragmentation_pct(time_us horizon) const {
+  // Pool events (e.g. a prefetch completing after the last retire) may
+  // extend past the caller's horizon; average over the full observed span
+  // so the integral and the divisor always cover the same interval.
+  const time_us end = std::max(horizon, last_change_);
+  if (end <= 0) return 0.0;
+  double integral = frag_integral_;
+  if (end > last_change_)
+    integral += fragmentation_pct() * static_cast<double>(end - last_change_);
+  return integral / static_cast<double>(end);
+}
+
+std::size_t TilePoolManager::checked(PhysTileId tile) const {
+  if (tile < 0 || static_cast<std::size_t>(tile) >= held_.size())
+    throw std::invalid_argument("physical tile id out of range");
+  return static_cast<std::size_t>(tile);
+}
+
+}  // namespace drhw

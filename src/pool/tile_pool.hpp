@@ -1,0 +1,240 @@
+#pragma once
+
+/// \file tile_pool.hpp
+/// Run-time ownership of the physical tile pool for the online kernel.
+///
+/// PR 2's EventSimulator admitted queued task instances with a hard-coded
+/// FIFO head-of-line check over a free-tile count, so one large queued
+/// instance could idle a fragmented pool indefinitely. This subsystem carves
+/// that ownership out into a TilePoolManager: it tracks which tiles are held
+/// by live instances, reserved by backlog prefetches, or free (possibly
+/// with a reusable cached configuration), runs a pluggable admission policy
+/// over the arrival-ordered wait queue, and — when contiguous allocation is
+/// on — plans an online defragmentation pass that relocates idle resident
+/// configurations through the reconfiguration port to open contiguous room
+/// for a fragmentation-blocked queue head.
+///
+/// Admission disciplines:
+///  * fifo_hol         — PR 2 behaviour, bit-identical: only the oldest
+///                       queued instance may be admitted, and only when the
+///                       pool fits it.
+///  * backfill_bypass  — when the head does not fit, a *smaller* queued
+///                       instance that does fit may bypass it, up to
+///                       `max_bypass` overtakes; after that the head gets
+///                       exclusive access (starvation bound).
+///  * window_reorder   — best-fit over the first `reorder_window` queued
+///                       instances: the largest one that fits is admitted
+///                       (ties by arrival order), with the same starvation
+///                       bound protecting the head.
+///
+/// Fragmentation metric: 100 * (1 - largest_free_block / free_count), the
+/// classic external-fragmentation measure — 0 when every free tile is in
+/// one contiguous run, approaching 100 when free tiles are scattered
+/// singletons. The pool integrates it over simulated time so reports carry
+/// a time-weighted mean, not a snapshot.
+///
+/// The pool never touches the event queue or the port: the simulator asks
+/// it *what* to do (select / offer / plan_defrag) and tells it what
+/// happened (occupy / release / reserve / finish_*). That keeps every
+/// policy decision in one place and the simulator a pure event dispatcher.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "reuse/config_store.hpp"
+#include "util/ids.hpp"
+#include "util/time.hpp"
+
+namespace drhw {
+
+/// Which queued instance may be admitted next onto the tile pool.
+enum class AdmissionPolicy {
+  fifo_hol,         ///< oldest first, head-of-line blocking (PR 2 behaviour)
+  backfill_bypass,  ///< smaller instances may bypass a blocked head (bounded)
+  window_reorder,   ///< best-fit within a bounded reorder window
+};
+
+const char* to_string(AdmissionPolicy policy);
+AdmissionPolicy admission_policy_from_string(const std::string& text);
+
+/// Tile-pool behaviour knobs. Defaults reproduce PR 2 bit-identically.
+struct PoolOptions {
+  AdmissionPolicy admission = AdmissionPolicy::fifo_hol;
+  /// Contiguous allocation: an instance needs a run of *adjacent* free
+  /// tiles (column-style partial reconfiguration); off = any free tiles
+  /// suffice (the PR 2 count-based model).
+  bool contiguous = false;
+  /// Online defragmentation: when the queue head is blocked purely by
+  /// fragmentation, relocate idle resident configurations through the
+  /// reconfiguration port (charged at real reconfiguration latency) to
+  /// open a contiguous run. Requires `contiguous`.
+  bool defrag = false;
+  /// window_reorder: how many queued instances may be considered.
+  int reorder_window = 4;
+  /// backfill_bypass / window_reorder: overtakes the queue head tolerates
+  /// before only it may be admitted (starvation bound).
+  int max_bypass = 8;
+
+  /// Throws std::invalid_argument when the combination is unusable.
+  void validate() const;
+};
+
+/// One planned relocation of the defragmentation pass. When `src` still
+/// holds a configuration the move is a real reconfiguration (port time);
+/// an empty held tile is remapped for free (nothing to copy).
+struct MigrationPlan {
+  PhysTileId src = k_no_phys_tile;
+  PhysTileId dst = k_no_phys_tile;
+  std::int32_t owner = -1;        ///< live instance holding `src`
+  ConfigId config = k_no_config;  ///< k_no_config: free remap
+  double value = 0.0;             ///< replacement value travelling along
+
+  bool needs_port() const { return config != k_no_config; }
+};
+
+/// Occupancy, admission-queue and defragmentation state of the pool.
+class TilePoolManager {
+ public:
+  TilePoolManager(int tiles, const PoolOptions& options);
+
+  int tiles() const { return static_cast<int>(held_.size()); }
+  const PoolOptions& options() const { return options_; }
+  ConfigStore& store() { return store_; }
+  const ConfigStore& store() const { return store_; }
+
+  // --- admission queue (strict arrival order) -----------------------------
+
+  /// Registers an arrived, not-yet-admitted instance needing `needed` tiles.
+  void enqueue(std::int32_t job, int needed, time_us now);
+  bool queue_empty() const { return queue_.empty(); }
+  std::size_t queued() const { return queue_.size(); }
+  /// Queued job at queue position `i` (0 = oldest).
+  std::int32_t waiting_at(std::size_t i) const { return queue_[i].job; }
+  std::int32_t queue_head() const;
+
+  /// Next admissible queued job under the admission policy, or -1. Charges
+  /// the queue-skip metric for every older instance the pick overtakes; the
+  /// caller must follow up with offer() + occupy() for the returned job.
+  std::int32_t select(time_us now);
+
+  /// Tiles offered to the binder for `job`, ascending. Non-contiguous
+  /// pools offer every free tile (the PR 2 view). Contiguous pools offer
+  /// the best free block of the job's size: most `wanted` configurations
+  /// already resident, least overlap with the active defragmentation
+  /// window, leftmost.
+  std::vector<PhysTileId> offer(std::int32_t job,
+                                const std::vector<ConfigId>& wanted) const;
+
+  /// Marks `tiles` held by `job` and removes it from the queue.
+  void occupy(std::int32_t job, const std::vector<PhysTileId>& tiles,
+              time_us now);
+
+  /// Frees every tile held by `job` (the instance retired). Resident
+  /// configurations stay behind as reusable cached copies.
+  void release(std::int32_t job, time_us now);
+
+  // --- backlog-prefetch reservations --------------------------------------
+
+  /// Victim among free, unreserved, unprotected tiles: empty tiles first,
+  /// then lowest replacement value, then least recently used (PR 2 order).
+  PhysTileId prefetch_victim(const std::vector<char>& protected_tiles) const;
+  void reserve(PhysTileId tile, ConfigId config, double value, time_us now);
+  /// Prefetch load completed: records the configuration on the tile, lifts
+  /// the reservation, returns the configuration that was loading.
+  ConfigId finish_prefetch(PhysTileId tile, time_us now);
+
+  // --- occupancy queries ---------------------------------------------------
+
+  bool held(PhysTileId tile) const;
+  bool reserved(PhysTileId tile) const;
+  std::int32_t owner(PhysTileId tile) const;
+  bool migrating(PhysTileId tile) const { return migrating_tile_ == tile; }
+  bool migration_in_flight() const { return migrating_tile_ != k_no_phys_tile; }
+  int free_count() const;
+  /// Longest run of adjacent free tiles.
+  int largest_free_block() const;
+  /// Snapshot external fragmentation, see file comment. 0 when nothing is
+  /// free.
+  double fragmentation_pct() const;
+
+  // --- defragmentation -----------------------------------------------------
+
+  /// True when the oldest queued instance has enough free tiles in total
+  /// but no contiguous run of its size — the regime only defragmentation
+  /// can resolve.
+  bool head_fragmentation_blocked() const;
+
+  /// Plans the next relocation towards un-blocking the queue head, or
+  /// nullopt (defrag off, migration already in flight, head not
+  /// fragmentation-blocked, or no clearable window). `movable[t]` marks
+  /// held tiles the caller knows are safe to relocate (no running
+  /// execution, no load in flight). The chosen target window is sticky per
+  /// blocked head so successive moves converge instead of oscillating.
+  std::optional<MigrationPlan> plan_defrag(const std::vector<char>& movable);
+
+  /// Starts a port-charged migration: `dst` becomes reserved, `src` is
+  /// flagged migrating (executions on it must stall until completion).
+  void begin_migration(const MigrationPlan& plan, time_us now);
+
+  /// Migration load completed. Returns true when ownership transferred to
+  /// `dst` (owner still live and the source configuration unchanged); on
+  /// false `dst` merely keeps the loaded configuration as a cached copy.
+  bool finish_migration(const MigrationPlan& plan, time_us now);
+
+  /// Applies a free remap (plan.needs_port() == false) instantly.
+  void apply_remap(const MigrationPlan& plan, time_us now);
+
+  // --- metrics -------------------------------------------------------------
+
+  long queue_skips() const { return queue_skips_; }
+  long defrag_moves() const { return defrag_moves_; }
+  /// Time-weighted mean fragmentation over [0, horizon]; 0 for horizon 0.
+  double mean_fragmentation_pct(time_us horizon) const;
+
+ private:
+  struct Waiting {
+    std::int32_t job = -1;
+    int needed = 0;
+    time_us arrival = 0;
+    int skips = 0;  ///< times a younger instance was admitted past this one
+  };
+
+  bool fits(int needed) const;
+  /// Free for every allocation purpose. The migration source is excluded
+  /// even after its owner retires mid-flight: admitting someone onto a
+  /// tile that is being copied out would gate their executions on a
+  /// migration that will never wake them.
+  bool tile_free(std::size_t idx) const {
+    return !held_[idx] && !reserved_[idx] &&
+           static_cast<PhysTileId>(idx) != migrating_tile_;
+  }
+  /// Blockers of window [start, start+needed), or -1 when it contains a
+  /// reserved or unmovable held tile.
+  int window_blockers(int start, int needed,
+                      const std::vector<char>& movable) const;
+  std::size_t checked(PhysTileId tile) const;
+  /// Integrates the fragmentation metric up to `now`.
+  void touch(time_us now);
+
+  PoolOptions options_;
+  ConfigStore store_;
+  std::vector<char> held_, reserved_;
+  std::vector<std::int32_t> owner_;
+  std::vector<ConfigId> prefetch_config_;
+  std::vector<double> prefetch_value_;
+  std::vector<Waiting> queue_;
+
+  PhysTileId migrating_tile_ = k_no_phys_tile;
+  int defrag_window_ = -1;       ///< sticky target window start
+  int defrag_window_size_ = 0;   ///< its extent (the planned-for head's need)
+  std::int32_t defrag_target_ = -1; ///< queue head the window was planned for
+
+  long queue_skips_ = 0;
+  long defrag_moves_ = 0;
+  double frag_integral_ = 0.0;
+  time_us last_change_ = 0;
+};
+
+}  // namespace drhw

@@ -41,6 +41,14 @@ void ConfigStore::record_use(PhysTileId tile, time_us when) {
   state.last_used = when;
 }
 
+void ConfigStore::relocate(PhysTileId from, PhysTileId to, time_us when) {
+  const auto& source = tiles_[checked(from)];
+  DRHW_CHECK_MSG(source.config != k_no_config,
+                 "relocating an empty tile — nothing to copy");
+  DRHW_CHECK_MSG(from != to, "relocating a tile onto itself");
+  record_load(to, source.config, when, source.value);
+}
+
 time_us ConfigStore::last_used(PhysTileId tile) const {
   return tiles_[checked(tile)].last_used;
 }

@@ -38,6 +38,13 @@ class ConfigStore {
   /// Records an execution using `tile` finishing at absolute time `when`.
   void record_use(PhysTileId tile, time_us when);
 
+  /// Relocation path of the online defragmentation pass: the configuration
+  /// resident on `from` is loaded onto `to` at absolute time `when`,
+  /// carrying its replacement value along. The source tile is left
+  /// untouched — in hardware the old frames still hold the bitstream, so
+  /// it remains a reusable cached copy until something overwrites it.
+  void relocate(PhysTileId from, PhysTileId to, time_us when);
+
   time_us last_used(PhysTileId tile) const;
   double value_of(PhysTileId tile) const;
 

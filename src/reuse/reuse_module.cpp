@@ -119,6 +119,17 @@ Binding bind_tiles(const SubtaskGraph& graph, const Placement& placement,
   return binding;
 }
 
+std::vector<ConfigId> first_subtask_configs(const SubtaskGraph& graph,
+                                            const Placement& placement) {
+  std::vector<ConfigId> configs;
+  for (const auto& seq : placement.tile_sequence) {
+    if (seq.empty()) continue;
+    const ConfigId config = graph.subtask(seq.front()).config;
+    if (config != k_no_config) configs.push_back(config);
+  }
+  return configs;
+}
+
 const char* to_string(ReplacementPolicy policy) {
   switch (policy) {
     case ReplacementPolicy::lru:

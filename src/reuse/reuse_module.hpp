@@ -69,6 +69,14 @@ Binding bind_tiles(const SubtaskGraph& graph, const Placement& placement,
                    const std::vector<time_us>& values, Rng& rng,
                    const NextUseRank& next_use = nullptr);
 
+/// The configurations bind_tiles() can reuse for this placement: the
+/// first-subtask configuration of every occupied virtual tile (only the
+/// first subtask on a tile can be reused — every later one is preceded by
+/// an overwriting load). Used by the pool layer's placement-aware
+/// contiguous block selection so admission lands where reuse is richest.
+std::vector<ConfigId> first_subtask_configs(const SubtaskGraph& graph,
+                                            const Placement& placement);
+
 /// Human-readable policy name (benchmark tables).
 const char* to_string(ReplacementPolicy policy);
 

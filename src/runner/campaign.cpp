@@ -227,9 +227,14 @@ void run_online(const Scenario& scenario, WorkloadCache& cache,
   options.replacement = scenario.sim.replacement;
   options.arrivals = scenario.arrivals;
   options.port_discipline = scenario.port_discipline;
+  options.pool = scenario.pool;
+  options.scheduler_cost = scenario.scheduler_cost;
   options.hybrid_intertask = scenario.sim.hybrid_intertask;
   options.intertask_beyond_critical = scenario.sim.intertask_beyond_critical;
   options.intertask_lookahead = scenario.sim.intertask_lookahead;
+  // Long-horizon campaigns do not need per-instance spans: the quantile
+  // sketch reports response percentiles in O(1) memory.
+  options.record_spans = false;
   options.seed = scenario.sim.seed;
   options.iterations = scenario.sim.iterations;
   OnlineReport report = run_online_simulation(options, workload.sampler);
@@ -240,6 +245,12 @@ void run_online(const Scenario& scenario, WorkloadCache& cache,
   result.max_queueing_ms = report.max_queueing_ms;
   result.port_utilisation_pct = report.port_utilisation_pct;
   result.horizon_ms = to_ms(report.horizon);
+  result.response_p50_ms = report.response_p50_ms;
+  result.response_p95_ms = report.response_p95_ms;
+  result.response_p99_ms = report.response_p99_ms;
+  result.frag_pct = report.mean_frag_pct;
+  result.queue_skips = report.queue_skips;
+  result.defrag_moves = report.defrag_moves;
 }
 
 ScenarioResult run_scenario_cached(const Scenario& scenario,

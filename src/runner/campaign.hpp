@@ -75,6 +75,16 @@ struct ScenarioResult {
   double max_queueing_ms = 0.0;
   double port_utilisation_pct = 0.0;
   double horizon_ms = 0.0;
+  /// Online mode only: streaming response-time percentiles (P² sketch).
+  double response_p50_ms = 0.0;
+  double response_p95_ms = 0.0;
+  double response_p99_ms = 0.0;
+  /// Online mode only: time-weighted mean tile-pool fragmentation,
+  /// admissions that overtook an older queued instance, and
+  /// defragmentation relocations.
+  double frag_pct = 0.0;
+  long queue_skips = 0;
+  long defrag_moves = 0;
   /// Mean run-time scheduling cost of the list heuristic of ref. [7] in
   /// microseconds (sched_cost mode only).
   double list_sched_us = 0.0;

@@ -37,6 +37,12 @@ std::map<std::string, double> deterministic_metrics(
     metrics["queueing_max_ms"] = result.max_queueing_ms;
     metrics["port_util_pct"] = result.port_utilisation_pct;
     metrics["horizon_ms"] = result.horizon_ms;
+    metrics["response_p50_ms"] = result.response_p50_ms;
+    metrics["response_p95_ms"] = result.response_p95_ms;
+    metrics["response_p99_ms"] = result.response_p99_ms;
+    metrics["frag_pct"] = result.frag_pct;
+    metrics["queue_skips"] = static_cast<double>(result.queue_skips);
+    metrics["defrag_moves"] = static_cast<double>(result.defrag_moves);
   }
   return metrics;
 }
@@ -219,7 +225,14 @@ std::string campaign_to_json(const std::vector<ScenarioResult>& results,
          << "      \"arrival_rate_per_s\": "
          << fmt_json_double(s.arrivals.rate_per_s) << ",\n"
          << "      \"port_discipline\": \"" << to_string(s.port_discipline)
-         << "\",\n";
+         << "\",\n"
+         << "      \"admission_policy\": \"" << to_string(s.pool.admission)
+         << "\",\n"
+         << "      \"contiguous\": " << (s.pool.contiguous ? "true" : "false")
+         << ",\n"
+         << "      \"defrag\": " << (s.pool.defrag ? "true" : "false")
+         << ",\n"
+         << "      \"scheduler_cost_us\": " << s.scheduler_cost << ",\n";
     os
        << "      \"ok\": " << (result.ok ? "true" : "false") << ",\n"
        << "      \"error\": \"" << json_escape(result.error) << "\",\n"
@@ -250,8 +263,10 @@ const char* const k_csv_metric_columns[] = {
     "makespan_ms",     "overhead_pct",    "reuse_pct",
     "reuse_hits",      "loads",           "energy",
     "energy_saved",    "response_ms",     "response_max_ms",
+    "response_p50_ms", "response_p95_ms", "response_p99_ms",
     "queueing_ms",     "queueing_max_ms", "port_util_pct",
-    "horizon_ms",      "list_sched_us",   "hybrid_sched_us",
+    "horizon_ms",      "frag_pct",        "queue_skips",
+    "defrag_moves",    "list_sched_us",   "hybrid_sched_us",
     "wall_ms"};
 
 std::string csv_escape(const std::string& text) {
@@ -270,7 +285,8 @@ std::string csv_escape(const std::string& text) {
 std::string campaign_to_csv(const std::vector<ScenarioResult>& results) {
   std::ostringstream os;
   os << "name,family,workload,mode,approach,replacement,tiles,"
-        "reconfig_latency_us,ports,seed,iterations,ok,error";
+        "reconfig_latency_us,ports,seed,iterations,admission_policy,"
+        "contiguous,defrag,scheduler_cost_us,ok,error";
   for (const char* column : k_csv_metric_columns) os << "," << column;
   os << "\n";
   for (const ScenarioResult& result : results) {
@@ -280,8 +296,10 @@ std::string campaign_to_csv(const std::vector<ScenarioResult>& results) {
        << to_string(s.sim.approach) << "," << to_string(s.sim.replacement)
        << "," << s.sim.platform.tiles << "," << s.sim.platform.reconfig_latency
        << "," << s.sim.platform.reconfig_ports << "," << s.sim.seed << ","
-       << s.sim.iterations << "," << (result.ok ? "1" : "0") << ","
-       << csv_escape(result.error);
+       << s.sim.iterations << "," << to_string(s.pool.admission) << ","
+       << (s.pool.contiguous ? "1" : "0") << ","
+       << (s.pool.defrag ? "1" : "0") << "," << s.scheduler_cost << ","
+       << (result.ok ? "1" : "0") << "," << csv_escape(result.error);
     const auto metrics = all_metrics(result);
     for (const char* column : k_csv_metric_columns) {
       const auto it = metrics.find(column);
@@ -554,6 +572,13 @@ ParsedCampaign campaign_from_json(const std::string& json) {
       s.arrival_rate_per_s = rate->number;
     if (const auto* discipline = item.find("port_discipline"))
       s.port_discipline = discipline->text;
+    if (const auto* admission = item.find("admission_policy"))
+      s.admission_policy = admission->text;
+    if (const auto* contiguous = item.find("contiguous"))
+      s.contiguous = contiguous->boolean;
+    if (const auto* defrag = item.find("defrag")) s.defrag = defrag->boolean;
+    if (const auto* cost = item.find("scheduler_cost_us"))
+      s.scheduler_cost_us = cost->number;
     s.ok = item.at("ok").boolean;
     s.error = item.at("error").text;
     for (const auto& [name, value] : item.at("metrics").members)
@@ -639,6 +664,14 @@ std::vector<ParsedScenario> campaign_from_csv(const std::string& csv) {
         s.seed = std::strtoull(value.c_str(), nullptr, 10);
       else if (key == "iterations")
         s.iterations = std::atoi(value.c_str());
+      else if (key == "admission_policy")
+        s.admission_policy = value;
+      else if (key == "contiguous")
+        s.contiguous = value == "1";
+      else if (key == "defrag")
+        s.defrag = value == "1";
+      else if (key == "scheduler_cost_us")
+        s.scheduler_cost_us = std::strtod(value.c_str(), nullptr);
       else if (key == "ok")
         s.ok = value == "1";
       else if (key == "error")

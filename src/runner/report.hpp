@@ -98,6 +98,10 @@ struct ParsedScenario {
   std::string arrival_kind;
   double arrival_rate_per_s = 0.0;
   std::string port_discipline;
+  std::string admission_policy;
+  bool contiguous = false;
+  bool defrag = false;
+  double scheduler_cost_us = 0.0;
   bool ok = false;
   std::string error;
   /// metric name -> value, exactly the columns/keys of the writers.

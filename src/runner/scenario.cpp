@@ -76,10 +76,14 @@ void Scenario::validate() const {
   if (mode == ScenarioMode::online) {
     try {
       arrivals.validate();
+      pool.validate();
     } catch (const std::invalid_argument& e) {
       throw std::invalid_argument("scenario '" + name + "': " + e.what());
     }
   }
+  if (scheduler_cost < 0)
+    throw std::invalid_argument("scenario '" + name +
+                                "': negative scheduler cost");
 }
 
 void ScenarioRegistry::add(Scenario scenario) {
@@ -256,6 +260,24 @@ ScenarioRegistry ScenarioRegistry::builtin(int iterations,
   online_sweep.arrival_rates = {10.0, 40.0, 160.0};
   registry.add(build_sweep(online_sweep));
 
+  // Contiguous tile pool under pressure: admission policy x defrag x
+  // arrival rate x tile count. The regime the pool layer exists for — a
+  // large queued instance blocks a fragmented pool under fifo_hol, and
+  // backfill / reordering / defragmentation recover the lost admissions.
+  SweepConfig defrag_sweep;
+  defrag_sweep.family = "online_defrag";
+  defrag_sweep.base = base_scenario("online_defrag/base", "online_defrag", 12,
+                                    Approach::hybrid, seed, iterations);
+  defrag_sweep.base.mode = ScenarioMode::online;
+  defrag_sweep.base.pool.contiguous = true;
+  defrag_sweep.tiles = {10, 14};
+  defrag_sweep.arrival_rates = {60.0, 160.0};
+  defrag_sweep.admission_policies = {AdmissionPolicy::fifo_hol,
+                                     AdmissionPolicy::backfill_bypass,
+                                     AdmissionPolicy::window_reorder};
+  defrag_sweep.defrag_modes = {false, true};
+  registry.add(build_sweep(defrag_sweep));
+
   // Section 4 scalability: run-time scheduler cost vs subtask count.
   for (int subtasks : {14, 28, 56, 112, 224, 448}) {
     Scenario s = base_scenario("scalability/n" + std::to_string(subtasks),
@@ -297,11 +319,21 @@ std::vector<Scenario> build_sweep(const SweepConfig& config) {
       config.arrival_rates.empty()
           ? std::vector<double>{config.base.arrivals.rate_per_s}
           : config.arrival_rates;
-  if (!config.arrival_rates.empty() &&
+  const std::vector<AdmissionPolicy> policies =
+      config.admission_policies.empty()
+          ? std::vector<AdmissionPolicy>{config.base.pool.admission}
+          : config.admission_policies;
+  const std::vector<bool> defrag_modes =
+      config.defrag_modes.empty()
+          ? std::vector<bool>{config.base.pool.defrag}
+          : config.defrag_modes;
+  if ((!config.arrival_rates.empty() || !config.admission_policies.empty() ||
+       !config.defrag_modes.empty()) &&
       config.base.mode != ScenarioMode::online)
     throw std::invalid_argument(
         "sweep '" + config.family +
-        "': an arrival-rate axis requires an online base scenario");
+        "': arrival-rate / admission / defrag axes require an online base "
+        "scenario");
 
   std::vector<Scenario> out;
   for (int t : tiles)
@@ -309,27 +341,35 @@ std::vector<Scenario> build_sweep(const SweepConfig& config) {
       for (int p : ports)
         for (Approach approach : approaches)
           for (std::uint64_t seed : seeds)
-            for (double rate : rates) {
-              Scenario s = config.base;
-              s.family = config.family;
-              s.sim.platform.tiles = t;
-              s.sim.platform.reconfig_latency = latency;
-              s.sim.platform.reconfig_ports = p;
-              s.sim.approach = approach;
-              s.sim.seed = seed;
-              s.arrivals.rate_per_s = rate;
-              s.name = config.family + "/t" + std::to_string(t) + "/l" +
-                       std::to_string(latency) + "/p" + std::to_string(p) +
-                       "/" + to_string(approach) + "/s" +
-                       std::to_string(seed);
-              if (!config.arrival_rates.empty()) {
-                char rate_text[32];
-                std::snprintf(rate_text, sizeof(rate_text), "%g", rate);
-                s.name += std::string("/r") + rate_text;
-              }
-              s.validate();
-              out.push_back(std::move(s));
-            }
+            for (double rate : rates)
+              for (AdmissionPolicy policy : policies)
+                for (bool defrag : defrag_modes) {
+                  Scenario s = config.base;
+                  s.family = config.family;
+                  s.sim.platform.tiles = t;
+                  s.sim.platform.reconfig_latency = latency;
+                  s.sim.platform.reconfig_ports = p;
+                  s.sim.approach = approach;
+                  s.sim.seed = seed;
+                  s.arrivals.rate_per_s = rate;
+                  s.pool.admission = policy;
+                  s.pool.defrag = defrag;
+                  s.name = config.family + "/t" + std::to_string(t) + "/l" +
+                           std::to_string(latency) + "/p" + std::to_string(p) +
+                           "/" + to_string(approach) + "/s" +
+                           std::to_string(seed);
+                  if (!config.arrival_rates.empty()) {
+                    char rate_text[32];
+                    std::snprintf(rate_text, sizeof(rate_text), "%g", rate);
+                    s.name += std::string("/r") + rate_text;
+                  }
+                  if (!config.admission_policies.empty())
+                    s.name += std::string("/") + to_string(policy);
+                  if (!config.defrag_modes.empty())
+                    s.name += defrag ? "/defrag" : "/no-defrag";
+                  s.validate();
+                  out.push_back(std::move(s));
+                }
   return out;
 }
 

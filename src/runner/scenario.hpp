@@ -94,6 +94,14 @@ struct Scenario {
   ArrivalProcess arrivals;
   /// Online mode only: arbitration between live instances at the port.
   PortDiscipline port_discipline = PortDiscipline::fifo;
+  /// Online mode only: tile-pool admission policy, contiguity and
+  /// defragmentation knobs (defaults reproduce the FIFO head-of-line
+  /// behaviour bit-identically).
+  PoolOptions pool;
+  /// Online mode only: per-admission run-time scheduling cost charged on
+  /// the simulated timeline (0 = scheduling is free, the paper's Section 7
+  /// assumption; see paper_scheduler_cost()).
+  time_us scheduler_cost = 0;
   /// Timed calls per measurement in sched_cost mode.
   int timing_calls = 50;
   /// sched_cost mode: schedule every subtask as a pending load (the
@@ -132,6 +140,8 @@ class ScenarioRegistry {
   ///   online_poisson/* online mode, Poisson arrivals, all five approaches
   ///   online_burst/*   online mode, bursty arrivals, all five approaches
   ///   online_sweep/*   online arrival-rate x tile-count cartesian sweep
+  ///   online_defrag/*  contiguous pool: admission policy x defrag x
+  ///                    arrival rate x tile count
   static ScenarioRegistry builtin(int iterations = 1000,
                                   std::uint64_t seed = 2005);
 
@@ -155,6 +165,11 @@ struct SweepConfig {
   /// Online scenarios only: arrival-rate axis (instances or bursts per
   /// second, depending on the base scenario's arrival kind).
   std::vector<double> arrival_rates;
+  /// Online scenarios only: tile-pool admission-policy axis.
+  std::vector<AdmissionPolicy> admission_policies;
+  /// Online scenarios only: defragmentation on/off axis (the base
+  /// scenario's pool must be contiguous for `true`).
+  std::vector<bool> defrag_modes;
 };
 
 /// Expands the sweep. Scenario names are

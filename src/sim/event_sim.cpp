@@ -9,8 +9,8 @@
 #include <unordered_map>
 
 #include "prefetch/hybrid.hpp"
-#include "reuse/config_store.hpp"
 #include "util/check.hpp"
+#include "util/p2_quantile.hpp"
 
 namespace drhw {
 
@@ -53,24 +53,44 @@ const char* to_string(PortDiscipline discipline) {
   return "?";
 }
 
+time_us paper_scheduler_cost(Approach approach) {
+  switch (approach) {
+    case Approach::no_prefetch:
+    case Approach::design_time_prefetch:
+      return 0;  // nothing is decided at run time
+    case Approach::runtime_heuristic:
+    case Approach::runtime_intertask:
+      return k_paper_list_scheduler_cost;
+    case Approach::hybrid:
+      return k_paper_hybrid_scheduler_cost;
+  }
+  return 0;
+}
+
 namespace {
 
 /// Event kinds, ordered so that simultaneous events resolve exactly like
 /// the single-instance evaluator: a completing load is visible to an
 /// execution becoming ready at the same instant, and instance arrivals
 /// (which snapshot the configuration store for binding) observe every
-/// completion of that instant first.
+/// completion of that instant first. Scheduler-decision completions come
+/// last: the decision takes the full charged interval.
 enum EventKind : int {
   k_ev_load_done = 0,
   k_ev_comm = 1,
   k_ev_exec_done = 2,
   k_ev_arrival = 3,
+  k_ev_sched_done = 4,
 };
+
+/// Sentinel job ids for load completions that belong to no live instance.
+constexpr std::int32_t k_prefetch_job = -1;
+constexpr std::int32_t k_migration_job = -2;
 
 struct Event {
   time_us time;
   int kind;
-  std::int32_t job;  ///< -1 for backlog-prefetch load completions
+  std::int32_t job;  ///< k_prefetch_job / k_migration_job for pool loads
   SubtaskId subtask; ///< prefetch completions carry the target tile here
 
   friend bool operator>(const Event& a, const Event& b) {
@@ -90,6 +110,9 @@ struct Job {
   time_us retire = k_no_time;
   bool arrived = false;
   bool admitted = false;
+  /// Run-time scheduling decision charged on the timeline: loads and
+  /// executions wait for it (true immediately when the cost is 0).
+  bool sched_done = true;
 
   LoadPolicy policy = LoadPolicy::on_demand;
   std::vector<SubtaskId> order;  ///< explicit port order (init prefix first)
@@ -111,11 +134,13 @@ class OnlineSimulation {
   OnlineSimulation(const OnlineSimOptions& options,
                    const IterationSampler& sampler)
       : options_(options),
-        store_(options.platform.tiles),
+        pool_(options.platform.tiles, options.pool),
         bind_rng_(options.seed ^ 0x5DEECE66DULL) {
     options_.platform.validate();
     options_.arrivals.validate();
     DRHW_CHECK_MSG(options_.iterations >= 1, "online run needs >= 1 iteration");
+    DRHW_CHECK_MSG(options_.scheduler_cost >= 0,
+                   "negative scheduler cost makes no sense");
 
     // Draw the whole instance stream up front. The sampler is the only
     // consumer of this generator, so the stream equals the sequential
@@ -150,6 +175,9 @@ class OnlineSimulation {
         case k_ev_arrival:
           on_arrival(ev.job, ev.time);
           break;
+        case k_ev_sched_done:
+          on_sched_done(ev.job, ev.time);
+          break;
       }
     }
     for (const Job& job : jobs_)
@@ -168,7 +196,7 @@ class OnlineSimulation {
       job.base = total;
       const SubtaskGraph& graph = *job.prep->graph;
       total += graph.size();
-      max_events += 2 * graph.size() + 4;  // loads + exec completions
+      max_events += 2 * graph.size() + 5;  // loads + exec + sched events
       for (std::size_t s = 0; s < graph.size(); ++s)  // comm arrivals
         max_events += graph.successors(static_cast<SubtaskId>(s)).size();
     }
@@ -184,10 +212,6 @@ class OnlineSimulation {
     init_load_.assign(total, 0);
 
     const auto tiles = static_cast<std::size_t>(options_.platform.tiles);
-    held_.assign(tiles, 0);
-    reserved_.assign(tiles, 0);
-    prefetch_config_.assign(tiles, k_no_config);
-    prefetch_value_.assign(tiles, 0.0);
     port_free_.assign(static_cast<std::size_t>(options_.platform.reconfig_ports),
                       0);
 
@@ -195,9 +219,10 @@ class OnlineSimulation {
     std::vector<Event> storage;
     storage.reserve(max_events);
     events_ = EventQueue(std::greater<>(), std::move(storage));
-    report_.spans.assign(jobs_.size(), 0);
+    if (options_.record_spans) report_.spans.assign(jobs_.size(), 0);
     live_.reserve(tiles + 1);
     protected_scratch_.assign(tiles, 0);
+    movable_scratch_.assign(tiles, 0);
 
     if (options_.replacement == ReplacementPolicy::oracle) {
       // Built once; each admission binary-searches the shared NextUseIndex
@@ -272,22 +297,11 @@ class OnlineSimulation {
 
   // -- admission ---------------------------------------------------------
 
-  std::size_t free_tile_count() const {
-    std::size_t free = 0;
-    for (std::size_t t = 0; t < held_.size(); ++t)
-      free += !held_[t] && !reserved_[t];
-    return free;
-  }
-
   void try_admit(time_us t) {
-    while (next_admit_ < jobs_.size()) {
-      Job& job = jobs_[next_admit_];
-      if (!job.arrived) break;
-      const auto needed =
-          static_cast<std::size_t>(job.prep->placement.tiles_occupied());
-      if (free_tile_count() < needed) break;  // FIFO head-of-line
-      admit(static_cast<std::int32_t>(next_admit_), t);
-      ++next_admit_;
+    for (;;) {
+      const std::int32_t index = pool_.select(t);
+      if (index < 0) return;
+      admit(index, t);
     }
   }
 
@@ -304,22 +318,23 @@ class OnlineSimulation {
     job.admitted = true;
     job.admit = t;
 
-    // Free-tile view of the pool: binding may only choose among tiles no
-    // live instance holds and no prefetch has reserved.
-    std::vector<PhysTileId> free_tiles;
-    for (int p = 0; p < store_.tiles(); ++p)
-      if (!held_[static_cast<std::size_t>(p)] &&
-          !reserved_[static_cast<std::size_t>(p)])
-        free_tiles.push_back(p);
+    // Tiles the pool offers for binding: every free tile (count-based
+    // pools, the PR 2 view) or the best-scoring free block (contiguous
+    // pools, placement-aware).
+    std::vector<ConfigId> wanted;
+    if (options_.pool.contiguous && approach_uses_reuse(options_.approach))
+      wanted = first_subtask_configs(graph, placement);
+    const std::vector<PhysTileId> free_tiles = pool_.offer(index, wanted);
 
+    const ConfigStore& store = pool_.store();
     std::vector<bool> resident(graph.size(), false);
     if (approach_uses_reuse(options_.approach)) {
       ConfigStore view(static_cast<int>(free_tiles.size()));
       for (std::size_t i = 0; i < free_tiles.size(); ++i) {
         const PhysTileId p = free_tiles[i];
-        if (store_.config_on(p) != k_no_config)
-          view.record_load(static_cast<PhysTileId>(i), store_.config_on(p),
-                           store_.last_used(p), store_.value_of(p));
+        if (store.config_on(p) != k_no_config)
+          view.record_load(static_cast<PhysTileId>(i), store.config_on(p),
+                           store.last_used(p), store.value_of(p));
       }
       NextUseRank oracle;
       if (options_.replacement == ReplacementPolicy::oracle)
@@ -345,8 +360,10 @@ class OnlineSimulation {
             free_tiles[next_free++];
       }
     }
+    occupied_scratch_.clear();
     for (const PhysTileId p : job.phys_of_tile)
-      if (p != k_no_phys_tile) held_[static_cast<std::size_t>(p)] = 1;
+      if (p != k_no_phys_tile) occupied_scratch_.push_back(p);
+    pool_.occupy(index, occupied_scratch_, t);
 
     build_plan(job, resident);
 
@@ -360,6 +377,13 @@ class OnlineSimulation {
     report_.sim.reused_subtasks += job.reused;
     queue_sum_ += static_cast<double>(t - job.arrival);
     queue_max_ = std::max(queue_max_, t - job.arrival);
+
+    // The run-time scheduling decision itself costs simulated time: until
+    // it completes nothing of this instance may load or execute.
+    job.sched_done = options_.scheduler_cost == 0;
+    if (!job.sched_done)
+      events_.push({t + options_.scheduler_cost, k_ev_sched_done, index,
+                    k_no_subtask});
 
     // Initial enables, exactly like the evaluator's t = 0 marks.
     for (std::size_t s = 0; s < graph.size(); ++s) {
@@ -453,7 +477,14 @@ class OnlineSimulation {
     if (started_[idx]) return;
     if (dag_ready_[idx] == k_no_time || arrived_[idx] == k_no_time) return;
     if (needs_[idx] && !config_done_[idx]) return;
+    if (!job.sched_done) return;  // the run-time decision is still charged
     if (!job.init_done) return;  // stored schedule waits for the init phase
+    const TileId tile = job.prep->placement.tile_of[static_cast<std::size_t>(s)];
+    if (tile != k_no_tile) {
+      const PhysTileId phys = job.phys_of_tile[static_cast<std::size_t>(tile)];
+      // A tile being defragmented cannot execute until the move lands.
+      if (phys != k_no_phys_tile && pool_.migrating(phys)) return;
+    }
     started_[idx] = 1;
     exec_end_[idx] = t + job.prep->graph->subtask(s).exec_time;
     events_.push({exec_end_[idx], k_ev_exec_done, j, s});
@@ -465,6 +496,7 @@ class OnlineSimulation {
   /// k_no_subtask. Pure scan; the caller starts the load explicitly.
   SubtaskId job_candidate(const Job& job) const {
     const SubtaskGraph& graph = *job.prep->graph;
+    if (!job.sched_done) return k_no_subtask;  // decision still in flight
     switch (job.policy) {
       case LoadPolicy::explicit_order: {
         for (std::size_t i = job.next_explicit; i < job.order.size(); ++i) {
@@ -519,6 +551,7 @@ class OnlineSimulation {
     load_started_[idx] = 1;
     ++inflight_[job.prep->graph->subtask(s).config];
     const time_us duration = load_duration(job, s);
+    DRHW_CHECK_MSG(port_free_[port] <= t, "load started on a busy port");
     port_free_[port] = t + duration;
     port_busy_ += duration;
     ++job.loads;
@@ -554,17 +587,19 @@ class OnlineSimulation {
   /// Prefetches one configuration for a queued (arrived, unadmitted)
   /// instance onto a free tile. Returns true if a load was started.
   bool start_backlog_prefetch(std::size_t port, time_us t) {
-    if (next_admit_ >= jobs_.size() || !jobs_[next_admit_].arrived)
+    if (pool_.queue_empty())
       return false;  // empty backlog: the common idle-port case, O(1)
     // Configurations the queue's head wants must not be evicted from free
     // tiles — that would trade a hidden load for an exposed one.
     // protected_scratch_ is a member: no allocation on the event path.
     std::fill(protected_scratch_.begin(), protected_scratch_.end(), 0);
     {
-      const SubtaskGraph& head = *jobs_[next_admit_].prep->graph;
-      for (std::size_t t2 = 0; t2 < held_.size(); ++t2) {
+      const SubtaskGraph& head =
+          *jobs_[static_cast<std::size_t>(pool_.queue_head())].prep->graph;
+      const ConfigStore& store = pool_.store();
+      for (std::size_t t2 = 0; t2 < protected_scratch_.size(); ++t2) {
         const ConfigId resident =
-            store_.config_on(static_cast<PhysTileId>(t2));
+            store.config_on(static_cast<PhysTileId>(t2));
         if (resident == k_no_config) continue;
         for (std::size_t s = 0; s < head.size(); ++s)
           if (head.subtask(static_cast<SubtaskId>(s)).config == resident) {
@@ -573,56 +608,102 @@ class OnlineSimulation {
           }
       }
     }
-    int scanned = 0;
-    for (std::size_t j = next_admit_;
-         j < jobs_.size() && scanned < options_.intertask_lookahead; ++j) {
-      const Job& queued = jobs_[j];
-      if (!queued.arrived || queued.admitted) break;  // FIFO arrival order
-      ++scanned;
+    const std::size_t lookahead = std::min(
+        pool_.queued(),
+        static_cast<std::size_t>(std::max(options_.intertask_lookahead, 0)));
+    for (std::size_t q = 0; q < lookahead; ++q) {
+      const Job& queued = jobs_[static_cast<std::size_t>(pool_.waiting_at(q))];
       for (const SubtaskId s : cached_candidates(queued.prep)) {
         const ConfigId config = queued.prep->graph->subtask(s).config;
-        if (config == k_no_config || store_.holds(config) ||
+        if (config == k_no_config || pool_.store().holds(config) ||
             config_in_flight(config))
           continue;
-        // Victim among free, unreserved, unprotected tiles: empty first,
-        // then lowest value, then least recently used.
-        PhysTileId victim = k_no_phys_tile;
-        for (int p = 0; p < store_.tiles(); ++p) {
-          const auto idx = static_cast<std::size_t>(p);
-          if (held_[idx] || reserved_[idx] || protected_scratch_[idx])
-            continue;
-          if (store_.config_on(p) == k_no_config) {
-            victim = p;
-            break;
-          }
-          bool better = victim == k_no_phys_tile;
-          if (!better) {
-            if (store_.value_of(p) != store_.value_of(victim))
-              better = store_.value_of(p) < store_.value_of(victim);
-            else
-              better = store_.last_used(p) < store_.last_used(victim);
-          }
-          if (better) victim = p;
-        }
+        const PhysTileId victim = pool_.prefetch_victim(protected_scratch_);
         if (victim == k_no_phys_tile) return false;  // pool exhausted
-        const auto vidx = static_cast<std::size_t>(victim);
-        reserved_[vidx] = 1;
-        ++inflight_[config];
-        prefetch_config_[vidx] = config;
-        prefetch_value_[vidx] = static_cast<double>(
+        const double value = static_cast<double>(
             values_for(queued)[static_cast<std::size_t>(s)]);
+        pool_.reserve(victim, config, value, t);
+        ++inflight_[config];
         const time_us duration = load_duration(queued, s);
+        DRHW_CHECK_MSG(port_free_[port] <= t,
+                       "prefetch started on a busy port");
         port_free_[port] = t + duration;
         port_busy_ += duration;
         ++report_.sim.intertask_prefetches;
         ++report_.sim.loads;
         report_.sim.energy += options_.platform.reconfig_energy;
-        events_.push({t + duration, k_ev_load_done, -1,
+        events_.push({t + duration, k_ev_load_done, k_prefetch_job,
                       static_cast<SubtaskId>(victim)});
         return true;
       }
     }
     return false;
+  }
+
+  /// Held tiles that are safe to relocate right now: the owner is live but
+  /// the tile neither executes nor receives a load at this instant.
+  void build_movable(std::vector<char>& movable) const {
+    std::fill(movable.begin(), movable.end(), 0);
+    for (const std::int32_t j : live_) {
+      const Job& job = jobs_[static_cast<std::size_t>(j)];
+      const Placement& placement = job.prep->placement;
+      for (std::size_t vt = 0; vt < job.phys_of_tile.size(); ++vt) {
+        const PhysTileId p = job.phys_of_tile[vt];
+        if (p == k_no_phys_tile || pool_.migrating(p)) continue;
+        bool busy = false;
+        for (const SubtaskId s : placement.tile_sequence[vt]) {
+          const std::size_t idx = job.base + static_cast<std::size_t>(s);
+          if ((started_[idx] && !finished_[idx]) ||
+              (load_started_[idx] && !config_done_[idx])) {
+            busy = true;
+            break;
+          }
+        }
+        if (!busy) movable[static_cast<std::size_t>(p)] = 1;
+      }
+    }
+  }
+
+  /// Defragmentation step: free remaps are applied immediately; a real
+  /// migration occupies the port. Returns true when the port scan must
+  /// restart — either this step took the port, or it admitted instances
+  /// whose nested try_port may have (falling through to the backlog
+  /// prefetch with a stale idle-port assumption would double-book it).
+  bool start_defrag(std::size_t port, time_us t) {
+    if (pool_.migration_in_flight() || !pool_.head_fragmentation_blocked())
+      return false;
+    build_movable(movable_scratch_);
+    for (;;) {
+      const auto plan = pool_.plan_defrag(movable_scratch_);
+      if (!plan) return false;
+      if (!plan->needs_port()) {
+        // An empty held tile carries no bitstream: remapping it is free.
+        pool_.apply_remap(*plan, t);
+        remap_owner(*plan);
+        if (!pool_.head_fragmentation_blocked()) {
+          try_admit(t);
+          return true;
+        }
+        continue;
+      }
+      pool_.begin_migration(*plan, t);
+      migration_ = *plan;
+      const time_us duration = options_.platform.reconfig_latency;
+      DRHW_CHECK_MSG(port_free_[port] <= t, "defrag on a busy port");
+      port_free_[port] = t + duration;
+      port_busy_ += duration;
+      ++report_.sim.loads;
+      report_.sim.energy += options_.platform.reconfig_energy;
+      events_.push({t + duration, k_ev_load_done, k_migration_job,
+                    k_no_subtask});
+      return true;
+    }
+  }
+
+  void remap_owner(const MigrationPlan& plan) {
+    Job& owner = jobs_[static_cast<std::size_t>(plan.owner)];
+    for (PhysTileId& p : owner.phys_of_tile)
+      if (p == plan.src) p = plan.dst;
   }
 
   void try_port(time_us t) {
@@ -655,6 +736,7 @@ class OnlineSimulation {
         start_job_load(best_job, best_subtask, port, t);
         continue;
       }
+      if (options_.pool.defrag && start_defrag(port, t)) continue;
       if (intertask_enabled() && start_backlog_prefetch(port, t)) continue;
       return;
     }
@@ -663,19 +745,38 @@ class OnlineSimulation {
   // -- event handlers ----------------------------------------------------
 
   void on_arrival(std::int32_t j, time_us t) {
-    jobs_[static_cast<std::size_t>(j)].arrived = true;
+    Job& job = jobs_[static_cast<std::size_t>(j)];
+    job.arrived = true;
+    pool_.enqueue(j, job.prep->placement.tiles_occupied(), t);
     try_admit(t);
     try_port(t);
   }
 
+  void on_sched_done(std::int32_t j, time_us t) {
+    Job& job = jobs_[static_cast<std::size_t>(j)];
+    job.sched_done = true;
+    for (std::size_t s = 0; s < job.prep->graph->size(); ++s)
+      try_exec(j, static_cast<SubtaskId>(s), t);
+    try_port(t);
+  }
+
   void on_load_done(std::int32_t j, SubtaskId s, time_us t) {
-    if (j < 0) {  // backlog prefetch completion; `s` carries the tile
-      const auto tile = static_cast<std::size_t>(s);
-      store_.record_load(static_cast<PhysTileId>(tile),
-                         prefetch_config_[tile], t, prefetch_value_[tile]);
-      release_inflight(prefetch_config_[tile]);
-      reserved_[tile] = 0;
-      prefetch_config_[tile] = k_no_config;
+    if (j == k_migration_job) {  // defragmentation move landed
+      const MigrationPlan plan = migration_;
+      if (pool_.finish_migration(plan, t)) remap_owner(plan);
+      // Executions gated on the migrating tile may go now — whether or not
+      // the transfer held (an aborted transfer leaves the owner on the
+      // source tile, whose gate just lifted). Skip a retired owner.
+      const Job& owner = jobs_[static_cast<std::size_t>(plan.owner)];
+      if (owner.retire == k_no_time)
+        for (std::size_t k = 0; k < owner.prep->graph->size(); ++k)
+          try_exec(plan.owner, static_cast<SubtaskId>(k), t);
+      try_admit(t);
+      try_port(t);
+      return;
+    }
+    if (j == k_prefetch_job) {  // backlog prefetch; `s` carries the tile
+      release_inflight(pool_.finish_prefetch(static_cast<PhysTileId>(s), t));
       try_admit(t);
       try_port(t);
       return;
@@ -686,7 +787,7 @@ class OnlineSimulation {
     release_inflight(job.prep->graph->subtask(s).config);
     const TileId tile =
         job.prep->placement.tile_of[static_cast<std::size_t>(s)];
-    store_.record_load(
+    pool_.store().record_load(
         job.phys_of_tile[static_cast<std::size_t>(tile)],
         job.prep->graph->subtask(s).config, t,
         static_cast<double>(values_for(job)[static_cast<std::size_t>(s)]));
@@ -725,7 +826,8 @@ class OnlineSimulation {
         static_cast<std::size_t>(placement.position_of[static_cast<std::size_t>(s)]);
     if (pos + 1 < seq.size()) mark_arrival(j, seq[pos + 1], t);
     if (tile != k_no_tile)
-      store_.record_use(job.phys_of_tile[static_cast<std::size_t>(tile)], t);
+      pool_.store().record_use(
+          job.phys_of_tile[static_cast<std::size_t>(tile)], t);
 
     for (SubtaskId succ : graph.successors(s)) {
       const time_us comm = edge_comm(job, s, succ);
@@ -761,14 +863,14 @@ class OnlineSimulation {
   void retire(std::int32_t j, time_us t) {
     Job& job = jobs_[static_cast<std::size_t>(j)];
     job.retire = t;
-    for (const PhysTileId p : job.phys_of_tile)
-      if (p != k_no_phys_tile) held_[static_cast<std::size_t>(p)] = 0;
+    pool_.release(j, t);
     live_.erase(std::find(live_.begin(), live_.end(), j));
 
     // Accounting, mirroring the sequential simulator's account().
     const SubtaskGraph& graph = *job.prep->graph;
     const time_us span = t - job.admit;
-    report_.spans[static_cast<std::size_t>(j)] = span;  // arrival order
+    if (options_.record_spans)
+      report_.spans[static_cast<std::size_t>(j)] = span;  // arrival order
     report_.sim.total_ideal += job.prep->ideal;
     report_.sim.total_actual += span;
     ++report_.sim.instances;
@@ -788,6 +890,7 @@ class OnlineSimulation {
                             static_cast<double>(drhw - job.loads);
     response_sum_ += static_cast<double>(t - job.arrival);
     response_max_ = std::max(response_max_, t - job.arrival);
+    response_sketch_.add(to_ms(t - job.arrival));
     horizon_ = std::max(horizon_, t);
 
     if (options_.arrivals.kind == ArrivalProcess::Kind::closed_loop) {
@@ -820,6 +923,12 @@ class OnlineSimulation {
     }
     report_.max_response_ms = to_ms(response_max_);
     report_.max_queueing_ms = to_ms(queue_max_);
+    report_.response_p50_ms = response_sketch_.p50();
+    report_.response_p95_ms = response_sketch_.p95();
+    report_.response_p99_ms = response_sketch_.p99();
+    report_.mean_frag_pct = pool_.mean_fragmentation_pct(horizon_);
+    report_.queue_skips = pool_.queue_skips();
+    report_.defrag_moves = pool_.defrag_moves();
     time_us busy_horizon = horizon_;
     for (const time_us p : port_free_)
       busy_horizon = std::max(busy_horizon, p);
@@ -834,12 +943,11 @@ class OnlineSimulation {
       std::priority_queue<Event, std::vector<Event>, std::greater<>>;
 
   OnlineSimOptions options_;
-  ConfigStore store_;
+  TilePoolManager pool_;  ///< tile occupancy, admission queue, defrag state
   Rng bind_rng_;
   std::vector<Job> jobs_;
   EventQueue events_;
   std::vector<std::int32_t> live_;  ///< admitted, unretired; admission order
-  std::size_t next_admit_ = 0;
 
   // Per-subtask state arenas (indexed job.base + subtask id).
   std::vector<int> preds_left_;
@@ -847,13 +955,13 @@ class OnlineSimulation {
   std::vector<char> started_, finished_, load_started_, config_done_, needs_,
       init_load_;
 
-  // Tile pool and port state.
-  std::vector<char> held_, reserved_;
-  std::vector<ConfigId> prefetch_config_;
-  std::vector<double> prefetch_value_;
+  // Port state.
   std::vector<time_us> port_free_;
   time_us port_busy_ = 0;
   std::vector<char> protected_scratch_;  ///< backlog-prefetch scratch
+  std::vector<char> movable_scratch_;    ///< defrag-planning scratch
+  std::vector<PhysTileId> occupied_scratch_;  ///< admission scratch
+  MigrationPlan migration_;  ///< the (single) in-flight defrag move
   std::unordered_map<ConfigId, int> inflight_;  ///< loads in flight per config
   std::unordered_map<const PreparedScenario*, std::vector<SubtaskId>>
       candidate_cache_;
@@ -865,6 +973,7 @@ class OnlineSimulation {
   time_us response_max_ = 0;
   time_us queue_max_ = 0;
   time_us horizon_ = 0;
+  QuantileSketch response_sketch_;
 
   OnlineReport report_;
 };

@@ -13,10 +13,17 @@
 /// Model:
 ///  * One global event queue (task arrival, load start/complete, subtask
 ///    execution complete, instance retire) drives absolute simulated time.
-///  * Admission: an arrived instance is admitted when enough tiles are free
-///    for its placement; binding onto the free tiles goes through the
-///    existing ConfigStore / bind_tiles reuse machinery, so configurations
-///    left behind by retired instances are reused across live instances.
+///  * Admission: tile-pool ownership lives in the pool layer
+///    (pool/tile_pool.hpp). Arrived instances queue there and a pluggable
+///    AdmissionPolicy decides who goes next (FIFO head-of-line by default,
+///    bit-identical to PR 2; bounded backfill and windowed best-fit
+///    reordering optional). Binding onto the offered tiles goes through
+///    the existing ConfigStore / bind_tiles reuse machinery, so
+///    configurations left behind by retired instances are reused across
+///    live instances. With contiguous allocation on, the pool can also run
+///    an online defragmentation pass: idle resident configurations of live
+///    instances are relocated through the port (at real reconfiguration
+///    latency) to open contiguous room for a fragmentation-blocked head.
 ///  * The reconfiguration port is an explicit shared resource serving one
 ///    load at a time (per port). Arbitration between live instances is
 ///    either fifo (oldest admitted instance first) or priority (highest
@@ -40,13 +47,14 @@
 /// stream — see tests/test_event_sim.cpp.
 ///
 /// ISPs are per-instance (each instance brings its own ISP context);
-/// modelling ISP contention is an open item, as are preemption and
-/// defragmentation (see ROADMAP.md).
+/// modelling ISP contention is an open item, as is preemption (see
+/// ROADMAP.md).
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "pool/tile_pool.hpp"
 #include "sim/system_sim.hpp"
 
 namespace drhw {
@@ -85,12 +93,37 @@ enum class PortDiscipline {
 
 const char* to_string(PortDiscipline discipline);
 
+/// Section 4 of the paper measures the run-time scheduling cost on the
+/// embedded core: the hybrid's run-time phase resolves one task instance in
+/// a few microseconds, while the full list-scheduling heuristic of ref. [7]
+/// costs roughly two orders of magnitude more (the `scalability` campaign
+/// family reproduces the trend). Defaults for
+/// OnlineSimOptions::scheduler_cost; 0 keeps scheduling free, the paper's
+/// Section 7 assumption.
+inline constexpr time_us k_paper_hybrid_scheduler_cost = us(4);
+inline constexpr time_us k_paper_list_scheduler_cost = us(150);
+
+/// The Section 4 per-decision cost of `approach`'s run-time scheduler:
+/// design-time approaches decide nothing at run time (0), the run-time
+/// heuristics pay the list-scheduler cost, the hybrid its cheap run-time
+/// phase.
+time_us paper_scheduler_cost(Approach approach);
+
 struct OnlineSimOptions {
   PlatformConfig platform;
   Approach approach = Approach::hybrid;
   ReplacementPolicy replacement = ReplacementPolicy::lru;
   ArrivalProcess arrivals;
   PortDiscipline port_discipline = PortDiscipline::fifo;
+  /// Tile-pool admission/defragmentation knobs (pool/tile_pool.hpp).
+  /// Defaults reproduce PR 2 bit-identically.
+  PoolOptions pool;
+  /// Per-admission run-time scheduling decision cost, charged on the
+  /// simulated timeline: an admitted instance's loads and executions
+  /// cannot start until `admit + scheduler_cost`. 0 (default) keeps
+  /// scheduling free so existing golden numbers hold; see
+  /// paper_scheduler_cost() for the Section 4 measurements.
+  time_us scheduler_cost = 0;
   /// Inter-task (backlog) prefetch toggle for the hybrid approach, mirroring
   /// SimOptions::hybrid_intertask; runtime_intertask always prefetches.
   bool hybrid_intertask = true;
@@ -100,6 +133,10 @@ struct OnlineSimOptions {
   bool intertask_beyond_critical = false;
   /// How many queued instances the backlog prefetch may serve.
   int intertask_lookahead = 1;
+  /// Collect per-instance admit -> retire spans into OnlineReport::spans
+  /// (equivalence tests). Off for long-horizon runs — the streaming
+  /// quantile sketch keeps reporting response percentiles regardless.
+  bool record_spans = true;
   std::uint64_t seed = 1;
   /// Sampler batches to draw (the flattened instances of these batches form
   /// the arrival stream) — same workload volume as a sequential run with
@@ -119,8 +156,21 @@ struct OnlineReport {
   double mean_queueing_ms = 0.0;  ///< admission - arrival (tile wait)
   double max_queueing_ms = 0.0;
   double port_utilisation_pct = 0.0;  ///< port busy time / (ports * horizon)
+  /// Streaming response-time percentiles (P² sketch — exact up to five
+  /// instances, tight estimates beyond; no span recording needed).
+  double response_p50_ms = 0.0;
+  double response_p95_ms = 0.0;
+  double response_p99_ms = 0.0;
+  /// Time-weighted mean external fragmentation of the tile pool,
+  /// 100 * (1 - largest free block / free tiles) integrated over the run.
+  double mean_frag_pct = 0.0;
+  /// Admissions that overtook an older queued instance (backfill/reorder).
+  long queue_skips = 0;
+  /// Defragmentation relocations (port migrations + free remaps).
+  long defrag_moves = 0;
   /// Per-instance admit -> retire spans in arrival order (equivalence
-  /// tests; size == sim.instances).
+  /// tests; size == sim.instances; empty when
+  /// OnlineSimOptions::record_spans is off).
   std::vector<time_us> spans;
 };
 

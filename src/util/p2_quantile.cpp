@@ -1,0 +1,82 @@
+#include "util/p2_quantile.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace drhw {
+
+P2Quantile::P2Quantile(double p) : p_(p) {
+  if (!(p > 0.0 && p < 1.0))
+    throw std::invalid_argument("P2 quantile must be in (0, 1)");
+  target_ = {1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0};
+  step_ = {0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0};
+}
+
+void P2Quantile::add(double x) {
+  if (count_ < 5) {
+    q_[count_++] = x;
+    if (count_ == 5) {
+      std::sort(q_.begin(), q_.end());
+      for (std::size_t i = 0; i < 5; ++i) n_[i] = static_cast<double>(i + 1);
+    }
+    return;
+  }
+  ++count_;
+
+  // Cell of the new observation; extremes clamp the outer markers.
+  std::size_t k;
+  if (x < q_[0]) {
+    q_[0] = x;
+    k = 0;
+  } else if (x >= q_[4]) {
+    q_[4] = x;
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && x >= q_[k + 1]) ++k;
+  }
+
+  for (std::size_t i = k + 1; i < 5; ++i) n_[i] += 1.0;
+  for (std::size_t i = 0; i < 5; ++i) target_[i] += step_[i];
+
+  // Adjust the three interior markers towards their desired positions,
+  // parabolically when the result stays monotone, linearly otherwise.
+  for (std::size_t i = 1; i <= 3; ++i) {
+    const double d = target_[i] - n_[i];
+    if ((d >= 1.0 && n_[i + 1] - n_[i] > 1.0) ||
+        (d <= -1.0 && n_[i - 1] - n_[i] < -1.0)) {
+      const double sign = d >= 0.0 ? 1.0 : -1.0;
+      const double parabolic =
+          q_[i] +
+          sign / (n_[i + 1] - n_[i - 1]) *
+              ((n_[i] - n_[i - 1] + sign) * (q_[i + 1] - q_[i]) /
+                   (n_[i + 1] - n_[i]) +
+               (n_[i + 1] - n_[i] - sign) * (q_[i] - q_[i - 1]) /
+                   (n_[i] - n_[i - 1]));
+      if (q_[i - 1] < parabolic && parabolic < q_[i + 1]) {
+        q_[i] = parabolic;
+      } else {
+        const std::size_t j = sign > 0.0 ? i + 1 : i - 1;
+        q_[i] += sign * (q_[j] - q_[i]) / (n_[j] - n_[i]);
+      }
+      n_[i] += sign;
+    }
+  }
+}
+
+double P2Quantile::value() const {
+  if (count_ == 0) return 0.0;
+  // At exactly five samples the buffer holds every observation (freshly
+  // sorted by add()), so the exact path below still applies — q_[2] is
+  // only the p-quantile marker once the update rule has run.
+  if (count_ > 5) return q_[2];
+  // Exact small-sample quantile: nearest rank over the sorted buffer.
+  std::array<double, 5> sorted = q_;
+  std::sort(sorted.begin(), sorted.begin() + static_cast<long>(count_));
+  const double rank = p_ * static_cast<double>(count_ - 1);
+  const auto at = static_cast<std::size_t>(std::llround(rank));
+  return sorted[std::min(at, count_ - 1)];
+}
+
+}  // namespace drhw

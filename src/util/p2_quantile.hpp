@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file p2_quantile.hpp
+/// Streaming quantile estimation via the P-square (P²) algorithm of Jain &
+/// Chlamtac (CACM 1985): five markers track the running quantile in O(1)
+/// memory and O(1) per sample, so long-horizon online runs (millions of
+/// instances) get response-time p50/p95/p99 without recording per-instance
+/// spans. Deterministic for a fixed sample order — online retire order is
+/// event-ordered, so sketch outputs are bit-identical across reruns and
+/// campaign thread counts.
+
+#include <array>
+#include <cstddef>
+
+namespace drhw {
+
+/// One P² estimator for a single quantile p in (0, 1). Exact for the first
+/// five samples (sorted buffer), the classic marker update afterwards.
+class P2Quantile {
+ public:
+  explicit P2Quantile(double p);
+
+  void add(double x);
+
+  /// Current estimate; 0 before the first sample.
+  double value() const;
+  std::size_t count() const { return count_; }
+
+ private:
+  double p_;
+  std::size_t count_ = 0;
+  std::array<double, 5> q_{};       ///< marker heights
+  std::array<double, 5> n_{};       ///< marker positions (1-based)
+  std::array<double, 5> target_{};  ///< desired marker positions
+  std::array<double, 5> step_{};    ///< desired-position increments
+};
+
+/// The response-time percentile bundle the online kernel reports.
+class QuantileSketch {
+ public:
+  QuantileSketch() : p50_(0.50), p95_(0.95), p99_(0.99) {}
+
+  void add(double x) {
+    p50_.add(x);
+    p95_.add(x);
+    p99_.add(x);
+  }
+  std::size_t count() const { return p50_.count(); }
+  double p50() const { return p50_.value(); }
+  double p95() const { return p95_.value(); }
+  double p99() const { return p99_.value(); }
+
+ private:
+  P2Quantile p50_, p95_, p99_;
+};
+
+}  // namespace drhw

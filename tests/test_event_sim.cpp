@@ -216,10 +216,130 @@ TEST_F(OnlineFixture, PriorityDisciplineRunsAndStaysDeterministic) {
   EXPECT_GT(r1.sim.instances, 0);
 }
 
+/// The fragmented-pool regime: a contiguous pool at a saturating rate,
+/// where a large queued instance head-of-line blocks scattered free tiles.
+/// Placement-aware admission and the defragmentation pass must strictly
+/// reduce mean queueing delay relative to plain FIFO head-of-line.
+TEST_F(OnlineFixture, AdmissionPoliciesAndDefragReduceQueueingWhenFragmented) {
+  const auto run = [&](AdmissionPolicy policy, bool defrag) {
+    OnlineSimOptions opt;
+    opt.platform = virtex2_platform(12);
+    opt.approach = Approach::hybrid;
+    opt.arrivals.rate_per_s = 40.0;
+    opt.pool.contiguous = true;
+    opt.pool.admission = policy;
+    opt.pool.defrag = defrag;
+    opt.seed = 2005;
+    opt.iterations = 100;
+    const auto local = make_multimedia_workload(opt.platform);
+    return run_online_simulation(opt, multimedia_sampler(*local));
+  };
+  const auto fifo = run(AdmissionPolicy::fifo_hol, false);
+  const auto fifo_defrag = run(AdmissionPolicy::fifo_hol, true);
+  const auto backfill = run(AdmissionPolicy::backfill_bypass, false);
+  const auto reorder = run(AdmissionPolicy::window_reorder, false);
+  const auto reorder_defrag = run(AdmissionPolicy::window_reorder, true);
+
+  // FIFO never overtakes and never defragments.
+  EXPECT_EQ(fifo.queue_skips, 0);
+  EXPECT_EQ(fifo.defrag_moves, 0);
+  EXPECT_GT(fifo.mean_frag_pct, 0.0);
+
+  // Bypass/reordering admit the smaller instances past the blocked head.
+  EXPECT_GT(backfill.queue_skips, 0);
+  EXPECT_GT(reorder.queue_skips, 0);
+  EXPECT_LT(backfill.mean_queueing_ms, fifo.mean_queueing_ms);
+  EXPECT_LT(reorder.mean_queueing_ms, fifo.mean_queueing_ms);
+
+  // The defragmentation pass opens contiguous room at real port cost.
+  EXPECT_GT(fifo_defrag.defrag_moves, 0);
+  EXPECT_LT(fifo_defrag.mean_queueing_ms, fifo.mean_queueing_ms);
+  EXPECT_LT(fifo_defrag.mean_frag_pct, fifo.mean_frag_pct);
+  EXPECT_LT(reorder_defrag.mean_queueing_ms, reorder.mean_queueing_ms);
+
+  // Same instance stream either way: identical work, different waiting.
+  EXPECT_EQ(fifo.sim.total_ideal, backfill.sim.total_ideal);
+  EXPECT_EQ(fifo.sim.instances, reorder_defrag.sim.instances);
+}
+
+TEST_F(OnlineFixture, FifoHolDefaultsMatchThePlainCountBasedKernel) {
+  // The pool-layer refactor must be invisible under the default options:
+  // fifo_hol + non-contiguous + no defrag reproduces PR 2 bit-identically,
+  // and a contiguous pool with the whole pool free behaves sanely.
+  const auto opt = options(Approach::hybrid, 40.0);
+  const auto r = run_online_simulation(opt, sampler);
+  EXPECT_EQ(r.queue_skips, 0);
+  EXPECT_EQ(r.defrag_moves, 0);
+  EXPECT_GE(r.mean_frag_pct, 0.0);
+  EXPECT_LE(r.mean_frag_pct, 100.0);
+}
+
+TEST_F(OnlineFixture, SchedulerCostDelaysResponsesButNotTheWorkload) {
+  auto free_opt = options(Approach::hybrid, 40.0);
+  auto charged_opt = free_opt;
+  charged_opt.scheduler_cost = ms(1);  // deliberately huge: visible shift
+  const auto free_run = run_online_simulation(free_opt, sampler);
+  const auto charged = run_online_simulation(charged_opt, sampler);
+  EXPECT_GT(charged.mean_response_ms, free_run.mean_response_ms);
+  EXPECT_GE(charged.horizon, free_run.horizon);
+  // The decision delays work, it does not change what is loaded/executed.
+  EXPECT_EQ(charged.sim.instances, free_run.sim.instances);
+  EXPECT_EQ(charged.sim.total_ideal, free_run.sim.total_ideal);
+  // The cost is charged after admission, but delayed retires cascade:
+  // later instances can only queue longer, never shorter.
+  EXPECT_GE(charged.mean_queueing_ms, free_run.mean_queueing_ms);
+
+  // Section 4 defaults: design-time approaches decide nothing at run time.
+  EXPECT_EQ(paper_scheduler_cost(Approach::no_prefetch), 0);
+  EXPECT_EQ(paper_scheduler_cost(Approach::design_time_prefetch), 0);
+  EXPECT_EQ(paper_scheduler_cost(Approach::hybrid),
+            k_paper_hybrid_scheduler_cost);
+  EXPECT_EQ(paper_scheduler_cost(Approach::runtime_heuristic),
+            k_paper_list_scheduler_cost);
+  EXPECT_LT(k_paper_hybrid_scheduler_cost, k_paper_list_scheduler_cost);
+}
+
+TEST_F(OnlineFixture, QuantileSketchTracksExactSpanPercentiles) {
+  const auto opt = options(Approach::runtime_heuristic, 60.0);
+  const auto r = run_online_simulation(opt, sampler);
+  ASSERT_GT(r.sim.instances, 50);
+  // The P² estimator's numeric accuracy is pinned in test_util; here the
+  // kernel-level wiring: percentiles are populated, ordered, and bounded
+  // by the exact extremes.
+  EXPECT_GT(r.response_p50_ms, 0.0);
+  EXPECT_LE(r.response_p50_ms, r.response_p95_ms);
+  EXPECT_LE(r.response_p95_ms, r.response_p99_ms);
+  EXPECT_LE(r.response_p99_ms, r.max_response_ms);
+  // p50 of a right-skewed queueing distribution sits below the mean of the
+  // extreme tail and within a sane band around the mean.
+  EXPECT_LT(r.response_p50_ms, r.max_response_ms);
+  EXPECT_GT(r.response_p95_ms, r.mean_response_ms * 0.5);
+}
+
+TEST_F(OnlineFixture, RecordSpansOffKeepsMetricsButDropsTheVector) {
+  auto with_spans = options(Approach::hybrid, 40.0);
+  auto without = with_spans;
+  without.record_spans = false;
+  const auto a = run_online_simulation(with_spans, sampler);
+  const auto b = run_online_simulation(without, sampler);
+  EXPECT_EQ(a.spans.size(), static_cast<std::size_t>(a.sim.instances));
+  EXPECT_TRUE(b.spans.empty());
+  EXPECT_EQ(a.mean_response_ms, b.mean_response_ms);
+  EXPECT_EQ(a.response_p99_ms, b.response_p99_ms);
+  EXPECT_EQ(a.sim.total_actual, b.sim.total_actual);
+  EXPECT_EQ(a.horizon, b.horizon);
+}
+
 TEST(OnlineScenarios, CampaignResultsIdenticalAcrossThreadCounts) {
   const auto registry = ScenarioRegistry::builtin(40, 2005);
+  // "online" matches the poisson/burst/sweep families AND the new
+  // online_defrag family, so the 1-vs-8-thread bit-identity below covers
+  // the pool-layer policies too.
   const auto scenarios = registry.match("online");
   ASSERT_FALSE(scenarios.empty());
+  std::size_t defrag_scenarios = 0;
+  for (const auto& s : scenarios) defrag_scenarios += s.family == "online_defrag";
+  EXPECT_EQ(defrag_scenarios, 24u);  // 2 tiles x 2 rates x 3 policies x 2
 
   CampaignOptions one;
   one.threads = 1;

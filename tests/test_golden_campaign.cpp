@@ -96,5 +96,31 @@ TEST(GoldenCampaign, Fig6ApproachMeansAreExactlyPinned) {
   }
 }
 
+TEST(GoldenCampaign, OnlinePoissonHybridIsExactlyPinned) {
+  // Online results are regression-locked like Table 1 / Fig 6: the seeded
+  // moderate-rate Poisson run of the hybrid approach (16 tiles, 1 port,
+  // FIFO head-of-line admission) pins the simulated-time response mean and
+  // the port utilisation exactly. Everything underneath is deterministic
+  // (pre-drawn arrival gaps, integer simulated time, event-ordered
+  // accounting), so a refactor of the kernel, the pool layer or the
+  // campaign engine that shifts these doubles by one ULP is a behaviour
+  // change, not noise.
+  const auto results = run_family("online_poisson");
+  bool found = false;
+  for (const auto& result : results) {
+    if (result.scenario.name != "online_poisson/r20/hybrid") continue;
+    found = true;
+    ASSERT_TRUE(result.ok) << result.error;
+    const auto metrics = deterministic_metrics(result);
+    EXPECT_EQ(metrics.at("response_ms"), 91.67269191919192);
+    EXPECT_EQ(metrics.at("port_util_pct"), 34.3564425708599);
+    // The default pool must stay the PR 2 head-of-line model.
+    EXPECT_EQ(result.scenario.pool.admission, AdmissionPolicy::fifo_hol);
+    EXPECT_EQ(metrics.at("queue_skips"), 0.0);
+    EXPECT_EQ(metrics.at("defrag_moves"), 0.0);
+  }
+  EXPECT_TRUE(found);
+}
+
 }  // namespace
 }  // namespace drhw

@@ -1,0 +1,311 @@
+// Unit tests for the tile-pool subsystem: admission policies (FIFO
+// head-of-line, bounded backfill, windowed best-fit reordering), contiguous
+// allocation with placement-aware block selection, the defragmentation
+// planner, prefetch reservations, and the fragmentation metric.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "pool/tile_pool.hpp"
+#include "util/check.hpp"
+
+namespace drhw {
+namespace {
+
+PoolOptions contiguous_options(AdmissionPolicy policy =
+                                   AdmissionPolicy::fifo_hol,
+                               bool defrag = false) {
+  PoolOptions options;
+  options.admission = policy;
+  options.contiguous = true;
+  options.defrag = defrag;
+  return options;
+}
+
+/// Marks `job` holding exactly `tiles` (must be free), via the queue.
+void force_occupy(TilePoolManager& pool, std::int32_t job,
+                  const std::vector<PhysTileId>& tiles, time_us now) {
+  pool.enqueue(job, static_cast<int>(tiles.size()), now);
+  pool.occupy(job, tiles, now);
+}
+
+TEST(PoolOptions, ValidatesKnobs) {
+  PoolOptions options;
+  EXPECT_NO_THROW(options.validate());
+  options.reorder_window = 0;
+  EXPECT_THROW(options.validate(), std::invalid_argument);
+  options.reorder_window = 4;
+  options.max_bypass = -1;
+  EXPECT_THROW(options.validate(), std::invalid_argument);
+  options.max_bypass = 8;
+  options.defrag = true;  // defrag without contiguity is meaningless
+  EXPECT_THROW(options.validate(), std::invalid_argument);
+  options.contiguous = true;
+  EXPECT_NO_THROW(options.validate());
+}
+
+TEST(AdmissionPolicyNames, RoundTrip) {
+  for (AdmissionPolicy policy :
+       {AdmissionPolicy::fifo_hol, AdmissionPolicy::backfill_bypass,
+        AdmissionPolicy::window_reorder})
+    EXPECT_EQ(admission_policy_from_string(to_string(policy)), policy);
+  EXPECT_THROW(admission_policy_from_string("nope"), std::invalid_argument);
+}
+
+TEST(TilePool, FifoAdmitsInArrivalOrderAndBlocksOnTheHead) {
+  TilePoolManager pool(4, PoolOptions{});
+  EXPECT_EQ(pool.select(0), -1);  // empty queue
+  pool.enqueue(10, 3, 0);
+  pool.enqueue(11, 1, 1);
+  EXPECT_EQ(pool.select(1), 10);
+  pool.occupy(10, {0, 1, 2}, 1);
+  // One tile free, head (11) needs one: admissible.
+  EXPECT_EQ(pool.select(1), 11);
+  pool.occupy(11, {3}, 1);
+  pool.enqueue(12, 1, 2);
+  EXPECT_EQ(pool.select(2), -1);  // pool full
+  pool.release(10, 5);
+  EXPECT_EQ(pool.free_count(), 3);
+  EXPECT_EQ(pool.select(5), 12);
+  EXPECT_EQ(pool.queue_skips(), 0);  // FIFO never overtakes
+}
+
+TEST(TilePool, FifoHeadOfLineBlocksSmallerFollowers) {
+  TilePoolManager pool(4, PoolOptions{});
+  force_occupy(pool, 1, {0, 1, 2}, 0);
+  pool.enqueue(2, 3, 1);  // blocked: only one tile free
+  pool.enqueue(3, 1, 2);  // would fit, but FIFO never bypasses
+  EXPECT_EQ(pool.select(2), -1);
+}
+
+TEST(TilePool, BackfillLetsSmallerInstancesBypassABlockedHead) {
+  PoolOptions options;
+  options.admission = AdmissionPolicy::backfill_bypass;
+  TilePoolManager pool(4, options);
+  force_occupy(pool, 1, {0, 1, 2}, 0);
+  pool.enqueue(2, 3, 1);  // blocked head
+  pool.enqueue(3, 3, 2);  // not smaller than the head: may not bypass
+  pool.enqueue(4, 1, 3);  // smaller and fits
+  EXPECT_EQ(pool.select(3), 4);
+  pool.occupy(4, {3}, 3);
+  EXPECT_EQ(pool.queue_skips(), 2);  // overtook jobs 2 and 3
+}
+
+TEST(TilePool, BackfillStarvationBoundProtectsTheHead) {
+  PoolOptions options;
+  options.admission = AdmissionPolicy::backfill_bypass;
+  options.max_bypass = 2;
+  TilePoolManager pool(4, options);
+  force_occupy(pool, 1, {0, 1, 2}, 0);
+  pool.enqueue(2, 3, 1);  // blocked head
+  for (std::int32_t job = 3; job <= 4; ++job) {
+    pool.enqueue(job, 1, job);
+    ASSERT_EQ(pool.select(job), job);
+    pool.occupy(job, {3}, job);
+    pool.release(job, job);
+  }
+  // The head has been overtaken max_bypass times: now only it may go.
+  pool.enqueue(5, 1, 5);
+  EXPECT_EQ(pool.select(5), -1);
+  pool.release(1, 6);
+  EXPECT_EQ(pool.select(6), 2);  // head admitted as soon as it fits
+}
+
+TEST(TilePool, WindowReorderPicksBestFitWithinTheWindow) {
+  PoolOptions options;
+  options.admission = AdmissionPolicy::window_reorder;
+  options.reorder_window = 3;
+  TilePoolManager pool(6, options);
+  force_occupy(pool, 1, {0, 1, 2, 3}, 0);
+  pool.enqueue(2, 4, 1);  // blocked head (4 > 2 free)
+  pool.enqueue(3, 1, 2);
+  pool.enqueue(4, 2, 3);  // best fit: largest that fits
+  pool.enqueue(5, 2, 4);  // outside pick: same size but later
+  EXPECT_EQ(pool.select(4), 4);
+  pool.occupy(4, {4, 5}, 4);
+  // Beyond the window nothing is considered.
+  pool.release(4, 5);
+  PoolOptions tight = options;
+  tight.reorder_window = 1;
+  TilePoolManager head_only(6, tight);
+  force_occupy(head_only, 1, {0, 1, 2, 3}, 0);
+  head_only.enqueue(2, 4, 1);
+  head_only.enqueue(3, 1, 2);  // fits, but outside the window of 1
+  EXPECT_EQ(head_only.select(2), -1);
+}
+
+TEST(TilePool, ContiguousAdmissionNeedsARunNotJustACount) {
+  TilePoolManager pool(6, contiguous_options());
+  // Hold tiles 1 and 4: free tiles 0, 2, 3, 5 -> largest run is 2.
+  force_occupy(pool, 1, {1}, 0);
+  force_occupy(pool, 2, {4}, 0);
+  EXPECT_EQ(pool.free_count(), 4);
+  EXPECT_EQ(pool.largest_free_block(), 2);
+  pool.enqueue(3, 3, 1);
+  EXPECT_EQ(pool.select(1), -1);  // three scattered tiles do not fit
+  EXPECT_TRUE(pool.head_fragmentation_blocked());
+  pool.release(2, 2);
+  EXPECT_EQ(pool.largest_free_block(), 4);
+  EXPECT_EQ(pool.select(2), 3);
+  const auto offer = pool.offer(3, {});
+  ASSERT_EQ(offer.size(), 3u);
+  for (std::size_t i = 1; i < offer.size(); ++i)
+    EXPECT_EQ(offer[i], offer[i - 1] + 1) << "offer must be contiguous";
+}
+
+TEST(TilePool, ContiguousOfferPrefersBlocksWithWantedConfigs) {
+  TilePoolManager pool(6, contiguous_options());
+  // Two candidate blocks of size 2 around a held middle pair; the right
+  // one has a wanted configuration cached.
+  force_occupy(pool, 1, {2, 3}, 0);
+  pool.store().record_load(4, 77, ms(1), 1.0);
+  pool.enqueue(2, 2, 2);
+  const auto offer = pool.offer(2, {77});
+  ASSERT_EQ(offer.size(), 2u);
+  EXPECT_EQ(offer[0], 4);
+  EXPECT_EQ(offer[1], 5);
+  // Without the wanted config the leftmost block wins.
+  const auto plain = pool.offer(2, {});
+  EXPECT_EQ(plain[0], 0);
+}
+
+TEST(TilePool, PrefetchVictimPrefersEmptyThenLowValueThenLru) {
+  TilePoolManager pool(4, PoolOptions{});
+  const std::vector<char> none(4, 0);
+  pool.store().record_load(0, 1, ms(1), 5.0);
+  pool.store().record_load(1, 2, ms(2), 1.0);
+  // Tile 2 and 3 empty -> first empty wins.
+  EXPECT_EQ(pool.prefetch_victim(none), 2);
+  pool.store().record_load(2, 3, ms(3), 9.0);
+  pool.store().record_load(3, 4, ms(4), 9.0);
+  // No empties: lowest value (tile 1).
+  EXPECT_EQ(pool.prefetch_victim(none), 1);
+  std::vector<char> protect(4, 0);
+  protect[1] = 1;
+  // Value ties (2 vs 3) break by least recently used.
+  EXPECT_EQ(pool.prefetch_victim(protect), 0);
+  protect[0] = 1;
+  EXPECT_EQ(pool.prefetch_victim(protect), 2);
+}
+
+TEST(TilePool, PrefetchReservationLifecycle) {
+  TilePoolManager pool(2, PoolOptions{});
+  pool.reserve(1, 42, 3.0, ms(1));
+  EXPECT_TRUE(pool.reserved(1));
+  EXPECT_EQ(pool.free_count(), 1);
+  EXPECT_EQ(pool.finish_prefetch(1, ms(5)), 42);
+  EXPECT_FALSE(pool.reserved(1));
+  EXPECT_EQ(pool.store().config_on(1), 42);
+  EXPECT_EQ(pool.store().last_used(1), ms(5));
+  EXPECT_EQ(pool.free_count(), 2);  // cached configs stay free
+}
+
+TEST(TilePool, DefragPlansAMigrationThatOpensTheNeededRun) {
+  TilePoolManager pool(6, contiguous_options(AdmissionPolicy::fifo_hol,
+                                             /*defrag=*/true));
+  // Job 1 holds tiles 1 and 4 with loaded configs; free = {0,2,3,5}.
+  force_occupy(pool, 1, {1, 4}, 0);
+  pool.store().record_load(1, 10, ms(1), 1.0);
+  pool.store().record_load(4, 11, ms(1), 1.0);
+  pool.enqueue(2, 3, 2);
+  ASSERT_TRUE(pool.head_fragmentation_blocked());
+  const std::vector<char> movable(6, 1);
+  const auto plan = pool.plan_defrag(movable);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_TRUE(plan->needs_port());
+  EXPECT_EQ(plan->owner, 1);
+  pool.begin_migration(*plan, ms(2));
+  EXPECT_TRUE(pool.migration_in_flight());
+  EXPECT_TRUE(pool.migrating(plan->src));
+  EXPECT_TRUE(pool.finish_migration(*plan, ms(6)));
+  EXPECT_FALSE(pool.migration_in_flight());
+  // Ownership moved, the configuration travelled, the source keeps a
+  // cached copy, and the head now fits.
+  EXPECT_TRUE(pool.held(plan->dst));
+  EXPECT_EQ(pool.owner(plan->dst), 1);
+  EXPECT_FALSE(pool.held(plan->src));
+  EXPECT_EQ(pool.store().config_on(plan->dst),
+            pool.store().config_on(plan->src));
+  EXPECT_GE(pool.largest_free_block(), 3);
+  EXPECT_EQ(pool.select(ms(6)), 2);
+  EXPECT_EQ(pool.defrag_moves(), 1);
+}
+
+TEST(TilePool, DefragRemapsEmptyHeldTilesForFree) {
+  TilePoolManager pool(6, contiguous_options(AdmissionPolicy::fifo_hol,
+                                             /*defrag=*/true));
+  force_occupy(pool, 1, {1, 4}, 0);  // held but never loaded -> empty
+  pool.enqueue(2, 3, 1);
+  const std::vector<char> movable(6, 1);
+  const auto plan = pool.plan_defrag(movable);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_FALSE(plan->needs_port());  // nothing to copy
+  pool.apply_remap(*plan, ms(1));
+  EXPECT_EQ(pool.owner(plan->dst), 1);
+  EXPECT_FALSE(pool.held(plan->src));
+  EXPECT_EQ(pool.defrag_moves(), 1);
+}
+
+TEST(TilePool, DefragAbortsTransferWhenTheSourceChangedMidFlight) {
+  TilePoolManager pool(6, contiguous_options(AdmissionPolicy::fifo_hol,
+                                             /*defrag=*/true));
+  force_occupy(pool, 1, {1, 4}, 0);
+  pool.store().record_load(1, 10, ms(1), 1.0);
+  pool.store().record_load(4, 11, ms(1), 1.0);
+  pool.enqueue(2, 3, 2);
+  const std::vector<char> movable(6, 1);
+  const auto plan = pool.plan_defrag(movable);
+  ASSERT_TRUE(plan.has_value());
+  pool.begin_migration(*plan, ms(2));
+  // A competing load lands on the source mid-migration.
+  pool.store().record_load(plan->src, 99, ms(3), 2.0);
+  EXPECT_FALSE(pool.finish_migration(*plan, ms(6)));
+  // The owner keeps the (rewritten) source; the destination holds the old
+  // configuration as a reusable cached copy on a free tile.
+  EXPECT_TRUE(pool.held(plan->src));
+  EXPECT_EQ(pool.owner(plan->src), 1);
+  EXPECT_FALSE(pool.held(plan->dst));
+  EXPECT_EQ(pool.store().config_on(plan->dst), plan->config);
+}
+
+TEST(TilePool, MigrationSourceIsNotFreeEvenAfterOwnerRetires) {
+  TilePoolManager pool(4, contiguous_options(AdmissionPolicy::fifo_hol,
+                                             /*defrag=*/true));
+  force_occupy(pool, 1, {1}, 0);
+  pool.store().record_load(1, 10, ms(1), 1.0);
+  pool.enqueue(2, 3, 1);  // fragmentation-blocked head (free {0, 2, 3})
+  const std::vector<char> movable(4, 1);
+  const auto plan = pool.plan_defrag(movable);
+  ASSERT_TRUE(plan.has_value());
+  pool.begin_migration(*plan, ms(2));
+  pool.release(1, ms(3));  // owner retires mid-migration
+  // The source tile must not be handed to a new instance while the copy
+  // is in flight (its executions would gate on a wakeup that never comes),
+  // so the pool still cannot fit the head.
+  EXPECT_EQ(pool.free_count(), 2);  // src + dst excluded
+  EXPECT_EQ(pool.select(ms(3)), -1);
+  // Completion aborts the transfer (owner gone) and frees everything.
+  EXPECT_FALSE(pool.finish_migration(*plan, ms(6)));
+  EXPECT_EQ(pool.free_count(), 4);
+  EXPECT_EQ(pool.select(ms(6)), 2);
+}
+
+TEST(TilePool, FragmentationMetricIsTimeWeighted) {
+  TilePoolManager pool(4, PoolOptions{});
+  // [0, 10ms): everything free -> fragmentation 0.
+  // Hold tile 1 at 10ms: free {0, 2, 3}, largest run 2 -> 33.33%.
+  force_occupy(pool, 1, {1}, ms(10));
+  EXPECT_NEAR(pool.fragmentation_pct(), 100.0 / 3.0, 1e-9);
+  // Over [0, 20ms) the mean is half of the snapshot.
+  EXPECT_NEAR(pool.mean_fragmentation_pct(ms(20)), 100.0 / 6.0, 1e-9);
+  EXPECT_EQ(pool.mean_fragmentation_pct(0), 0.0);
+}
+
+TEST(TilePool, EnqueueRejectsOversizedInstances) {
+  TilePoolManager pool(2, PoolOptions{});
+  EXPECT_THROW(pool.enqueue(1, 3, 0), InternalError);
+}
+
+}  // namespace
+}  // namespace drhw

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "apps/multimedia.hpp"
 #include "graph/algorithms.hpp"
 #include "util/check.hpp"
@@ -63,6 +65,30 @@ TEST(ConfigStore, RejectsBadArguments) {
   ConfigStore store(2);
   EXPECT_THROW(store.config_on(5), std::invalid_argument);
   EXPECT_THROW(store.record_load(-1, 1, 0, 0.0), std::invalid_argument);
+}
+
+TEST(ConfigStore, RelocateCopiesConfigAndValueLeavingACachedSource) {
+  ConfigStore store(3);
+  store.record_load(0, 7, ms(2), 4.5);
+  store.relocate(0, 2, ms(10));
+  // Destination carries the configuration and its replacement value; the
+  // source keeps the (reusable) cached copy with its old recency.
+  EXPECT_EQ(store.config_on(2), 7);
+  EXPECT_DOUBLE_EQ(store.value_of(2), 4.5);
+  EXPECT_EQ(store.last_used(2), ms(10));
+  EXPECT_EQ(store.config_on(0), 7);
+  EXPECT_EQ(store.last_used(0), ms(2));
+}
+
+TEST(ConfigStore, RelocateEnforcesInvariants) {
+  ConfigStore store(3);
+  // Empty source: nothing to copy.
+  EXPECT_THROW(store.relocate(0, 1, ms(1)), InternalError);
+  store.record_load(0, 7, ms(2), 1.0);
+  EXPECT_THROW(store.relocate(0, 0, ms(3)), InternalError);
+  // Destination timeline stays monotone.
+  store.record_load(1, 8, ms(9), 1.0);
+  EXPECT_THROW(store.relocate(0, 1, ms(5)), InternalError);
 }
 
 struct BindFixture : ::testing::Test {
@@ -227,6 +253,19 @@ TEST_F(BindFixture, RandomPolicyStaysInRange) {
   for (PhysTileId t : b.phys_of_tile) {
     EXPECT_GE(t, 0);
     EXPECT_LT(t, 5);
+  }
+}
+
+TEST_F(BindFixture, FirstSubtaskConfigsAreTheReusableSet) {
+  const auto wanted = first_subtask_configs(*graph, placement);
+  // One entry per occupied virtual tile, in tile order, none empty.
+  EXPECT_EQ(wanted.size(),
+            static_cast<std::size_t>(placement.tiles_occupied()));
+  for (std::size_t v = 0; v < placement.tile_sequence.size(); ++v) {
+    if (placement.tile_sequence[v].empty()) continue;
+    const ConfigId config =
+        graph->subtask(placement.tile_sequence[v].front()).config;
+    EXPECT_NE(std::find(wanted.begin(), wanted.end(), config), wanted.end());
   }
 }
 

@@ -382,5 +382,80 @@ TEST(Report, AggregatorExcludesWallClockMetrics) {
   EXPECT_EQ(overall.scenarios, results.size());
 }
 
+TEST(SweepBuilder, ExpandsAdmissionAndDefragAxes) {
+  SweepConfig sweep;
+  sweep.family = "od";
+  sweep.base.name = "od/base";
+  sweep.base.family = "od";
+  sweep.base.mode = ScenarioMode::online;
+  sweep.base.sim.iterations = 10;
+  sweep.base.pool.contiguous = true;
+  sweep.admission_policies = {AdmissionPolicy::fifo_hol,
+                              AdmissionPolicy::backfill_bypass};
+  sweep.defrag_modes = {false, true};
+  const auto scenarios = build_sweep(sweep);
+  EXPECT_EQ(scenarios.size(), 4u);
+  std::set<std::string> names;
+  for (const Scenario& s : scenarios) {
+    names.insert(s.name);
+    EXPECT_TRUE(s.pool.contiguous);
+  }
+  EXPECT_EQ(names.size(), 4u);
+  EXPECT_TRUE(names.count("od/t8/l4000/p1/hybrid/s1/fifo_hol/no-defrag"))
+      << *names.begin();
+  EXPECT_TRUE(
+      names.count("od/t8/l4000/p1/hybrid/s1/backfill_bypass/defrag"));
+
+  // Pool axes on a non-online base are a descriptor error, like the
+  // arrival-rate axis.
+  SweepConfig bad = sweep;
+  bad.base.mode = ScenarioMode::simulate;
+  EXPECT_THROW(build_sweep(bad), std::invalid_argument);
+}
+
+TEST(Report, OnlinePoolFieldsAndMetricsRoundTrip) {
+  Scenario s;
+  s.name = "od/test";
+  s.family = "od";
+  s.mode = ScenarioMode::online;
+  s.sim.platform = virtex2_platform(10);
+  s.sim.approach = Approach::hybrid;
+  s.sim.iterations = 25;
+  s.arrivals.rate_per_s = 80.0;
+  s.pool.contiguous = true;
+  s.pool.defrag = true;
+  s.pool.admission = AdmissionPolicy::window_reorder;
+  s.scheduler_cost = us(50);
+  const auto result = run_scenario(s, /*record_wall_time=*/false);
+  ASSERT_TRUE(result.ok) << result.error;
+
+  const auto metrics = deterministic_metrics(result);
+  for (const char* key :
+       {"response_p50_ms", "response_p95_ms", "response_p99_ms", "frag_pct",
+        "queue_skips", "defrag_moves"})
+    EXPECT_TRUE(metrics.count(key)) << key;
+
+  StatsAggregator aggregator;
+  aggregator.add(result);
+  const ParsedCampaign parsed =
+      campaign_from_json(campaign_to_json({result}, aggregator));
+  ASSERT_EQ(parsed.scenarios.size(), 1u);
+  EXPECT_EQ(parsed.scenarios[0].admission_policy, "window_reorder");
+  EXPECT_TRUE(parsed.scenarios[0].contiguous);
+  EXPECT_TRUE(parsed.scenarios[0].defrag);
+  EXPECT_EQ(parsed.scenarios[0].scheduler_cost_us, 50.0);
+  EXPECT_EQ(parsed.scenarios[0].metrics.at("frag_pct"), result.frag_pct);
+
+  const auto rows = campaign_from_csv(campaign_to_csv({result}));
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].admission_policy, "window_reorder");
+  EXPECT_TRUE(rows[0].contiguous);
+  EXPECT_TRUE(rows[0].defrag);
+  EXPECT_EQ(rows[0].scheduler_cost_us, 50.0);
+  EXPECT_EQ(rows[0].metrics.at("queue_skips"),
+            static_cast<double>(result.queue_skips));
+  EXPECT_EQ(rows[0].metrics.at("response_p95_ms"), result.response_p95_ms);
+}
+
 }  // namespace
 }  // namespace drhw

@@ -6,8 +6,10 @@
 #include <algorithm>
 #include <set>
 #include <sstream>
+#include <vector>
 
 #include "util/check.hpp"
+#include "util/p2_quantile.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -143,6 +145,84 @@ TEST(Check, ThrowsWithMessage) {
     EXPECT_NE(std::string(e.what()).find("broken invariant"),
               std::string::npos);
   }
+}
+
+TEST(P2Quantile, RejectsDegenerateQuantiles) {
+  EXPECT_THROW(P2Quantile(0.0), std::invalid_argument);
+  EXPECT_THROW(P2Quantile(1.0), std::invalid_argument);
+  EXPECT_NO_THROW(P2Quantile(0.999));
+}
+
+TEST(P2Quantile, ExactForSmallSamples) {
+  P2Quantile median(0.5);
+  EXPECT_EQ(median.value(), 0.0);  // empty
+  median.add(7.0);
+  EXPECT_EQ(median.value(), 7.0);
+  median.add(1.0);
+  median.add(9.0);
+  EXPECT_EQ(median.value(), 7.0);  // sorted {1, 7, 9}
+  EXPECT_EQ(median.count(), 3u);
+}
+
+TEST(P2Quantile, ExactAtExactlyFiveSamples) {
+  // Regression: at count == 5 the buffer holds every observation, so a
+  // tail quantile must still report the exact extreme — not the median
+  // marker q_[2] the estimator only means once updates have run.
+  P2Quantile p99(0.99);
+  for (double x : {1.0, 2.0, 3.0, 4.0, 100.0}) p99.add(x);
+  EXPECT_EQ(p99.value(), 100.0);
+  P2Quantile p50(0.5);
+  for (double x : {5.0, 1.0, 4.0, 2.0, 3.0}) p50.add(x);
+  EXPECT_EQ(p50.value(), 3.0);
+}
+
+TEST(P2Quantile, TracksUniformAndSkewedDistributions) {
+  // Accuracy against the exact percentile on two shapes: uniform [0, 1000)
+  // and a heavy-tailed (squared-uniform) distribution, the shape of online
+  // response times.
+  for (const bool skewed : {false, true}) {
+    Rng rng(42);
+    P2Quantile p50(0.5), p95(0.95), p99(0.99);
+    std::vector<double> samples;
+    for (int i = 0; i < 20000; ++i) {
+      double x = rng.next_double() * 1000.0;
+      if (skewed) x = x * x / 1000.0;
+      samples.push_back(x);
+      p50.add(x);
+      p95.add(x);
+      p99.add(x);
+    }
+    std::sort(samples.begin(), samples.end());
+    const auto exact = [&](double p) {
+      return samples[static_cast<std::size_t>(p * (samples.size() - 1))];
+    };
+    // Percent-of-range tolerance: the P² estimator is tight at this n.
+    EXPECT_NEAR(p50.value(), exact(0.50), 20.0) << "skewed=" << skewed;
+    EXPECT_NEAR(p95.value(), exact(0.95), 20.0) << "skewed=" << skewed;
+    EXPECT_NEAR(p99.value(), exact(0.99), 20.0) << "skewed=" << skewed;
+  }
+}
+
+TEST(P2Quantile, DeterministicForTheSameStream) {
+  Rng rng_a(7), rng_b(7);
+  P2Quantile a(0.95), b(0.95);
+  for (int i = 0; i < 5000; ++i) {
+    a.add(rng_a.next_double());
+    b.add(rng_b.next_double());
+  }
+  EXPECT_EQ(a.value(), b.value());
+}
+
+TEST(QuantileSketch, BundlesOrderedPercentiles) {
+  QuantileSketch sketch;
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) sketch.add(rng.next_double() * 100.0);
+  EXPECT_EQ(sketch.count(), 10000u);
+  EXPECT_LT(sketch.p50(), sketch.p95());
+  EXPECT_LT(sketch.p95(), sketch.p99());
+  EXPECT_NEAR(sketch.p50(), 50.0, 3.0);
+  EXPECT_NEAR(sketch.p95(), 95.0, 3.0);
+  EXPECT_NEAR(sketch.p99(), 99.0, 3.0);
 }
 
 }  // namespace

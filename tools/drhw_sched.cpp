@@ -37,6 +37,13 @@
 //   --discipline D     fifo | priority port arbitration (default fifo)
 //   --replacement R    lru | weight | critical-first | random | oracle
 //   --lookahead N      backlog-prefetch depth in queued instances (default 1)
+//   --admission P      fifo_hol | backfill_bypass | window_reorder
+//   --contiguous       require contiguous free tile runs for admission
+//   --defrag           online defragmentation (implies --contiguous)
+//   --window N         reorder window for window_reorder (default 4)
+//   --max-bypass N     overtakes the queue head tolerates (default 8)
+//   --sched-cost-us C  per-admission scheduler cost on the timeline;
+//                      "paper" picks the Section 4 value per approach
 //   --iterations N     sampler batches to draw (default 500)
 //   --seed S           RNG seed (default 2005)
 //   --approach A       restrict to one approach (default: all five)
@@ -81,7 +88,9 @@ int usage() {
                "       drhw_sched online [--workload W] [--tiles N]"
                " [--latency-us L] [--ports N] [--arrivals K] [--rate R]"
                " [--burst N] [--think-us T] [--discipline D]"
-               " [--replacement R] [--lookahead N]"
+               " [--replacement R] [--lookahead N] [--admission P]"
+               " [--contiguous] [--defrag] [--window N] [--max-bypass N]"
+               " [--sched-cost-us C]"
                " [--iterations N] [--seed S] [--approach A]\n";
   return 2;
 }
@@ -309,6 +318,10 @@ struct OnlineCliOptions {
   PortDiscipline discipline = PortDiscipline::fifo;
   ReplacementPolicy replacement = ReplacementPolicy::lru;
   int lookahead = 1;
+  PoolOptions pool;
+  /// Fixed per-admission cost; k_no_time = use the Section 4 value of each
+  /// approach (--sched-cost-us paper).
+  time_us scheduler_cost = 0;
   int iterations = 500;
   std::uint64_t seed = 2005;
   std::string approach;  ///< empty = all five
@@ -338,6 +351,7 @@ int cmd_online(const OnlineCliOptions& cli) {
   platform.reconfig_ports = cli.ports;
   platform.validate();
   cli.arrivals.validate();
+  cli.pool.validate();
 
   std::unique_ptr<MultimediaWorkload> multimedia;
   std::unique_ptr<PocketGlWorkload> pocket_gl;
@@ -359,7 +373,10 @@ int cmd_online(const OnlineCliOptions& cli) {
   if (cli.arrivals.kind != ArrivalProcess::Kind::closed_loop)
     std::cout << " @ " << fmt(cli.arrivals.rate_per_s, 1) << "/s";
   std::cout << ", " << to_string(cli.discipline) << " port, "
-            << cli.iterations << " iterations, seed " << cli.seed << "\n\n";
+            << to_string(cli.pool.admission) << " admission"
+            << (cli.pool.contiguous ? " (contiguous)" : "")
+            << (cli.pool.defrag ? " + defrag" : "") << ", " << cli.iterations
+            << " iterations, seed " << cli.seed << "\n\n";
 
   std::vector<Approach> approaches;
   if (cli.approach.empty())
@@ -369,8 +386,8 @@ int cmd_online(const OnlineCliOptions& cli) {
     approaches = {approach_from_string(cli.approach)};
 
   TablePrinter table({"approach", "instances", "overhead", "reuse",
-                      "response mean", "response max", "queueing mean",
-                      "port util", "prefetches"});
+                      "response mean", "response p95", "queueing mean",
+                      "port util", "frag", "skips", "moves", "prefetches"});
   for (Approach approach : approaches) {
     OnlineSimOptions options;
     options.platform = platform;
@@ -379,6 +396,11 @@ int cmd_online(const OnlineCliOptions& cli) {
     options.port_discipline = cli.discipline;
     options.replacement = cli.replacement;
     options.intertask_lookahead = cli.lookahead;
+    options.pool = cli.pool;
+    options.scheduler_cost = cli.scheduler_cost == k_no_time
+                                 ? paper_scheduler_cost(approach)
+                                 : cli.scheduler_cost;
+    options.record_spans = false;
     options.seed = cli.seed;
     options.iterations = cli.iterations;
     const OnlineReport report = run_online_simulation(options, sampler);
@@ -386,9 +408,12 @@ int cmd_online(const OnlineCliOptions& cli) {
                    fmt_pct(report.sim.overhead_pct, 2),
                    fmt_pct(report.sim.reuse_pct),
                    fmt(report.mean_response_ms, 1) + " ms",
-                   fmt(report.max_response_ms, 1) + " ms",
+                   fmt(report.response_p95_ms, 1) + " ms",
                    fmt(report.mean_queueing_ms, 1) + " ms",
                    fmt_pct(report.port_utilisation_pct),
+                   fmt_pct(report.mean_frag_pct),
+                   std::to_string(report.queue_skips),
+                   std::to_string(report.defrag_moves),
                    std::to_string(report.sim.intertask_prefetches)});
   }
   table.print(std::cout);
@@ -473,6 +498,29 @@ int main(int argc, char** argv) {
           cli.replacement = replacement_from_string(args[++i]);
         else if (arg == "--lookahead" && has_value)
           cli.lookahead = std::stoi(args[++i]);
+        else if (arg == "--admission" && has_value)
+          cli.pool.admission = admission_policy_from_string(args[++i]);
+        else if (arg == "--contiguous")
+          cli.pool.contiguous = true;
+        else if (arg == "--defrag") {
+          cli.pool.contiguous = true;
+          cli.pool.defrag = true;
+        }
+        else if (arg == "--window" && has_value)
+          cli.pool.reorder_window = std::stoi(args[++i]);
+        else if (arg == "--max-bypass" && has_value)
+          cli.pool.max_bypass = std::stoi(args[++i]);
+        else if (arg == "--sched-cost-us" && has_value) {
+          const std::string& value = args[++i];
+          if (value == "paper") {
+            cli.scheduler_cost = k_no_time;  // per-approach Section 4 value
+          } else {
+            cli.scheduler_cost = std::stoll(value);
+            if (cli.scheduler_cost < 0)
+              throw std::invalid_argument(
+                  "--sched-cost-us needs a non-negative value or 'paper'");
+          }
+        }
         else if (arg == "--iterations" && has_value)
           cli.iterations = std::stoi(args[++i]);
         else if (arg == "--seed" && has_value)
