@@ -1,0 +1,132 @@
+// Multi-port online reconfiguration sweep: the ports x admission-policy
+// matrix on the port-bound contiguous+defrag multimedia regime, plus a
+// shared-ISP contention column on an ISP-heavy synthetic mix.
+//
+// Expected shape: extra reconfiguration ports overlap the hybrid's
+// initialization loads, the backlog prefetches and the defragmentation
+// migrations (each spare port carries its own relocation — watch the
+// "peak migs" column), so mean queueing delay falls as ports grow while
+// the reported port utilisation stays <= 100% (it is normalised by the
+// port count; per-port shares are printed alongside). The shared-ISP rows
+// serialise ISP executions across live instances on one contended server:
+// responses stretch against the per-instance ISP model at identical port
+// counts.
+
+#include <iostream>
+#include <memory>
+
+#include "graph/generators.hpp"
+#include "sim/event_sim.hpp"
+#include "sim/workloads.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace drhw;
+
+std::string per_port_cell(const std::vector<double>& per_port) {
+  std::string out;
+  for (std::size_t p = 0; p < per_port.size(); ++p) {
+    if (p > 0) out += '/';
+    out += fmt(per_port[p], 0);
+  }
+  return out + "%";
+}
+
+}  // namespace
+
+int main() {
+  using namespace drhw;
+  constexpr int k_tiles = 12;
+  constexpr int k_iterations = 300;
+  constexpr std::uint64_t k_seed = 2005;
+  constexpr double k_rate = 120.0;
+
+  std::cout << "Multi-port online reconfiguration — multimedia mix, "
+            << k_tiles << " tiles, contiguous + defrag, Poisson @ "
+            << fmt(k_rate, 0) << "/s, " << k_iterations << " iterations\n\n";
+
+  const AdmissionPolicy policies[] = {AdmissionPolicy::fifo_hol,
+                                      AdmissionPolicy::backfill_bypass,
+                                      AdmissionPolicy::window_reorder};
+  for (const int ports : {1, 2, 4}) {
+    PlatformConfig platform = virtex2_platform(k_tiles);
+    platform.reconfig_ports = ports;
+    const auto workload = make_multimedia_workload(platform);
+    const auto sampler = multimedia_sampler(*workload);
+
+    std::cout << ports << " reconfiguration port(s)\n";
+    TablePrinter table({"admission", "queueing mean", "response mean",
+                        "port util", "per-port", "moves", "peak migs"});
+    for (const AdmissionPolicy policy : policies) {
+      OnlineSimOptions options;
+      options.platform = platform;
+      options.approach = Approach::hybrid;
+      options.arrivals.rate_per_s = k_rate;
+      options.pool.contiguous = true;
+      options.pool.admission = policy;
+      options.pool.defrag = true;
+      options.record_spans = false;
+      options.seed = k_seed;
+      options.iterations = k_iterations;
+      const OnlineReport r = run_online_simulation(options, sampler);
+      table.add_row({to_string(policy), fmt(r.mean_queueing_ms, 2) + " ms",
+                     fmt(r.mean_response_ms, 2) + " ms",
+                     fmt_pct(r.port_utilisation_pct),
+                     per_port_cell(r.port_utilisation_per_port_pct),
+                     std::to_string(r.defrag_moves),
+                     std::to_string(r.peak_concurrent_migrations)});
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+
+  // Shared-ISP contention: an ISP-heavy synthetic mix on one contended
+  // server vs the per-instance ISP model, across the ports axis.
+  std::cout << "Shared-ISP contention — synthetic mix (25% ISP subtasks), "
+               "16 tiles, 1 shared ISP\n";
+  TablePrinter isp_table({"ports", "isp model", "response mean",
+                          "queueing mean", "isp util"});
+  for (const int ports : {1, 2}) {
+    PlatformConfig platform = virtex2_platform(16);
+    platform.reconfig_ports = ports;
+    LayeredGraphParams params;
+    params.subtasks = 14;
+    params.min_layer_width = 2;
+    params.max_layer_width = 6;
+    params.min_exec = ms(1);
+    params.max_exec = ms(6);
+    params.isp_fraction = 0.25;
+    std::vector<SubtaskGraph> graphs;
+    Rng graph_rng(k_seed);
+    for (int task = 0; task < 6; ++task)
+      graphs.push_back(make_layered_graph(params, graph_rng));
+    std::vector<PreparedScenario> prepared;
+    for (const SubtaskGraph& graph : graphs)
+      prepared.push_back(prepare_scenario(graph, platform.tiles, platform));
+    const IterationSampler sampler = [&](Rng& rng) {
+      std::vector<const PreparedScenario*> batch;
+      for (const PreparedScenario& p : prepared)
+        if (rng.next_double() < 0.8) batch.push_back(&p);
+      return batch;
+    };
+    for (const bool shared : {false, true}) {
+      OnlineSimOptions options;
+      options.platform = platform;
+      options.approach = Approach::hybrid;
+      options.arrivals.rate_per_s = k_rate;
+      options.shared_isps = shared;
+      options.record_spans = false;
+      options.seed = k_seed;
+      options.iterations = k_iterations;
+      const OnlineReport r = run_online_simulation(options, sampler);
+      isp_table.add_row({std::to_string(ports),
+                         shared ? "shared" : "per-instance",
+                         fmt(r.mean_response_ms, 2) + " ms",
+                         fmt(r.mean_queueing_ms, 2) + " ms",
+                         fmt_pct(r.isp_utilisation_pct)});
+    }
+  }
+  isp_table.print(std::cout);
+  return 0;
+}

@@ -43,6 +43,7 @@ TilePoolManager::TilePoolManager(int tiles, const PoolOptions& options)
   const auto n = static_cast<std::size_t>(tiles);
   held_.assign(n, 0);
   reserved_.assign(n, 0);
+  migrating_.assign(n, 0);
   owner_.assign(n, -1);
   prefetch_config_.assign(n, k_no_config);
   prefetch_value_.assign(n, 0.0);
@@ -280,25 +281,35 @@ bool TilePoolManager::head_fragmentation_blocked() const {
   return free_count() >= needed && largest_free_block() < needed;
 }
 
-int TilePoolManager::window_blockers(int start, int needed,
-                                     const std::vector<char>& movable) const {
-  int blockers = 0;
+TilePoolManager::WindowScan TilePoolManager::scan_window(
+    int start, int needed, const std::vector<char>& movable) const {
+  WindowScan scan;
   for (int t = start; t < start + needed; ++t) {
     const auto idx = static_cast<std::size_t>(t);
-    if (reserved_[idx]) return -1;
+    if (reserved_[idx]) {
+      scan.feasible = false;
+      return scan;
+    }
+    if (migrating_[idx]) {
+      // Already being copied out by an in-flight move: not a new blocker,
+      // not a veto — the window is clearing.
+      ++scan.migrating;
+      continue;
+    }
     if (held_[idx]) {
-      if (!movable[idx]) return -1;
-      ++blockers;
+      if (!movable[idx]) {
+        scan.feasible = false;
+        return scan;
+      }
+      ++scan.blockers;
     }
   }
-  return blockers;
+  return scan;
 }
 
 std::optional<MigrationPlan> TilePoolManager::plan_defrag(
     const std::vector<char>& movable) {
-  if (!options_.defrag || migration_in_flight() ||
-      !head_fragmentation_blocked())
-    return std::nullopt;
+  if (!options_.defrag || !head_fragmentation_blocked()) return std::nullopt;
   const Waiting& head = queue_.front();
   const int needed = head.needed;
   if (defrag_target_ != head.job) {
@@ -306,16 +317,22 @@ std::optional<MigrationPlan> TilePoolManager::plan_defrag(
     defrag_window_ = -1;
   }
   defrag_window_size_ = needed;
-  if (defrag_window_ >= 0 &&
-      window_blockers(defrag_window_, needed, movable) <= 0)
-    defrag_window_ = -1;  // taken over, drained, or no longer clearable
+  if (defrag_window_ >= 0) {
+    const WindowScan scan = scan_window(defrag_window_, needed, movable);
+    // Hold the window while moves out of it are still landing; drop it
+    // when it was taken over, drained, or is no longer clearable.
+    if (scan.feasible && scan.blockers == 0 && scan.migrating > 0)
+      return std::nullopt;
+    if (!scan.feasible || scan.blockers == 0) defrag_window_ = -1;
+  }
   if (defrag_window_ < 0) {
     int best = -1, best_blockers = tiles() + 1;
     for (int s = 0; s + needed <= tiles(); ++s) {
-      const int blockers = window_blockers(s, needed, movable);
-      if (blockers > 0 && blockers < best_blockers) {
+      const WindowScan scan = scan_window(s, needed, movable);
+      if (scan.feasible && scan.blockers > 0 &&
+          scan.blockers < best_blockers) {
         best = s;
-        best_blockers = blockers;
+        best_blockers = scan.blockers;
       }
     }
     if (best < 0) return std::nullopt;
@@ -324,7 +341,8 @@ std::optional<MigrationPlan> TilePoolManager::plan_defrag(
 
   PhysTileId src = k_no_phys_tile;
   for (int t = defrag_window_; t < defrag_window_ + needed; ++t)
-    if (held_[static_cast<std::size_t>(t)]) {
+    if (held_[static_cast<std::size_t>(t)] &&
+        !migrating_[static_cast<std::size_t>(t)]) {
       src = t;
       break;
     }
@@ -351,12 +369,14 @@ std::optional<MigrationPlan> TilePoolManager::plan_defrag(
 void TilePoolManager::begin_migration(const MigrationPlan& plan, time_us now) {
   touch(now);
   DRHW_CHECK_MSG(plan.needs_port(), "free remaps use apply_remap()");
-  DRHW_CHECK(held_[checked(plan.src)] && !migration_in_flight());
+  const std::size_t src = checked(plan.src);
+  DRHW_CHECK(held_[src] && !migrating_[src]);
   const std::size_t dst = checked(plan.dst);
-  DRHW_CHECK_MSG(!held_[dst] && !reserved_[dst],
+  DRHW_CHECK_MSG(!held_[dst] && !reserved_[dst] && !migrating_[dst],
                  "migration destination is not free");
   reserved_[dst] = 1;
-  migrating_tile_ = plan.src;
+  migrating_[src] = 1;
+  ++migrations_in_flight_;
 }
 
 bool TilePoolManager::finish_migration(const MigrationPlan& plan,
@@ -364,9 +384,10 @@ bool TilePoolManager::finish_migration(const MigrationPlan& plan,
   touch(now);
   const std::size_t src = checked(plan.src);
   const std::size_t dst = checked(plan.dst);
-  DRHW_CHECK(migrating_tile_ == plan.src && reserved_[dst]);
+  DRHW_CHECK(migrating_[src] && reserved_[dst]);
   reserved_[dst] = 0;
-  migrating_tile_ = k_no_phys_tile;
+  migrating_[src] = 0;
+  --migrations_in_flight_;
   ++defrag_moves_;
   // The transfer only holds when the owner is still live on `src` and no
   // competing load overwrote the source mid-flight; otherwise the loaded
@@ -390,8 +411,8 @@ void TilePoolManager::apply_remap(const MigrationPlan& plan, time_us now) {
   DRHW_CHECK_MSG(!plan.needs_port(), "port migrations use begin/finish");
   const std::size_t src = checked(plan.src);
   const std::size_t dst = checked(plan.dst);
-  DRHW_CHECK(held_[src] && owner_[src] == plan.owner);
-  DRHW_CHECK(!held_[dst] && !reserved_[dst]);
+  DRHW_CHECK(held_[src] && !migrating_[src] && owner_[src] == plan.owner);
+  DRHW_CHECK(!held_[dst] && !reserved_[dst] && !migrating_[dst]);
   held_[dst] = 1;
   owner_[dst] = plan.owner;
   held_[src] = 0;

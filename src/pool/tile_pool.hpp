@@ -12,7 +12,10 @@
 /// over the arrival-ordered wait queue, and — when contiguous allocation is
 /// on — plans an online defragmentation pass that relocates idle resident
 /// configurations through the reconfiguration port to open contiguous room
-/// for a fragmentation-blocked queue head.
+/// for a fragmentation-blocked queue head. On multi-port platforms several
+/// relocations may be in flight at once (one per spare port): each source
+/// tile is flagged and excluded from every free-tile view until its move
+/// lands, and each migration commits or aborts independently.
 ///
 /// Admission disciplines:
 ///  * fifo_hol         — PR 2 behaviour, bit-identical: only the oldest
@@ -150,8 +153,14 @@ class TilePoolManager {
   bool held(PhysTileId tile) const;
   bool reserved(PhysTileId tile) const;
   std::int32_t owner(PhysTileId tile) const;
-  bool migrating(PhysTileId tile) const { return migrating_tile_ == tile; }
-  bool migration_in_flight() const { return migrating_tile_ != k_no_phys_tile; }
+  bool migrating(PhysTileId tile) const {
+    return migrating_[checked(tile)] != 0;
+  }
+  bool migration_in_flight() const { return migrations_in_flight_ > 0; }
+  /// Concurrent defragmentation relocations through the port(s). Each
+  /// spare reconfiguration port may carry its own migration; the kernel
+  /// starts one per free port while plan_defrag() keeps producing plans.
+  int migrations_in_flight() const { return migrations_in_flight_; }
   int free_count() const;
   /// Longest run of adjacent free tiles.
   int largest_free_block() const;
@@ -167,15 +176,20 @@ class TilePoolManager {
   bool head_fragmentation_blocked() const;
 
   /// Plans the next relocation towards un-blocking the queue head, or
-  /// nullopt (defrag off, migration already in flight, head not
-  /// fragmentation-blocked, or no clearable window). `movable[t]` marks
-  /// held tiles the caller knows are safe to relocate (no running
-  /// execution, no load in flight). The chosen target window is sticky per
-  /// blocked head so successive moves converge instead of oscillating.
+  /// nullopt (defrag off, head not fragmentation-blocked, or no clearable
+  /// window). `movable[t]` marks held tiles the caller knows are safe to
+  /// relocate (no running execution, no load in flight). The chosen target
+  /// window is sticky per blocked head so successive moves converge
+  /// instead of oscillating. Migrations already in flight do not block
+  /// further planning: their sources count as "being cleared" (neither a
+  /// blocker nor a veto) and their reserved destinations are excluded, so
+  /// every spare port can carry its own relocation out of the same window.
   std::optional<MigrationPlan> plan_defrag(const std::vector<char>& movable);
 
   /// Starts a port-charged migration: `dst` becomes reserved, `src` is
   /// flagged migrating (executions on it must stall until completion).
+  /// Any number may be in flight concurrently, each with independent
+  /// abort/commit semantics in finish_migration().
   void begin_migration(const MigrationPlan& plan, time_us now);
 
   /// Migration load completed. Returns true when ownership transferred to
@@ -202,18 +216,21 @@ class TilePoolManager {
   };
 
   bool fits(int needed) const;
-  /// Free for every allocation purpose. The migration source is excluded
-  /// even after its owner retires mid-flight: admitting someone onto a
+  /// Free for every allocation purpose. Migration sources are excluded
+  /// even after their owner retires mid-flight: admitting someone onto a
   /// tile that is being copied out would gate their executions on a
   /// migration that will never wake them.
   bool tile_free(std::size_t idx) const {
-    return !held_[idx] && !reserved_[idx] &&
-           static_cast<PhysTileId>(idx) != migrating_tile_;
+    return !held_[idx] && !reserved_[idx] && !migrating_[idx];
   }
-  /// Blockers of window [start, start+needed), or -1 when it contains a
-  /// reserved or unmovable held tile.
-  int window_blockers(int start, int needed,
-                      const std::vector<char>& movable) const;
+  /// One defragmentation window's state under the current occupancy.
+  struct WindowScan {
+    int blockers = 0;    ///< movable held tiles still to relocate
+    int migrating = 0;   ///< sources already being copied out
+    bool feasible = true;  ///< false: reserved or unmovable tile inside
+  };
+  WindowScan scan_window(int start, int needed,
+                         const std::vector<char>& movable) const;
   std::size_t checked(PhysTileId tile) const;
   /// Integrates the fragmentation metric up to `now`.
   void touch(time_us now);
@@ -226,7 +243,8 @@ class TilePoolManager {
   std::vector<double> prefetch_value_;
   std::vector<Waiting> queue_;
 
-  PhysTileId migrating_tile_ = k_no_phys_tile;
+  std::vector<char> migrating_;  ///< per-tile: source of an in-flight move
+  int migrations_in_flight_ = 0;
   int defrag_window_ = -1;       ///< sticky target window start
   int defrag_window_size_ = 0;   ///< its extent (the planned-for head's need)
   std::int32_t defrag_target_ = -1; ///< queue head the window was planned for

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "sim/port_set.hpp"
 #include "util/check.hpp"
 
 namespace drhw {
@@ -58,8 +59,7 @@ class Simulation {
         placement_(placement),
         platform_(platform),
         plan_(plan),
-        port_free_(static_cast<std::size_t>(platform.reconfig_ports),
-                   port_available_from) {}
+        ports_(platform.reconfig_ports, port_available_from) {}
 
   EvalResult run() {
     validate_plan();
@@ -70,8 +70,8 @@ class Simulation {
     // with an initialization phase), a wake-up event re-triggers load
     // selection the moment they free — without it the simulation could
     // stall when nothing else can make progress in the meantime.
-    if (port_free_.front() > 0)
-      events_.push({port_free_.front(), EventKind::load_done, k_no_subtask});
+    if (ports_.free_at(0) > 0)
+      events_.push({ports_.free_at(0), EventKind::load_done, k_no_subtask});
     for (std::size_t s = 0; s < n_; ++s) {
       const auto id = static_cast<SubtaskId>(s);
       if (placement_.position_of[s] == 0) mark_arrival(id, 0);
@@ -217,20 +217,19 @@ class Simulation {
   /// plan's policy.
   void try_port(time_us t) {
     for (;;) {
-      // Earliest-free port.
-      std::size_t port = 0;
-      for (std::size_t p = 1; p < port_free_.size(); ++p)
-        if (port_free_[p] < port_free_[port]) port = p;
-      if (port_free_[port] > t) return;  // LoadDone event will retrigger us
+      // Earliest-free port, lowest index on ties — the same PortSet scan
+      // the online kernel uses, so the design-time estimate and the
+      // run-time kernel never diverge over a tie-break.
+      const std::size_t port = ports_.earliest();
+      if (!ports_.idle_at(port, t)) return;  // LoadDone will retrigger us
       const SubtaskId s = select_load(t);
       if (s == k_no_subtask) return;
       const auto idx = static_cast<std::size_t>(s);
       load_started_[idx] = 1;
       result_.load_start[idx] = t;
-      result_.load_end[idx] = t + load_duration(s);
+      result_.load_end[idx] = ports_.dispatch(port, t, load_duration(s));
       result_.load_order.push_back(s);
       ++result_.loads;
-      port_free_[port] = result_.load_end[idx];
       events_.push({result_.load_end[idx], EventKind::load_done, s});
     }
   }
@@ -370,7 +369,7 @@ class Simulation {
   std::vector<time_us> dag_ready_;
   std::vector<time_us> arrival_;
   std::vector<char> started_, finished_, load_started_, config_done_;
-  std::vector<time_us> port_free_;
+  PortSet ports_;
   std::size_t next_explicit_ = 0;
   EvalResult result_;
 };

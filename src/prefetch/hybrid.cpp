@@ -1,5 +1,8 @@
 #include "prefetch/hybrid.hpp"
 
+#include <algorithm>
+
+#include "sim/port_set.hpp"
 #include "util/check.hpp"
 
 namespace drhw {
@@ -36,10 +39,25 @@ HybridRunOutcome hybrid_runtime(const SubtaskGraph& graph,
   HybridDecision decision = hybrid_decide(design, resident);
   outcome.init_loads = std::move(decision.init_loads);
   outcome.cancelled_loads = decision.cancelled_loads;
+  // The initialization loads dispatch in the pre-decided order onto the
+  // earliest-free reconfiguration port — back to back on a single-port
+  // platform, overlapped on a multi-port one. This mirrors the online
+  // kernel exactly (its init loads are exempt from the unit-order gate,
+  // so every free port takes the next one), which is what keeps the
+  // sequential rig's spans equal to the kernel's at arrival rate -> 0
+  // for reconfig_ports > 1.
   outcome.init_duration = 0;
+  outcome.init_load_ends.reserve(outcome.init_loads.size());
+  PortSet init_ports(platform.reconfig_ports);
   for (SubtaskId s : outcome.init_loads) {
     const time_us own = graph.subtask(s).load_time;
-    outcome.init_duration += own != k_no_time ? own : platform.reconfig_latency;
+    const time_us duration =
+        own != k_no_time ? own : platform.reconfig_latency;
+    const std::size_t port = init_ports.earliest();
+    const time_us end =
+        init_ports.dispatch(port, init_ports.free_at(port), duration);
+    outcome.init_load_ends.push_back(end);
+    outcome.init_duration = std::max(outcome.init_duration, end);
   }
 
   const LoadPlan plan = explicit_plan(graph, decision.load_order);

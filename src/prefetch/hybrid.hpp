@@ -26,7 +26,14 @@ namespace drhw {
 struct HybridRunOutcome {
   /// Critical subtasks actually loaded up front (CS minus resident ones).
   std::vector<SubtaskId> init_loads;
-  /// Duration of the initialization phase (init_loads.size() * latency).
+  /// Completion time of each init load (aligned with init_loads, relative
+  /// to the instance start). The loads dispatch in the pre-decided order
+  /// onto the earliest-free reconfiguration port, so with one port these
+  /// are the running sums of the load latencies; with reconfig_ports > 1
+  /// the phase overlaps and the ends interleave.
+  std::vector<time_us> init_load_ends;
+  /// Makespan of the initialization phase: the last init_load_ends entry's
+  /// maximum (sum of latencies with one port, shorter with several).
   time_us init_duration = 0;
   /// Evaluation of the stored design-time schedule (times relative to the
   /// end of the initialization phase).

@@ -229,6 +229,8 @@ void run_online(const Scenario& scenario, WorkloadCache& cache,
   options.port_discipline = scenario.port_discipline;
   options.pool = scenario.pool;
   options.scheduler_cost = scenario.scheduler_cost;
+  options.shared_isps = scenario.shared_isps;
+  options.isp_discipline = scenario.isp_discipline;
   options.hybrid_intertask = scenario.sim.hybrid_intertask;
   options.intertask_beyond_critical = scenario.sim.intertask_beyond_critical;
   options.intertask_lookahead = scenario.sim.intertask_lookahead;
@@ -244,6 +246,10 @@ void run_online(const Scenario& scenario, WorkloadCache& cache,
   result.mean_queueing_ms = report.mean_queueing_ms;
   result.max_queueing_ms = report.max_queueing_ms;
   result.port_utilisation_pct = report.port_utilisation_pct;
+  result.port_utilisation_per_port_pct =
+      std::move(report.port_utilisation_per_port_pct);
+  result.isp_utilisation_pct = report.isp_utilisation_pct;
+  result.peak_concurrent_migrations = report.peak_concurrent_migrations;
   result.horizon_ms = to_ms(report.horizon);
   result.response_p50_ms = report.response_p50_ms;
   result.response_p95_ms = report.response_p95_ms;

@@ -73,7 +73,17 @@ struct ScenarioResult {
   double max_response_ms = 0.0;
   double mean_queueing_ms = 0.0;
   double max_queueing_ms = 0.0;
+  /// Port busy time normalised by the port count (always <= 100).
   double port_utilisation_pct = 0.0;
+  /// Per-port busy time over the run's busy horizon, index = port id
+  /// (size = reconfig_ports; empty outside online mode). Sums to
+  /// port_utilisation_pct * ports.
+  std::vector<double> port_utilisation_per_port_pct;
+  /// ISP execution time / (isps * horizon): a true utilisation under
+  /// shared-ISP contention, the offered ISP load otherwise.
+  double isp_utilisation_pct = 0.0;
+  /// Highest number of defragmentation migrations in flight at once.
+  long peak_concurrent_migrations = 0;
   double horizon_ms = 0.0;
   /// Online mode only: streaming response-time percentiles (P² sketch).
   double response_p50_ms = 0.0;

@@ -43,6 +43,9 @@ std::map<std::string, double> deterministic_metrics(
     metrics["frag_pct"] = result.frag_pct;
     metrics["queue_skips"] = static_cast<double>(result.queue_skips);
     metrics["defrag_moves"] = static_cast<double>(result.defrag_moves);
+    metrics["isp_util_pct"] = result.isp_utilisation_pct;
+    metrics["peak_concurrent_migrations"] =
+        static_cast<double>(result.peak_concurrent_migrations);
   }
   return metrics;
 }
@@ -217,9 +220,10 @@ std::string campaign_to_json(const std::vector<ScenarioResult>& results,
        << "      \"reconfig_latency_us\": " << s.sim.platform.reconfig_latency
        << ",\n"
        << "      \"ports\": " << s.sim.platform.reconfig_ports << ",\n"
+       << "      \"isps\": " << s.sim.platform.isps << ",\n"
        << "      \"seed\": " << s.sim.seed << ",\n"
        << "      \"iterations\": " << s.sim.iterations << ",\n";
-    if (s.mode == ScenarioMode::online)
+    if (s.mode == ScenarioMode::online) {
       os << "      \"arrival_kind\": \"" << to_string(s.arrivals.kind)
          << "\",\n"
          << "      \"arrival_rate_per_s\": "
@@ -232,7 +236,18 @@ std::string campaign_to_json(const std::vector<ScenarioResult>& results,
          << ",\n"
          << "      \"defrag\": " << (s.pool.defrag ? "true" : "false")
          << ",\n"
-         << "      \"scheduler_cost_us\": " << s.scheduler_cost << ",\n";
+         << "      \"scheduler_cost_us\": " << s.scheduler_cost << ",\n"
+         << "      \"shared_isps\": " << (s.shared_isps ? "true" : "false")
+         << ",\n"
+         << "      \"isp_discipline\": \"" << to_string(s.isp_discipline)
+         << "\",\n"
+         << "      \"port_util_per_port_pct\": [";
+      for (std::size_t p = 0; p < result.port_utilisation_per_port_pct.size();
+           ++p)
+        os << (p == 0 ? "" : ", ")
+           << fmt_json_double(result.port_utilisation_per_port_pct[p]);
+      os << "],\n";
+    }
     os
        << "      \"ok\": " << (result.ok ? "true" : "false") << ",\n"
        << "      \"error\": \"" << json_escape(result.error) << "\",\n"
@@ -265,9 +280,21 @@ const char* const k_csv_metric_columns[] = {
     "energy_saved",    "response_ms",     "response_max_ms",
     "response_p50_ms", "response_p95_ms", "response_p99_ms",
     "queueing_ms",     "queueing_max_ms", "port_util_pct",
+    "isp_util_pct",    "peak_concurrent_migrations",
     "horizon_ms",      "frag_pct",        "queue_skips",
     "defrag_moves",    "list_sched_us",   "hybrid_sched_us",
     "wall_ms"};
+
+/// The per-port utilisation vector as one fixed-width CSV cell:
+/// ';'-joined doubles (empty for non-online rows).
+std::string fmt_port_vector(const std::vector<double>& per_port) {
+  std::string out;
+  for (std::size_t p = 0; p < per_port.size(); ++p) {
+    if (p > 0) out += ';';
+    out += fmt_csv_double(per_port[p]);
+  }
+  return out;
+}
 
 std::string csv_escape(const std::string& text) {
   if (text.find_first_of(",\"\n") == std::string::npos) return text;
@@ -285,8 +312,9 @@ std::string csv_escape(const std::string& text) {
 std::string campaign_to_csv(const std::vector<ScenarioResult>& results) {
   std::ostringstream os;
   os << "name,family,workload,mode,approach,replacement,tiles,"
-        "reconfig_latency_us,ports,seed,iterations,admission_policy,"
-        "contiguous,defrag,scheduler_cost_us,ok,error";
+        "reconfig_latency_us,ports,isps,seed,iterations,admission_policy,"
+        "contiguous,defrag,scheduler_cost_us,shared_isps,isp_discipline,"
+        "port_util_per_port_pct,ok,error";
   for (const char* column : k_csv_metric_columns) os << "," << column;
   os << "\n";
   for (const ScenarioResult& result : results) {
@@ -295,10 +323,13 @@ std::string campaign_to_csv(const std::vector<ScenarioResult>& results) {
        << to_string(s.workload) << "," << to_string(s.mode) << ","
        << to_string(s.sim.approach) << "," << to_string(s.sim.replacement)
        << "," << s.sim.platform.tiles << "," << s.sim.platform.reconfig_latency
-       << "," << s.sim.platform.reconfig_ports << "," << s.sim.seed << ","
+       << "," << s.sim.platform.reconfig_ports << ","
+       << s.sim.platform.isps << "," << s.sim.seed << ","
        << s.sim.iterations << "," << to_string(s.pool.admission) << ","
        << (s.pool.contiguous ? "1" : "0") << ","
        << (s.pool.defrag ? "1" : "0") << "," << s.scheduler_cost << ","
+       << (s.shared_isps ? "1" : "0") << "," << to_string(s.isp_discipline)
+       << "," << fmt_port_vector(result.port_utilisation_per_port_pct) << ","
        << (result.ok ? "1" : "0") << "," << csv_escape(result.error);
     const auto metrics = all_metrics(result);
     for (const char* column : k_csv_metric_columns) {
@@ -579,6 +610,15 @@ ParsedCampaign campaign_from_json(const std::string& json) {
     if (const auto* defrag = item.find("defrag")) s.defrag = defrag->boolean;
     if (const auto* cost = item.find("scheduler_cost_us"))
       s.scheduler_cost_us = cost->number;
+    if (const auto* isps = item.find("isps"))
+      s.isps = static_cast<int>(isps->number);
+    if (const auto* shared = item.find("shared_isps"))
+      s.shared_isps = shared->boolean;
+    if (const auto* discipline = item.find("isp_discipline"))
+      s.isp_discipline = discipline->text;
+    if (const auto* per_port = item.find("port_util_per_port_pct"))
+      for (const auto& value : per_port->items)
+        s.port_util_per_port.push_back(value.number);
     s.ok = item.at("ok").boolean;
     s.error = item.at("error").text;
     for (const auto& [name, value] : item.at("metrics").members)
@@ -672,6 +712,20 @@ std::vector<ParsedScenario> campaign_from_csv(const std::string& csv) {
         s.defrag = value == "1";
       else if (key == "scheduler_cost_us")
         s.scheduler_cost_us = std::strtod(value.c_str(), nullptr);
+      else if (key == "isps")
+        s.isps = std::atoi(value.c_str());
+      else if (key == "shared_isps")
+        s.shared_isps = value == "1";
+      else if (key == "isp_discipline")
+        s.isp_discipline = value;
+      else if (key == "port_util_per_port_pct") {
+        std::istringstream cell(value);
+        std::string part;
+        while (std::getline(cell, part, ';'))
+          if (!part.empty())
+            s.port_util_per_port.push_back(
+                std::strtod(part.c_str(), nullptr));
+      }
       else if (key == "ok")
         s.ok = value == "1";
       else if (key == "error")

@@ -102,10 +102,17 @@ struct ParsedScenario {
   bool contiguous = false;
   bool defrag = false;
   double scheduler_cost_us = 0.0;
+  int isps = 0;
+  bool shared_isps = false;
+  std::string isp_discipline;
   bool ok = false;
   std::string error;
   /// metric name -> value, exactly the columns/keys of the writers.
   std::map<std::string, double> metrics;
+  /// Per-port utilisation vector (online scenarios; empty otherwise or in
+  /// pre-multiport reports). JSON: a "port_util_per_port_pct" array; CSV:
+  /// one ';'-joined cell, so the row stays fixed-width.
+  std::vector<double> port_util_per_port;
 };
 
 struct ParsedCampaign {

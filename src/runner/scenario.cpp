@@ -84,6 +84,10 @@ void Scenario::validate() const {
   if (scheduler_cost < 0)
     throw std::invalid_argument("scenario '" + name +
                                 "': negative scheduler cost");
+  if (shared_isps && sim.platform.isps < 1)
+    throw std::invalid_argument(
+        "scenario '" + name +
+        "': shared-ISP contention needs a platform with >= 1 ISP");
 }
 
 void ScenarioRegistry::add(Scenario scenario) {
@@ -277,6 +281,51 @@ ScenarioRegistry ScenarioRegistry::builtin(int iterations,
                                      AdmissionPolicy::window_reorder};
   defrag_sweep.defrag_modes = {false, true};
   registry.add(build_sweep(defrag_sweep));
+
+  // Multi-port reconfiguration, two sweeps under one family. First the
+  // port-bound contiguous+defrag multimedia regime of online_defrag at a
+  // saturating rate: reconfig_ports x approach x admission policy, where
+  // spare ports carry concurrent defragmentation migrations.
+  SweepConfig multiport;
+  multiport.family = "online_multiport";
+  multiport.base = base_scenario("online_multiport/base", "online_multiport",
+                                 12, Approach::hybrid, seed, iterations);
+  multiport.base.mode = ScenarioMode::online;
+  multiport.base.arrivals.rate_per_s = 120.0;
+  multiport.base.pool.contiguous = true;
+  multiport.base.pool.defrag = true;
+  multiport.ports = {1, 2, 4};
+  multiport.approaches = {Approach::runtime_intertask, Approach::hybrid};
+  multiport.admission_policies = {AdmissionPolicy::fifo_hol,
+                                  AdmissionPolicy::window_reorder};
+  registry.add(build_sweep(multiport));
+
+  // Second, the shared-ISP contention point: synthetic graphs with an
+  // ISP-mapped fraction (the paper workloads place nothing on the ISPs,
+  // so they would leave the shared-ISP model idle) contending for one
+  // shared ISP server while the ports axis varies. Distinct tile count
+  // keeps the generated names disjoint from the first sweep.
+  SweepConfig multiport_isp;
+  multiport_isp.family = "online_multiport";
+  multiport_isp.base =
+      base_scenario("online_multiport/isp_base", "online_multiport", 16,
+                    Approach::hybrid, seed, iterations);
+  multiport_isp.base.mode = ScenarioMode::online;
+  multiport_isp.base.workload = WorkloadKind::synthetic;
+  multiport_isp.base.synthetic.tasks = 6;
+  multiport_isp.base.synthetic.graph.subtasks = 14;
+  multiport_isp.base.synthetic.graph.min_layer_width = 2;
+  multiport_isp.base.synthetic.graph.max_layer_width = 6;
+  multiport_isp.base.synthetic.graph.min_exec = ms(1);
+  multiport_isp.base.synthetic.graph.max_exec = ms(6);
+  multiport_isp.base.synthetic.graph.isp_fraction = 0.25;
+  multiport_isp.base.synthetic.graph_seed = seed;
+  multiport_isp.base.arrivals.rate_per_s = 120.0;
+  multiport_isp.base.shared_isps = true;
+  multiport_isp.base.isp_discipline = PortDiscipline::priority;
+  multiport_isp.ports = {1, 2, 4};
+  multiport_isp.approaches = {Approach::runtime_intertask, Approach::hybrid};
+  registry.add(build_sweep(multiport_isp));
 
   // Section 4 scalability: run-time scheduler cost vs subtask count.
   for (int subtasks : {14, 28, 56, 112, 224, 448}) {

@@ -102,6 +102,13 @@ struct Scenario {
   /// the simulated timeline (0 = scheduling is free, the paper's Section 7
   /// assumption; see paper_scheduler_cost()).
   time_us scheduler_cost = 0;
+  /// Online mode only: model the platform's ISPs as one shared contended
+  /// pool instead of per-instance contexts (default off reproduces the
+  /// PR 3 kernel bit-identically).
+  bool shared_isps = false;
+  /// Online mode only: arbitration between waiting ISP executions when
+  /// shared_isps is on.
+  PortDiscipline isp_discipline = PortDiscipline::fifo;
   /// Timed calls per measurement in sched_cost mode.
   int timing_calls = 50;
   /// sched_cost mode: schedule every subtask as a pending load (the
@@ -142,6 +149,9 @@ class ScenarioRegistry {
   ///   online_sweep/*   online arrival-rate x tile-count cartesian sweep
   ///   online_defrag/*  contiguous pool: admission policy x defrag x
   ///                    arrival rate x tile count
+  ///   online_multiport/* reconfig_ports x approach x admission policy on
+  ///                    a port-bound contiguous+defrag pool with shared
+  ///                    ISP contention
   static ScenarioRegistry builtin(int iterations = 1000,
                                   std::uint64_t seed = 2005);
 

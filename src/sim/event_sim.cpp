@@ -53,6 +53,13 @@ const char* to_string(PortDiscipline discipline) {
   return "?";
 }
 
+PortDiscipline port_discipline_from_string(const std::string& text) {
+  if (text == "fifo") return PortDiscipline::fifo;
+  if (text == "priority") return PortDiscipline::priority;
+  throw std::invalid_argument("unknown port discipline '" + text +
+                              "' (use fifo or priority)");
+}
+
 time_us paper_scheduler_cost(Approach approach) {
   switch (approach) {
     case Approach::no_prefetch:
@@ -141,6 +148,9 @@ class OnlineSimulation {
     DRHW_CHECK_MSG(options_.iterations >= 1, "online run needs >= 1 iteration");
     DRHW_CHECK_MSG(options_.scheduler_cost >= 0,
                    "negative scheduler cost makes no sense");
+    if (options_.shared_isps && options_.platform.isps < 1)
+      throw std::invalid_argument(
+          "shared-ISP contention needs a platform with >= 1 ISP");
 
     // Draw the whole instance stream up front. The sampler is the only
     // consumer of this generator, so the stream equals the sequential
@@ -210,10 +220,11 @@ class OnlineSimulation {
     config_done_.assign(total, 0);
     needs_.assign(total, 0);
     init_load_.assign(total, 0);
+    isp_queued_.assign(total, 0);
 
     const auto tiles = static_cast<std::size_t>(options_.platform.tiles);
-    port_free_.assign(static_cast<std::size_t>(options_.platform.reconfig_ports),
-                      0);
+    ports_ = PortSet(options_.platform.reconfig_ports);
+    if (options_.shared_isps) isps_ = PortSet(options_.platform.isps);
 
     // Pre-sized event storage: the hot loop never reallocates.
     std::vector<Event> storage;
@@ -484,10 +495,66 @@ class OnlineSimulation {
       const PhysTileId phys = job.phys_of_tile[static_cast<std::size_t>(tile)];
       // A tile being defragmented cannot execute until the move lands.
       if (phys != k_no_phys_tile && pool_.migrating(phys)) return;
+    } else if (options_.shared_isps) {
+      // Shared ISPs: the execution must win one of the contended servers.
+      if (isp_queued_[idx]) return;  // already waiting; dispatcher owns it
+      // Never dispatch past a non-empty wait queue: a server can read
+      // idle at instant t while the exec_done that freed it is still
+      // pending at the same timestamp — jumping in here would overtake
+      // older (fifo) or heavier (priority) waiters. Queuing is safe: that
+      // same-instant completion's dispatch pass drains the queue in
+      // discipline order onto every idle server.
+      if (!isp_waiting_.empty() || !isps_.idle_at(isps_.earliest(), t)) {
+        isp_waiting_.push_back({j, s, isp_seq_++});
+        isp_queued_[idx] = 1;
+        return;
+      }
+    }
+    begin_execution(j, s, t);
+  }
+
+  /// Starts the execution unconditionally (every gate already checked).
+  void begin_execution(std::int32_t j, SubtaskId s, time_us t) {
+    Job& job = jobs_[static_cast<std::size_t>(j)];
+    const std::size_t idx = job.base + static_cast<std::size_t>(s);
+    const time_us duration = job.prep->graph->subtask(s).exec_time;
+    const TileId tile = job.prep->placement.tile_of[static_cast<std::size_t>(s)];
+    if (tile == k_no_tile) {
+      isp_busy_ += duration;  // offered ISP load, shared or not
+      if (options_.shared_isps) isps_.dispatch(isps_.earliest(), t, duration);
     }
     started_[idx] = 1;
-    exec_end_[idx] = t + job.prep->graph->subtask(s).exec_time;
+    exec_end_[idx] = t + duration;
     events_.push({exec_end_[idx], k_ev_exec_done, j, s});
+  }
+
+  /// An ISP server just freed (shared mode): hand it — and any other idle
+  /// server — to the waiting executions under the ISP discipline. fifo =
+  /// request order; priority = highest ALAP weight, older request on ties.
+  void dispatch_isp_waiters(time_us t) {
+    while (!isp_waiting_.empty() && isps_.idle_at(isps_.earliest(), t)) {
+      std::size_t pick = 0;
+      if (options_.isp_discipline == PortDiscipline::priority) {
+        for (std::size_t i = 1; i < isp_waiting_.size(); ++i) {
+          const IspWaiter& a = isp_waiting_[i];
+          const IspWaiter& b = isp_waiting_[pick];
+          const time_us wa = jobs_[static_cast<std::size_t>(a.job)]
+                                 .prep->weights[static_cast<std::size_t>(a.subtask)];
+          const time_us wb = jobs_[static_cast<std::size_t>(b.job)]
+                                 .prep->weights[static_cast<std::size_t>(b.subtask)];
+          if (wa > wb) pick = i;  // ties keep the older request (lower seq)
+        }
+      }
+      const IspWaiter waiter = isp_waiting_[pick];
+      isp_waiting_.erase(isp_waiting_.begin() +
+                         static_cast<std::ptrdiff_t>(pick));
+      const std::size_t idx =
+          jobs_[static_cast<std::size_t>(waiter.job)].base +
+          static_cast<std::size_t>(waiter.subtask);
+      isp_queued_[idx] = 0;
+      DRHW_CHECK_MSG(!started_[idx], "queued ISP execution already started");
+      begin_execution(waiter.job, waiter.subtask, t);
+    }
   }
 
   // -- the shared reconfiguration port -----------------------------------
@@ -504,9 +571,19 @@ class OnlineSimulation {
           const std::size_t idx = job.base + static_cast<std::size_t>(s);
           if (load_started_[idx]) continue;
           // Initialization-phase loads are not gated on the unit order —
-          // they precede every execution of the instance.
-          if (i >= job.init_count && arrived_[idx] == k_no_time)
-            return k_no_subtask;  // head-of-line block
+          // they precede every execution of the instance, and on
+          // multi-port platforms they dispatch in parallel.
+          if (i >= job.init_count) {
+            // Stored-schedule loads wait for the whole init phase, not
+            // just for its loads to have *started*: the sequential rig
+            // evaluates the stored schedule strictly after init_duration,
+            // and this gate is what keeps multi-port spans equal at
+            // arrival rate -> 0 (with one port it is vacuous — the port
+            // busy with the last init load blocks any scan anyway).
+            if (!job.init_done) return k_no_subtask;
+            if (arrived_[idx] == k_no_time)
+              return k_no_subtask;  // head-of-line block
+          }
           return s;
         }
         return k_no_subtask;
@@ -551,9 +628,7 @@ class OnlineSimulation {
     load_started_[idx] = 1;
     ++inflight_[job.prep->graph->subtask(s).config];
     const time_us duration = load_duration(job, s);
-    DRHW_CHECK_MSG(port_free_[port] <= t, "load started on a busy port");
-    port_free_[port] = t + duration;
-    port_busy_ += duration;
+    ports_.dispatch(port, t, duration);
     ++job.loads;
     if (job.policy == LoadPolicy::explicit_order)
       while (job.next_explicit < job.order.size() &&
@@ -625,10 +700,7 @@ class OnlineSimulation {
         pool_.reserve(victim, config, value, t);
         ++inflight_[config];
         const time_us duration = load_duration(queued, s);
-        DRHW_CHECK_MSG(port_free_[port] <= t,
-                       "prefetch started on a busy port");
-        port_free_[port] = t + duration;
-        port_busy_ += duration;
+        ports_.dispatch(port, t, duration);
         ++report_.sim.intertask_prefetches;
         ++report_.sim.loads;
         report_.sim.energy += options_.platform.reconfig_energy;
@@ -669,9 +741,11 @@ class OnlineSimulation {
   /// restart — either this step took the port, or it admitted instances
   /// whose nested try_port may have (falling through to the backlog
   /// prefetch with a stale idle-port assumption would double-book it).
+  /// Migrations already in flight do not stop another from starting: each
+  /// spare port may carry its own relocation (the plan excludes in-flight
+  /// sources and reserved destinations).
   bool start_defrag(std::size_t port, time_us t) {
-    if (pool_.migration_in_flight() || !pool_.head_fragmentation_blocked())
-      return false;
+    if (!pool_.head_fragmentation_blocked()) return false;
     build_movable(movable_scratch_);
     for (;;) {
       const auto plan = pool_.plan_defrag(movable_scratch_);
@@ -680,6 +754,12 @@ class OnlineSimulation {
         // An empty held tile carries no bitstream: remapping it is free.
         pool_.apply_remap(*plan, t);
         remap_owner(*plan);
+        // movable_scratch_ predates this remap: the relocated tile is
+        // still the same idle empty holding (nothing can execute on a
+        // configuration-less tile), so it stays movable for the
+        // replanning below — otherwise it would falsely veto every
+        // window containing it as held-but-unmovable.
+        movable_scratch_[static_cast<std::size_t>(plan->dst)] = 1;
         if (!pool_.head_fragmentation_blocked()) {
           try_admit(t);
           return true;
@@ -687,15 +767,17 @@ class OnlineSimulation {
         continue;
       }
       pool_.begin_migration(*plan, t);
-      migration_ = *plan;
+      migrations_.emplace(plan->src, *plan);
+      peak_migrations_ = std::max(
+          peak_migrations_, static_cast<long>(migrations_.size()));
       const time_us duration = options_.platform.reconfig_latency;
-      DRHW_CHECK_MSG(port_free_[port] <= t, "defrag on a busy port");
-      port_free_[port] = t + duration;
-      port_busy_ += duration;
+      ports_.dispatch(port, t, duration);
       ++report_.sim.loads;
       report_.sim.energy += options_.platform.reconfig_energy;
+      // The completion event carries the source tile so the handler can
+      // retire the right plan when several moves are in flight.
       events_.push({t + duration, k_ev_load_done, k_migration_job,
-                    k_no_subtask});
+                    static_cast<SubtaskId>(plan->src)});
       return true;
     }
   }
@@ -708,10 +790,8 @@ class OnlineSimulation {
 
   void try_port(time_us t) {
     for (;;) {
-      std::size_t port = 0;
-      for (std::size_t p = 1; p < port_free_.size(); ++p)
-        if (port_free_[p] < port_free_[port]) port = p;
-      if (port_free_[port] > t) return;  // its LoadDone will retrigger us
+      const std::size_t port = ports_.earliest();
+      if (!ports_.idle_at(port, t)) return;  // its LoadDone will retrigger us
 
       std::int32_t best_job = -1;
       SubtaskId best_subtask = k_no_subtask;
@@ -762,7 +842,11 @@ class OnlineSimulation {
 
   void on_load_done(std::int32_t j, SubtaskId s, time_us t) {
     if (j == k_migration_job) {  // defragmentation move landed
-      const MigrationPlan plan = migration_;
+      const auto it = migrations_.find(static_cast<PhysTileId>(s));
+      DRHW_CHECK_MSG(it != migrations_.end(),
+                     "migration completion without a matching plan");
+      const MigrationPlan plan = it->second;
+      migrations_.erase(it);
       if (pool_.finish_migration(plan, t)) remap_owner(plan);
       // Executions gated on the migrating tile may go now — whether or not
       // the transfer held (an aborted transfer leaves the owner on the
@@ -817,6 +901,9 @@ class OnlineSimulation {
     ++job.finished_count;
 
     const TileId tile = placement.tile_of[static_cast<std::size_t>(s)];
+    // A shared ISP server just freed: waiting executions requested it
+    // before anything this completion enables, so they get it first.
+    if (options_.shared_isps && tile == k_no_tile) dispatch_isp_waiters(t);
     const auto& seq =
         tile != k_no_tile
             ? placement.tile_sequence[static_cast<std::size_t>(tile)]
@@ -929,14 +1016,35 @@ class OnlineSimulation {
     report_.mean_frag_pct = pool_.mean_fragmentation_pct(horizon_);
     report_.queue_skips = pool_.queue_skips();
     report_.defrag_moves = pool_.defrag_moves();
-    time_us busy_horizon = horizon_;
-    for (const time_us p : port_free_)
-      busy_horizon = std::max(busy_horizon, p);
-    if (busy_horizon > 0)
+    report_.peak_concurrent_migrations = peak_migrations_;
+    const time_us busy_horizon = std::max(horizon_, ports_.latest_free());
+    report_.port_utilisation_per_port_pct.assign(ports_.size(), 0.0);
+    if (busy_horizon > 0) {
+      // Normalised by the port count: a saturated 2-port platform reports
+      // 100%, not 200%. Per-port shares use the same busy horizon (which
+      // extends past the last retire when a trailing prefetch/migration
+      // outlives it) and provably sum back to the total.
       report_.port_utilisation_pct =
-          100.0 * static_cast<double>(port_busy_) /
+          100.0 * static_cast<double>(ports_.total_busy()) /
           (static_cast<double>(busy_horizon) *
-           static_cast<double>(port_free_.size()));
+           static_cast<double>(ports_.size()));
+      time_us busy_sum = 0;
+      for (std::size_t p = 0; p < ports_.size(); ++p) {
+        report_.port_utilisation_per_port_pct[p] =
+            100.0 * static_cast<double>(ports_.busy(p)) /
+            static_cast<double>(busy_horizon);
+        busy_sum += ports_.busy(p);
+      }
+      DRHW_CHECK_MSG(busy_sum == ports_.total_busy(),
+                     "per-port busy accounting does not sum to the total");
+      const int isps = std::max(options_.platform.isps, 1);
+      if (options_.shared_isps)
+        DRHW_CHECK_MSG(isp_busy_ == isps_.total_busy(),
+                       "shared-ISP busy accounting diverged");
+      report_.isp_utilisation_pct =
+          100.0 * static_cast<double>(isp_busy_) /
+          (static_cast<double>(busy_horizon) * static_cast<double>(isps));
+    }
   }
 
   using EventQueue =
@@ -955,13 +1063,26 @@ class OnlineSimulation {
   std::vector<char> started_, finished_, load_started_, config_done_, needs_,
       init_load_;
 
-  // Port state.
-  std::vector<time_us> port_free_;
-  time_us port_busy_ = 0;
+  // Shared-resource state: the reconfiguration ports, and (shared-ISP
+  // mode) the contended ISP servers with their wait queue.
+  PortSet ports_{1};  ///< re-built to the real shape in setup_arenas()
+  PortSet isps_{1};
+  struct IspWaiter {
+    std::int32_t job;
+    SubtaskId subtask;
+    long seq;  ///< request order (the fifo key; kept sorted by append)
+  };
+  std::vector<IspWaiter> isp_waiting_;
+  std::vector<char> isp_queued_;  ///< per-subtask: sitting in isp_waiting_
+  long isp_seq_ = 0;
+  time_us isp_busy_ = 0;  ///< total ISP execution time, shared or not
   std::vector<char> protected_scratch_;  ///< backlog-prefetch scratch
   std::vector<char> movable_scratch_;    ///< defrag-planning scratch
   std::vector<PhysTileId> occupied_scratch_;  ///< admission scratch
-  MigrationPlan migration_;  ///< the (single) in-flight defrag move
+  /// In-flight defrag moves keyed by source tile (completion events carry
+  /// the source). One per port at most.
+  std::unordered_map<PhysTileId, MigrationPlan> migrations_;
+  long peak_migrations_ = 0;
   std::unordered_map<ConfigId, int> inflight_;  ///< loads in flight per config
   std::unordered_map<const PreparedScenario*, std::vector<SubtaskId>>
       candidate_cache_;

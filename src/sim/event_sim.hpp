@@ -24,11 +24,16 @@
 ///    an online defragmentation pass: idle resident configurations of live
 ///    instances are relocated through the port (at real reconfiguration
 ///    latency) to open contiguous room for a fragmentation-blocked head.
-///  * The reconfiguration port is an explicit shared resource serving one
-///    load at a time (per port). Arbitration between live instances is
-///    either fifo (oldest admitted instance first) or priority (highest
-///    ALAP-weight load first). Within one instance the load order follows
-///    the instance's own Approach, exactly as in the single-instance
+///  * The reconfiguration ports are an explicit shared resource (a PortSet,
+///    sim/port_set.hpp) serving one load at a time per port; every ready
+///    load — a live instance's own load, a hybrid initialization load, a
+///    backlog prefetch, a defragmentation migration — dispatches onto the
+///    earliest-free port (lowest index on ties), and on multi-port
+///    platforms each spare port may carry its own defrag migration
+///    concurrently. Arbitration between live instances is either fifo
+///    (oldest admitted instance first) or priority (highest ALAP-weight
+///    load first). Within one instance the load order follows the
+///    instance's own Approach, exactly as in the single-instance
 ///    evaluator: on-demand, priority, or explicit/stored order with
 ///    head-of-line semantics.
 ///  * The hybrid's initialization-phase loads become ordinary port requests
@@ -46,15 +51,19 @@
 /// reduce exactly to the sequential simulator's spans on the same sampler
 /// stream — see tests/test_event_sim.cpp.
 ///
-/// ISPs are per-instance (each instance brings its own ISP context);
-/// modelling ISP contention is an open item, as is preemption (see
-/// ROADMAP.md).
+/// ISPs default to per-instance (each instance brings its own ISP
+/// context, the PR 2/3 model). With OnlineSimOptions::shared_isps the
+/// platform's `isps` processors become a shared contended resource like
+/// the port: a second PortSet with its own fifo/priority discipline and
+/// busy accounting serialises ISP executions across live instances.
+/// Preemption remains an open item (see ROADMAP.md).
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
 #include "pool/tile_pool.hpp"
+#include "sim/port_set.hpp"
 #include "sim/system_sim.hpp"
 
 namespace drhw {
@@ -92,6 +101,7 @@ enum class PortDiscipline {
 };
 
 const char* to_string(PortDiscipline discipline);
+PortDiscipline port_discipline_from_string(const std::string& text);
 
 /// Section 4 of the paper measures the run-time scheduling cost on the
 /// embedded core: the hybrid's run-time phase resolves one task instance in
@@ -124,6 +134,13 @@ struct OnlineSimOptions {
   /// scheduling free so existing golden numbers hold; see
   /// paper_scheduler_cost() for the Section 4 measurements.
   time_us scheduler_cost = 0;
+  /// Model the platform's ISPs as one shared contended pool (PortSet of
+  /// `platform.isps` servers) instead of per-instance contexts. Off by
+  /// default: the per-instance model reproduces PR 3 bit-identically.
+  bool shared_isps = false;
+  /// Arbitration between waiting ISP executions when shared_isps is on:
+  /// fifo (request order) or priority (highest ALAP weight first).
+  PortDiscipline isp_discipline = PortDiscipline::fifo;
   /// Inter-task (backlog) prefetch toggle for the hybrid approach, mirroring
   /// SimOptions::hybrid_intertask; runtime_intertask always prefetches.
   bool hybrid_intertask = true;
@@ -155,7 +172,24 @@ struct OnlineReport {
   double max_response_ms = 0.0;
   double mean_queueing_ms = 0.0;  ///< admission - arrival (tile wait)
   double max_queueing_ms = 0.0;
-  double port_utilisation_pct = 0.0;  ///< port busy time / (ports * horizon)
+  /// Total port busy time normalised by the port count:
+  /// 100 * total_busy / (ports * horizon). Always <= 100; the
+  /// un-normalised busy/horizon ratio of a saturated multi-port platform
+  /// would exceed 100%.
+  double port_utilisation_pct = 0.0;
+  /// Per-port busy time over the same busy horizon as the total (the
+  /// horizon extended to the last port-free instant), index = port id
+  /// (size = reconfig_ports). Sums to port_utilisation_pct * ports by
+  /// construction (asserted).
+  std::vector<double> port_utilisation_per_port_pct;
+  /// Total ISP execution time / (isps * horizon). A true utilisation
+  /// (<= 100) when shared_isps is on; with per-instance ISPs it is the
+  /// *offered* ISP load against the platform's nominal capacity and may
+  /// exceed 100%.
+  double isp_utilisation_pct = 0.0;
+  /// Highest number of defrag migrations ever in flight at once (bounded
+  /// by the port count).
+  long peak_concurrent_migrations = 0;
   /// Streaming response-time percentiles (P² sketch — exact up to five
   /// instances, tight estimates beyond; no span recording needed).
   double response_p50_ms = 0.0;

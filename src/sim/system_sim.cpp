@@ -146,6 +146,7 @@ struct InstanceSchedule {
   EvalResult eval;
   time_us init_duration = 0;
   std::vector<SubtaskId> init_loads;
+  std::vector<time_us> init_load_ends;  ///< aligned with init_loads
   int cancelled = 0;
   time_us span = 0;
 };
@@ -312,6 +313,7 @@ class SystemSimulation {
         sched.eval = std::move(outcome.eval);
         sched.init_duration = outcome.init_duration;
         sched.init_loads = std::move(outcome.init_loads);
+        sched.init_load_ends = std::move(outcome.init_load_ends);
         sched.cancelled = outcome.cancelled_loads;
         break;
       }
@@ -327,15 +329,17 @@ class SystemSimulation {
     const time_us offset = clock_ + sched.init_duration;
     const std::vector<time_us>& values = values_for(inst);
 
-    // Initialization-phase loads occupy the port back to back from the
-    // instance start.
-    time_us init_cursor = clock_;
-    for (const SubtaskId s : sched.init_loads) {
+    // Initialization-phase loads occupy the port(s) from the instance
+    // start; each records at its actual completion (with several ports
+    // the ends interleave, so a back-to-back cursor would timestamp a
+    // load after stored-schedule loads that really completed earlier and
+    // trip the store's per-tile monotonicity check).
+    for (std::size_t i = 0; i < sched.init_loads.size(); ++i) {
+      const SubtaskId s = sched.init_loads[i];
       const auto tile = static_cast<std::size_t>(
           placement.tile_of[static_cast<std::size_t>(s)]);
-      init_cursor += load_duration(graph, s);
       store_.record_load(binding.phys_of_tile[tile], graph.subtask(s).config,
-                         init_cursor,
+                         clock_ + sched.init_load_ends[i],
                          static_cast<double>(values[static_cast<std::size_t>(s)]));
     }
     // Scheduled loads and executions, walked per tile in execution order so

@@ -7,14 +7,36 @@
 
 #include <memory>
 
+#include "graph/generators.hpp"
 #include "runner/campaign.hpp"
 #include "runner/report.hpp"
 #include "runner/scenario.hpp"
 #include "sim/event_sim.hpp"
+#include "sim/port_set.hpp"
 #include "sim/workloads.hpp"
 
 namespace drhw {
 namespace {
+
+TEST(PortSetModel, EarliestFreeBreaksTiesToLowestIndexAndSumsBusy) {
+  // The tie-break both timing engines (evaluator + online kernel) rely on:
+  // equal free times resolve to the lowest port index, deterministically.
+  PortSet ports(3);
+  EXPECT_EQ(ports.earliest(), 0u);
+  EXPECT_EQ(ports.dispatch(0, 0, ms(4)), ms(4));
+  EXPECT_EQ(ports.earliest(), 1u);  // 1 and 2 tie at 0 -> lowest index
+  ports.dispatch(1, 0, ms(2));
+  ports.dispatch(2, 0, ms(2));
+  EXPECT_EQ(ports.earliest(), 1u);  // both free at 2ms again -> lowest
+  ports.dispatch(1, ms(2), ms(10));
+  EXPECT_EQ(ports.earliest(), 2u);
+  EXPECT_EQ(ports.latest_free(), ms(12));
+  EXPECT_EQ(ports.busy(0) + ports.busy(1) + ports.busy(2),
+            ports.total_busy());
+  EXPECT_EQ(ports.total_busy(), ms(18));
+  EXPECT_FALSE(ports.idle_at(0, ms(3)));
+  EXPECT_TRUE(ports.idle_at(0, ms(4)));
+}
 
 struct OnlineFixture : ::testing::Test {
   void SetUp() override {
@@ -207,6 +229,185 @@ TEST_F(OnlineFixture, MultiPortPlatformsLoadInParallel) {
   EXPECT_LT(r2.mean_response_ms, r1.mean_response_ms);
 }
 
+TEST(OnlineKernel, SaturatedMultiPortUtilisationIsNormalisedByPortCount) {
+  // Regression for the ports>1 utilisation accounting: a port-saturated
+  // two-port platform must report <= 100%. The un-normalised ratio
+  // (busy / horizon, i.e. the reported value times the port count) exceeds
+  // 100% here — an implementation that forgets to divide by
+  // reconfig_ports fails the upper bound.
+  PlatformConfig platform = virtex2_platform(8);
+  platform.reconfig_ports = 2;
+  SubtaskGraph graph("load_heavy");
+  graph.add_subtask({"a", us(10), Resource::drhw});
+  graph.add_subtask({"b", us(10), Resource::drhw});
+  graph.finalize();
+  const PreparedScenario prepared =
+      prepare_scenario(graph, platform.tiles, platform);
+  const IterationSampler sampler = [&](Rng&) {
+    return std::vector<const PreparedScenario*>{&prepared};
+  };
+  OnlineSimOptions opt;
+  opt.platform = platform;
+  opt.approach = Approach::no_prefetch;  // every instance loads everything
+  opt.arrivals.rate_per_s = 1000.0;      // demand >> 2 ports' bandwidth
+  opt.iterations = 200;
+  const auto r = run_online_simulation(opt, sampler);
+  EXPECT_LE(r.port_utilisation_pct, 100.0);
+  EXPECT_GT(r.port_utilisation_pct, 75.0) << "scenario must saturate";
+  // The pre-normalisation value (busy / horizon) is what a single-port
+  // divisor would have reported: over 100%.
+  EXPECT_GT(r.port_utilisation_pct * 2, 100.0);
+  // Per-port accounting: one share per port, each <= 100, summing to the
+  // normalised total times the port count (the kernel asserts the exact
+  // integer identity internally).
+  ASSERT_EQ(r.port_utilisation_per_port_pct.size(), 2u);
+  double sum = 0.0;
+  for (const double share : r.port_utilisation_per_port_pct) {
+    EXPECT_GE(share, 0.0);
+    EXPECT_LE(share, 100.0);
+    sum += share;
+  }
+  EXPECT_NEAR(sum / 2, r.port_utilisation_pct, 1e-9);
+}
+
+/// The pinned ports>1 acceptance scenario: the port-bound contiguous +
+/// defrag regime of the online_defrag family. A second port must strictly
+/// reduce mean queueing delay (it overlaps init loads, prefetches and
+/// migrations), spare ports must actually carry concurrent migrations,
+/// and the reported utilisation must stay normalised.
+TEST_F(OnlineFixture, SecondPortStrictlyReducesQueueingOnPortBoundDefrag) {
+  const auto run = [&](int ports) {
+    OnlineSimOptions opt;
+    opt.platform = virtex2_platform(12);
+    opt.platform.reconfig_ports = ports;
+    opt.approach = Approach::hybrid;
+    opt.arrivals.rate_per_s = 120.0;
+    opt.pool.contiguous = true;
+    opt.pool.defrag = true;
+    opt.seed = 2005;
+    opt.iterations = 100;
+    const auto local = make_multimedia_workload(opt.platform);
+    return run_online_simulation(opt, multimedia_sampler(*local));
+  };
+  const auto one = run(1);
+  const auto two = run(2);
+  EXPECT_LT(two.mean_queueing_ms, one.mean_queueing_ms);
+  EXPECT_LE(two.mean_response_ms, one.mean_response_ms);
+  EXPECT_LE(one.port_utilisation_pct, 100.0);
+  EXPECT_LE(two.port_utilisation_pct, 100.0);
+  EXPECT_EQ(one.peak_concurrent_migrations, 1);
+  EXPECT_GE(two.peak_concurrent_migrations, 2)
+      << "a spare port must carry its own defrag migration";
+  EXPECT_EQ(one.port_utilisation_per_port_pct.size(), 1u);
+  EXPECT_EQ(two.port_utilisation_per_port_pct.size(), 2u);
+  // Same instance stream: identical work, less waiting.
+  EXPECT_EQ(one.sim.total_ideal, two.sim.total_ideal);
+  EXPECT_EQ(one.sim.instances, two.sim.instances);
+}
+
+/// Multi-port equivalence story: at arrival rate -> 0 the per-instance
+/// spans on a two-port platform still reduce exactly to the sequential
+/// simulator's (whose evaluator and hybrid init phase dispatch onto the
+/// same earliest-free PortSet). Pre-PR the sequential rig serialised the
+/// hybrid's init loads regardless of the port count, so the hybrid case
+/// diverged the moment reconfig_ports > 1.
+TEST_F(OnlineFixture, RateToZeroMatchesSequentialSimulatorWithTwoPorts) {
+  const struct {
+    Approach online;
+    Approach sequential;
+    bool hybrid_intertask;
+  } cases[] = {
+      {Approach::no_prefetch, Approach::no_prefetch, true},
+      {Approach::design_time_prefetch, Approach::design_time_prefetch, true},
+      {Approach::runtime_heuristic, Approach::runtime_heuristic, true},
+      {Approach::runtime_intertask, Approach::runtime_heuristic, true},
+      {Approach::hybrid, Approach::hybrid, false},
+  };
+  PlatformConfig two_ports = platform;
+  two_ports.reconfig_ports = 2;
+  const auto local = make_multimedia_workload(two_ports);
+  const auto local_sampler = multimedia_sampler(*local);
+  for (const auto& c : cases) {
+    auto opt = options(c.online, 0.0001);
+    opt.platform = two_ports;
+    const auto online = run_online_simulation(opt, local_sampler);
+
+    SimOptions seq;
+    seq.platform = two_ports;
+    seq.approach = c.sequential;
+    seq.hybrid_intertask = c.hybrid_intertask;
+    seq.seed = opt.seed;
+    seq.iterations = opt.iterations;
+    seq.record_spans = true;
+    const auto sequential = run_simulation(seq, local_sampler);
+
+    ASSERT_EQ(online.spans.size(), sequential.spans.size())
+        << to_string(c.online);
+    EXPECT_EQ(online.spans, sequential.spans) << to_string(c.online);
+    EXPECT_EQ(online.sim.total_actual, sequential.total_actual)
+        << to_string(c.online);
+    EXPECT_EQ(online.sim.loads, sequential.loads) << to_string(c.online);
+    EXPECT_EQ(online.sim.init_loads, sequential.init_loads);
+  }
+}
+
+TEST(OnlineKernel, SharedIspContentionSerialisesIspExecutions) {
+  // An ISP-heavy synthetic mix: per-instance ISPs (the default) give every
+  // live instance its own processor; the shared model makes them contend
+  // for platform.isps servers, which can only stretch responses. Both
+  // modes stay deterministic and the ports=1 default-off path is the
+  // golden-pinned PR 3 kernel.
+  PlatformConfig platform = virtex2_platform(16);
+  LayeredGraphParams params;
+  params.subtasks = 14;
+  params.min_layer_width = 2;
+  params.max_layer_width = 6;
+  params.min_exec = ms(1);
+  params.max_exec = ms(6);
+  params.isp_fraction = 0.3;
+  std::vector<SubtaskGraph> graphs;
+  Rng graph_rng(11);
+  for (int task = 0; task < 4; ++task)
+    graphs.push_back(make_layered_graph(params, graph_rng));
+  std::vector<PreparedScenario> prepared;
+  for (const SubtaskGraph& graph : graphs)
+    prepared.push_back(prepare_scenario(graph, platform.tiles, platform));
+  const IterationSampler sampler = [&](Rng& rng) {
+    std::vector<const PreparedScenario*> batch;
+    for (const PreparedScenario& p : prepared)
+      if (rng.next_double() < 0.8) batch.push_back(&p);
+    return batch;
+  };
+
+  OnlineSimOptions opt;
+  opt.platform = platform;
+  opt.approach = Approach::hybrid;
+  opt.arrivals.rate_per_s = 80.0;
+  opt.seed = 7;
+  opt.iterations = 60;
+  const auto per_instance = run_online_simulation(opt, sampler);
+  opt.shared_isps = true;
+  const auto shared = run_online_simulation(opt, sampler);
+  const auto shared_again = run_online_simulation(opt, sampler);
+  opt.isp_discipline = PortDiscipline::priority;
+  const auto shared_priority = run_online_simulation(opt, sampler);
+
+  ASSERT_GT(per_instance.sim.instances, 0);
+  EXPECT_GT(per_instance.isp_utilisation_pct, 0.0);
+  // Contention for one server can only stretch responses; the workload
+  // itself (loads, instances, ideal time) is untouched.
+  EXPECT_GT(shared.mean_response_ms, per_instance.mean_response_ms);
+  EXPECT_EQ(shared.sim.instances, per_instance.sim.instances);
+  EXPECT_EQ(shared.sim.total_ideal, per_instance.sim.total_ideal);
+  // Shared mode reports a true utilisation of the contended server.
+  EXPECT_GT(shared.isp_utilisation_pct, 0.0);
+  EXPECT_LE(shared.isp_utilisation_pct, 100.0);
+  // Deterministic, and the priority discipline runs to completion too.
+  EXPECT_EQ(shared.spans, shared_again.spans);
+  EXPECT_EQ(shared.horizon, shared_again.horizon);
+  EXPECT_EQ(shared_priority.sim.instances, shared.sim.instances);
+}
+
 TEST_F(OnlineFixture, PriorityDisciplineRunsAndStaysDeterministic) {
   auto opt = options(Approach::runtime_heuristic, 60.0);
   opt.port_discipline = PortDiscipline::priority;
@@ -337,9 +538,15 @@ TEST(OnlineScenarios, CampaignResultsIdenticalAcrossThreadCounts) {
   // the pool-layer policies too.
   const auto scenarios = registry.match("online");
   ASSERT_FALSE(scenarios.empty());
-  std::size_t defrag_scenarios = 0;
-  for (const auto& s : scenarios) defrag_scenarios += s.family == "online_defrag";
+  std::size_t defrag_scenarios = 0, multiport_scenarios = 0;
+  for (const auto& s : scenarios) {
+    defrag_scenarios += s.family == "online_defrag";
+    multiport_scenarios += s.family == "online_multiport";
+  }
   EXPECT_EQ(defrag_scenarios, 24u);  // 2 tiles x 2 rates x 3 policies x 2
+  // 3 ports x 2 approaches x 2 policies (defrag sweep) + 3 ports x 2
+  // approaches (shared-ISP sweep).
+  EXPECT_EQ(multiport_scenarios, 18u);
 
   CampaignOptions one;
   one.threads = 1;
@@ -372,18 +579,22 @@ TEST(OnlineScenarios, OnlineMetricsFlowIntoReports) {
   s.family = "online";
   s.mode = ScenarioMode::online;
   s.sim.platform = virtex2_platform(12);
+  s.sim.platform.reconfig_ports = 2;
   s.sim.approach = Approach::hybrid;
   s.sim.iterations = 30;
   s.arrivals.rate_per_s = 50.0;
+  s.shared_isps = true;
+  s.isp_discipline = PortDiscipline::priority;
   const auto result = run_scenario(s, false);
   ASSERT_TRUE(result.ok) << result.error;
   EXPECT_GT(result.mean_response_ms, 0.0);
   EXPECT_GT(result.horizon_ms, 0.0);
 
   const auto metrics = deterministic_metrics(result);
-  for (const char* key : {"response_ms", "response_max_ms", "queueing_ms",
-                          "queueing_max_ms", "port_util_pct", "horizon_ms",
-                          "overhead_pct", "makespan_ms"})
+  for (const char* key :
+       {"response_ms", "response_max_ms", "queueing_ms", "queueing_max_ms",
+        "port_util_pct", "isp_util_pct", "peak_concurrent_migrations",
+        "horizon_ms", "overhead_pct", "makespan_ms"})
     EXPECT_TRUE(metrics.count(key)) << key;
 
   StatsAggregator aggregator;
@@ -397,9 +608,26 @@ TEST(OnlineScenarios, OnlineMetricsFlowIntoReports) {
   EXPECT_EQ(parsed.scenarios[0].port_discipline, "fifo");
   EXPECT_EQ(parsed.scenarios[0].metrics.at("response_ms"),
             result.mean_response_ms);
+  // Multi-port / shared-ISP descriptor fields and the per-port vector
+  // round-trip through JSON...
+  EXPECT_EQ(parsed.scenarios[0].ports, 2);
+  EXPECT_EQ(parsed.scenarios[0].isps, 1);
+  EXPECT_TRUE(parsed.scenarios[0].shared_isps);
+  EXPECT_EQ(parsed.scenarios[0].isp_discipline, "priority");
+  ASSERT_EQ(parsed.scenarios[0].port_util_per_port.size(), 2u);
+  EXPECT_EQ(parsed.scenarios[0].port_util_per_port,
+            result.port_utilisation_per_port_pct);
+  EXPECT_EQ(parsed.scenarios[0].metrics.at("isp_util_pct"),
+            result.isp_utilisation_pct);
+  // ... and through CSV (the vector travels as one ';'-joined cell).
   const auto rows = campaign_from_csv(campaign_to_csv({result}));
   ASSERT_EQ(rows.size(), 1u);
   EXPECT_EQ(rows[0].metrics.at("response_ms"), result.mean_response_ms);
+  EXPECT_EQ(rows[0].ports, 2);
+  EXPECT_TRUE(rows[0].shared_isps);
+  EXPECT_EQ(rows[0].isp_discipline, "priority");
+  EXPECT_EQ(rows[0].port_util_per_port,
+            result.port_utilisation_per_port_pct);
 }
 
 TEST(OnlineScenarios, SweepExpandsArrivalRateAxis) {

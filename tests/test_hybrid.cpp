@@ -55,6 +55,41 @@ TEST(HybridRuntime, NothingResidentPaysExactlyInitPhase) {
             p.design.ideal_makespan + out.init_duration);
 }
 
+TEST(HybridRuntime, InitPhaseOverlapsLoadsAcrossReconfigurationPorts) {
+  // The initialization loads dispatch onto the earliest-free port in the
+  // pre-decided order: with one port the phase is the serial sum, with P
+  // ports it is ceil(n / P) * latency (uniform bitstreams), and the
+  // per-load completion times interleave accordingly. A chain whose
+  // executions are much shorter than the 4 ms load makes every subtask
+  // critical, so the init phase has several loads to overlap.
+  Rng rng(3);
+  const SubtaskGraph graph = make_chain_graph(4, ms(1), ms(2), rng);
+  Prepared p{graph, {}, {}, virtex2_platform(8)};
+  p.placement = list_schedule(p.graph, 8);
+  p.design = compute_hybrid_schedule(p.graph, p.placement, p.platform);
+  const std::vector<bool> resident(p.graph.size(), false);
+  const auto serial =
+      hybrid_runtime(p.graph, p.placement, p.platform, p.design, resident);
+  const auto n = static_cast<time_us>(serial.init_loads.size());
+  ASSERT_GE(n, 2);
+  EXPECT_EQ(serial.init_duration, n * ms(4));
+  ASSERT_EQ(serial.init_load_ends.size(), static_cast<std::size_t>(n));
+  EXPECT_EQ(serial.init_load_ends.front(), ms(4));
+  EXPECT_EQ(serial.init_load_ends.back(), n * ms(4));
+
+  PlatformConfig two_ports = p.platform;
+  two_ports.reconfig_ports = 2;
+  const auto parallel =
+      hybrid_runtime(p.graph, p.placement, two_ports, p.design, resident);
+  EXPECT_EQ(parallel.init_loads, serial.init_loads);
+  EXPECT_EQ(parallel.init_duration, (n + 1) / 2 * ms(4));
+  // First two loads start together on the two ports.
+  ASSERT_GE(parallel.init_load_ends.size(), 2u);
+  EXPECT_EQ(parallel.init_load_ends[0], ms(4));
+  EXPECT_EQ(parallel.init_load_ends[1], ms(4));
+  EXPECT_LT(parallel.total_makespan, serial.total_makespan);
+}
+
 TEST(HybridRuntime, ResidentNonCriticalLoadIsCancelled) {
   const auto p = prepare_jpeg();
   std::vector<bool> resident(p.graph.size(), false);

@@ -291,6 +291,86 @@ TEST(TilePool, MigrationSourceIsNotFreeEvenAfterOwnerRetires) {
   EXPECT_EQ(pool.select(ms(6)), 2);
 }
 
+TEST(TilePool, TwoMigrationsRunConcurrentlyWithIndependentCommits) {
+  // Multi-port defragmentation: planning continues while a migration is in
+  // flight, so a spare port can carry a second relocation out of the same
+  // sticky window. Each move commits (or aborts) on its own.
+  TilePoolManager pool(12, contiguous_options(AdmissionPolicy::fifo_hol,
+                                              /*defrag=*/true));
+  force_occupy(pool, 1, {2, 5, 8, 11}, 0);
+  pool.store().record_load(2, 10, ms(1), 1.0);
+  pool.store().record_load(5, 11, ms(1), 1.0);
+  pool.store().record_load(8, 12, ms(1), 1.0);
+  pool.store().record_load(11, 13, ms(1), 1.0);
+  // Free tiles come in runs of two, so the 6-wide head is blocked purely
+  // by fragmentation, every 6-wide window holds two movable blockers
+  // (clearing one takes two relocations), and enough slack remains for
+  // both moves to be in flight without starving the head's tile budget.
+  pool.enqueue(2, 6, 2);
+  ASSERT_TRUE(pool.head_fragmentation_blocked());
+  const std::vector<char> movable(12, 1);
+
+  const auto first = pool.plan_defrag(movable);
+  ASSERT_TRUE(first.has_value());
+  pool.begin_migration(*first, ms(2));
+  // The second plan must pick a different source (the first is already
+  // being cleared) and a different destination (the first's is reserved).
+  const auto second = pool.plan_defrag(movable);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_NE(second->src, first->src);
+  EXPECT_NE(second->dst, first->dst);
+  pool.begin_migration(*second, ms(3));
+
+  EXPECT_EQ(pool.migrations_in_flight(), 2);
+  EXPECT_TRUE(pool.migrating(first->src));
+  EXPECT_TRUE(pool.migrating(second->src));
+  // Both sources and both destinations are excluded from every free view.
+  EXPECT_EQ(pool.free_count(), 6);
+  // With both window blockers in flight the sticky window is held — no
+  // third plan until a move lands.
+  EXPECT_FALSE(pool.plan_defrag(movable).has_value());
+
+  // Moves land out of order; each transfers independently.
+  EXPECT_TRUE(pool.finish_migration(*second, ms(6)));
+  EXPECT_EQ(pool.migrations_in_flight(), 1);
+  EXPECT_TRUE(pool.migrating(first->src));
+  EXPECT_FALSE(pool.migrating(second->src));
+  EXPECT_TRUE(pool.finish_migration(*first, ms(7)));
+  EXPECT_EQ(pool.migrations_in_flight(), 0);
+  EXPECT_EQ(pool.defrag_moves(), 2);
+  // The window is clear: the head admits.
+  EXPECT_GE(pool.largest_free_block(), 6);
+  EXPECT_EQ(pool.select(ms(7)), 2);
+}
+
+TEST(TilePool, ConcurrentMigrationsAbortIndependently) {
+  TilePoolManager pool(12, contiguous_options(AdmissionPolicy::fifo_hol,
+                                              /*defrag=*/true));
+  force_occupy(pool, 1, {2, 5, 8, 11}, 0);
+  pool.store().record_load(2, 10, ms(1), 1.0);
+  pool.store().record_load(5, 11, ms(1), 1.0);
+  pool.store().record_load(8, 12, ms(1), 1.0);
+  pool.store().record_load(11, 13, ms(1), 1.0);
+  pool.enqueue(2, 6, 2);
+  const std::vector<char> movable(12, 1);
+  const auto first = pool.plan_defrag(movable);
+  ASSERT_TRUE(first.has_value());
+  pool.begin_migration(*first, ms(2));
+  const auto second = pool.plan_defrag(movable);
+  ASSERT_TRUE(second.has_value());
+  pool.begin_migration(*second, ms(3));
+
+  // A competing load overwrites the *first* source mid-flight: that move
+  // aborts (cached copy at the destination), the other still transfers.
+  pool.store().record_load(first->src, 99, ms(4), 2.0);
+  EXPECT_FALSE(pool.finish_migration(*first, ms(6)));
+  EXPECT_TRUE(pool.held(first->src));
+  EXPECT_FALSE(pool.held(first->dst));
+  EXPECT_TRUE(pool.finish_migration(*second, ms(7)));
+  EXPECT_TRUE(pool.held(second->dst));
+  EXPECT_FALSE(pool.held(second->src));
+}
+
 TEST(TilePool, FragmentationMetricIsTimeWeighted) {
   TilePoolManager pool(4, PoolOptions{});
   // [0, 10ms): everything free -> fragmentation 0.

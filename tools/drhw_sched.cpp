@@ -35,6 +35,10 @@
 //   --burst N          instances per burst (bursty; default 4)
 //   --think-us T       closed-loop think time in us (default 1000)
 //   --discipline D     fifo | priority port arbitration (default fifo)
+//   --isp N            model the ISPs as a shared contended pool of N
+//                      servers (default: per-instance ISPs)
+//   --isp-discipline D fifo | priority arbitration between waiting ISP
+//                      executions (with --isp; default fifo)
 //   --replacement R    lru | weight | critical-first | random | oracle
 //   --lookahead N      backlog-prefetch depth in queued instances (default 1)
 //   --admission P      fifo_hol | backfill_bypass | window_reorder
@@ -88,6 +92,7 @@ int usage() {
                "       drhw_sched online [--workload W] [--tiles N]"
                " [--latency-us L] [--ports N] [--arrivals K] [--rate R]"
                " [--burst N] [--think-us T] [--discipline D]"
+               " [--isp N] [--isp-discipline D]"
                " [--replacement R] [--lookahead N] [--admission P]"
                " [--contiguous] [--defrag] [--window N] [--max-bypass N]"
                " [--sched-cost-us C]"
@@ -314,6 +319,10 @@ struct OnlineCliOptions {
   int tiles = 16;
   time_us latency = ms(4);
   int ports = 1;
+  /// 0 = per-instance ISPs (the default model); > 0 = shared contended
+  /// pool of that many ISP servers.
+  int shared_isps = 0;
+  PortDiscipline isp_discipline = PortDiscipline::fifo;
   ArrivalProcess arrivals;
   PortDiscipline discipline = PortDiscipline::fifo;
   ReplacementPolicy replacement = ReplacementPolicy::lru;
@@ -349,6 +358,7 @@ int cmd_online(const OnlineCliOptions& cli) {
   PlatformConfig platform = virtex2_platform(cli.tiles);
   platform.reconfig_latency = cli.latency;
   platform.reconfig_ports = cli.ports;
+  if (cli.shared_isps > 0) platform.isps = cli.shared_isps;
   platform.validate();
   cli.arrivals.validate();
   cli.pool.validate();
@@ -373,7 +383,11 @@ int cmd_online(const OnlineCliOptions& cli) {
   if (cli.arrivals.kind != ArrivalProcess::Kind::closed_loop)
     std::cout << " @ " << fmt(cli.arrivals.rate_per_s, 1) << "/s";
   std::cout << ", " << to_string(cli.discipline) << " port, "
-            << to_string(cli.pool.admission) << " admission"
+            << to_string(cli.pool.admission) << " admission";
+  if (cli.shared_isps > 0)
+    std::cout << ", " << cli.shared_isps << " shared ISP(s) ("
+              << to_string(cli.isp_discipline) << ")";
+  std::cout
             << (cli.pool.contiguous ? " (contiguous)" : "")
             << (cli.pool.defrag ? " + defrag" : "") << ", " << cli.iterations
             << " iterations, seed " << cli.seed << "\n\n";
@@ -387,7 +401,8 @@ int cmd_online(const OnlineCliOptions& cli) {
 
   TablePrinter table({"approach", "instances", "overhead", "reuse",
                       "response mean", "response p95", "queueing mean",
-                      "port util", "frag", "skips", "moves", "prefetches"});
+                      "port util", "isp util", "frag", "skips", "moves",
+                      "peak migs", "prefetches"});
   for (Approach approach : approaches) {
     OnlineSimOptions options;
     options.platform = platform;
@@ -400,6 +415,8 @@ int cmd_online(const OnlineCliOptions& cli) {
     options.scheduler_cost = cli.scheduler_cost == k_no_time
                                  ? paper_scheduler_cost(approach)
                                  : cli.scheduler_cost;
+    options.shared_isps = cli.shared_isps > 0;
+    options.isp_discipline = cli.isp_discipline;
     options.record_spans = false;
     options.seed = cli.seed;
     options.iterations = cli.iterations;
@@ -411,9 +428,11 @@ int cmd_online(const OnlineCliOptions& cli) {
                    fmt(report.response_p95_ms, 1) + " ms",
                    fmt(report.mean_queueing_ms, 1) + " ms",
                    fmt_pct(report.port_utilisation_pct),
+                   fmt_pct(report.isp_utilisation_pct),
                    fmt_pct(report.mean_frag_pct),
                    std::to_string(report.queue_skips),
                    std::to_string(report.defrag_moves),
+                   std::to_string(report.peak_concurrent_migrations),
                    std::to_string(report.sim.intertask_prefetches)});
   }
   table.print(std::cout);
@@ -484,16 +503,15 @@ int main(int argc, char** argv) {
           cli.arrivals.burst_size = std::stoi(args[++i]);
         else if (arg == "--think-us" && has_value)
           cli.arrivals.think_time = std::stoll(args[++i]);
-        else if (arg == "--discipline" && has_value) {
-          const std::string& value = args[++i];
-          if (value == "priority")
-            cli.discipline = PortDiscipline::priority;
-          else if (value == "fifo")
-            cli.discipline = PortDiscipline::fifo;
-          else
-            throw std::invalid_argument("unknown port discipline '" + value +
-                                        "' (use fifo or priority)");
+        else if (arg == "--discipline" && has_value)
+          cli.discipline = port_discipline_from_string(args[++i]);
+        else if (arg == "--isp" && has_value) {
+          cli.shared_isps = std::stoi(args[++i]);
+          if (cli.shared_isps < 1)
+            throw std::invalid_argument("--isp needs a positive ISP count");
         }
+        else if (arg == "--isp-discipline" && has_value)
+          cli.isp_discipline = port_discipline_from_string(args[++i]);
         else if (arg == "--replacement" && has_value)
           cli.replacement = replacement_from_string(args[++i]);
         else if (arg == "--lookahead" && has_value)
