@@ -5,6 +5,7 @@
 
 #include <iostream>
 
+#include "policy/names.hpp"
 #include "sim/workloads.hpp"
 #include "util/table.hpp"
 
@@ -48,12 +49,12 @@ void run_block(const char* title, bool pocket_gl, int tiles,
   for (const auto& cfg : configs) {
     SimOptions opt;
     opt.platform = platform;
-    opt.approach = Approach::hybrid;
+    opt.policy = PolicySpec(policy_names::hybrid)
+                     .with("intertask", cfg.intertask ? "1" : "0")
+                     .with("beyond_critical", cfg.beyond_critical ? "1" : "0");
     opt.replacement = policy;
-    opt.hybrid_intertask = cfg.intertask;
     opt.cross_iteration_lookahead = cfg.cross_iteration;
     opt.intertask_lookahead = cfg.depth;
-    opt.intertask_beyond_critical = cfg.beyond_critical;
     opt.seed = 31;
     opt.iterations = 400;
     const auto report = run_simulation(opt, sampler);

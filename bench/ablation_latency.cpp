@@ -6,6 +6,7 @@
 
 #include <iostream>
 
+#include "policy/names.hpp"
 #include "prefetch/critical_subtasks.hpp"
 #include "schedule/list_scheduler.hpp"
 #include "sim/workloads.hpp"
@@ -25,13 +26,13 @@ int main() {
     const auto sampler = multimedia_sampler(*workload);
 
     double overhead[4] = {0, 0, 0, 0};
-    const Approach approaches[4] = {
-        Approach::no_prefetch, Approach::design_time_prefetch,
-        Approach::runtime_heuristic, Approach::hybrid};
+    const char* const policies[4] = {
+        policy_names::no_prefetch, policy_names::design_time,
+        policy_names::runtime, policy_names::hybrid};
     for (int a = 0; a < 4; ++a) {
       SimOptions opt;
       opt.platform = platform;
-      opt.approach = approaches[a];
+      opt.policy = policies[a];
       opt.seed = 7;
       opt.iterations = 400;
       overhead[a] = run_simulation(opt, sampler).overhead_pct;

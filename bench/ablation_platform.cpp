@@ -10,6 +10,7 @@
 #include <iostream>
 #include <map>
 
+#include "policy/names.hpp"
 #include "runner/campaign.hpp"
 #include "runner/scenario.hpp"
 #include "util/table.hpp"
@@ -60,7 +61,7 @@ int main() {
       s.sim.platform.icn.mesh_width = 3;
       s.sim.platform.icn.hop_latency = hop;
       s.sim.platform.icn.isp_bridge_latency = hop;
-      s.sim.approach = Approach::design_time_prefetch;
+      s.sim.policy = policy_names::design_time;
       s.design.comm_aware_placement = packed;
       icn_registry.add(std::move(s));
     }
@@ -102,10 +103,10 @@ int main() {
   sweep.family = "ablation_ports";
   sweep.base = multimedia_exhaustive("ablation_ports/base", "ablation_ports");
   sweep.ports = {1, 2, 3, 4};
-  sweep.approaches = {Approach::no_prefetch, Approach::design_time_prefetch};
+  sweep.policies = {policy_names::no_prefetch, policy_names::design_time};
   const auto port_results = CampaignRunner().run(build_sweep(sweep));
 
-  std::map<int, std::map<Approach, double>> port_rows;
+  std::map<int, std::map<std::string, double>> port_rows;
   for (const ScenarioResult& result : port_results) {
     if (!result.ok) {
       std::cerr << result.scenario.name << " failed: " << result.error
@@ -113,15 +114,15 @@ int main() {
       return 1;
     }
     port_rows[result.scenario.sim.platform.reconfig_ports]
-             [result.scenario.sim.approach] = result.report.overhead_pct;
+             [result.scenario.sim.policy.name] = result.report.overhead_pct;
   }
 
   TablePrinter port_table({"ports", "on-demand", "optimal prefetch"});
   for (const auto& [ports, by_approach] : port_rows)
     port_table.add_row(
         {std::to_string(ports),
-         "+" + fmt_pct(by_approach.at(Approach::no_prefetch), 1),
-         "+" + fmt_pct(by_approach.at(Approach::design_time_prefetch), 1)});
+         "+" + fmt_pct(by_approach.at(policy_names::no_prefetch), 1),
+         "+" + fmt_pct(by_approach.at(policy_names::design_time), 1)});
   port_table.print(std::cout);
   std::cout << "\nExtra ports barely help the prefetched schedules: on these "
                "graphs a single\nserialised port is already hidden behind "

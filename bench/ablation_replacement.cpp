@@ -5,6 +5,7 @@
 
 #include <iostream>
 
+#include "policy/names.hpp"
 #include "sim/workloads.hpp"
 #include "util/table.hpp"
 
@@ -37,13 +38,13 @@ void run_block(const char* title, bool pocket_gl, int tiles) {
     double overhead[3] = {0, 0, 0};
     double reuse = 0;
     long loads = 0;
-    const Approach approaches[3] = {Approach::runtime_heuristic,
-                                    Approach::runtime_intertask,
-                                    Approach::hybrid};
+    const char* const approaches[3] = {policy_names::runtime,
+                                       policy_names::runtime_intertask,
+                                       policy_names::hybrid};
     for (int a = 0; a < 3; ++a) {
       SimOptions opt;
       opt.platform = platform;
-      opt.approach = approaches[a];
+      opt.policy = approaches[a];
       opt.replacement = policy;
       opt.seed = 99;
       opt.iterations = 400;
@@ -51,7 +52,7 @@ void run_block(const char* title, bool pocket_gl, int tiles) {
       opt.intertask_lookahead = pocket_gl ? 3 : 1;
       const auto report = run_simulation(opt, sampler);
       overhead[a] = report.overhead_pct;
-      if (approaches[a] == Approach::hybrid) {
+      if (approaches[a] == std::string(policy_names::hybrid)) {
         reuse = report.reuse_pct;
         loads = report.loads;
       }

@@ -5,6 +5,7 @@
 
 #include <iostream>
 
+#include "policy/names.hpp"
 #include "sim/workloads.hpp"
 #include "util/table.hpp"
 
@@ -28,14 +29,10 @@ void run_block(const char* title, bool pocket_gl, int tiles) {
 
   TablePrinter table({"approach", "loads", "cancelled", "reuse%",
                       "reconfig energy", "energy saved vs all-loads"});
-  const Approach approaches[] = {
-      Approach::no_prefetch, Approach::design_time_prefetch,
-      Approach::runtime_heuristic, Approach::runtime_intertask,
-      Approach::hybrid};
-  for (const auto approach : approaches) {
+  for (const std::string& approach : paper_policy_names()) {
     SimOptions opt;
     opt.platform = platform;
-    opt.approach = approach;
+    opt.policy = approach;
     opt.replacement = pocket_gl ? ReplacementPolicy::critical_first
                                 : ReplacementPolicy::lru;
     opt.cross_iteration_lookahead = pocket_gl;
@@ -44,7 +41,7 @@ void run_block(const char* title, bool pocket_gl, int tiles) {
     opt.iterations = 400;
     const auto report = run_simulation(opt, sampler);
     table.add_row(
-        {to_string(approach), std::to_string(report.loads),
+        {approach, std::to_string(report.loads),
          std::to_string(report.cancelled_loads), fmt_pct(report.reuse_pct),
          fmt(platform.reconfig_energy * static_cast<double>(report.loads), 0),
          fmt(report.energy_saved, 0)});

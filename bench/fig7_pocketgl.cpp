@@ -18,6 +18,7 @@
 #include <iostream>
 #include <map>
 
+#include "policy/names.hpp"
 #include "runner/campaign.hpp"
 #include "runner/scenario.hpp"
 #include "util/table.hpp"
@@ -35,7 +36,7 @@ int main() {
   WorkloadCache cache;
   const auto results = CampaignRunner().run(scenarios, cache);
 
-  std::map<int, std::map<Approach, SimReport>> rows;
+  std::map<int, std::map<std::string, SimReport>> rows;
   for (const ScenarioResult& result : results) {
     if (!result.ok) {
       std::cerr << result.scenario.name << " failed: " << result.error
@@ -43,7 +44,7 @@ int main() {
       return 1;
     }
     rows[result.scenario.sim.platform.tiles]
-        [result.scenario.sim.approach] = result.report;
+        [result.scenario.sim.policy.name] = result.report;
   }
 
   TablePrinter table({"tiles", "no-prefetch", "design-time", "run-time",
@@ -51,12 +52,13 @@ int main() {
   for (const auto& [tiles, by_approach] : rows) {
     table.add_row(
         {std::to_string(tiles),
-         fmt_pct(by_approach.at(Approach::no_prefetch).overhead_pct),
-         fmt_pct(by_approach.at(Approach::design_time_prefetch).overhead_pct),
-         fmt_pct(by_approach.at(Approach::runtime_heuristic).overhead_pct, 2),
-         fmt_pct(by_approach.at(Approach::runtime_intertask).overhead_pct, 2),
-         fmt_pct(by_approach.at(Approach::hybrid).overhead_pct, 2),
-         fmt_pct(by_approach.at(Approach::hybrid).reuse_pct)});
+         fmt_pct(by_approach.at(policy_names::no_prefetch).overhead_pct),
+         fmt_pct(by_approach.at(policy_names::design_time).overhead_pct),
+         fmt_pct(by_approach.at(policy_names::runtime).overhead_pct, 2),
+         fmt_pct(
+             by_approach.at(policy_names::runtime_intertask).overhead_pct, 2),
+         fmt_pct(by_approach.at(policy_names::hybrid).overhead_pct, 2),
+         fmt_pct(by_approach.at(policy_names::hybrid).reuse_pct)});
   }
   table.print(std::cout);
 

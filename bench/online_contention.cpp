@@ -12,6 +12,7 @@
 
 #include <iostream>
 
+#include "policy/registry.hpp"
 #include "sim/event_sim.hpp"
 #include "sim/workloads.hpp"
 #include "util/table.hpp"
@@ -32,17 +33,19 @@ int main() {
 
   for (const double rate : {5.0, 20.0, 60.0, 150.0}) {
     std::cout << "arrival rate " << fmt(rate, 0) << " instances/s\n";
-    TablePrinter table({"approach", "overhead", "reuse", "response mean",
+    TablePrinter table({"policy", "overhead", "reuse", "response mean",
                         "queueing mean", "port util", "prefetches"});
-    for (const Approach approach : k_all_approaches) {
+    // Registry enumeration: every registered policy gets a row, so new
+    // policies show up in this bench without edits.
+    for (const std::string& policy : PolicyRegistry::instance().names()) {
       OnlineSimOptions options;
       options.platform = platform;
-      options.approach = approach;
+      options.policy = policy;
       options.arrivals.rate_per_s = rate;
       options.seed = k_seed;
       options.iterations = k_iterations;
       const OnlineReport r = run_online_simulation(options, sampler);
-      table.add_row({to_string(approach), fmt_pct(r.sim.overhead_pct, 2),
+      table.add_row({policy, fmt_pct(r.sim.overhead_pct, 2),
                      fmt_pct(r.sim.reuse_pct),
                      fmt(r.mean_response_ms, 1) + " ms",
                      fmt(r.mean_queueing_ms, 1) + " ms",

@@ -12,6 +12,7 @@
 
 #include <iostream>
 
+#include "policy/names.hpp"
 #include "sim/event_sim.hpp"
 #include "sim/workloads.hpp"
 #include "util/table.hpp"
@@ -42,7 +43,7 @@ int main() {
       for (const bool defrag : {false, true}) {
         OnlineSimOptions options;
         options.platform = platform;
-        options.approach = Approach::hybrid;
+        options.policy = policy_names::hybrid;
         options.arrivals.rate_per_s = rate;
         options.pool.contiguous = true;
         options.pool.admission = policy;

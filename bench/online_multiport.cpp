@@ -15,6 +15,7 @@
 #include <iostream>
 #include <memory>
 
+#include "policy/names.hpp"
 #include "graph/generators.hpp"
 #include "sim/event_sim.hpp"
 #include "sim/workloads.hpp"
@@ -61,7 +62,7 @@ int main() {
     for (const AdmissionPolicy policy : policies) {
       OnlineSimOptions options;
       options.platform = platform;
-      options.approach = Approach::hybrid;
+      options.policy = policy_names::hybrid;
       options.arrivals.rate_per_s = k_rate;
       options.pool.contiguous = true;
       options.pool.admission = policy;
@@ -113,7 +114,7 @@ int main() {
     for (const bool shared : {false, true}) {
       OnlineSimOptions options;
       options.platform = platform;
-      options.approach = Approach::hybrid;
+      options.policy = policy_names::hybrid;
       options.arrivals.rate_per_s = k_rate;
       options.shared_isps = shared;
       options.record_spans = false;

@@ -6,6 +6,7 @@
 
 #include <iostream>
 
+#include "policy/names.hpp"
 #include "sim/workloads.hpp"
 #include "util/table.hpp"
 
@@ -20,21 +21,19 @@ int main() {
                       "inter-task prefetches", "reuse%"});
 
   double baseline = 0.0;
-  for (const Approach approach :
-       {Approach::no_prefetch, Approach::design_time_prefetch,
-        Approach::runtime_heuristic, Approach::runtime_intertask,
-        Approach::hybrid}) {
+  for (const std::string& approach : paper_policy_names()) {
     SimOptions opt;
     opt.platform = platform;
-    opt.approach = approach;
+    opt.policy = approach;
     opt.replacement = ReplacementPolicy::lru;
     opt.seed = 1234;
     opt.iterations = 1000;
     const auto report = run_simulation(opt, sampler);
-    if (approach == Approach::no_prefetch) baseline = report.overhead_pct;
+    if (approach == policy_names::no_prefetch)
+      baseline = report.overhead_pct;
     const double hidden =
         baseline > 0 ? 100.0 * (1.0 - report.overhead_pct / baseline) : 0.0;
-    table.add_row({to_string(approach), fmt_pct(report.overhead_pct, 2),
+    table.add_row({approach, fmt_pct(report.overhead_pct, 2),
                    fmt_pct(hidden, 0), std::to_string(report.loads),
                    std::to_string(report.cancelled_loads),
                    std::to_string(report.intertask_prefetches),

@@ -8,6 +8,7 @@
 #include <iostream>
 #include <string>
 
+#include "policy/names.hpp"
 #include "apps/multimedia.hpp"
 #include "sim/system_sim.hpp"
 #include "util/table.hpp"
@@ -49,18 +50,18 @@ int main() {
 
   std::cout << "\nEncoding 600 frames of the GOP pattern IBBPBBPBBPBB:\n";
   TablePrinter results({"approach", "overhead", "loads", "reuse%"});
-  for (const Approach approach :
-       {Approach::no_prefetch, Approach::design_time_prefetch,
-        Approach::runtime_heuristic, Approach::hybrid}) {
+  for (const char* approach :
+       {policy_names::no_prefetch, policy_names::design_time,
+        policy_names::runtime, policy_names::hybrid}) {
     cursor = 0;
     SimOptions opt;
     opt.platform = platform;
-    opt.approach = approach;
+    opt.policy = approach;
     opt.cross_iteration_lookahead = true;  // the GOP stream is known
     opt.seed = 5;
     opt.iterations = 600;
     const auto report = run_simulation(opt, gop_sampler);
-    results.add_row({to_string(approach), fmt_pct(report.overhead_pct, 1),
+    results.add_row({approach, fmt_pct(report.overhead_pct, 1),
                      std::to_string(report.loads),
                      fmt_pct(report.reuse_pct, 0)});
   }

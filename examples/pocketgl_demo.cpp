@@ -6,6 +6,7 @@
 
 #include <iostream>
 
+#include "policy/names.hpp"
 #include "sim/workloads.hpp"
 #include "util/table.hpp"
 
@@ -39,24 +40,21 @@ int main() {
                "frame):\n";
   TablePrinter results(
       {"approach", "overhead", "frame time", "loads/frame", "reuse%"});
-  for (const Approach approach :
-       {Approach::no_prefetch, Approach::design_time_prefetch,
-        Approach::runtime_heuristic, Approach::runtime_intertask,
-        Approach::hybrid}) {
+  for (const std::string& approach : paper_policy_names()) {
     SimOptions opt;
     opt.platform = platform;
-    opt.approach = approach;
+    opt.policy = approach;
     opt.replacement = ReplacementPolicy::critical_first;
     opt.cross_iteration_lookahead = true;
     opt.intertask_lookahead = 3;
     opt.seed = 11;
     opt.iterations = 500;
-    const bool merged = approach == Approach::design_time_prefetch;
+    const bool merged = approach == policy_names::design_time;
     const auto report =
         run_simulation(opt, merged ? frame_sampler : task_sampler);
     const double frames = 500.0;
     results.add_row(
-        {to_string(approach), fmt_pct(report.overhead_pct, 1),
+        {approach, fmt_pct(report.overhead_pct, 1),
          fmt(static_cast<double>(report.total_actual) / frames / 1000.0, 1) +
              " ms",
          fmt(static_cast<double>(report.loads) / frames, 1),

@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file names.hpp
+/// The one authoritative home of policy-name spellings. Every layer that
+/// needs a paper approach by name (the built-in scenario registry, benches,
+/// tests, CLI defaults) pulls the constant from here instead of repeating
+/// the string — the previous Approach-enum era kept parse/format helpers in
+/// the runner, the CLI and the benches, which drifted independently.
+///
+/// For "every registered policy" enumeration use
+/// PolicyRegistry::instance().names() (policy/registry.hpp) — that list
+/// grows automatically as policies are added; the constants below are only
+/// for call sites that mean one *specific* paper approach.
+
+#include <string>
+#include <vector>
+
+namespace drhw {
+
+namespace policy_names {
+
+/// The five approaches of the paper's Section 7, canonical spellings (these
+/// appear verbatim in scenario names, reports and the golden tests).
+inline constexpr const char* no_prefetch = "no-prefetch";
+inline constexpr const char* design_time = "design-time";
+inline constexpr const char* runtime = "run-time";
+inline constexpr const char* runtime_intertask = "run-time+inter-task";
+inline constexpr const char* hybrid = "hybrid";
+
+/// The pressure-adaptive extension policy (policy/adaptive_hybrid.cpp).
+inline constexpr const char* adaptive_hybrid = "adaptive_hybrid";
+
+}  // namespace policy_names
+
+/// The five paper approaches in the paper's presentation order — the
+/// replacement for the old fixed-size k_all_approaches[5] array wherever a
+/// table or figure reproduces the paper's exact five columns.
+const std::vector<std::string>& paper_policy_names();
+
+}  // namespace drhw

@@ -1,0 +1,182 @@
+// The five scheduling approaches of the paper's Section 7, ported onto the
+// PrefetchPolicy interface bit-identically to their former enum-dispatched
+// implementations (pinned by tests/test_golden_campaign.cpp and the
+// registry-driven rate->0 equivalence in tests/test_event_sim.cpp).
+
+#include <algorithm>
+
+#include "policy/names.hpp"
+#include "policy/registry.hpp"
+#include "prefetch/hybrid.hpp"
+#include "sim/system_sim.hpp"
+
+namespace drhw {
+
+const std::vector<std::string>& paper_policy_names() {
+  static const std::vector<std::string> names = {
+      policy_names::no_prefetch, policy_names::design_time,
+      policy_names::runtime, policy_names::runtime_intertask,
+      policy_names::hybrid};
+  return names;
+}
+
+namespace {
+
+/// "No prefetch module, no reuse: every load is issued on demand."
+class NoPrefetchPolicy : public PrefetchPolicy {
+ public:
+  bool uses_reuse() const override { return false; }
+  bool uses_intertask() const override { return false; }
+  InstancePlan plan(const PreparedScenario& prep, const std::vector<bool>&,
+                    const PolicyContext&) override {
+    InstancePlan out;
+    out.load_policy = LoadPolicy::on_demand;
+    for (std::size_t s = 0; s < prep.graph->size(); ++s)
+      if (prep.placement.on_drhw(static_cast<SubtaskId>(s)))
+        out.loads.push_back(static_cast<SubtaskId>(s));
+    return out;
+  }
+};
+
+/// Optimal prefetch order computed at design time; reuse impossible ("at
+/// design-time there is not enough information available").
+class DesignTimePolicy : public PrefetchPolicy {
+ public:
+  bool uses_reuse() const override { return false; }
+  bool uses_intertask() const override { return false; }
+  InstancePlan plan(const PreparedScenario& prep, const std::vector<bool>&,
+                    const PolicyContext&) override {
+    InstancePlan out;
+    out.load_policy = LoadPolicy::explicit_order;
+    out.loads = prep.design_order;
+    return out;
+  }
+};
+
+/// The run-time list-scheduling heuristic of ref. [7] with reuse support;
+/// optionally extended with the Section 6 inter-task optimisation (the
+/// "run-time+inter-task" curve).
+class RuntimeHeuristicPolicy : public PrefetchPolicy {
+ public:
+  explicit RuntimeHeuristicPolicy(bool intertask) : intertask_(intertask) {}
+  bool uses_reuse() const override { return true; }
+  bool uses_intertask() const override { return intertask_; }
+  time_us scheduler_cost() const override {
+    return k_paper_list_scheduler_cost;
+  }
+  InstancePlan plan(const PreparedScenario& prep,
+                    const std::vector<bool>& resident,
+                    const PolicyContext&) override {
+    InstancePlan out;
+    out.load_policy = LoadPolicy::priority;
+    for (std::size_t s = 0; s < prep.graph->size(); ++s)
+      if (prep.placement.on_drhw(static_cast<SubtaskId>(s)) && !resident[s])
+        out.loads.push_back(static_cast<SubtaskId>(s));
+    return out;
+  }
+  std::vector<SubtaskId> intertask_candidates(
+      const PreparedScenario& future) const override {
+    // The run-time heuristic has no CS concept: it prefetches whatever it
+    // would load first, i.e. every DRHW subtask by descending weight.
+    std::vector<SubtaskId> candidates;
+    for (std::size_t s = 0; s < future.graph->size(); ++s)
+      if (future.placement.on_drhw(static_cast<SubtaskId>(s)))
+        candidates.push_back(static_cast<SubtaskId>(s));
+    std::sort(candidates.begin(), candidates.end(),
+              [&](SubtaskId a, SubtaskId b) {
+                const auto wa = future.weights[static_cast<std::size_t>(a)];
+                const auto wb = future.weights[static_cast<std::size_t>(b)];
+                if (wa != wb) return wa > wb;
+                return a < b;
+              });
+    return candidates;
+  }
+
+ private:
+  const bool intertask_;
+};
+
+/// The paper's hybrid design-time/run-time heuristic: initialization-phase
+/// CS loads, the stored schedule with cancellations, and (by default) the
+/// inter-task initialization-phase prefetch.
+class HybridPolicy : public PrefetchPolicy {
+ public:
+  HybridPolicy(bool intertask, bool beyond_critical)
+      : intertask_(intertask), beyond_critical_(beyond_critical) {}
+  bool uses_reuse() const override { return true; }
+  bool uses_intertask() const override { return intertask_; }
+  time_us scheduler_cost() const override {
+    return k_paper_hybrid_scheduler_cost;
+  }
+  InstancePlan plan(const PreparedScenario& prep,
+                    const std::vector<bool>& resident,
+                    const PolicyContext&) override {
+    const HybridDecision decision = hybrid_decide(prep.hybrid, resident);
+    InstancePlan out;
+    out.load_policy = LoadPolicy::explicit_order;
+    out.loads = decision.init_loads;
+    out.init_count = out.loads.size();
+    out.loads.insert(out.loads.end(), decision.load_order.begin(),
+                     decision.load_order.end());
+    out.cancelled_loads = decision.cancelled_loads;
+    return out;
+  }
+  std::vector<SubtaskId> intertask_candidates(
+      const PreparedScenario& future) const override {
+    std::vector<SubtaskId> candidates = future.hybrid.critical;
+    if (beyond_critical_)
+      for (SubtaskId s : future.hybrid.stored_order) candidates.push_back(s);
+    return candidates;
+  }
+
+ private:
+  const bool intertask_;
+  const bool beyond_critical_;
+};
+
+}  // namespace
+
+namespace detail {
+
+void register_paper_policies(PolicyRegistry& registry) {
+  registry.add(policy_names::no_prefetch,
+               "on-demand loading, no prefetch module, no reuse",
+               [](const PolicyParams& params) {
+                 reject_unknown_params(policy_names::no_prefetch, params, {});
+                 return std::make_unique<NoPrefetchPolicy>();
+               });
+  registry.add(policy_names::design_time,
+               "optimal load order fixed at design time, no reuse",
+               [](const PolicyParams& params) {
+                 reject_unknown_params(policy_names::design_time, params, {});
+                 return std::make_unique<DesignTimePolicy>();
+               });
+  registry.add(policy_names::runtime,
+               "run-time list-scheduling heuristic of ref. [7] with reuse",
+               [](const PolicyParams& params) {
+                 reject_unknown_params(policy_names::runtime, params, {});
+                 return std::make_unique<RuntimeHeuristicPolicy>(false);
+               });
+  registry.add(
+      policy_names::runtime_intertask,
+      "run-time heuristic plus the Section 6 inter-task optimisation",
+      [](const PolicyParams& params) {
+        reject_unknown_params(policy_names::runtime_intertask, params, {});
+        return std::make_unique<RuntimeHeuristicPolicy>(true);
+      });
+  registry.add(
+      policy_names::hybrid,
+      "hybrid design-time/run-time heuristic (params: intertask=0|1, "
+      "beyond_critical=0|1)",
+      [](const PolicyParams& params) {
+        reject_unknown_params(policy_names::hybrid, params,
+                              {"intertask", "beyond_critical"});
+        return std::make_unique<HybridPolicy>(
+            param_bool(params, "intertask", true),
+            param_bool(params, "beyond_critical", false));
+      });
+}
+
+}  // namespace detail
+
+}  // namespace drhw

@@ -1,0 +1,84 @@
+#include "policy/registry.hpp"
+
+#include <stdexcept>
+
+namespace drhw {
+
+namespace detail {
+// Built-in registration hooks, each defined in the policy's own translation
+// unit. A static library drops object files nothing references, so lazy
+// self-registration statics would silently vanish — this explicit hook list
+// is the linker-proof equivalent. Adding a policy = adding its .cpp and one
+// line here; no kernel, runner or CLI edits.
+void register_paper_policies(PolicyRegistry& registry);
+void register_adaptive_hybrid(PolicyRegistry& registry);
+}  // namespace detail
+
+PolicyRegistry& PolicyRegistry::instance() {
+  static PolicyRegistry& registry = *[] {
+    auto* r = new PolicyRegistry();  // leaked intentionally: process-wide
+    detail::register_paper_policies(*r);
+    detail::register_adaptive_hybrid(*r);
+    return r;
+  }();
+  return registry;
+}
+
+void PolicyRegistry::add(std::string name, std::string description,
+                         Factory factory) {
+  if (name.empty())
+    throw std::invalid_argument("policy registration without a name");
+  if (!factory)
+    throw std::invalid_argument("policy '" + name + "' without a factory");
+  if (find(name))
+    throw std::invalid_argument("duplicate policy name '" + name + "'");
+  entries_.push_back(
+      Entry{std::move(name), std::move(description), std::move(factory)});
+}
+
+const PolicyRegistry::Entry* PolicyRegistry::find(
+    const std::string& name) const {
+  for (const Entry& entry : entries_)
+    if (entry.name == name) return &entry;
+  return nullptr;
+}
+
+bool PolicyRegistry::contains(const std::string& name) const {
+  return find(name) != nullptr;
+}
+
+std::vector<std::string> PolicyRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const Entry& entry : entries_) out.push_back(entry.name);
+  return out;
+}
+
+const std::string& PolicyRegistry::description(const std::string& name) const {
+  const Entry* entry = find(name);
+  if (!entry)
+    throw std::invalid_argument("unknown policy '" + name + "'");
+  return entry->description;
+}
+
+std::unique_ptr<PrefetchPolicy> PolicyRegistry::create(
+    const PolicySpec& spec) const {
+  const Entry* entry = find(spec.name);
+  if (!entry) {
+    std::string known;
+    for (const Entry& e : entries_) {
+      if (!known.empty()) known += ", ";
+      known += e.name;
+    }
+    throw std::invalid_argument("unknown policy '" + spec.name +
+                                "' (registered: " + known + ")");
+  }
+  std::unique_ptr<PrefetchPolicy> policy = entry->factory(spec.params);
+  if (!policy)
+    throw std::invalid_argument("policy '" + spec.name +
+                                "': factory returned nothing");
+  policy->name_ = entry->name;
+  return policy;
+}
+
+}  // namespace drhw

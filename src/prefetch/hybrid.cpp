@@ -28,6 +28,25 @@ HybridDecision hybrid_decide(const HybridSchedule& design,
   return decision;
 }
 
+time_us dispatch_init_loads(const SubtaskGraph& graph,
+                            const PlatformConfig& platform,
+                            const std::vector<SubtaskId>& loads,
+                            std::vector<time_us>& ends) {
+  time_us makespan = 0;
+  ends.reserve(ends.size() + loads.size());
+  PortSet ports(platform.reconfig_ports);
+  for (SubtaskId s : loads) {
+    const time_us own = graph.subtask(s).load_time;
+    const time_us duration =
+        own != k_no_time ? own : platform.reconfig_latency;
+    const std::size_t port = ports.earliest();
+    const time_us end = ports.dispatch(port, ports.free_at(port), duration);
+    ends.push_back(end);
+    makespan = std::max(makespan, end);
+  }
+  return makespan;
+}
+
 HybridRunOutcome hybrid_runtime(const SubtaskGraph& graph,
                                 const Placement& placement,
                                 const PlatformConfig& platform,
@@ -39,26 +58,8 @@ HybridRunOutcome hybrid_runtime(const SubtaskGraph& graph,
   HybridDecision decision = hybrid_decide(design, resident);
   outcome.init_loads = std::move(decision.init_loads);
   outcome.cancelled_loads = decision.cancelled_loads;
-  // The initialization loads dispatch in the pre-decided order onto the
-  // earliest-free reconfiguration port — back to back on a single-port
-  // platform, overlapped on a multi-port one. This mirrors the online
-  // kernel exactly (its init loads are exempt from the unit-order gate,
-  // so every free port takes the next one), which is what keeps the
-  // sequential rig's spans equal to the kernel's at arrival rate -> 0
-  // for reconfig_ports > 1.
-  outcome.init_duration = 0;
-  outcome.init_load_ends.reserve(outcome.init_loads.size());
-  PortSet init_ports(platform.reconfig_ports);
-  for (SubtaskId s : outcome.init_loads) {
-    const time_us own = graph.subtask(s).load_time;
-    const time_us duration =
-        own != k_no_time ? own : platform.reconfig_latency;
-    const std::size_t port = init_ports.earliest();
-    const time_us end =
-        init_ports.dispatch(port, init_ports.free_at(port), duration);
-    outcome.init_load_ends.push_back(end);
-    outcome.init_duration = std::max(outcome.init_duration, end);
-  }
+  outcome.init_duration = dispatch_init_loads(
+      graph, platform, outcome.init_loads, outcome.init_load_ends);
 
   const LoadPlan plan = explicit_plan(graph, decision.load_order);
   outcome.eval = evaluate(graph, placement, platform, plan);

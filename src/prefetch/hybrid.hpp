@@ -58,6 +58,21 @@ struct HybridDecision {
 HybridDecision hybrid_decide(const HybridSchedule& design,
                              const std::vector<bool>& resident);
 
+/// Times an initialization phase: dispatches `loads` in the given order
+/// onto the earliest-free of the platform's reconfiguration ports — back to
+/// back on a single-port platform, overlapped on a multi-port one. Appends
+/// each load's completion instant to `ends` (aligned with `loads`) and
+/// returns the phase makespan. This mirrors the online kernel exactly (its
+/// init loads are exempt from the unit-order gate, so every free port takes
+/// the next one), which is what keeps the sequential rigs' spans equal to
+/// the kernel's at arrival rate -> 0 for reconfig_ports > 1 — the one
+/// shared implementation for hybrid_runtime() and the policy layer's
+/// evaluate_instance_plan().
+time_us dispatch_init_loads(const SubtaskGraph& graph,
+                            const PlatformConfig& platform,
+                            const std::vector<SubtaskId>& loads,
+                            std::vector<time_us>& ends);
+
 /// Executes the run-time phase and evaluates the resulting schedule.
 /// `resident[s]` marks subtasks whose configuration is already on their
 /// bound tile (from the reuse module or a preceding inter-task prefetch).

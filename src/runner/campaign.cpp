@@ -223,7 +223,7 @@ void run_online(const Scenario& scenario, WorkloadCache& cache,
   const SampledWorkload workload = make_sampler(scenario, cache);
   OnlineSimOptions options;
   options.platform = scenario.sim.platform;
-  options.approach = scenario.sim.approach;
+  options.policy = scenario.sim.policy;
   options.replacement = scenario.sim.replacement;
   options.arrivals = scenario.arrivals;
   options.port_discipline = scenario.port_discipline;
@@ -231,8 +231,6 @@ void run_online(const Scenario& scenario, WorkloadCache& cache,
   options.scheduler_cost = scenario.scheduler_cost;
   options.shared_isps = scenario.shared_isps;
   options.isp_discipline = scenario.isp_discipline;
-  options.hybrid_intertask = scenario.sim.hybrid_intertask;
-  options.intertask_beyond_critical = scenario.sim.intertask_beyond_critical;
   options.intertask_lookahead = scenario.sim.intertask_lookahead;
   // Long-horizon campaigns do not need per-instance spans: the quantile
   // sketch reports response percentiles in O(1) memory.

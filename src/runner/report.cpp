@@ -213,7 +213,18 @@ std::string campaign_to_json(const std::vector<ScenarioResult>& results,
        << "      \"family\": \"" << json_escape(s.family) << "\",\n"
        << "      \"workload\": \"" << to_string(s.workload) << "\",\n"
        << "      \"mode\": \"" << to_string(s.mode) << "\",\n"
-       << "      \"approach\": \"" << to_string(s.sim.approach) << "\",\n"
+       << "      \"approach\": \"" << json_escape(s.sim.policy.name)
+       << "\",\n"
+       << "      \"policy_params\": {";
+    {
+      bool first_param = true;
+      for (const auto& [key, value] : s.sim.policy.params) {
+        os << (first_param ? "" : ", ") << "\"" << json_escape(key)
+           << "\": \"" << json_escape(value) << "\"";
+        first_param = false;
+      }
+    }
+    os << "},\n"
        << "      \"replacement\": \"" << to_string(s.sim.replacement)
        << "\",\n"
        << "      \"tiles\": " << s.sim.platform.tiles << ",\n"
@@ -296,6 +307,60 @@ std::string fmt_port_vector(const std::vector<double>& per_port) {
   return out;
 }
 
+/// Policy parameters as one fixed-width CSV cell: ';'-joined "k=v" pairs
+/// (empty for parameterless policies). Parameter values are arbitrary
+/// strings, so the separators — and the escape itself — are
+/// backslash-escaped; the reader below undoes it, keeping the cell as
+/// lossless as the JSON object form.
+std::string escape_param_text(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    if (c == '\\' || c == ';' || c == '=') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+std::string fmt_policy_params(const PolicyParams& params) {
+  std::string out;
+  for (const auto& [key, value] : params) {
+    if (!out.empty()) out += ';';
+    out += escape_param_text(key) + "=" + escape_param_text(value);
+  }
+  return out;
+}
+
+/// Inverse of fmt_policy_params(): splits on unescaped ';' / first
+/// unescaped '=', honouring backslash escapes.
+PolicyParams parse_policy_params_cell(const std::string& cell) {
+  PolicyParams out;
+  std::string key, value;
+  bool in_value = false, escaped = false;
+  const auto flush = [&] {
+    if (!key.empty()) out[key] = value;
+    key.clear();
+    value.clear();
+    in_value = false;
+  };
+  for (char c : cell) {
+    if (escaped) {
+      (in_value ? value : key) += c;
+      escaped = false;
+    } else if (c == '\\') {
+      escaped = true;
+    } else if (c == ';') {
+      flush();
+    } else if (c == '=' && !in_value) {
+      in_value = true;
+    } else {
+      (in_value ? value : key) += c;
+    }
+  }
+  flush();
+  return out;
+}
+
 std::string csv_escape(const std::string& text) {
   if (text.find_first_of(",\"\n") == std::string::npos) return text;
   std::string out = "\"";
@@ -311,7 +376,7 @@ std::string csv_escape(const std::string& text) {
 
 std::string campaign_to_csv(const std::vector<ScenarioResult>& results) {
   std::ostringstream os;
-  os << "name,family,workload,mode,approach,replacement,tiles,"
+  os << "name,family,workload,mode,approach,policy_params,replacement,tiles,"
         "reconfig_latency_us,ports,isps,seed,iterations,admission_policy,"
         "contiguous,defrag,scheduler_cost_us,shared_isps,isp_discipline,"
         "port_util_per_port_pct,ok,error";
@@ -321,7 +386,9 @@ std::string campaign_to_csv(const std::vector<ScenarioResult>& results) {
     const Scenario& s = result.scenario;
     os << csv_escape(s.name) << "," << csv_escape(s.family) << ","
        << to_string(s.workload) << "," << to_string(s.mode) << ","
-       << to_string(s.sim.approach) << "," << to_string(s.sim.replacement)
+       << csv_escape(s.sim.policy.name) << ","
+       << csv_escape(fmt_policy_params(s.sim.policy.params)) << ","
+       << to_string(s.sim.replacement)
        << "," << s.sim.platform.tiles << "," << s.sim.platform.reconfig_latency
        << "," << s.sim.platform.reconfig_ports << ","
        << s.sim.platform.isps << "," << s.sim.seed << ","
@@ -591,6 +658,9 @@ ParsedCampaign campaign_from_json(const std::string& json) {
     s.workload = item.at("workload").text;
     s.mode = item.at("mode").text;
     s.approach = item.at("approach").text;
+    if (const auto* params = item.find("policy_params"))
+      for (const auto& [key, value] : params->members)
+        s.policy_params[key] = value.text;
     s.replacement = item.at("replacement").text;
     s.tiles = static_cast<int>(item.at("tiles").number);
     s.reconfig_latency_us =
@@ -692,6 +762,8 @@ std::vector<ParsedScenario> campaign_from_csv(const std::string& csv) {
         s.mode = value;
       else if (key == "approach")
         s.approach = value;
+      else if (key == "policy_params")
+        s.policy_params = parse_policy_params_cell(value);
       else if (key == "replacement")
         s.replacement = value;
       else if (key == "tiles")

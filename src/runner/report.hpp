@@ -87,7 +87,12 @@ struct ParsedScenario {
   std::string family;
   std::string workload;
   std::string mode;
+  /// The prefetch policy's registered name (the column keeps its historic
+  /// "approach" spelling in both report formats).
   std::string approach;
+  /// The policy's parameters, exactly as in the scenario's PolicySpec.
+  /// JSON: a "policy_params" object; CSV: one ';'-joined "k=v" cell.
+  std::map<std::string, std::string> policy_params;
   std::string replacement;
   int tiles = 0;
   long long reconfig_latency_us = 0;

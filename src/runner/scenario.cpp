@@ -5,6 +5,8 @@
 #include <set>
 #include <stdexcept>
 
+#include "policy/names.hpp"
+#include "policy/registry.hpp"
 #include "util/check.hpp"
 
 namespace drhw {
@@ -48,6 +50,13 @@ void Scenario::validate() const {
   if (family.empty())
     throw std::invalid_argument("scenario '" + name + "' without a family");
   sim.platform.validate();
+  try {
+    // Resolves the policy once: unknown names and bad parameters fail at
+    // descriptor validation, not mid-campaign.
+    PolicyRegistry::instance().create(sim.policy);
+  } catch (const std::invalid_argument& e) {
+    throw std::invalid_argument("scenario '" + name + "': " + e.what());
+  }
   if (sim.iterations < 1)
     throw std::invalid_argument("scenario '" + name + "': iterations < 1");
   if (include_prob <= 0.0 || include_prob > 1.0)
@@ -117,13 +126,13 @@ std::vector<Scenario> ScenarioRegistry::match(
 namespace {
 
 Scenario base_scenario(const std::string& name, const std::string& family,
-                       int tiles, Approach approach, std::uint64_t seed,
-                       int iterations) {
+                       int tiles, const PolicySpec& policy,
+                       std::uint64_t seed, int iterations) {
   Scenario s;
   s.name = name;
   s.family = family;
   s.sim.platform = virtex2_platform(tiles);
-  s.sim.approach = approach;
+  s.sim.policy = policy;
   s.sim.seed = seed;
   s.sim.iterations = iterations;
   return s;
@@ -140,11 +149,11 @@ ScenarioRegistry ScenarioRegistry::builtin(int iterations,
   // no reuse, on-demand loading vs the optimal prefetch order.
   for (const char* task :
        {"jpeg_dec", "parallel_jpeg", "mpeg_enc", "pattern_rec"}) {
-    for (Approach approach :
-         {Approach::no_prefetch, Approach::design_time_prefetch}) {
+    for (const char* policy :
+         {policy_names::no_prefetch, policy_names::design_time}) {
       Scenario s = base_scenario(
-          std::string("table1/") + task + "/" + to_string(approach), "table1",
-          8, approach, seed, 1);
+          std::string("table1/") + task + "/" + policy, "table1",
+          8, policy, seed, 1);
       s.task_filter = {task};
       s.exhaustive = true;
       registry.add(std::move(s));
@@ -153,10 +162,10 @@ ScenarioRegistry ScenarioRegistry::builtin(int iterations,
 
   // Figure 6: multimedia mix under dynamic behaviour, tiles 8..16.
   for (int tiles = 8; tiles <= 16; ++tiles) {
-    for (Approach approach : k_all_approaches) {
+    for (const std::string& policy : paper_policy_names()) {
       Scenario s = base_scenario("fig6/tiles" + std::to_string(tiles) + "/" +
-                                     to_string(approach),
-                                 "fig6", tiles, approach, seed, iterations);
+                                     policy,
+                                 "fig6", tiles, policy, seed, iterations);
       s.sim.replacement = ReplacementPolicy::lru;
       registry.add(std::move(s));
     }
@@ -165,11 +174,11 @@ ScenarioRegistry ScenarioRegistry::builtin(int iterations,
   // Figure 7: Pocket GL frame loop, tiles 5..10. The design-time baseline
   // sees the merged whole-frame graphs; everything else runs task by task.
   for (int tiles = 5; tiles <= 10; ++tiles) {
-    for (Approach approach : k_all_approaches) {
+    for (const std::string& policy : paper_policy_names()) {
       Scenario s = base_scenario("fig7/tiles" + std::to_string(tiles) + "/" +
-                                     to_string(approach),
-                                 "fig7", tiles, approach, seed, iterations);
-      s.workload = approach == Approach::design_time_prefetch
+                                     policy,
+                                 "fig7", tiles, policy, seed, iterations);
+      s.workload = policy == policy_names::design_time
                        ? WorkloadKind::pocket_gl_frames
                        : WorkloadKind::pocket_gl;
       s.sim.replacement = ReplacementPolicy::critical_first;
@@ -186,9 +195,9 @@ ScenarioRegistry ScenarioRegistry::builtin(int iterations,
       {"jpeg_mpeg", {"jpeg_dec", "parallel_jpeg", "mpeg_enc"}},
   };
   for (const auto& [mix_name, tasks] : mixes) {
-    for (Approach approach : k_all_approaches) {
-      Scenario s = base_scenario("mix/" + mix_name + "/" + to_string(approach),
-                                 "mix", 8, approach, seed, iterations);
+    for (const std::string& policy : paper_policy_names()) {
+      Scenario s = base_scenario("mix/" + mix_name + "/" + policy,
+                                 "mix", 8, policy, seed, iterations);
       s.task_filter = tasks;
       registry.add(std::move(s));
     }
@@ -196,12 +205,12 @@ ScenarioRegistry ScenarioRegistry::builtin(int iterations,
 
   // Synthetic generator mixes at three graph sizes.
   for (int subtasks : {14, 28, 56}) {
-    for (Approach approach :
-         {Approach::no_prefetch, Approach::runtime_heuristic,
-          Approach::hybrid}) {
+    for (const char* policy :
+         {policy_names::no_prefetch, policy_names::runtime,
+          policy_names::hybrid}) {
       Scenario s = base_scenario("synthetic/n" + std::to_string(subtasks) +
-                                     "/" + to_string(approach),
-                                 "synthetic", 8, approach, seed, iterations);
+                                     "/" + policy,
+                                 "synthetic", 8, policy, seed, iterations);
       s.workload = WorkloadKind::synthetic;
       s.synthetic.tasks = 4;
       s.synthetic.graph.subtasks = subtasks;
@@ -215,12 +224,12 @@ ScenarioRegistry ScenarioRegistry::builtin(int iterations,
   // Platform-shape sweep on the multimedia mix.
   SweepConfig sweep;
   sweep.family = "sweep";
-  sweep.base = base_scenario("sweep/base", "sweep", 8, Approach::hybrid, seed,
-                             iterations);
+  sweep.base = base_scenario("sweep/base", "sweep", 8, policy_names::hybrid,
+                             seed, iterations);
   sweep.tiles = {8, 12, 16};
   sweep.latencies = {ms(4), us(500)};
   sweep.ports = {1, 2};
-  sweep.approaches = {Approach::runtime_heuristic, Approach::hybrid};
+  sweep.policies = {policy_names::runtime, policy_names::hybrid};
   sweep.seeds = {seed};
   registry.add(build_sweep(sweep));
 
@@ -229,11 +238,11 @@ ScenarioRegistry ScenarioRegistry::builtin(int iterations,
   // 16 tiles keep several instances live at once (at 8 tiles the pool
   // serialises admissions and only the backlog prefetch differs).
   for (double rate : {20.0, 100.0}) {
-    for (Approach approach : k_all_approaches) {
+    for (const std::string& policy : paper_policy_names()) {
       Scenario s = base_scenario(
           "online_poisson/r" + std::to_string(static_cast<int>(rate)) + "/" +
-              to_string(approach),
-          "online_poisson", 16, approach, seed, iterations);
+              policy,
+          "online_poisson", 16, policy, seed, iterations);
       s.mode = ScenarioMode::online;
       s.arrivals.kind = ArrivalProcess::Kind::poisson;
       s.arrivals.rate_per_s = rate;
@@ -242,10 +251,10 @@ ScenarioRegistry ScenarioRegistry::builtin(int iterations,
   }
 
   // Online mode: bursty arrivals (bursts of 4 instances back to back).
-  for (Approach approach : k_all_approaches) {
+  for (const std::string& policy : paper_policy_names()) {
     Scenario s = base_scenario(
-        std::string("online_burst/") + to_string(approach), "online_burst",
-        16, approach, seed, iterations);
+        std::string("online_burst/") + policy, "online_burst",
+        16, policy, seed, iterations);
     s.mode = ScenarioMode::online;
     s.arrivals.kind = ArrivalProcess::Kind::bursty;
     s.arrivals.rate_per_s = 8.0;
@@ -257,10 +266,10 @@ ScenarioRegistry ScenarioRegistry::builtin(int iterations,
   SweepConfig online_sweep;
   online_sweep.family = "online_sweep";
   online_sweep.base = base_scenario("online_sweep/base", "online_sweep", 16,
-                                    Approach::hybrid, seed, iterations);
+                                    policy_names::hybrid, seed, iterations);
   online_sweep.base.mode = ScenarioMode::online;
   online_sweep.tiles = {10, 16, 24};
-  online_sweep.approaches = {Approach::runtime_heuristic, Approach::hybrid};
+  online_sweep.policies = {policy_names::runtime, policy_names::hybrid};
   online_sweep.arrival_rates = {10.0, 40.0, 160.0};
   registry.add(build_sweep(online_sweep));
 
@@ -271,7 +280,7 @@ ScenarioRegistry ScenarioRegistry::builtin(int iterations,
   SweepConfig defrag_sweep;
   defrag_sweep.family = "online_defrag";
   defrag_sweep.base = base_scenario("online_defrag/base", "online_defrag", 12,
-                                    Approach::hybrid, seed, iterations);
+                                    policy_names::hybrid, seed, iterations);
   defrag_sweep.base.mode = ScenarioMode::online;
   defrag_sweep.base.pool.contiguous = true;
   defrag_sweep.tiles = {10, 14};
@@ -289,13 +298,14 @@ ScenarioRegistry ScenarioRegistry::builtin(int iterations,
   SweepConfig multiport;
   multiport.family = "online_multiport";
   multiport.base = base_scenario("online_multiport/base", "online_multiport",
-                                 12, Approach::hybrid, seed, iterations);
+                                 12, policy_names::hybrid, seed, iterations);
   multiport.base.mode = ScenarioMode::online;
   multiport.base.arrivals.rate_per_s = 120.0;
   multiport.base.pool.contiguous = true;
   multiport.base.pool.defrag = true;
   multiport.ports = {1, 2, 4};
-  multiport.approaches = {Approach::runtime_intertask, Approach::hybrid};
+  multiport.policies = {policy_names::runtime_intertask,
+                        policy_names::hybrid};
   multiport.admission_policies = {AdmissionPolicy::fifo_hol,
                                   AdmissionPolicy::window_reorder};
   registry.add(build_sweep(multiport));
@@ -309,7 +319,7 @@ ScenarioRegistry ScenarioRegistry::builtin(int iterations,
   multiport_isp.family = "online_multiport";
   multiport_isp.base =
       base_scenario("online_multiport/isp_base", "online_multiport", 16,
-                    Approach::hybrid, seed, iterations);
+                    policy_names::hybrid, seed, iterations);
   multiport_isp.base.mode = ScenarioMode::online;
   multiport_isp.base.workload = WorkloadKind::synthetic;
   multiport_isp.base.synthetic.tasks = 6;
@@ -324,13 +334,31 @@ ScenarioRegistry ScenarioRegistry::builtin(int iterations,
   multiport_isp.base.shared_isps = true;
   multiport_isp.base.isp_discipline = PortDiscipline::priority;
   multiport_isp.ports = {1, 2, 4};
-  multiport_isp.approaches = {Approach::runtime_intertask, Approach::hybrid};
+  multiport_isp.policies = {policy_names::runtime_intertask,
+                            policy_names::hybrid};
   registry.add(build_sweep(multiport_isp));
+
+  // Every *registered* prefetch policy — including extensions like
+  // adaptive_hybrid and anything registered after this PR — gets one
+  // contended online scenario, enumerated straight off the PolicyRegistry.
+  // New policies therefore flow into the campaign engine, the CI
+  // long-horizon job and the 1-vs-8-thread bit-identity test with zero
+  // registry edits.
+  for (const std::string& policy : PolicyRegistry::instance().names()) {
+    Scenario s =
+        base_scenario("online_policy/" + policy, "online_policy", 16,
+                      policy, seed, iterations);
+    s.mode = ScenarioMode::online;
+    s.arrivals.kind = ArrivalProcess::Kind::poisson;
+    s.arrivals.rate_per_s = 60.0;
+    registry.add(std::move(s));
+  }
 
   // Section 4 scalability: run-time scheduler cost vs subtask count.
   for (int subtasks : {14, 28, 56, 112, 224, 448}) {
     Scenario s = base_scenario("scalability/n" + std::to_string(subtasks),
-                               "scalability", 8, Approach::hybrid, seed, 1);
+                               "scalability", 8, policy_names::hybrid, seed,
+                               1);
     s.mode = ScenarioMode::sched_cost;
     s.workload = WorkloadKind::synthetic;
     s.synthetic.tasks = 1;
@@ -357,10 +385,10 @@ std::vector<Scenario> build_sweep(const SweepConfig& config) {
       config.ports.empty()
           ? std::vector<int>{config.base.sim.platform.reconfig_ports}
           : config.ports;
-  const std::vector<Approach> approaches =
-      config.approaches.empty()
-          ? std::vector<Approach>{config.base.sim.approach}
-          : config.approaches;
+  const std::vector<PolicySpec> policies =
+      config.policies.empty()
+          ? std::vector<PolicySpec>{config.base.sim.policy}
+          : config.policies;
   const std::vector<std::uint64_t> seeds =
       config.seeds.empty() ? std::vector<std::uint64_t>{config.base.sim.seed}
                            : config.seeds;
@@ -368,7 +396,7 @@ std::vector<Scenario> build_sweep(const SweepConfig& config) {
       config.arrival_rates.empty()
           ? std::vector<double>{config.base.arrivals.rate_per_s}
           : config.arrival_rates;
-  const std::vector<AdmissionPolicy> policies =
+  const std::vector<AdmissionPolicy> admissions =
       config.admission_policies.empty()
           ? std::vector<AdmissionPolicy>{config.base.pool.admission}
           : config.admission_policies;
@@ -388,24 +416,24 @@ std::vector<Scenario> build_sweep(const SweepConfig& config) {
   for (int t : tiles)
     for (time_us latency : latencies)
       for (int p : ports)
-        for (Approach approach : approaches)
+        for (const PolicySpec& policy : policies)
           for (std::uint64_t seed : seeds)
             for (double rate : rates)
-              for (AdmissionPolicy policy : policies)
+              for (AdmissionPolicy admission : admissions)
                 for (bool defrag : defrag_modes) {
                   Scenario s = config.base;
                   s.family = config.family;
                   s.sim.platform.tiles = t;
                   s.sim.platform.reconfig_latency = latency;
                   s.sim.platform.reconfig_ports = p;
-                  s.sim.approach = approach;
+                  s.sim.policy = policy;
                   s.sim.seed = seed;
                   s.arrivals.rate_per_s = rate;
-                  s.pool.admission = policy;
+                  s.pool.admission = admission;
                   s.pool.defrag = defrag;
                   s.name = config.family + "/t" + std::to_string(t) + "/l" +
                            std::to_string(latency) + "/p" + std::to_string(p) +
-                           "/" + to_string(approach) + "/s" +
+                           "/" + to_string(policy) + "/s" +
                            std::to_string(seed);
                   if (!config.arrival_rates.empty()) {
                     char rate_text[32];
@@ -413,7 +441,7 @@ std::vector<Scenario> build_sweep(const SweepConfig& config) {
                     s.name += std::string("/r") + rate_text;
                   }
                   if (!config.admission_policies.empty())
-                    s.name += std::string("/") + to_string(policy);
+                    s.name += std::string("/") + to_string(admission);
                   if (!config.defrag_modes.empty())
                     s.name += defrag ? "/defrag" : "/no-defrag";
                   s.validate();

@@ -11,7 +11,7 @@
 /// deterministic columns, the Figure 6 multimedia mix, the Figure 7
 /// Pocket GL frame loop, JPEG/MPEG subset mixes and synthetic generator
 /// sweeps); build_sweep() produces cartesian-product parameter sweeps
-/// (tiles x latency x ports x approach x seed) on top of any workload.
+/// (tiles x latency x ports x policy x seed) on top of any workload.
 
 #include <cstdint>
 #include <string>
@@ -88,7 +88,9 @@ struct Scenario {
   SyntheticParams synthetic;
   /// Design-time flow options (scheduler selection, placement style).
   HybridDesignOptions design;
-  /// Platform, approach, replacement policy, seed and iteration count.
+  /// Platform, prefetch policy (sim.policy — any name registered in the
+  /// PolicyRegistry, plus parameters), replacement policy, seed and
+  /// iteration count.
   SimOptions sim;
   /// Online mode only: the arrival process of the instance stream.
   ArrivalProcess arrivals;
@@ -152,6 +154,9 @@ class ScenarioRegistry {
   ///   online_multiport/* reconfig_ports x approach x admission policy on
   ///                    a port-bound contiguous+defrag pool with shared
   ///                    ISP contention
+  ///   online_policy/*  one contended online scenario per *registered*
+  ///                    prefetch policy (PolicyRegistry enumeration, so
+  ///                    new policies are campaign-covered automatically)
   static ScenarioRegistry builtin(int iterations = 1000,
                                   std::uint64_t seed = 2005);
 
@@ -170,7 +175,9 @@ struct SweepConfig {
   std::vector<int> tiles;
   std::vector<time_us> latencies;
   std::vector<int> ports;
-  std::vector<Approach> approaches;
+  /// Prefetch-policy axis: any specs whose names are registered in the
+  /// PolicyRegistry (so new policies sweep without code changes here).
+  std::vector<PolicySpec> policies;
   std::vector<std::uint64_t> seeds;
   /// Online scenarios only: arrival-rate axis (instances or bursts per
   /// second, depending on the base scenario's arrival kind).

@@ -4,11 +4,13 @@
 #include <cmath>
 #include <functional>
 #include <limits>
+#include <memory>
 #include <queue>
 #include <stdexcept>
 #include <unordered_map>
 
-#include "prefetch/hybrid.hpp"
+#include "policy/prefetch_policy.hpp"
+#include "policy/registry.hpp"
 #include "util/check.hpp"
 #include "util/p2_quantile.hpp"
 
@@ -60,20 +62,6 @@ PortDiscipline port_discipline_from_string(const std::string& text) {
                               "' (use fifo or priority)");
 }
 
-time_us paper_scheduler_cost(Approach approach) {
-  switch (approach) {
-    case Approach::no_prefetch:
-    case Approach::design_time_prefetch:
-      return 0;  // nothing is decided at run time
-    case Approach::runtime_heuristic:
-    case Approach::runtime_intertask:
-      return k_paper_list_scheduler_cost;
-    case Approach::hybrid:
-      return k_paper_hybrid_scheduler_cost;
-  }
-  return 0;
-}
-
 namespace {
 
 /// Event kinds, ordered so that simultaneous events resolve exactly like
@@ -123,6 +111,9 @@ struct Job {
 
   LoadPolicy policy = LoadPolicy::on_demand;
   std::vector<SubtaskId> order;  ///< explicit port order (init prefix first)
+  /// priority discipline: per-subtask priority override from the
+  /// InstancePlan; empty = the prepared scenario's ALAP weights.
+  std::vector<time_us> priority;
   std::size_t next_explicit = 0;
   std::size_t init_count = 0;  ///< leading entries of `order` that are
                                ///< initialization-phase loads
@@ -141,6 +132,7 @@ class OnlineSimulation {
   OnlineSimulation(const OnlineSimOptions& options,
                    const IterationSampler& sampler)
       : options_(options),
+        policy_(PolicyRegistry::instance().create(options.policy)),
         pool_(options.platform.tiles, options.pool),
         bind_rng_(options.seed ^ 0x5DEECE66DULL) {
     options_.platform.validate();
@@ -290,15 +282,10 @@ class OnlineSimulation {
 
   // -- shared helpers ----------------------------------------------------
 
-  bool intertask_enabled() const {
-    return approach_uses_intertask(options_.approach,
-                                   options_.hybrid_intertask);
-  }
+  bool intertask_enabled() const { return policy_->uses_intertask(); }
 
   const std::vector<time_us>& values_for(const Job& job) const {
-    return options_.replacement == ReplacementPolicy::critical_first
-               ? job.prep->replacement_values
-               : job.prep->weights;
+    return policy_->replacement_values(*job.prep, options_.replacement);
   }
 
   time_us load_duration(const Job& job, SubtaskId s) const {
@@ -333,13 +320,13 @@ class OnlineSimulation {
     // pools, the PR 2 view) or the best-scoring free block (contiguous
     // pools, placement-aware).
     std::vector<ConfigId> wanted;
-    if (options_.pool.contiguous && approach_uses_reuse(options_.approach))
+    if (options_.pool.contiguous && policy_->uses_reuse())
       wanted = first_subtask_configs(graph, placement);
     const std::vector<PhysTileId> free_tiles = pool_.offer(index, wanted);
 
     const ConfigStore& store = pool_.store();
     std::vector<bool> resident(graph.size(), false);
-    if (approach_uses_reuse(options_.approach)) {
+    if (policy_->uses_reuse()) {
       ConfigStore view(static_cast<int>(free_tiles.size()));
       for (std::size_t i = 0; i < free_tiles.size(); ++i) {
         const PhysTileId p = free_tiles[i];
@@ -376,7 +363,7 @@ class OnlineSimulation {
       if (p != k_no_phys_tile) occupied_scratch_.push_back(p);
     pool_.occupy(index, occupied_scratch_, t);
 
-    build_plan(job, resident);
+    build_plan(job, resident, t);
 
     // Per-subtask scheduling state.
     for (std::size_t s = 0; s < graph.size(); ++s) {
@@ -405,55 +392,45 @@ class OnlineSimulation {
     try_port(t);
   }
 
-  /// Translates the instance's Approach into its load plan. Mirrors the
-  /// sequential simulator's schedule_instance() dispatch.
-  void build_plan(Job& job, const std::vector<bool>& resident) {
-    const SubtaskGraph& graph = *job.prep->graph;
-    const Placement& placement = job.prep->placement;
-    const auto mark_needs = [&](SubtaskId s) { needs_[job.base +
-                                                     static_cast<std::size_t>(
-                                                         s)] = 1; };
-    switch (options_.approach) {
-      case Approach::no_prefetch:
-        job.policy = LoadPolicy::on_demand;
-        for (std::size_t s = 0; s < graph.size(); ++s)
-          if (placement.on_drhw(static_cast<SubtaskId>(s)))
-            mark_needs(static_cast<SubtaskId>(s));
-        break;
-      case Approach::design_time_prefetch:
-        job.policy = LoadPolicy::explicit_order;
-        job.order = job.prep->design_order;
-        for (SubtaskId s : job.order) mark_needs(s);
-        break;
-      case Approach::runtime_heuristic:
-      case Approach::runtime_intertask:
-        job.policy = LoadPolicy::priority;
-        for (std::size_t s = 0; s < graph.size(); ++s)
-          if (placement.on_drhw(static_cast<SubtaskId>(s)) && !resident[s])
-            mark_needs(static_cast<SubtaskId>(s));
-        break;
-      case Approach::hybrid: {
-        // The initialization-phase loads become ordinary head-of-order port
-        // requests; the stored schedule starts once they all completed.
-        const HybridDecision decision =
-            hybrid_decide(job.prep->hybrid, resident);
-        job.policy = LoadPolicy::explicit_order;
-        job.order = decision.init_loads;
-        job.init_count = decision.init_loads.size();
-        job.order.insert(job.order.end(), decision.load_order.begin(),
-                         decision.load_order.end());
-        job.cancelled = decision.cancelled_loads;
-        job.init_pending = static_cast<int>(job.init_count);
-        job.init_done = job.init_pending == 0;
-        for (std::size_t i = 0; i < job.order.size(); ++i) {
-          mark_needs(job.order[i]);
-          if (i < job.init_count)
-            init_load_[job.base + static_cast<std::size_t>(job.order[i])] = 1;
-        }
-        report_.sim.cancelled_loads += job.cancelled;
-        break;
-      }
+  /// Asks the policy for the instance's load plan and translates it into
+  /// the kernel's per-job scheduling state. Any initialization-phase loads
+  /// become ordinary head-of-order port requests (exempt from the
+  /// unit-order gate); the stored schedule starts once they all completed.
+  void build_plan(Job& job, const std::vector<bool>& resident, time_us t) {
+    PolicyContext context;
+    context.now = t;
+    context.ports = options_.platform.reconfig_ports;
+    context.port_busy = ports_.total_busy();
+    // The job being admitted was already popped from the pool queue and is
+    // not yet in live_, so both counts exclude it.
+    context.live_instances = static_cast<int>(live_.size());
+    context.queued_instances = static_cast<int>(pool_.queued());
+    const InstancePlan plan = policy_->plan(*job.prep, resident, context);
+    // The same invariants evaluate_instance_plan() enforces sequentially:
+    // a plan that violates them here would not abort but silently stall
+    // the kernel (init_pending could never drain), so fail fast instead.
+    DRHW_CHECK_MSG(plan.init_count <= plan.loads.size(),
+                   "instance plan: init prefix longer than the load list");
+    DRHW_CHECK_MSG(plan.init_count == 0 ||
+                       plan.load_policy == LoadPolicy::explicit_order,
+                   "instance plan: an initialization phase requires an "
+                   "explicit order");
+
+    job.policy = plan.load_policy;
+    job.init_count = plan.init_count;
+    job.cancelled = plan.cancelled_loads;
+    job.init_pending = static_cast<int>(job.init_count);
+    job.init_done = job.init_pending == 0;
+    if (plan.load_policy == LoadPolicy::explicit_order)
+      job.order = plan.loads;
+    if (plan.load_policy == LoadPolicy::priority)
+      job.priority = plan.priority;  // empty = ALAP weights
+    for (std::size_t i = 0; i < plan.loads.size(); ++i) {
+      needs_[job.base + static_cast<std::size_t>(plan.loads[i])] = 1;
+      if (i < plan.init_count)
+        init_load_[job.base + static_cast<std::size_t>(plan.loads[i])] = 1;
     }
+    report_.sim.cancelled_loads += job.cancelled;
   }
 
   // -- state transitions (mirroring the single-instance evaluator) -------
@@ -589,6 +566,8 @@ class OnlineSimulation {
         return k_no_subtask;
       }
       case LoadPolicy::priority: {
+        const std::vector<time_us>& priority =
+            job.priority.empty() ? job.prep->weights : job.priority;
         SubtaskId best = k_no_subtask;
         for (std::size_t s = 0; s < graph.size(); ++s) {
           const std::size_t idx = job.base + s;
@@ -596,8 +575,7 @@ class OnlineSimulation {
               arrived_[idx] == k_no_time)
             continue;
           if (best == k_no_subtask ||
-              job.prep->weights[s] >
-                  job.prep->weights[static_cast<std::size_t>(best)])
+              priority[s] > priority[static_cast<std::size_t>(best)])
             best = static_cast<SubtaskId>(s);
         }
         return best;
@@ -653,9 +631,7 @@ class OnlineSimulation {
     const auto it = candidate_cache_.find(prep);
     if (it != candidate_cache_.end()) return it->second;
     return candidate_cache_
-        .emplace(prep, intertask_prefetch_candidates(
-                           *prep, options_.approach,
-                           options_.intertask_beyond_critical))
+        .emplace(prep, policy_->intertask_candidates(*prep))
         .first->second;
   }
 
@@ -1051,6 +1027,7 @@ class OnlineSimulation {
       std::priority_queue<Event, std::vector<Event>, std::greater<>>;
 
   OnlineSimOptions options_;
+  std::unique_ptr<PrefetchPolicy> policy_;  ///< the scheduling strategy
   TilePoolManager pool_;  ///< tile occupancy, admission queue, defrag state
   Rng bind_rng_;
   std::vector<Job> jobs_;

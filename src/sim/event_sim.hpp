@@ -33,9 +33,9 @@
 ///    concurrently. Arbitration between live instances is either fifo
 ///    (oldest admitted instance first) or priority (highest ALAP-weight
 ///    load first). Within one instance the load order follows the
-///    instance's own Approach, exactly as in the single-instance
-///    evaluator: on-demand, priority, or explicit/stored order with
-///    head-of-line semantics.
+///    InstancePlan its PrefetchPolicy produced (policy/prefetch_policy.hpp),
+///    exactly as in the single-instance evaluator: on-demand, priority, or
+///    explicit/stored order with head-of-line semantics.
 ///  * The hybrid's initialization-phase loads become ordinary port requests
 ///    — they can be delayed by a competing instance's in-flight load, and
 ///    the instance's stored schedule begins only when they all completed.
@@ -103,25 +103,16 @@ enum class PortDiscipline {
 const char* to_string(PortDiscipline discipline);
 PortDiscipline port_discipline_from_string(const std::string& text);
 
-/// Section 4 of the paper measures the run-time scheduling cost on the
-/// embedded core: the hybrid's run-time phase resolves one task instance in
-/// a few microseconds, while the full list-scheduling heuristic of ref. [7]
-/// costs roughly two orders of magnitude more (the `scalability` campaign
-/// family reproduces the trend). Defaults for
-/// OnlineSimOptions::scheduler_cost; 0 keeps scheduling free, the paper's
-/// Section 7 assumption.
-inline constexpr time_us k_paper_hybrid_scheduler_cost = us(4);
-inline constexpr time_us k_paper_list_scheduler_cost = us(150);
-
-/// The Section 4 per-decision cost of `approach`'s run-time scheduler:
-/// design-time approaches decide nothing at run time (0), the run-time
-/// heuristics pay the list-scheduler cost, the hybrid its cheap run-time
-/// phase.
-time_us paper_scheduler_cost(Approach approach);
+// The Section 4 scheduler-cost constants and paper_scheduler_cost() moved
+// to policy/prefetch_policy.hpp — the per-policy cost is a policy hook now.
 
 struct OnlineSimOptions {
   PlatformConfig platform;
-  Approach approach = Approach::hybrid;
+  /// The prefetch scheduling policy, by registered name + parameters
+  /// (policy/registry.hpp). Policy-specific knobs — e.g. the hybrid's
+  /// inter-task toggle or its beyond-critical tail prefetch — are policy
+  /// parameters: PolicySpec("hybrid").with("intertask", "0").
+  PolicySpec policy = PolicySpec("hybrid");
   ReplacementPolicy replacement = ReplacementPolicy::lru;
   ArrivalProcess arrivals;
   PortDiscipline port_discipline = PortDiscipline::fifo;
@@ -141,13 +132,6 @@ struct OnlineSimOptions {
   /// Arbitration between waiting ISP executions when shared_isps is on:
   /// fifo (request order) or priority (highest ALAP weight first).
   PortDiscipline isp_discipline = PortDiscipline::fifo;
-  /// Inter-task (backlog) prefetch toggle for the hybrid approach, mirroring
-  /// SimOptions::hybrid_intertask; runtime_intertask always prefetches.
-  bool hybrid_intertask = true;
-  /// Continue prefetching a queued hybrid task's stored (non-critical)
-  /// loads once its CS is resident, mirroring
-  /// SimOptions::intertask_beyond_critical.
-  bool intertask_beyond_critical = false;
   /// How many queued instances the backlog prefetch may serve.
   int intertask_lookahead = 1;
   /// Collect per-instance admit -> retire spans into OnlineReport::spans

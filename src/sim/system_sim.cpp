@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <deque>
 #include <limits>
+#include <memory>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "graph/algorithms.hpp"
+#include "policy/prefetch_policy.hpp"
+#include "policy/registry.hpp"
 #include "prefetch/bnb.hpp"
 #include "prefetch/hybrid.hpp"
 #include "prefetch/list_prefetch.hpp"
@@ -16,57 +19,6 @@
 #include "util/check.hpp"
 
 namespace drhw {
-
-const char* to_string(Approach approach) {
-  switch (approach) {
-    case Approach::no_prefetch:
-      return "no-prefetch";
-    case Approach::design_time_prefetch:
-      return "design-time";
-    case Approach::runtime_heuristic:
-      return "run-time";
-    case Approach::runtime_intertask:
-      return "run-time+inter-task";
-    case Approach::hybrid:
-      return "hybrid";
-  }
-  return "?";
-}
-
-bool approach_uses_reuse(Approach approach) {
-  return approach == Approach::runtime_heuristic ||
-         approach == Approach::runtime_intertask ||
-         approach == Approach::hybrid;
-}
-
-bool approach_uses_intertask(Approach approach, bool hybrid_intertask) {
-  return approach == Approach::runtime_intertask ||
-         (approach == Approach::hybrid && hybrid_intertask);
-}
-
-std::vector<SubtaskId> intertask_prefetch_candidates(
-    const PreparedScenario& future, Approach approach, bool beyond_critical) {
-  if (approach == Approach::runtime_intertask) {
-    // The run-time heuristic has no CS concept: it prefetches whatever it
-    // would load first, i.e. every DRHW subtask by descending weight.
-    std::vector<SubtaskId> candidates;
-    for (std::size_t s = 0; s < future.graph->size(); ++s)
-      if (future.placement.on_drhw(static_cast<SubtaskId>(s)))
-        candidates.push_back(static_cast<SubtaskId>(s));
-    std::sort(candidates.begin(), candidates.end(),
-              [&](SubtaskId a, SubtaskId b) {
-                const auto wa = future.weights[static_cast<std::size_t>(a)];
-                const auto wb = future.weights[static_cast<std::size_t>(b)];
-                if (wa != wb) return wa > wb;
-                return a < b;
-              });
-    return candidates;
-  }
-  std::vector<SubtaskId> candidates = future.hybrid.critical;
-  if (beyond_critical)
-    for (SubtaskId s : future.hybrid.stored_order) candidates.push_back(s);
-  return candidates;
-}
 
 NextUseRank NextUseIndex::rank_from(long position) const {
   return [this, position](ConfigId c) -> long {
@@ -141,20 +93,11 @@ void harmonize_replacement_values(std::vector<PreparedScenario>& scenarios) {
 
 namespace {
 
-/// Per-instance schedule outcome in instance-relative time.
-struct InstanceSchedule {
-  EvalResult eval;
-  time_us init_duration = 0;
-  std::vector<SubtaskId> init_loads;
-  std::vector<time_us> init_load_ends;  ///< aligned with init_loads
-  int cancelled = 0;
-  time_us span = 0;
-};
-
 class SystemSimulation {
  public:
   SystemSimulation(const SimOptions& options, const IterationSampler& sampler)
       : options_(options),
+        policy_(PolicyRegistry::instance().create(options.policy)),
         sampler_(sampler),
         rng_(options.seed),
         store_(options.platform.tiles) {}
@@ -187,10 +130,7 @@ class SystemSimulation {
   }
 
  private:
-  bool intertask_enabled() const {
-    return approach_uses_intertask(options_.approach,
-                                   options_.hybrid_intertask);
-  }
+  bool intertask_enabled() const { return policy_->uses_intertask(); }
 
   void refill() {
     // The oracle replacement policy is entitled to the full remaining
@@ -216,9 +156,7 @@ class SystemSimulation {
 
   /// Value vector the replacement machinery should see for this instance.
   const std::vector<time_us>& values_for(const PreparedScenario& inst) const {
-    return options_.replacement == ReplacementPolicy::critical_first
-               ? inst.replacement_values
-               : inst.weights;
+    return policy_->replacement_values(inst, options_.replacement);
   }
 
   /// Reconfiguration latency of one subtask's bitstream.
@@ -251,7 +189,7 @@ class SystemSimulation {
             const std::vector<const PreparedScenario*>& upcoming) {
     const SubtaskGraph& graph = *inst.graph;
     const Placement& placement = inst.placement;
-    const bool reuse_on = approach_uses_reuse(options_.approach);
+    const bool reuse_on = policy_->uses_reuse();
 
     Binding binding;
     if (reuse_on) {
@@ -268,7 +206,8 @@ class SystemSimulation {
       binding.resident.assign(graph.size(), false);
     }
 
-    const InstanceSchedule sched = schedule_instance(inst, binding);
+    const SequentialSchedule sched =
+        schedule_instance(inst, binding, upcoming.size());
 
     // Commit the timeline into the shared configuration store.
     if (reuse_on) commit_to_store(inst, binding, sched);
@@ -283,47 +222,31 @@ class SystemSimulation {
     clock_ += sched.span;
   }
 
-  InstanceSchedule schedule_instance(const PreparedScenario& inst,
-                                     const Binding& binding) {
+  SequentialSchedule schedule_instance(const PreparedScenario& inst,
+                                       const Binding& binding,
+                                       std::size_t upcoming_count) {
+    PolicyContext context;
+    context.now = clock_;
+    context.ports = options_.platform.reconfig_ports;
+    context.port_busy = port_busy_;
+    context.live_instances = 0;  // instances run strictly one at a time
+    context.queued_instances = static_cast<int>(upcoming_count);
+    const InstancePlan plan = policy_->plan(inst, binding.resident, context);
+    const SequentialSchedule sched =
+        evaluate_instance_plan(inst, options_.platform, plan);
+    // Observed-pressure accounting for future PolicyContexts: the port was
+    // busy for every init and scheduled load of this instance.
     const SubtaskGraph& graph = *inst.graph;
-    const Placement& placement = inst.placement;
-    InstanceSchedule sched;
-    switch (options_.approach) {
-      case Approach::no_prefetch: {
-        const LoadPlan plan = on_demand_all(graph, placement);
-        sched.eval = evaluate(graph, placement, options_.platform, plan);
-        break;
-      }
-      case Approach::design_time_prefetch: {
-        const LoadPlan plan = explicit_plan(graph, inst.design_order);
-        sched.eval = evaluate(graph, placement, options_.platform, plan);
-        break;
-      }
-      case Approach::runtime_heuristic:
-      case Approach::runtime_intertask: {
-        const auto needs = loads_excluding(graph, placement, binding.resident);
-        sched.eval = list_prefetch_with_priority(
-            graph, placement, options_.platform, needs, inst.weights);
-        break;
-      }
-      case Approach::hybrid: {
-        HybridRunOutcome outcome =
-            hybrid_runtime(graph, placement, options_.platform, inst.hybrid,
-                           binding.resident);
-        sched.eval = std::move(outcome.eval);
-        sched.init_duration = outcome.init_duration;
-        sched.init_loads = std::move(outcome.init_loads);
-        sched.init_load_ends = std::move(outcome.init_load_ends);
-        sched.cancelled = outcome.cancelled_loads;
-        break;
-      }
-    }
-    sched.span = sched.init_duration + sched.eval.makespan;
+    for (const SubtaskId s : sched.init_loads)
+      port_busy_ += load_duration(graph, s);
+    for (std::size_t s = 0; s < graph.size(); ++s)
+      if (sched.eval.load_end[s] != k_no_time)
+        port_busy_ += sched.eval.load_end[s] - sched.eval.load_start[s];
     return sched;
   }
 
   void commit_to_store(const PreparedScenario& inst, const Binding& binding,
-                       const InstanceSchedule& sched) {
+                       const SequentialSchedule& sched) {
     const SubtaskGraph& graph = *inst.graph;
     const Placement& placement = inst.placement;
     const time_us offset = clock_ + sched.init_duration;
@@ -360,7 +283,7 @@ class SystemSimulation {
   }
 
   void tail_prefetch(const PreparedScenario& inst, const Binding& binding,
-                     const InstanceSchedule& sched,
+                     const SequentialSchedule& sched,
                      const std::vector<const PreparedScenario*>& upcoming) {
     const Placement& placement = inst.placement;
     const time_us offset = clock_ + sched.init_duration;
@@ -415,9 +338,7 @@ class SystemSimulation {
     for (const PreparedScenario* future : upcoming) {
       const SubtaskGraph& future_graph = *future->graph;
 
-      for (SubtaskId s : intertask_prefetch_candidates(
-               *future, options_.approach,
-               options_.intertask_beyond_critical)) {
+      for (SubtaskId s : policy_->intertask_candidates(*future)) {
         const ConfigId config = future_graph.subtask(s).config;
         if (store_.holds(config)) continue;
         const time_us duration = load_duration(future_graph, s);
@@ -463,6 +384,7 @@ class SystemSimulation {
             static_cast<double>(
                 values_for(*future)[static_cast<std::size_t>(s)]));
         port_cursor = done;
+        port_busy_ += duration;
         ++report_.intertask_prefetches;
         ++report_.loads;
         report_.energy += options_.platform.reconfig_energy;
@@ -471,7 +393,7 @@ class SystemSimulation {
   }
 
   void account(const PreparedScenario& inst, const Binding& binding,
-               const InstanceSchedule& sched) {
+               const SequentialSchedule& sched) {
     const SubtaskGraph& graph = *inst.graph;
     report_.total_ideal += inst.ideal;
     report_.total_actual += sched.span;
@@ -490,7 +412,7 @@ class SystemSimulation {
         static_cast<long>(sched.init_loads.size()) + sched.eval.loads;
     report_.loads += instance_loads;
     report_.init_loads += static_cast<long>(sched.init_loads.size());
-    report_.cancelled_loads += sched.cancelled;
+    report_.cancelled_loads += sched.cancelled_loads;
     report_.energy +=
         exec_energy +
         options_.platform.reconfig_energy * static_cast<double>(instance_loads);
@@ -515,6 +437,7 @@ class SystemSimulation {
   };
 
   SimOptions options_;
+  std::unique_ptr<PrefetchPolicy> policy_;
   const IterationSampler& sampler_;
   Rng rng_;
   ConfigStore store_;
@@ -526,6 +449,8 @@ class SystemSimulation {
   bool oracle_index_built_ = false;
   NextUseIndex next_use_index_;
   time_us clock_ = 0;
+  /// Cumulative port busy time — the pressure signal of PolicyContext.
+  time_us port_busy_ = 0;
   SimReport report_;
 };
 

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "platform/platform.hpp"
+#include "policy/policy_spec.hpp"
 #include "prefetch/critical_subtasks.hpp"
 #include "prefetch/evaluator.hpp"
 #include "reuse/reuse_module.hpp"
@@ -21,37 +22,9 @@
 
 namespace drhw {
 
-/// The five simulated scheduling approaches of Section 7.
-enum class Approach {
-  /// No prefetch module, no reuse: every load is issued on demand.
-  no_prefetch,
-  /// Optimal prefetch order computed at design time; reuse impossible
-  /// ("at design-time there is not enough information available").
-  design_time_prefetch,
-  /// The run-time heuristic of ref. [7] with reuse support.
-  runtime_heuristic,
-  /// runtime_heuristic plus the inter-task optimisation of Section 6.
-  runtime_intertask,
-  /// The paper's hybrid design-time/run-time heuristic (with inter-task
-  /// initialization-phase prefetch).
-  hybrid,
-};
-
-const char* to_string(Approach approach);
-
-/// All five approaches in the paper's presentation order — the single
-/// authoritative list for registries, CLIs, benches and tests.
-inline constexpr Approach k_all_approaches[5] = {
-    Approach::no_prefetch, Approach::design_time_prefetch,
-    Approach::runtime_heuristic, Approach::runtime_intertask,
-    Approach::hybrid};
-
-/// True when `approach` runs the reuse/replacement modules of Figure 2.
-bool approach_uses_reuse(Approach approach);
-
-/// True when `approach` performs the Section 6 inter-task optimisation
-/// (the sequential tail prefetch / the online backlog prefetch).
-bool approach_uses_intertask(Approach approach, bool hybrid_intertask);
+// The per-approach scheduling decisions live in the pluggable policy layer
+// (policy/prefetch_policy.hpp); SimOptions names the policy by its
+// registered PolicySpec and this rig stays a pure timing engine.
 
 /// Everything precomputed at design time for one (task, scenario) pair on a
 /// given platform. Instances reference these by pointer, so the owning
@@ -72,15 +45,6 @@ struct PreparedScenario {
 PreparedScenario prepare_scenario(const SubtaskGraph& graph, int tiles,
                                   const PlatformConfig& platform,
                                   const HybridDesignOptions& options = {});
-
-/// Candidate loads one future task would want prefetched, in initialization
-/// order. runtime_intertask has no CS concept and prefetches every DRHW
-/// subtask by descending weight; the hybrid prefetches its CS order, plus
-/// the stored order when `beyond_critical`. Shared by the sequential tail
-/// prefetch and the online backlog prefetch — the two must stay in
-/// lockstep for the rate->0 equivalence between the simulators.
-std::vector<SubtaskId> intertask_prefetch_candidates(
-    const PreparedScenario& future, Approach approach, bool beyond_critical);
 
 /// Next-use index for the oracle replacement policy: per-config stream
 /// positions, added in non-decreasing order. rank_from(p) yields, per
@@ -116,15 +80,12 @@ using IterationSampler =
 
 struct SimOptions {
   PlatformConfig platform;
-  Approach approach = Approach::hybrid;
+  /// The prefetch scheduling policy, by registered name + parameters
+  /// (policy/registry.hpp). Policy-specific knobs — e.g. the hybrid's
+  /// inter-task toggle or its beyond-critical tail prefetch — are policy
+  /// parameters: PolicySpec("hybrid").with("intertask", "0").
+  PolicySpec policy = PolicySpec("hybrid");
   ReplacementPolicy replacement = ReplacementPolicy::lru;
-  /// Let the hybrid tail-prefetch continue into the next task's stored
-  /// (non-critical) loads after its CS is resident (extension; the paper
-  /// prefetches the initialization phase only).
-  bool intertask_beyond_critical = false;
-  /// Disable the inter-task optimisation for the hybrid approach
-  /// (ablation; the paper's hybrid includes it).
-  bool hybrid_intertask = true;
   /// Whether the inter-task optimisation may look across iteration
   /// boundaries. False models independent run-time scheduler invocations
   /// (the multimedia mix: the next iteration's tasks are unknown); true

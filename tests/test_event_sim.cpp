@@ -1,13 +1,17 @@
 // Tests for the event-driven online simulation kernel: determinism (rerun
-// and campaign-thread-count invariance), rate -> 0 equivalence against the
-// sequential Section 7 simulator, contention behaviour on the shared port
-// and tile pool, and the arrival processes.
+// and campaign-thread-count invariance), the registry-driven rate -> 0
+// equivalence of *every registered policy* against the sequential Section 7
+// simulator, contention behaviour on the shared port and tile pool, and the
+// arrival processes.
 
 #include <gtest/gtest.h>
 
+#include <cctype>
 #include <memory>
 
 #include "graph/generators.hpp"
+#include "policy/names.hpp"
+#include "policy/registry.hpp"
 #include "runner/campaign.hpp"
 #include "runner/report.hpp"
 #include "runner/scenario.hpp"
@@ -44,10 +48,10 @@ struct OnlineFixture : ::testing::Test {
     workload = make_multimedia_workload(platform);
     sampler = multimedia_sampler(*workload);
   }
-  OnlineSimOptions options(Approach a, double rate) {
+  OnlineSimOptions options(const PolicySpec& policy, double rate) {
     OnlineSimOptions opt;
     opt.platform = platform;
-    opt.approach = a;
+    opt.policy = policy;
     opt.arrivals.rate_per_s = rate;
     opt.seed = 7;
     opt.iterations = 60;
@@ -58,83 +62,119 @@ struct OnlineFixture : ::testing::Test {
   IterationSampler sampler;
 };
 
-TEST_F(OnlineFixture, RerunsAreBitIdentical) {
-  for (Approach a : k_all_approaches) {
-    const auto opt = options(a, 40.0);
-    const auto r1 = run_online_simulation(opt, sampler);
-    const auto r2 = run_online_simulation(opt, sampler);
-    EXPECT_EQ(r1.spans, r2.spans) << to_string(a);
-    EXPECT_EQ(r1.sim.total_actual, r2.sim.total_actual) << to_string(a);
-    EXPECT_EQ(r1.sim.loads, r2.sim.loads) << to_string(a);
-    EXPECT_EQ(r1.mean_response_ms, r2.mean_response_ms) << to_string(a);
-    EXPECT_EQ(r1.horizon, r2.horizon) << to_string(a);
+/// Registry-driven coverage: every policy registered in the PolicyRegistry
+/// runs through both simulators, parameterized by name — a newly registered
+/// policy is covered with zero test edits.
+class EveryRegisteredPolicy : public ::testing::TestWithParam<std::string> {
+ protected:
+  void SetUp() override {
+    platform = virtex2_platform(16);
+    workload = make_multimedia_workload(platform);
+    sampler = multimedia_sampler(*workload);
   }
+  PlatformConfig platform;
+  std::unique_ptr<MultimediaWorkload> workload;
+  IterationSampler sampler;
+};
+
+TEST_P(EveryRegisteredPolicy, RerunsAreBitIdenticalUnderContention) {
+  OnlineSimOptions opt;
+  opt.platform = platform;
+  opt.policy = GetParam();
+  opt.arrivals.rate_per_s = 40.0;
+  opt.seed = 7;
+  opt.iterations = 60;
+  const auto r1 = run_online_simulation(opt, sampler);
+  const auto r2 = run_online_simulation(opt, sampler);
+  EXPECT_EQ(r1.spans, r2.spans);
+  EXPECT_EQ(r1.sim.total_actual, r2.sim.total_actual);
+  EXPECT_EQ(r1.sim.loads, r2.sim.loads);
+  EXPECT_EQ(r1.mean_response_ms, r2.mean_response_ms);
+  EXPECT_EQ(r1.horizon, r2.horizon);
 }
 
-TEST_F(OnlineFixture, AllApproachesRunOnPoissonAndBurstyArrivals) {
-  for (Approach a : k_all_approaches) {
-    for (ArrivalProcess::Kind kind :
-         {ArrivalProcess::Kind::poisson, ArrivalProcess::Kind::bursty}) {
-      auto opt = options(a, 30.0);
-      opt.arrivals.kind = kind;
-      opt.arrivals.burst_size = 4;
-      const auto r = run_online_simulation(opt, sampler);
-      EXPECT_GT(r.sim.instances, 0) << to_string(a);
-      EXPECT_EQ(static_cast<long>(r.spans.size()), r.sim.instances);
-      EXPECT_GE(r.sim.total_actual, r.sim.total_ideal) << to_string(a);
-      EXPECT_GE(r.port_utilisation_pct, 0.0);
-      EXPECT_LE(r.port_utilisation_pct, 100.0);
-      EXPECT_GE(r.mean_response_ms, r.mean_queueing_ms);
-    }
+TEST_P(EveryRegisteredPolicy, RunsOnPoissonAndBurstyArrivals) {
+  for (ArrivalProcess::Kind kind :
+       {ArrivalProcess::Kind::poisson, ArrivalProcess::Kind::bursty}) {
+    OnlineSimOptions opt;
+    opt.platform = platform;
+    opt.policy = GetParam();
+    opt.arrivals.rate_per_s = 30.0;
+    opt.arrivals.kind = kind;
+    opt.arrivals.burst_size = 4;
+    opt.seed = 7;
+    opt.iterations = 60;
+    const auto r = run_online_simulation(opt, sampler);
+    EXPECT_GT(r.sim.instances, 0);
+    EXPECT_EQ(static_cast<long>(r.spans.size()), r.sim.instances);
+    EXPECT_GE(r.sim.total_actual, r.sim.total_ideal);
+    EXPECT_GE(r.port_utilisation_pct, 0.0);
+    EXPECT_LE(r.port_utilisation_pct, 100.0);
+    EXPECT_GE(r.mean_response_ms, r.mean_queueing_ms);
   }
 }
 
 /// rate -> 0: arrivals are so far apart that no two instances are ever
 /// live together, so per-instance makespans must reduce to the sequential
-/// simulator's spans on the same sampler stream. The sequential reference
-/// runs without inter-task prefetch for the intertask-capable approaches:
-/// an online scheduler with an empty backlog has nothing to prefetch for.
-TEST_F(OnlineFixture, RateToZeroMatchesSequentialSimulatorPerInstance) {
-  const struct {
-    Approach online;
-    Approach sequential;
-    bool hybrid_intertask;
-  } cases[] = {
-      {Approach::no_prefetch, Approach::no_prefetch, true},
-      {Approach::design_time_prefetch, Approach::design_time_prefetch, true},
-      {Approach::runtime_heuristic, Approach::runtime_heuristic, true},
-      {Approach::runtime_intertask, Approach::runtime_heuristic, true},
-      {Approach::hybrid, Approach::hybrid, false},
-  };
-  for (const auto& c : cases) {
-    auto opt = options(c.online, 0.0001);  // mean gap 10^4 s >> any span
-    const auto online = run_online_simulation(opt, sampler);
+/// simulator's spans on the same sampler stream — for *every* registered
+/// policy, single- and two-port. The sequential reference is auto-derived:
+/// the same policy spec with the inter-task lookahead closed
+/// (intertask_lookahead = 0), because an online scheduler with an empty
+/// backlog has nothing to prefetch for, so the sequential rig must not
+/// tail-prefetch either. (Pre-registry this table was hand-listed per
+/// approach, mapping run-time+inter-task onto run-time and flipping the
+/// hybrid's intertask flag — the lookahead knob subsumes both.)
+TEST_P(EveryRegisteredPolicy, RateToZeroMatchesSequentialSimulator) {
+  for (const int ports : {1, 2}) {
+    PlatformConfig pf = platform;
+    pf.reconfig_ports = ports;
+    const auto local = make_multimedia_workload(pf);
+    const auto local_sampler = multimedia_sampler(*local);
+
+    OnlineSimOptions opt;
+    opt.platform = pf;
+    opt.policy = GetParam();
+    opt.arrivals.rate_per_s = 0.0001;  // mean gap 10^4 s >> any span
+    opt.seed = 7;
+    opt.iterations = 60;
+    const auto online = run_online_simulation(opt, local_sampler);
 
     SimOptions seq;
-    seq.platform = platform;
-    seq.approach = c.sequential;
-    seq.hybrid_intertask = c.hybrid_intertask;
+    seq.platform = pf;
+    seq.policy = GetParam();
+    seq.intertask_lookahead = 0;  // see the comment above
     seq.seed = opt.seed;
     seq.iterations = opt.iterations;
     seq.record_spans = true;
-    const auto sequential = run_simulation(seq, sampler);
+    const auto sequential = run_simulation(seq, local_sampler);
 
-    EXPECT_EQ(online.mean_queueing_ms, 0.0) << to_string(c.online);
+    EXPECT_EQ(online.mean_queueing_ms, 0.0) << ports << " port(s)";
     ASSERT_EQ(online.spans.size(), sequential.spans.size())
-        << to_string(c.online);
-    EXPECT_EQ(online.spans, sequential.spans) << to_string(c.online);
-    EXPECT_EQ(online.sim.total_actual, sequential.total_actual);
-    EXPECT_EQ(online.sim.loads, sequential.loads) << to_string(c.online);
+        << ports << " port(s)";
+    EXPECT_EQ(online.spans, sequential.spans) << ports << " port(s)";
+    EXPECT_EQ(online.sim.total_actual, sequential.total_actual)
+        << ports << " port(s)";
+    EXPECT_EQ(online.sim.loads, sequential.loads) << ports << " port(s)";
     EXPECT_EQ(online.sim.reused_subtasks, sequential.reused_subtasks);
     EXPECT_EQ(online.sim.init_loads, sequential.init_loads);
     EXPECT_EQ(online.sim.cancelled_loads, sequential.cancelled_loads);
   }
 }
 
+INSTANTIATE_TEST_SUITE_P(
+    PolicyRegistry, EveryRegisteredPolicy,
+    ::testing::ValuesIn(PolicyRegistry::instance().names()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string id = info.param;  // gtest ids must be [A-Za-z0-9_]
+      for (char& c : id)
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      return id;
+    });
+
 TEST_F(OnlineFixture, ContentionStretchesResponseAndLoadsThePort) {
-  const auto idle = run_online_simulation(options(Approach::no_prefetch, 0.001),
+  const auto idle = run_online_simulation(options(policy_names::no_prefetch, 0.001),
                                           sampler);
-  const auto busy = run_online_simulation(options(Approach::no_prefetch, 80.0),
+  const auto busy = run_online_simulation(options(policy_names::no_prefetch, 80.0),
                                           sampler);
   // Same instance stream, so the ideal time is identical; contention can
   // only stretch spans and responses.
@@ -149,18 +189,18 @@ TEST_F(OnlineFixture, ContentionStretchesResponseAndLoadsThePort) {
 
 TEST_F(OnlineFixture, BacklogPrefetchHidesLoadsUnderContention) {
   const auto without =
-      run_online_simulation(options(Approach::runtime_heuristic, 60.0),
+      run_online_simulation(options(policy_names::runtime, 60.0),
                             sampler);
   const auto with =
-      run_online_simulation(options(Approach::runtime_intertask, 60.0),
+      run_online_simulation(options(policy_names::runtime_intertask, 60.0),
                             sampler);
   EXPECT_GT(with.sim.intertask_prefetches, 0);
   EXPECT_EQ(without.sim.intertask_prefetches, 0);
   EXPECT_LT(with.sim.overhead_pct, without.sim.overhead_pct);
   EXPECT_GT(with.sim.reuse_pct, without.sim.reuse_pct);
 
-  auto hybrid_off = options(Approach::hybrid, 60.0);
-  hybrid_off.hybrid_intertask = false;
+  const auto hybrid_off = options(
+      PolicySpec(policy_names::hybrid).with("intertask", "0"), 60.0);
   EXPECT_EQ(run_online_simulation(hybrid_off, sampler).sim.intertask_prefetches,
             0);
 }
@@ -186,7 +226,7 @@ TEST(OnlineKernel, InitLoadCompletingBeforeUnitArrivalDoesNotStall) {
 
   OnlineSimOptions opt;
   opt.platform = platform;
-  opt.approach = Approach::hybrid;
+  opt.policy = policy_names::hybrid;
   opt.arrivals.rate_per_s = 10.0;
   opt.iterations = 5;
   const auto r = run_online_simulation(opt, sampler);
@@ -195,7 +235,7 @@ TEST(OnlineKernel, InitLoadCompletingBeforeUnitArrivalDoesNotStall) {
 }
 
 TEST_F(OnlineFixture, ClosedLoopNeverQueues) {
-  auto opt = options(Approach::runtime_heuristic, 0.0);
+  auto opt = options(policy_names::runtime, 0.0);
   opt.arrivals.kind = ArrivalProcess::Kind::closed_loop;
   opt.arrivals.think_time = ms(2);
   opt.iterations = 30;
@@ -207,7 +247,7 @@ TEST_F(OnlineFixture, ClosedLoopNeverQueues) {
 }
 
 TEST_F(OnlineFixture, OracleReplacementRunsOnTheFullStreamIndex) {
-  auto opt = options(Approach::runtime_heuristic, 40.0);
+  auto opt = options(policy_names::runtime, 40.0);
   opt.replacement = ReplacementPolicy::oracle;
   const auto r1 = run_online_simulation(opt, sampler);
   const auto r2 = run_online_simulation(opt, sampler);
@@ -219,7 +259,7 @@ TEST_F(OnlineFixture, OracleReplacementRunsOnTheFullStreamIndex) {
 }
 
 TEST_F(OnlineFixture, MultiPortPlatformsLoadInParallel) {
-  auto one = options(Approach::no_prefetch, 80.0);
+  auto one = options(policy_names::no_prefetch, 80.0);
   auto two = one;
   two.platform.reconfig_ports = 2;
   const auto r1 = run_online_simulation(one, sampler);
@@ -248,7 +288,7 @@ TEST(OnlineKernel, SaturatedMultiPortUtilisationIsNormalisedByPortCount) {
   };
   OnlineSimOptions opt;
   opt.platform = platform;
-  opt.approach = Approach::no_prefetch;  // every instance loads everything
+  opt.policy = policy_names::no_prefetch;  // every instance loads everything
   opt.arrivals.rate_per_s = 1000.0;      // demand >> 2 ports' bandwidth
   opt.iterations = 200;
   const auto r = run_online_simulation(opt, sampler);
@@ -280,7 +320,7 @@ TEST_F(OnlineFixture, SecondPortStrictlyReducesQueueingOnPortBoundDefrag) {
     OnlineSimOptions opt;
     opt.platform = virtex2_platform(12);
     opt.platform.reconfig_ports = ports;
-    opt.approach = Approach::hybrid;
+    opt.policy = policy_names::hybrid;
     opt.arrivals.rate_per_s = 120.0;
     opt.pool.contiguous = true;
     opt.pool.defrag = true;
@@ -305,51 +345,8 @@ TEST_F(OnlineFixture, SecondPortStrictlyReducesQueueingOnPortBoundDefrag) {
   EXPECT_EQ(one.sim.instances, two.sim.instances);
 }
 
-/// Multi-port equivalence story: at arrival rate -> 0 the per-instance
-/// spans on a two-port platform still reduce exactly to the sequential
-/// simulator's (whose evaluator and hybrid init phase dispatch onto the
-/// same earliest-free PortSet). Pre-PR the sequential rig serialised the
-/// hybrid's init loads regardless of the port count, so the hybrid case
-/// diverged the moment reconfig_ports > 1.
-TEST_F(OnlineFixture, RateToZeroMatchesSequentialSimulatorWithTwoPorts) {
-  const struct {
-    Approach online;
-    Approach sequential;
-    bool hybrid_intertask;
-  } cases[] = {
-      {Approach::no_prefetch, Approach::no_prefetch, true},
-      {Approach::design_time_prefetch, Approach::design_time_prefetch, true},
-      {Approach::runtime_heuristic, Approach::runtime_heuristic, true},
-      {Approach::runtime_intertask, Approach::runtime_heuristic, true},
-      {Approach::hybrid, Approach::hybrid, false},
-  };
-  PlatformConfig two_ports = platform;
-  two_ports.reconfig_ports = 2;
-  const auto local = make_multimedia_workload(two_ports);
-  const auto local_sampler = multimedia_sampler(*local);
-  for (const auto& c : cases) {
-    auto opt = options(c.online, 0.0001);
-    opt.platform = two_ports;
-    const auto online = run_online_simulation(opt, local_sampler);
-
-    SimOptions seq;
-    seq.platform = two_ports;
-    seq.approach = c.sequential;
-    seq.hybrid_intertask = c.hybrid_intertask;
-    seq.seed = opt.seed;
-    seq.iterations = opt.iterations;
-    seq.record_spans = true;
-    const auto sequential = run_simulation(seq, local_sampler);
-
-    ASSERT_EQ(online.spans.size(), sequential.spans.size())
-        << to_string(c.online);
-    EXPECT_EQ(online.spans, sequential.spans) << to_string(c.online);
-    EXPECT_EQ(online.sim.total_actual, sequential.total_actual)
-        << to_string(c.online);
-    EXPECT_EQ(online.sim.loads, sequential.loads) << to_string(c.online);
-    EXPECT_EQ(online.sim.init_loads, sequential.init_loads);
-  }
-}
+// (The hand-listed two-port rate->0 equivalence test folded into
+// EveryRegisteredPolicy.RateToZeroMatchesSequentialSimulator above.)
 
 TEST(OnlineKernel, SharedIspContentionSerialisesIspExecutions) {
   // An ISP-heavy synthetic mix: per-instance ISPs (the default) give every
@@ -381,7 +378,7 @@ TEST(OnlineKernel, SharedIspContentionSerialisesIspExecutions) {
 
   OnlineSimOptions opt;
   opt.platform = platform;
-  opt.approach = Approach::hybrid;
+  opt.policy = policy_names::hybrid;
   opt.arrivals.rate_per_s = 80.0;
   opt.seed = 7;
   opt.iterations = 60;
@@ -409,7 +406,7 @@ TEST(OnlineKernel, SharedIspContentionSerialisesIspExecutions) {
 }
 
 TEST_F(OnlineFixture, PriorityDisciplineRunsAndStaysDeterministic) {
-  auto opt = options(Approach::runtime_heuristic, 60.0);
+  auto opt = options(policy_names::runtime, 60.0);
   opt.port_discipline = PortDiscipline::priority;
   const auto r1 = run_online_simulation(opt, sampler);
   const auto r2 = run_online_simulation(opt, sampler);
@@ -425,7 +422,7 @@ TEST_F(OnlineFixture, AdmissionPoliciesAndDefragReduceQueueingWhenFragmented) {
   const auto run = [&](AdmissionPolicy policy, bool defrag) {
     OnlineSimOptions opt;
     opt.platform = virtex2_platform(12);
-    opt.approach = Approach::hybrid;
+    opt.policy = policy_names::hybrid;
     opt.arrivals.rate_per_s = 40.0;
     opt.pool.contiguous = true;
     opt.pool.admission = policy;
@@ -467,7 +464,7 @@ TEST_F(OnlineFixture, FifoHolDefaultsMatchThePlainCountBasedKernel) {
   // The pool-layer refactor must be invisible under the default options:
   // fifo_hol + non-contiguous + no defrag reproduces PR 2 bit-identically,
   // and a contiguous pool with the whole pool free behaves sanely.
-  const auto opt = options(Approach::hybrid, 40.0);
+  const auto opt = options(policy_names::hybrid, 40.0);
   const auto r = run_online_simulation(opt, sampler);
   EXPECT_EQ(r.queue_skips, 0);
   EXPECT_EQ(r.defrag_moves, 0);
@@ -476,7 +473,7 @@ TEST_F(OnlineFixture, FifoHolDefaultsMatchThePlainCountBasedKernel) {
 }
 
 TEST_F(OnlineFixture, SchedulerCostDelaysResponsesButNotTheWorkload) {
-  auto free_opt = options(Approach::hybrid, 40.0);
+  auto free_opt = options(policy_names::hybrid, 40.0);
   auto charged_opt = free_opt;
   charged_opt.scheduler_cost = ms(1);  // deliberately huge: visible shift
   const auto free_run = run_online_simulation(free_opt, sampler);
@@ -490,18 +487,18 @@ TEST_F(OnlineFixture, SchedulerCostDelaysResponsesButNotTheWorkload) {
   // later instances can only queue longer, never shorter.
   EXPECT_GE(charged.mean_queueing_ms, free_run.mean_queueing_ms);
 
-  // Section 4 defaults: design-time approaches decide nothing at run time.
-  EXPECT_EQ(paper_scheduler_cost(Approach::no_prefetch), 0);
-  EXPECT_EQ(paper_scheduler_cost(Approach::design_time_prefetch), 0);
-  EXPECT_EQ(paper_scheduler_cost(Approach::hybrid),
+  // Section 4 defaults: design-time policies decide nothing at run time.
+  EXPECT_EQ(paper_scheduler_cost(policy_names::no_prefetch), 0);
+  EXPECT_EQ(paper_scheduler_cost(policy_names::design_time), 0);
+  EXPECT_EQ(paper_scheduler_cost(policy_names::hybrid),
             k_paper_hybrid_scheduler_cost);
-  EXPECT_EQ(paper_scheduler_cost(Approach::runtime_heuristic),
+  EXPECT_EQ(paper_scheduler_cost(policy_names::runtime),
             k_paper_list_scheduler_cost);
   EXPECT_LT(k_paper_hybrid_scheduler_cost, k_paper_list_scheduler_cost);
 }
 
 TEST_F(OnlineFixture, QuantileSketchTracksExactSpanPercentiles) {
-  const auto opt = options(Approach::runtime_heuristic, 60.0);
+  const auto opt = options(policy_names::runtime, 60.0);
   const auto r = run_online_simulation(opt, sampler);
   ASSERT_GT(r.sim.instances, 50);
   // The P² estimator's numeric accuracy is pinned in test_util; here the
@@ -518,7 +515,7 @@ TEST_F(OnlineFixture, QuantileSketchTracksExactSpanPercentiles) {
 }
 
 TEST_F(OnlineFixture, RecordSpansOffKeepsMetricsButDropsTheVector) {
-  auto with_spans = options(Approach::hybrid, 40.0);
+  auto with_spans = options(policy_names::hybrid, 40.0);
   auto without = with_spans;
   without.record_spans = false;
   const auto a = run_online_simulation(with_spans, sampler);
@@ -538,15 +535,20 @@ TEST(OnlineScenarios, CampaignResultsIdenticalAcrossThreadCounts) {
   // the pool-layer policies too.
   const auto scenarios = registry.match("online");
   ASSERT_FALSE(scenarios.empty());
-  std::size_t defrag_scenarios = 0, multiport_scenarios = 0;
+  std::size_t defrag_scenarios = 0, multiport_scenarios = 0,
+              policy_scenarios = 0;
   for (const auto& s : scenarios) {
     defrag_scenarios += s.family == "online_defrag";
     multiport_scenarios += s.family == "online_multiport";
+    policy_scenarios += s.family == "online_policy";
   }
   EXPECT_EQ(defrag_scenarios, 24u);  // 2 tiles x 2 rates x 3 policies x 2
   // 3 ports x 2 approaches x 2 policies (defrag sweep) + 3 ports x 2
   // approaches (shared-ISP sweep).
   EXPECT_EQ(multiport_scenarios, 18u);
+  // One scenario per *registered* policy: the bit-identity check below
+  // covers newly registered policies automatically.
+  EXPECT_EQ(policy_scenarios, PolicyRegistry::instance().names().size());
 
   CampaignOptions one;
   one.threads = 1;
@@ -580,7 +582,7 @@ TEST(OnlineScenarios, OnlineMetricsFlowIntoReports) {
   s.mode = ScenarioMode::online;
   s.sim.platform = virtex2_platform(12);
   s.sim.platform.reconfig_ports = 2;
-  s.sim.approach = Approach::hybrid;
+  s.sim.policy = policy_names::hybrid;
   s.sim.iterations = 30;
   s.arrivals.rate_per_s = 50.0;
   s.shared_isps = true;
@@ -638,7 +640,7 @@ TEST(OnlineScenarios, SweepExpandsArrivalRateAxis) {
   sweep.base.mode = ScenarioMode::online;
   sweep.base.sim.iterations = 10;
   sweep.tiles = {8, 16};
-  sweep.approaches = {Approach::hybrid};
+  sweep.policies = {policy_names::hybrid};
   sweep.arrival_rates = {10.0, 80.0};
   const auto scenarios = build_sweep(sweep);
   EXPECT_EQ(scenarios.size(), 4u);

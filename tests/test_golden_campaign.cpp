@@ -78,7 +78,7 @@ TEST(GoldenCampaign, Fig6ApproachMeansAreExactlyPinned) {
   for (const auto& result : results) {
     ASSERT_TRUE(result.ok) << result.scenario.name << ": " << result.error;
     const auto metrics = deterministic_metrics(result);
-    auto& a = acc[to_string(result.scenario.sim.approach)];
+    auto& a = acc[result.scenario.sim.policy.name];
     a[0] += metrics.at("makespan_ms");
     a[1] += metrics.at("overhead_pct");
     a[2] += metrics.at("reuse_pct");

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "policy/names.hpp"
 #include "sim/system_sim.hpp"
 
 namespace drhw {
@@ -35,10 +36,10 @@ struct TwoTaskFixture : ::testing::Test {
     };
   }
 
-  SimOptions options(Approach a) {
+  SimOptions options(const PolicySpec& a) {
     SimOptions opt;
     opt.platform = platform;
-    opt.approach = a;
+    opt.policy = a;
     opt.seed = 1;
     opt.iterations = 10;
     return opt;
@@ -50,7 +51,7 @@ struct TwoTaskFixture : ::testing::Test {
 };
 
 TEST_F(TwoTaskFixture, TailWindowHidesColdInitializationOfNextTask) {
-  const auto r = run_simulation(options(Approach::hybrid),
+  const auto r = run_simulation(options(policy_names::hybrid),
                                 sequence_sampler());
   // Iteration 1: big pays its init (4 ms); small's init is prefetched into
   // big's 40 ms window. Afterwards both configurations stay resident.
@@ -59,8 +60,8 @@ TEST_F(TwoTaskFixture, TailWindowHidesColdInitializationOfNextTask) {
 }
 
 TEST_F(TwoTaskFixture, WithoutIntertaskBothColdInitsExposed) {
-  auto opt = options(Approach::hybrid);
-  opt.hybrid_intertask = false;
+  const auto opt = options(
+      PolicySpec(policy_names::hybrid).with("intertask", "0"));
   const auto r = run_simulation(opt, sequence_sampler());
   EXPECT_EQ(r.total_actual - r.total_ideal, ms(8));
   EXPECT_EQ(r.intertask_prefetches, 0);
@@ -73,13 +74,13 @@ TEST_F(TwoTaskFixture, WindowTooSmallMeansNoPrefetch) {
     return std::vector<const PreparedScenario*>{&prepared_small,
                                                 &prepared_big};
   };
-  const auto r = run_simulation(options(Approach::hybrid), sampler);
+  const auto r = run_simulation(options(policy_names::hybrid), sampler);
   EXPECT_EQ(r.intertask_prefetches, 0);
   EXPECT_EQ(r.total_actual - r.total_ideal, ms(8));  // cold starts only
 }
 
 TEST_F(TwoTaskFixture, RuntimeIntertaskPrefetchesByWeight) {
-  const auto r = run_simulation(options(Approach::runtime_intertask),
+  const auto r = run_simulation(options(policy_names::runtime_intertask),
                                 sequence_sampler());
   EXPECT_EQ(r.intertask_prefetches, 1);
   EXPECT_EQ(r.total_actual - r.total_ideal, ms(4));
@@ -93,7 +94,7 @@ TEST_F(TwoTaskFixture, BusyTileCannotBePrefetched) {
   auto small1 = prepare_scenario(small, 1, pf1);
   SimOptions opt;
   opt.platform = pf1;
-  opt.approach = Approach::hybrid;
+  opt.policy = policy_names::hybrid;
   opt.seed = 1;
   opt.iterations = 5;
   auto sampler = [&](Rng&) {
@@ -105,7 +106,7 @@ TEST_F(TwoTaskFixture, BusyTileCannotBePrefetched) {
 }
 
 TEST_F(TwoTaskFixture, EnergyAccountsLoadsIncludingPrefetches) {
-  auto opt = options(Approach::hybrid);
+  auto opt = options(policy_names::hybrid);
   opt.iterations = 4;
   const auto r = run_simulation(opt, sequence_sampler());
   // Cold start: one init for big, one prefetch for small; then resident.
@@ -129,7 +130,7 @@ struct PressureFixture : ::testing::Test {
   SimOptions options() {
     SimOptions opt;
     opt.platform = platform;
-    opt.approach = Approach::hybrid;
+    opt.policy = policy_names::hybrid;
     opt.seed = 1;
     opt.iterations = 10;
     return opt;

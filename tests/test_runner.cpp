@@ -9,6 +9,8 @@
 #include <limits>
 #include <set>
 
+#include "policy/names.hpp"
+#include "policy/registry.hpp"
 #include "runner/campaign.hpp"
 #include "runner/report.hpp"
 #include "runner/scenario.hpp"
@@ -17,7 +19,7 @@ namespace drhw {
 namespace {
 
 Scenario quick_scenario(const std::string& name, const std::string& family,
-                        Approach approach, std::uint64_t seed) {
+                        const PolicySpec& policy, std::uint64_t seed) {
   Scenario s;
   s.name = name;
   s.family = family;
@@ -25,7 +27,7 @@ Scenario quick_scenario(const std::string& name, const std::string& family,
   s.synthetic.tasks = 3;
   s.synthetic.graph.subtasks = 10;
   s.synthetic.graph_seed = 7;
-  s.sim.approach = approach;
+  s.sim.policy = policy;
   s.sim.seed = seed;
   s.sim.iterations = 25;
   return s;
@@ -35,19 +37,24 @@ Scenario quick_scenario(const std::string& name, const std::string& family,
 /// multimedia scenario and a Pocket GL scenario.
 std::vector<Scenario> quick_campaign() {
   std::vector<Scenario> scenarios;
-  for (Approach approach :
-       {Approach::no_prefetch, Approach::runtime_heuristic, Approach::hybrid})
+  for (const char* policy :
+       {policy_names::no_prefetch, policy_names::runtime,
+        policy_names::hybrid})
     for (std::uint64_t seed : {1ull, 2ull})
       scenarios.push_back(quick_scenario(
-          std::string("quick/") + to_string(approach) + "/s" +
-              std::to_string(seed),
-          "quick", approach, seed));
+          std::string("quick/") + policy + "/s" + std::to_string(seed),
+          "quick", policy, seed));
+  // One parameterised policy spec, so the policy_params descriptor fields
+  // are exercised by every report round trip below.
+  scenarios.push_back(quick_scenario(
+      "quick/hybrid-no-intertask/s1", "quick",
+      PolicySpec(policy_names::hybrid).with("intertask", "0"), 1));
   Scenario table1;
   table1.name = "t1/jpeg_dec";
   table1.family = "t1";
   table1.task_filter = {"jpeg_dec"};
   table1.exhaustive = true;
-  table1.sim.approach = Approach::no_prefetch;
+  table1.sim.policy = policy_names::no_prefetch;
   table1.sim.iterations = 1;
   scenarios.push_back(table1);
   Scenario gl;
@@ -55,7 +62,7 @@ std::vector<Scenario> quick_campaign() {
   gl.family = "gl";
   gl.workload = WorkloadKind::pocket_gl;
   gl.sim.platform = virtex2_platform(6);
-  gl.sim.approach = Approach::hybrid;
+  gl.sim.policy = policy_names::hybrid;
   gl.sim.replacement = ReplacementPolicy::critical_first;
   gl.sim.iterations = 10;
   scenarios.push_back(gl);
@@ -83,23 +90,35 @@ TEST(ScenarioRegistry, BuiltinEnumeratesThePaperExperiments) {
   // Figure 7's design-time baseline sees the merged frame graphs.
   for (const Scenario& s : registry.match("fig7"))
     EXPECT_EQ(s.workload == WorkloadKind::pocket_gl_frames,
-              s.sim.approach == Approach::design_time_prefetch)
+              s.sim.policy.name == policy_names::design_time)
         << s.name;
+  // Every *registered* prefetch policy gets one online_policy scenario.
+  const auto by_policy = registry.match("online_policy");
+  EXPECT_EQ(by_policy.size(), PolicyRegistry::instance().names().size());
+  for (const Scenario& s : by_policy) EXPECT_EQ(s.mode, ScenarioMode::online);
 }
 
 TEST(ScenarioRegistry, RejectsDuplicatesAndInvalidDescriptors) {
   ScenarioRegistry registry;
-  registry.add(quick_scenario("a", "f", Approach::hybrid, 1));
-  EXPECT_THROW(registry.add(quick_scenario("a", "f", Approach::hybrid, 2)),
+  registry.add(quick_scenario("a", "f", policy_names::hybrid, 1));
+  EXPECT_THROW(registry.add(quick_scenario("a", "f", policy_names::hybrid, 2)),
                std::invalid_argument);
 
-  Scenario bad = quick_scenario("b", "f", Approach::hybrid, 1);
+  Scenario bad = quick_scenario("b", "f", policy_names::hybrid, 1);
   bad.sim.iterations = 0;
   EXPECT_THROW(registry.add(bad), std::invalid_argument);
 
-  Scenario filtered = quick_scenario("c", "f", Approach::hybrid, 1);
+  Scenario filtered = quick_scenario("c", "f", policy_names::hybrid, 1);
   filtered.task_filter = {"jpeg_dec"};  // synthetic workloads have no filter
   EXPECT_THROW(registry.add(filtered), std::invalid_argument);
+
+  // An unregistered policy name (or a bad parameter) fails at descriptor
+  // validation, before anything simulates.
+  Scenario unknown = quick_scenario("d", "f", "no-such-policy", 1);
+  EXPECT_THROW(registry.add(unknown), std::invalid_argument);
+  Scenario bad_param = quick_scenario(
+      "e", "f", PolicySpec(policy_names::hybrid).with("typo", "1"), 1);
+  EXPECT_THROW(registry.add(bad_param), std::invalid_argument);
 }
 
 TEST(ScenarioRegistry, MatchFiltersByNameAndFamily) {
@@ -114,11 +133,11 @@ TEST(ScenarioRegistry, MatchFiltersByNameAndFamily) {
 TEST(SweepBuilder, ExpandsTheCartesianProduct) {
   SweepConfig sweep;
   sweep.family = "s";
-  sweep.base = quick_scenario("s/base", "s", Approach::hybrid, 1);
+  sweep.base = quick_scenario("s/base", "s", policy_names::hybrid, 1);
   sweep.tiles = {4, 8};
   sweep.latencies = {ms(4), us(500), us(100)};
   sweep.ports = {1, 2};
-  sweep.approaches = {Approach::runtime_heuristic, Approach::hybrid};
+  sweep.policies = {policy_names::runtime, policy_names::hybrid};
   sweep.seeds = {1, 2, 3};
   const auto scenarios = build_sweep(sweep);
   EXPECT_EQ(scenarios.size(), 2u * 3u * 2u * 2u * 3u);
@@ -130,13 +149,13 @@ TEST(SweepBuilder, ExpandsTheCartesianProduct) {
   // Empty axes fall back to the base scenario's value.
   SweepConfig narrow;
   narrow.family = "n";
-  narrow.base = quick_scenario("n/base", "n", Approach::hybrid, 9);
+  narrow.base = quick_scenario("n/base", "n", policy_names::hybrid, 9);
   narrow.tiles = {5};
   const auto single = build_sweep(narrow);
   ASSERT_EQ(single.size(), 1u);
   EXPECT_EQ(single[0].sim.platform.tiles, 5);
   EXPECT_EQ(single[0].sim.seed, 9u);
-  EXPECT_EQ(single[0].sim.approach, Approach::hybrid);
+  EXPECT_EQ(single[0].sim.policy, PolicySpec(policy_names::hybrid));
 }
 
 TEST(CampaignRunner, ResultsAreIdenticalAcrossThreadCounts) {
@@ -214,7 +233,7 @@ TEST(CampaignRunner, ExhaustiveTable1ScenarioMatchesThePaperColumn) {
   s.family = "t1";
   s.task_filter = {"jpeg_dec"};
   s.exhaustive = true;
-  s.sim.approach = Approach::no_prefetch;
+  s.sim.policy = policy_names::no_prefetch;
   s.sim.iterations = 1;
   const auto result = run_scenario(s);
   ASSERT_TRUE(result.ok) << result.error;
@@ -241,7 +260,8 @@ TEST(Report, JsonRoundTripPreservesEverything) {
     EXPECT_EQ(p.name, s.name);
     EXPECT_EQ(p.family, s.family);
     EXPECT_EQ(p.workload, to_string(s.workload));
-    EXPECT_EQ(p.approach, to_string(s.sim.approach));
+    EXPECT_EQ(p.approach, s.sim.policy.name);
+    EXPECT_EQ(p.policy_params, s.sim.policy.params);
     EXPECT_EQ(p.replacement, to_string(s.sim.replacement));
     EXPECT_EQ(p.tiles, s.sim.platform.tiles);
     EXPECT_EQ(p.reconfig_latency_us, s.sim.platform.reconfig_latency);
@@ -287,6 +307,9 @@ TEST(Report, CsvRoundTripPreservesScenarioRows) {
     EXPECT_EQ(parsed[i].family, results[i].scenario.family);
     EXPECT_EQ(parsed[i].ok, results[i].ok);
     EXPECT_EQ(parsed[i].error, results[i].error);
+    EXPECT_EQ(parsed[i].approach, results[i].scenario.sim.policy.name);
+    EXPECT_EQ(parsed[i].policy_params,
+              results[i].scenario.sim.policy.params);
     EXPECT_EQ(parsed[i].seed, results[i].scenario.sim.seed);
     for (const auto& [name, value] : deterministic_metrics(results[i])) {
       ASSERT_TRUE(parsed[i].metrics.count(name)) << name;
@@ -300,7 +323,7 @@ TEST(Report, SingleSampleAggregatesAreFiniteAndRoundTrip) {
   // cancellation formula), percentiles collapse onto the sample, and the
   // serialised report must stay parseable.
   const auto result =
-      run_scenario(quick_scenario("solo/one", "solo", Approach::hybrid, 3),
+      run_scenario(quick_scenario("solo/one", "solo", policy_names::hybrid, 3),
                    /*record_wall_time=*/false);
   ASSERT_TRUE(result.ok) << result.error;
   StatsAggregator aggregator;
@@ -326,7 +349,7 @@ TEST(Report, NonFiniteMetricsSerialiseAsMissingNotGarbage) {
   // reports: JSON writes null, CSV writes an empty cell, and both parse
   // back as "metric missing" instead of throwing mid-document.
   ScenarioResult weird =
-      run_scenario(quick_scenario("w/a", "w", Approach::no_prefetch, 1),
+      run_scenario(quick_scenario("w/a", "w", policy_names::no_prefetch, 1),
                    /*record_wall_time=*/false);
   ASSERT_TRUE(weird.ok) << weird.error;
   weird.wall_ms = std::numeric_limits<double>::quiet_NaN();
@@ -353,7 +376,7 @@ TEST(Report, NonFiniteMetricsSerialiseAsMissingNotGarbage) {
 
 TEST(Report, CsvRoundTripsNamesWithCommasAndQuotes) {
   ScenarioResult result =
-      run_scenario(quick_scenario("q/base", "q", Approach::no_prefetch, 1),
+      run_scenario(quick_scenario("q/base", "q", policy_names::no_prefetch, 1),
                    /*record_wall_time=*/false);
   ASSERT_TRUE(result.ok) << result.error;
   result.scenario.name = "sweep/\"quoted\",t=8,l=4ms";
@@ -369,6 +392,30 @@ TEST(Report, CsvRoundTripsNamesWithCommasAndQuotes) {
       campaign_from_json(campaign_to_json({result}, aggregator));
   EXPECT_EQ(parsed.scenarios[0].name, result.scenario.name);
   EXPECT_EQ(parsed.scenarios[0].family, result.scenario.family);
+}
+
+TEST(Report, PolicyParamsWithSeparatorCharactersRoundTripLosslessly) {
+  // Parameter values are arbitrary strings; the CSV cell's ';'/'=' joiners
+  // and the escape itself are backslash-escaped so both report formats
+  // stay lossless and agree. (The spec is mutated post-run, like the
+  // quoted-name test above — no registered policy needs such values.)
+  ScenarioResult result =
+      run_scenario(quick_scenario("pp/weird", "pp", policy_names::hybrid, 1),
+                   /*record_wall_time=*/false);
+  ASSERT_TRUE(result.ok) << result.error;
+  result.scenario.sim.policy.params = {
+      {"tiers", "a;b=c"}, {"path", "x\\y"}, {"plain", "1"}};
+
+  const auto rows = campaign_from_csv(campaign_to_csv({result}));
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].policy_params, result.scenario.sim.policy.params);
+
+  StatsAggregator aggregator;
+  aggregator.add(result);
+  const ParsedCampaign parsed =
+      campaign_from_json(campaign_to_json({result}, aggregator));
+  EXPECT_EQ(parsed.scenarios[0].policy_params,
+            result.scenario.sim.policy.params);
 }
 
 TEST(Report, AggregatorExcludesWallClockMetrics) {
@@ -419,7 +466,7 @@ TEST(Report, OnlinePoolFieldsAndMetricsRoundTrip) {
   s.family = "od";
   s.mode = ScenarioMode::online;
   s.sim.platform = virtex2_platform(10);
-  s.sim.approach = Approach::hybrid;
+  s.sim.policy = policy_names::hybrid;
   s.sim.iterations = 25;
   s.arrivals.rate_per_s = 80.0;
   s.pool.contiguous = true;

@@ -3,16 +3,17 @@
 
 #include <gtest/gtest.h>
 
+#include "policy/names.hpp"
 #include "sim/system_sim.hpp"
 #include "sim/workloads.hpp"
 
 namespace drhw {
 namespace {
 
-SimOptions base_options(const PlatformConfig& pf, Approach a) {
+SimOptions base_options(const PlatformConfig& pf, const PolicySpec& policy) {
   SimOptions opt;
   opt.platform = pf;
-  opt.approach = a;
+  opt.policy = policy;
   opt.seed = 7;
   opt.iterations = 120;
   return opt;
@@ -30,7 +31,7 @@ struct MultimediaFixture : ::testing::Test {
 };
 
 TEST_F(MultimediaFixture, DeterministicForSeed) {
-  const auto opt = base_options(platform, Approach::hybrid);
+  const auto opt = base_options(platform, policy_names::hybrid);
   const auto r1 = run_simulation(opt, sampler);
   const auto r2 = run_simulation(opt, sampler);
   EXPECT_EQ(r1.total_actual, r2.total_actual);
@@ -39,7 +40,7 @@ TEST_F(MultimediaFixture, DeterministicForSeed) {
 }
 
 TEST_F(MultimediaFixture, DifferentSeedsDiffer) {
-  auto opt = base_options(platform, Approach::hybrid);
+  auto opt = base_options(platform, policy_names::hybrid);
   const auto r1 = run_simulation(opt, sampler);
   opt.seed = 8;
   const auto r2 = run_simulation(opt, sampler);
@@ -48,10 +49,10 @@ TEST_F(MultimediaFixture, DifferentSeedsDiffer) {
 
 TEST_F(MultimediaFixture, ApproachOrderingMatchesFig6) {
   double overhead[5];
-  const Approach approaches[5] = {
-      Approach::no_prefetch, Approach::design_time_prefetch,
-      Approach::runtime_heuristic, Approach::runtime_intertask,
-      Approach::hybrid};
+  const char* const approaches[5] = {
+      policy_names::no_prefetch, policy_names::design_time,
+      policy_names::runtime, policy_names::runtime_intertask,
+      policy_names::hybrid};
   for (int a = 0; a < 5; ++a)
     overhead[a] =
         run_simulation(base_options(platform, approaches[a]), sampler)
@@ -71,16 +72,16 @@ TEST_F(MultimediaFixture, ApproachOrderingMatchesFig6) {
 }
 
 TEST_F(MultimediaFixture, ReuseOnlyForRuntimeApproaches) {
-  EXPECT_EQ(run_simulation(base_options(platform, Approach::no_prefetch),
+  EXPECT_EQ(run_simulation(base_options(platform, policy_names::no_prefetch),
                            sampler)
                 .reused_subtasks,
             0);
   EXPECT_EQ(
-      run_simulation(base_options(platform, Approach::design_time_prefetch),
+      run_simulation(base_options(platform, policy_names::design_time),
                      sampler)
           .reused_subtasks,
       0);
-  EXPECT_GT(run_simulation(base_options(platform, Approach::runtime_heuristic),
+  EXPECT_GT(run_simulation(base_options(platform, policy_names::runtime),
                            sampler)
                 .reused_subtasks,
             0);
@@ -89,7 +90,7 @@ TEST_F(MultimediaFixture, ReuseOnlyForRuntimeApproaches) {
 TEST_F(MultimediaFixture, ReusePercentageModestAt8Tiles) {
   // Paper: "with less than 20% of the subtasks reused (for 8 tiles)".
   const auto r = run_simulation(
-      base_options(platform, Approach::runtime_heuristic), sampler);
+      base_options(platform, policy_names::runtime), sampler);
   EXPECT_GT(r.reuse_pct, 2.0);
   EXPECT_LT(r.reuse_pct, 25.0);
 }
@@ -99,16 +100,16 @@ TEST_F(MultimediaFixture, MoreTilesMoreReuseLessOverhead) {
   const auto w16 = make_multimedia_workload(pf16);
   const auto s16 = multimedia_sampler(*w16);
   const auto r8 = run_simulation(
-      base_options(platform, Approach::runtime_heuristic), sampler);
+      base_options(platform, policy_names::runtime), sampler);
   const auto r16 =
-      run_simulation(base_options(pf16, Approach::runtime_heuristic), s16);
+      run_simulation(base_options(pf16, policy_names::runtime), s16);
   EXPECT_GT(r16.reuse_pct, r8.reuse_pct);
   EXPECT_LT(r16.overhead_pct, r8.overhead_pct);
 }
 
 TEST_F(MultimediaFixture, HybridCancellationsAndInitLoadsAccounted) {
   const auto r =
-      run_simulation(base_options(platform, Approach::hybrid), sampler);
+      run_simulation(base_options(platform, policy_names::hybrid), sampler);
   EXPECT_GT(r.init_loads, 0);
   EXPECT_GT(r.cancelled_loads, 0);
   EXPECT_GT(r.intertask_prefetches, 0);
@@ -118,9 +119,9 @@ TEST_F(MultimediaFixture, HybridCancellationsAndInitLoadsAccounted) {
 }
 
 TEST_F(MultimediaFixture, HybridWithoutIntertaskIsWorse) {
-  auto with = base_options(platform, Approach::hybrid);
+  auto with = base_options(platform, policy_names::hybrid);
   auto without = with;
-  without.hybrid_intertask = false;
+  without.policy = PolicySpec(policy_names::hybrid).with("intertask", "0");
   const auto r_with = run_simulation(with, sampler);
   const auto r_without = run_simulation(without, sampler);
   EXPECT_LT(r_with.overhead_pct, r_without.overhead_pct);
@@ -129,8 +130,8 @@ TEST_F(MultimediaFixture, HybridWithoutIntertaskIsWorse) {
 
 TEST_F(MultimediaFixture, IdealTimeIndependentOfApproach) {
   const auto a = run_simulation(
-      base_options(platform, Approach::no_prefetch), sampler);
-  const auto b = run_simulation(base_options(platform, Approach::hybrid),
+      base_options(platform, policy_names::no_prefetch), sampler);
+  const auto b = run_simulation(base_options(platform, policy_names::hybrid),
                                 sampler);
   EXPECT_EQ(a.total_ideal, b.total_ideal);
   EXPECT_EQ(a.instances, b.instances);
@@ -177,7 +178,7 @@ TEST(OracleReplacement, SeesBeyondTheLookaheadWindow) {
 
   SimOptions opt;
   opt.platform = platform;
-  opt.approach = Approach::runtime_heuristic;
+  opt.policy = policy_names::runtime;
   opt.replacement = ReplacementPolicy::oracle;
   opt.iterations = 7;
   const auto r = run_simulation(opt, sampler);
@@ -199,18 +200,19 @@ TEST(MeshPlacement, ReuseApproachesRunOnCommAwarePlacements) {
   HybridDesignOptions design;
   design.comm_aware_placement = true;
   const auto workload = make_multimedia_workload(mesh, design);
-  for (Approach a : {Approach::runtime_heuristic, Approach::runtime_intertask,
-                     Approach::hybrid}) {
+  for (const char* a : {policy_names::runtime,
+                        policy_names::runtime_intertask,
+                        policy_names::hybrid}) {
     SimOptions opt;
     opt.platform = mesh;
-    opt.approach = a;
+    opt.policy = a;
     opt.replacement = ReplacementPolicy::critical_first;
     opt.intertask_lookahead = 3;
     opt.seed = 5;
     opt.iterations = 40;
     const auto r = run_simulation(opt, multimedia_sampler(*workload, 0.9));
-    EXPECT_GT(r.instances, 0) << to_string(a);
-    EXPECT_GE(r.total_actual, r.total_ideal) << to_string(a);
+    EXPECT_GT(r.instances, 0) << a;
+    EXPECT_GE(r.total_actual, r.total_ideal) << a;
   }
 }
 
@@ -221,7 +223,7 @@ struct PocketGlFixture : ::testing::Test {
     task_sampler = pocket_gl_task_sampler(*workload);
     frame_sampler = pocket_gl_frame_sampler(*workload);
   }
-  SimOptions options(Approach a) {
+  SimOptions options(const PolicySpec& a) {
     auto opt = base_options(platform, a);
     opt.replacement = ReplacementPolicy::critical_first;
     opt.cross_iteration_lookahead = true;
@@ -239,17 +241,17 @@ TEST_F(PocketGlFixture, BaselinesMatchSection7Numbers) {
   // time. Applying an optimal configuration prefetch technique at
   // design-time it is reduced to 25%."
   const auto np =
-      run_simulation(options(Approach::no_prefetch), task_sampler);
+      run_simulation(options(policy_names::no_prefetch), task_sampler);
   EXPECT_NEAR(np.overhead_pct, 71.0, 2.0);
-  const auto dt = run_simulation(options(Approach::design_time_prefetch),
+  const auto dt = run_simulation(options(policy_names::design_time),
                                  frame_sampler);
   EXPECT_NEAR(dt.overhead_pct, 25.0, 2.0);
 }
 
 TEST_F(PocketGlFixture, HybridHidesAtLeast93PercentAt8Tiles) {
   const auto np =
-      run_simulation(options(Approach::no_prefetch), task_sampler);
-  const auto hy = run_simulation(options(Approach::hybrid), task_sampler);
+      run_simulation(options(policy_names::no_prefetch), task_sampler);
+  const auto hy = run_simulation(options(policy_names::hybrid), task_sampler);
   EXPECT_LT(hy.overhead_pct, 2.0);  // "less than 2% for eight tiles"
   EXPECT_GE(1.0 - hy.overhead_pct / np.overhead_pct, 0.93);
 }
@@ -282,13 +284,17 @@ TEST(Workloads, MultimediaSamplerNeverEmpty) {
   for (int i = 0; i < 200; ++i) EXPECT_FALSE(sampler(rng).empty());
 }
 
-TEST(Approach, Names) {
-  EXPECT_STREQ(to_string(Approach::no_prefetch), "no-prefetch");
-  EXPECT_STREQ(to_string(Approach::design_time_prefetch), "design-time");
-  EXPECT_STREQ(to_string(Approach::runtime_heuristic), "run-time");
-  EXPECT_STREQ(to_string(Approach::runtime_intertask),
-               "run-time+inter-task");
-  EXPECT_STREQ(to_string(Approach::hybrid), "hybrid");
+TEST(PolicyNames, PaperSpellingsArePinned) {
+  // The canonical spellings appear verbatim in scenario names, reports and
+  // the golden tests — changing one is a breaking behaviour change.
+  EXPECT_STREQ(policy_names::no_prefetch, "no-prefetch");
+  EXPECT_STREQ(policy_names::design_time, "design-time");
+  EXPECT_STREQ(policy_names::runtime, "run-time");
+  EXPECT_STREQ(policy_names::runtime_intertask, "run-time+inter-task");
+  EXPECT_STREQ(policy_names::hybrid, "hybrid");
+  EXPECT_EQ(paper_policy_names().size(), 5u);
+  EXPECT_EQ(paper_policy_names().front(), policy_names::no_prefetch);
+  EXPECT_EQ(paper_policy_names().back(), policy_names::hybrid);
 }
 
 }  // namespace

@@ -7,6 +7,10 @@
 //   drhw_sched dot <graph.json>             Graphviz export
 //   drhw_sched campaign [opts]              run a scenario campaign
 //   drhw_sched online [opts]                online (event-driven) simulation
+//   drhw_sched list-policies                print the registered prefetch
+//                                           policies (also available as a
+//                                           --list-policies flag on the
+//                                           campaign and online subcommands)
 //
 // Options for `schedule`:
 //   --tiles N          DRHW tiles (default 8)
@@ -50,7 +54,9 @@
 //                      "paper" picks the Section 4 value per approach
 //   --iterations N     sampler batches to draw (default 500)
 //   --seed S           RNG seed (default 2005)
-//   --approach A       restrict to one approach (default: all five)
+//   --approach P       restrict to one policy, by registered name with
+//                      optional parameters, e.g. hybrid[intertask=0]
+//                      (default: every registered policy)
 
 #include <algorithm>
 #include <chrono>
@@ -64,6 +70,7 @@
 #include "graph/dot.hpp"
 #include "graph/serialization.hpp"
 #include "platform/platform.hpp"
+#include "policy/registry.hpp"
 #include "prefetch/bnb.hpp"
 #include "prefetch/critical_subtasks.hpp"
 #include "prefetch/hybrid.hpp"
@@ -86,7 +93,9 @@ int usage() {
                "       drhw_sched schedule <graph.json> [--tiles N]"
                " [--latency-us L] [--ports N] [--resident a,b,c]\n"
                "       drhw_sched dot <graph.json>\n"
-               "       drhw_sched campaign [--list] [--dry-run]"
+               "       drhw_sched list-policies\n"
+               "       drhw_sched campaign [--list] [--list-policies]"
+               " [--dry-run]"
                " [--filter STR] [--threads N] [--iterations N] [--seed S]"
                " [--json FILE] [--csv FILE] [--quiet]\n"
                "       drhw_sched online [--workload W] [--tiles N]"
@@ -96,8 +105,35 @@ int usage() {
                " [--replacement R] [--lookahead N] [--admission P]"
                " [--contiguous] [--defrag] [--window N] [--max-bypass N]"
                " [--sched-cost-us C]"
-               " [--iterations N] [--seed S] [--approach A]\n";
+               " [--iterations N] [--seed S] [--approach P]"
+               " [--list-policies]\n";
   return 2;
+}
+
+/// The registered prefetch policies, one per line (--list-policies).
+int cmd_list_policies() {
+  TablePrinter table({"policy", "description"});
+  const PolicyRegistry& registry = PolicyRegistry::instance();
+  for (const std::string& name : registry.names())
+    table.add_row({name, registry.description(name)});
+  table.print(std::cout);
+  return 0;
+}
+
+/// Parses a --approach value into a PolicySpec. An unknown policy name
+/// prints the registered names and exits nonzero (exit code 2) instead of
+/// surfacing an exception trace.
+PolicySpec parse_policy_arg(const std::string& text) {
+  const PolicySpec spec = PolicySpec::parse(text);
+  if (!PolicyRegistry::instance().contains(spec.name)) {
+    std::cerr << "error: unknown policy '" << spec.name
+              << "'\nregistered policies:\n";
+    for (const std::string& name : PolicyRegistry::instance().names())
+      std::cerr << "  " << name << "\n";
+    std::cerr << "(see drhw_sched list-policies)\n";
+    std::exit(2);
+  }
+  return spec;
 }
 
 std::string read_file(const std::string& path) {
@@ -236,7 +272,7 @@ int cmd_campaign(const CampaignCliOptions& cli) {
                         "iterations"});
     for (const Scenario& s : scenarios) {
       s.validate();
-      table.add_row({s.name, to_string(s.workload), to_string(s.sim.approach),
+      table.add_row({s.name, to_string(s.workload), to_string(s.sim.policy),
                      std::to_string(s.sim.platform.tiles),
                      fmt_ms(s.sim.platform.reconfig_latency, 1) + " ms",
                      std::to_string(s.sim.iterations)});
@@ -333,7 +369,8 @@ struct OnlineCliOptions {
   time_us scheduler_cost = 0;
   int iterations = 500;
   std::uint64_t seed = 2005;
-  std::string approach;  ///< empty = all five
+  /// Policies to run, one table row each; empty = every registered policy.
+  std::vector<PolicySpec> policies;
 };
 
 ReplacementPolicy replacement_from_string(const std::string& text) {
@@ -345,13 +382,6 @@ ReplacementPolicy replacement_from_string(const std::string& text) {
   throw std::invalid_argument(
       "unknown replacement policy '" + text +
       "' (use lru, weight, critical-first, random or oracle)");
-}
-
-Approach approach_from_string(const std::string& text) {
-  for (Approach a : k_all_approaches)
-    if (text == to_string(a)) return a;
-  throw std::invalid_argument("unknown approach '" + text +
-                              "' (use e.g. no-prefetch, run-time, hybrid)");
 }
 
 int cmd_online(const OnlineCliOptions& cli) {
@@ -392,28 +422,26 @@ int cmd_online(const OnlineCliOptions& cli) {
             << (cli.pool.defrag ? " + defrag" : "") << ", " << cli.iterations
             << " iterations, seed " << cli.seed << "\n\n";
 
-  std::vector<Approach> approaches;
-  if (cli.approach.empty())
-    approaches.assign(std::begin(k_all_approaches),
-                      std::end(k_all_approaches));
-  else
-    approaches = {approach_from_string(cli.approach)};
+  std::vector<PolicySpec> policies = cli.policies;
+  if (policies.empty())
+    for (const std::string& name : PolicyRegistry::instance().names())
+      policies.emplace_back(name);
 
-  TablePrinter table({"approach", "instances", "overhead", "reuse",
+  TablePrinter table({"policy", "instances", "overhead", "reuse",
                       "response mean", "response p95", "queueing mean",
                       "port util", "isp util", "frag", "skips", "moves",
                       "peak migs", "prefetches"});
-  for (Approach approach : approaches) {
+  for (const PolicySpec& policy : policies) {
     OnlineSimOptions options;
     options.platform = platform;
-    options.approach = approach;
+    options.policy = policy;
     options.arrivals = cli.arrivals;
     options.port_discipline = cli.discipline;
     options.replacement = cli.replacement;
     options.intertask_lookahead = cli.lookahead;
     options.pool = cli.pool;
     options.scheduler_cost = cli.scheduler_cost == k_no_time
-                                 ? paper_scheduler_cost(approach)
+                                 ? paper_scheduler_cost(policy)
                                  : cli.scheduler_cost;
     options.shared_isps = cli.shared_isps > 0;
     options.isp_discipline = cli.isp_discipline;
@@ -421,7 +449,7 @@ int cmd_online(const OnlineCliOptions& cli) {
     options.seed = cli.seed;
     options.iterations = cli.iterations;
     const OnlineReport report = run_online_simulation(options, sampler);
-    table.add_row({to_string(approach), std::to_string(report.sim.instances),
+    table.add_row({to_string(policy), std::to_string(report.sim.instances),
                    fmt_pct(report.sim.overhead_pct, 2),
                    fmt_pct(report.sim.reuse_pct),
                    fmt(report.mean_response_ms, 1) + " ms",
@@ -454,6 +482,8 @@ int main(int argc, char** argv) {
   if (args.empty()) return usage();
   try {
     if (args[0] == "demo") return cmd_demo();
+    if (args[0] == "list-policies" || args[0] == "--list-policies")
+      return cmd_list_policies();
     if (args[0] == "campaign") {
       CampaignCliOptions cli;
       for (std::size_t i = 1; i < args.size(); ++i) {
@@ -461,6 +491,8 @@ int main(int argc, char** argv) {
         const bool has_value = i + 1 < args.size();
         if (arg == "--list")
           cli.list = true;
+        else if (arg == "--list-policies")
+          return cmd_list_policies();
         else if (arg == "--dry-run")
           cli.dry_run = true;
         else if (arg == "--quiet")
@@ -544,7 +576,9 @@ int main(int argc, char** argv) {
         else if (arg == "--seed" && has_value)
           cli.seed = std::stoull(args[++i]);
         else if (arg == "--approach" && has_value)
-          cli.approach = args[++i];
+          cli.policies.push_back(parse_policy_arg(args[++i]));
+        else if (arg == "--list-policies")
+          return cmd_list_policies();
         else
           return usage();
       }
