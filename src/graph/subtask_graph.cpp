@@ -105,10 +105,4 @@ std::vector<SubtaskId> SubtaskGraph::sinks() const {
   return out;
 }
 
-std::size_t SubtaskGraph::checked(SubtaskId id) const {
-  if (id < 0 || static_cast<std::size_t>(id) >= nodes_.size())
-    throw std::invalid_argument("subtask id out of range");
-  return static_cast<std::size_t>(id);
-}
-
 }  // namespace drhw

@@ -5,6 +5,7 @@
 /// DRHW (needs a configuration load before executing on a tile) or to an ISP
 /// (no load needed).
 
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -67,14 +68,14 @@ class SubtaskGraph {
   std::size_t size() const { return nodes_.size(); }
   bool empty() const { return nodes_.empty(); }
 
-  const Subtask& subtask(SubtaskId id) const { return nodes_.at(checked(id)); }
-  Subtask& subtask_mutable(SubtaskId id) { return nodes_.at(checked(id)); }
+  const Subtask& subtask(SubtaskId id) const { return nodes_[checked(id)]; }
+  Subtask& subtask_mutable(SubtaskId id) { return nodes_[checked(id)]; }
 
   const std::vector<SubtaskId>& predecessors(SubtaskId id) const {
-    return preds_.at(checked(id));
+    return preds_[checked(id)];
   }
   const std::vector<SubtaskId>& successors(SubtaskId id) const {
-    return succs_.at(checked(id));
+    return succs_[checked(id)];
   }
 
   /// Topological order (finalized graphs only).
@@ -94,7 +95,14 @@ class SubtaskGraph {
   bool has_edge(SubtaskId from, SubtaskId to) const;
 
  private:
-  std::size_t checked(SubtaskId id) const;
+  // Inline: this guard sits on every node access of the online kernel's
+  // event loop (the `--perf` profile showed the out-of-line version as the
+  // single hottest symbol).
+  std::size_t checked(SubtaskId id) const {
+    if (id < 0 || static_cast<std::size_t>(id) >= nodes_.size())
+      throw std::invalid_argument("subtask id out of range");
+    return static_cast<std::size_t>(id);
+  }
 
   std::string name_;
   std::vector<Subtask> nodes_;

@@ -52,13 +52,30 @@ TilePoolManager::TilePoolManager(int tiles, const PoolOptions& options)
 // --- admission queue --------------------------------------------------------
 
 void TilePoolManager::enqueue(std::int32_t job, int needed, time_us now) {
+  DRHW_CHECK_MSG(job >= 0, "queued instance needs a non-negative id");
   DRHW_CHECK_MSG(needed >= 0 && needed <= tiles(),
                  "queued instance needs more tiles than the pool has");
+  if (perf_ && queue_.size() == queue_.capacity()) perf_->note_alloc();
   queue_.push_back(Waiting{job, needed, now, 0});
+  ++queued_count_;
+}
+
+std::int32_t TilePoolManager::waiting_at(std::size_t i) const {
+  for (std::size_t p = head_; p < queue_.size(); ++p)
+    if (queue_[p].job >= 0 && i-- == 0) return queue_[p].job;
+  throw std::invalid_argument("queue position out of range");
 }
 
 std::int32_t TilePoolManager::queue_head() const {
-  return queue_.empty() ? -1 : queue_.front().job;
+  return queued_count_ == 0 ? -1 : head().job;
+}
+
+std::size_t TilePoolManager::position_of(std::int32_t job) const {
+  if (last_pick_ < queue_.size() && queue_[last_pick_].job == job)
+    return last_pick_;
+  for (std::size_t p = head_; p < queue_.size(); ++p)
+    if (queue_[p].job == job) return p;
+  return queue_.size();
 }
 
 bool TilePoolManager::fits(int needed) const {
@@ -67,21 +84,21 @@ bool TilePoolManager::fits(int needed) const {
 }
 
 std::int32_t TilePoolManager::select(time_us) {
-  if (queue_.empty()) return -1;
+  if (queued_count_ == 0) return -1;
   const std::size_t none = queue_.size();
   std::size_t pick = none;
   switch (options_.admission) {
     case AdmissionPolicy::fifo_hol:
-      if (fits(queue_.front().needed)) pick = 0;
+      if (fits(head().needed)) pick = head_;
       break;
     case AdmissionPolicy::backfill_bypass: {
-      if (fits(queue_.front().needed)) {
-        pick = 0;
+      if (fits(head().needed)) {
+        pick = head_;
         break;
       }
-      if (queue_.front().skips >= options_.max_bypass) break;
-      for (std::size_t i = 1; i < queue_.size(); ++i)
-        if (queue_[i].needed < queue_.front().needed &&
+      if (head().skips >= options_.max_bypass) break;
+      for (std::size_t i = head_ + 1; i < queue_.size(); ++i)
+        if (queue_[i].job >= 0 && queue_[i].needed < head().needed &&
             fits(queue_[i].needed)) {
           pick = i;
           break;
@@ -90,42 +107,52 @@ std::int32_t TilePoolManager::select(time_us) {
     }
     case AdmissionPolicy::window_reorder: {
       const std::size_t window = std::min(
-          queue_.size(), static_cast<std::size_t>(options_.reorder_window));
-      for (std::size_t i = 0; i < window; ++i)
+          queued_count_, static_cast<std::size_t>(options_.reorder_window));
+      std::size_t seen = 0;
+      for (std::size_t i = head_; i < queue_.size() && seen < window; ++i) {
+        if (queue_[i].job < 0) continue;
+        ++seen;
         if (fits(queue_[i].needed) &&
             (pick == none || queue_[i].needed > queue_[pick].needed))
           pick = i;
-      if (pick != none && pick != 0 &&
-          queue_.front().skips >= options_.max_bypass)
-        pick = fits(queue_.front().needed) ? 0 : none;
+      }
+      if (pick != none && pick != head_ &&
+          head().skips >= options_.max_bypass)
+        pick = fits(head().needed) ? head_ : none;
       break;
     }
   }
   if (pick >= queue_.size()) return -1;
-  for (std::size_t i = 0; i < pick; ++i) {
-    ++queue_[i].skips;
-    ++queue_skips_;
-  }
+  for (std::size_t i = head_; i < pick; ++i)
+    if (queue_[i].job >= 0) {
+      ++queue_[i].skips;
+      ++queue_skips_;
+    }
+  last_pick_ = pick;
   return queue_[pick].job;
 }
 
 std::vector<PhysTileId> TilePoolManager::offer(
     std::int32_t job, const std::vector<ConfigId>& wanted) const {
   std::vector<PhysTileId> out;
+  offer_into(job, wanted, out);
+  return out;
+}
+
+void TilePoolManager::offer_into(std::int32_t job,
+                                 const std::vector<ConfigId>& wanted,
+                                 std::vector<PhysTileId>& out) const {
+  out.clear();
   if (!options_.contiguous) {
     for (int t = 0; t < tiles(); ++t)
       if (tile_free(static_cast<std::size_t>(t))) out.push_back(t);
-    return out;
+    return;
   }
 
-  int needed = -1;
-  for (const Waiting& w : queue_)
-    if (w.job == job) {
-      needed = w.needed;
-      break;
-    }
-  DRHW_CHECK_MSG(needed >= 0, "offer() for a job that is not queued");
-  if (needed == 0) return out;
+  const std::size_t pos = position_of(job);
+  DRHW_CHECK_MSG(pos < queue_.size(), "offer() for a job that is not queued");
+  const int needed = queue_[pos].needed;
+  if (needed == 0) return;
 
   // Placement-aware block selection: among the free blocks of the job's
   // size, prefer the one with the most wanted configurations already
@@ -161,7 +188,6 @@ std::vector<PhysTileId> TilePoolManager::offer(
   DRHW_CHECK_MSG(best_start >= 0,
                  "offer() called without a fitting contiguous block");
   for (int t = best_start; t < best_start + needed; ++t) out.push_back(t);
-  return out;
 }
 
 void TilePoolManager::occupy(std::int32_t job,
@@ -174,11 +200,20 @@ void TilePoolManager::occupy(std::int32_t job,
     held_[idx] = 1;
     owner_[idx] = job;
   }
-  const auto it =
-      std::find_if(queue_.begin(), queue_.end(),
-                   [job](const Waiting& w) { return w.job == job; });
-  DRHW_CHECK_MSG(it != queue_.end(), "occupy() for a job that is not queued");
-  queue_.erase(it);
+  const std::size_t pos = position_of(job);
+  DRHW_CHECK_MSG(pos < queue_.size(), "occupy() for a job that is not queued");
+  queue_[pos].job = -1;  // tombstone; skips/needed are dead with it
+  --queued_count_;
+  last_pick_ = static_cast<std::size_t>(-1);
+  while (head_ < queue_.size() && queue_[head_].job < 0) ++head_;
+  if (queued_count_ == 0) {
+    queue_.clear();  // keeps capacity: the backlog storage is recycled
+    head_ = 0;
+  } else if (head_ >= 64 && head_ >= queue_.size() / 2) {
+    queue_.erase(queue_.begin(),
+                 queue_.begin() + static_cast<std::ptrdiff_t>(head_));
+    head_ = 0;
+  }
   if (defrag_target_ == job) {
     defrag_target_ = -1;
     defrag_window_ = -1;
@@ -276,8 +311,8 @@ double TilePoolManager::fragmentation_pct() const {
 // --- defragmentation --------------------------------------------------------
 
 bool TilePoolManager::head_fragmentation_blocked() const {
-  if (!options_.contiguous || queue_.empty()) return false;
-  const int needed = queue_.front().needed;
+  if (!options_.contiguous || queued_count_ == 0) return false;
+  const int needed = head().needed;
   return free_count() >= needed && largest_free_block() < needed;
 }
 
@@ -310,10 +345,10 @@ TilePoolManager::WindowScan TilePoolManager::scan_window(
 std::optional<MigrationPlan> TilePoolManager::plan_defrag(
     const std::vector<char>& movable) {
   if (!options_.defrag || !head_fragmentation_blocked()) return std::nullopt;
-  const Waiting& head = queue_.front();
-  const int needed = head.needed;
-  if (defrag_target_ != head.job) {
-    defrag_target_ = head.job;
+  const Waiting& oldest = head();
+  const int needed = oldest.needed;
+  if (defrag_target_ != oldest.job) {
+    defrag_target_ = oldest.job;
     defrag_window_ = -1;
   }
   defrag_window_size_ = needed;

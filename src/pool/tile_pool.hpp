@@ -48,6 +48,7 @@
 
 #include "reuse/config_store.hpp"
 #include "util/ids.hpp"
+#include "util/perf_stats.hpp"
 #include "util/time.hpp"
 
 namespace drhw {
@@ -107,14 +108,26 @@ class TilePoolManager {
   ConfigStore& store() { return store_; }
   const ConfigStore& store() const { return store_; }
 
+  /// Routes tracked allocation counts (admission-queue growth) to the
+  /// kernel's perf-counter layer. Optional; may be null.
+  void set_perf_counters(PerfCounters* perf) { perf_ = perf; }
+
   // --- admission queue (strict arrival order) -----------------------------
+  //
+  // Stored as a flat vector consumed from a moving head index: admitted
+  // entries behind the head become tombstones (job == -1) instead of being
+  // erased, so occupy() is O(1) for the common pick-the-remembered-entry
+  // case instead of the former find_if + vector::erase O(n) — which made
+  // saturated backlogs quadratic in the backlog length. The dead prefix is
+  // compacted once it dominates the vector (amortised O(1), allocation-
+  // free), and the storage is recycled across the run.
 
   /// Registers an arrived, not-yet-admitted instance needing `needed` tiles.
   void enqueue(std::int32_t job, int needed, time_us now);
-  bool queue_empty() const { return queue_.empty(); }
-  std::size_t queued() const { return queue_.size(); }
-  /// Queued job at queue position `i` (0 = oldest).
-  std::int32_t waiting_at(std::size_t i) const { return queue_[i].job; }
+  bool queue_empty() const { return queued_count_ == 0; }
+  std::size_t queued() const { return queued_count_; }
+  /// Queued job at queue position `i` (0 = oldest still waiting).
+  std::int32_t waiting_at(std::size_t i) const;
   std::int32_t queue_head() const;
 
   /// Next admissible queued job under the admission policy, or -1. Charges
@@ -129,6 +142,11 @@ class TilePoolManager {
   /// window, leftmost.
   std::vector<PhysTileId> offer(std::int32_t job,
                                 const std::vector<ConfigId>& wanted) const;
+
+  /// offer() into caller-owned storage (cleared first) — the allocation-
+  /// free admission path of the online kernel.
+  void offer_into(std::int32_t job, const std::vector<ConfigId>& wanted,
+                  std::vector<PhysTileId>& out) const;
 
   /// Marks `tiles` held by `job` and removes it from the queue.
   void occupy(std::int32_t job, const std::vector<PhysTileId>& tiles,
@@ -216,6 +234,10 @@ class TilePoolManager {
   };
 
   bool fits(int needed) const;
+  /// Oldest live queue entry; queued_count_ must be > 0.
+  const Waiting& head() const { return queue_[head_]; }
+  /// Position of `job` in queue_, preferring the remembered select() pick.
+  std::size_t position_of(std::int32_t job) const;
   /// Free for every allocation purpose. Migration sources are excluded
   /// even after their owner retires mid-flight: admitting someone onto a
   /// tile that is being copied out would gate their executions on a
@@ -242,6 +264,10 @@ class TilePoolManager {
   std::vector<ConfigId> prefetch_config_;
   std::vector<double> prefetch_value_;
   std::vector<Waiting> queue_;
+  std::size_t head_ = 0;          ///< first possibly-live queue_ position
+  std::size_t queued_count_ = 0;  ///< live (non-tombstone) entries
+  std::size_t last_pick_ = static_cast<std::size_t>(-1);  ///< select()'s pick
+  PerfCounters* perf_ = nullptr;
 
   std::vector<char> migrating_;  ///< per-tile: source of an in-flight move
   int migrations_in_flight_ = 0;

@@ -61,6 +61,11 @@ void ConfigStore::clear() {
   for (auto& tile : tiles_) tile = Tile{};
 }
 
+void ConfigStore::reset(int tiles) {
+  if (tiles < 0) throw std::invalid_argument("config store needs >= 0 tiles");
+  tiles_.assign(static_cast<std::size_t>(tiles), Tile{});
+}
+
 std::size_t ConfigStore::checked(PhysTileId tile) const {
   if (tile < 0 || static_cast<std::size_t>(tile) >= tiles_.size())
     throw std::invalid_argument("physical tile id out of range");

@@ -51,6 +51,12 @@ class ConfigStore {
   /// Forgets every resident configuration (e.g. between experiments).
   void clear();
 
+  /// Re-initialises to `tiles` empty tiles, keeping the storage capacity.
+  /// The online kernel rebuilds its per-admission binding view through
+  /// this instead of constructing a fresh store (allocation-free once the
+  /// high-water tile count is reached).
+  void reset(int tiles);
+
  private:
   struct Tile {
     ConfigId config = k_no_config;

@@ -11,11 +11,20 @@ Binding bind_tiles(const SubtaskGraph& graph, const Placement& placement,
                    const ConfigStore& store, ReplacementPolicy policy,
                    const std::vector<time_us>& values, Rng& rng,
                    const NextUseRank& next_use) {
+  Binding binding;
+  bind_tiles(graph, placement, store, policy, values, rng, next_use, binding);
+  return binding;
+}
+
+void bind_tiles(const SubtaskGraph& graph, const Placement& placement,
+                const ConfigStore& store, ReplacementPolicy policy,
+                const std::vector<time_us>& values, Rng& rng,
+                const NextUseRank& next_use, Binding& binding) {
   if (placement.tiles_occupied() > store.tiles())
     throw std::invalid_argument("placement needs more tiles than available");
   DRHW_CHECK(values.size() == graph.size());
 
-  Binding binding;
+  binding.reused_subtasks = 0;
   binding.phys_of_tile.assign(static_cast<std::size_t>(placement.tiles_used),
                               k_no_phys_tile);
   binding.resident.assign(graph.size(), false);
@@ -116,18 +125,24 @@ Binding bind_tiles(const SubtaskGraph& graph, const Placement& placement,
     claimed[static_cast<std::size_t>(victim)] = 1;
     slot = victim;
   }
-  return binding;
 }
 
 std::vector<ConfigId> first_subtask_configs(const SubtaskGraph& graph,
                                             const Placement& placement) {
   std::vector<ConfigId> configs;
+  first_subtask_configs_into(graph, placement, configs);
+  return configs;
+}
+
+void first_subtask_configs_into(const SubtaskGraph& graph,
+                                const Placement& placement,
+                                std::vector<ConfigId>& out) {
+  out.clear();
   for (const auto& seq : placement.tile_sequence) {
     if (seq.empty()) continue;
     const ConfigId config = graph.subtask(seq.front()).config;
-    if (config != k_no_config) configs.push_back(config);
+    if (config != k_no_config) out.push_back(config);
   }
-  return configs;
 }
 
 const char* to_string(ReplacementPolicy policy) {

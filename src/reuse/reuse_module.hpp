@@ -69,6 +69,15 @@ Binding bind_tiles(const SubtaskGraph& graph, const Placement& placement,
                    const std::vector<time_us>& values, Rng& rng,
                    const NextUseRank& next_use = nullptr);
 
+/// bind_tiles() into caller-owned storage: `out`'s vectors are re-assigned
+/// (keeping their capacity), so a caller binding many instances — the
+/// online kernel admits one per arrival — reuses one Binding as scratch
+/// instead of allocating three vectors per admission.
+void bind_tiles(const SubtaskGraph& graph, const Placement& placement,
+                const ConfigStore& store, ReplacementPolicy policy,
+                const std::vector<time_us>& values, Rng& rng,
+                const NextUseRank& next_use, Binding& out);
+
 /// The configurations bind_tiles() can reuse for this placement: the
 /// first-subtask configuration of every occupied virtual tile (only the
 /// first subtask on a tile can be reused — every later one is preceded by
@@ -76,6 +85,11 @@ Binding bind_tiles(const SubtaskGraph& graph, const Placement& placement,
 /// contiguous block selection so admission lands where reuse is richest.
 std::vector<ConfigId> first_subtask_configs(const SubtaskGraph& graph,
                                             const Placement& placement);
+
+/// first_subtask_configs() into caller-owned storage (cleared first).
+void first_subtask_configs_into(const SubtaskGraph& graph,
+                                const Placement& placement,
+                                std::vector<ConfigId>& out);
 
 /// Human-readable policy name (benchmark tables).
 const char* to_string(ReplacementPolicy policy);

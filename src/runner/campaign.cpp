@@ -255,6 +255,9 @@ void run_online(const Scenario& scenario, WorkloadCache& cache,
   result.frag_pct = report.mean_frag_pct;
   result.queue_skips = report.queue_skips;
   result.defrag_moves = report.defrag_moves;
+  result.perf_events_total = report.perf.events_total;
+  result.perf_queue_depth_max = report.perf.queue_depth_max;
+  result.perf_steady_allocs = report.perf.steady_allocations();
 }
 
 ScenarioResult run_scenario_cached(const Scenario& scenario,

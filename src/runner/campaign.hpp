@@ -95,6 +95,15 @@ struct ScenarioResult {
   double frag_pct = 0.0;
   long queue_skips = 0;
   long defrag_moves = 0;
+  /// Online mode only: the kernel's deterministic perf counters
+  /// (util/perf_stats.hpp) — events dispatched, event-queue high-water
+  /// depth, tracked allocations after warm-up. Pure functions of the
+  /// scenario under the default queue backend, so they aggregate like any
+  /// simulated-time metric; the wall-clock phase timers deliberately stay
+  /// out of campaign results.
+  std::uint64_t perf_events_total = 0;
+  std::uint64_t perf_queue_depth_max = 0;
+  std::uint64_t perf_steady_allocs = 0;
   /// Mean run-time scheduling cost of the list heuristic of ref. [7] in
   /// microseconds (sched_cost mode only).
   double list_sched_us = 0.0;

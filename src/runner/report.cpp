@@ -7,6 +7,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/json.hpp"
 #include "util/stats.hpp"
 
 namespace drhw {
@@ -46,6 +47,14 @@ std::map<std::string, double> deterministic_metrics(
     metrics["isp_util_pct"] = result.isp_utilisation_pct;
     metrics["peak_concurrent_migrations"] =
         static_cast<double>(result.peak_concurrent_migrations);
+    // Kernel perf counters: deterministic under the default queue backend
+    // (every campaign scenario uses it), so thread-count bit-identity
+    // holds. The wall-clock phase timers never enter reports.
+    metrics["perf_events"] = static_cast<double>(result.perf_events_total);
+    metrics["perf_queue_depth_max"] =
+        static_cast<double>(result.perf_queue_depth_max);
+    metrics["perf_steady_allocs"] =
+        static_cast<double>(result.perf_steady_allocs);
   }
   return metrics;
 }
@@ -293,8 +302,9 @@ const char* const k_csv_metric_columns[] = {
     "queueing_ms",     "queueing_max_ms", "port_util_pct",
     "isp_util_pct",    "peak_concurrent_migrations",
     "horizon_ms",      "frag_pct",        "queue_skips",
-    "defrag_moves",    "list_sched_us",   "hybrid_sched_us",
-    "wall_ms"};
+    "defrag_moves",    "perf_events",     "perf_queue_depth_max",
+    "perf_steady_allocs",
+    "list_sched_us",   "hybrid_sched_us", "wall_ms"};
 
 /// The per-port utilisation vector as one fixed-width CSV cell:
 /// ';'-joined doubles (empty for non-online rows).
@@ -413,214 +423,7 @@ std::string campaign_to_csv(const std::vector<ScenarioResult>& results) {
 
 namespace {
 
-/// Minimal recursive-descent JSON parser, sufficient for the campaign
-/// report schema (objects, arrays, strings, numbers, booleans, null).
-class JsonParser {
- public:
-  struct Value {
-    enum class Kind { null, boolean, number, string, array, object } kind =
-        Kind::null;
-    bool boolean = false;
-    double number = 0.0;
-    std::string text;
-    std::vector<Value> items;
-    std::vector<std::pair<std::string, Value>> members;
-
-    const Value* find(const std::string& key) const {
-      for (const auto& [k, v] : members)
-        if (k == key) return &v;
-      return nullptr;
-    }
-    const Value& at(const std::string& key) const {
-      const Value* v = find(key);
-      if (!v)
-        throw std::invalid_argument("campaign JSON: missing key '" + key +
-                                    "'");
-      return *v;
-    }
-  };
-
-  explicit JsonParser(const std::string& text) : text_(text) {}
-
-  Value parse() {
-    Value v = parse_value();
-    skip_space();
-    if (pos_ != text_.size())
-      throw std::invalid_argument("campaign JSON: trailing characters at " +
-                                  std::to_string(pos_));
-    return v;
-  }
-
- private:
-  [[noreturn]] void fail(const std::string& what) {
-    throw std::invalid_argument("campaign JSON: " + what + " at offset " +
-                                std::to_string(pos_));
-  }
-
-  void skip_space() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_])))
-      ++pos_;
-  }
-
-  char peek() {
-    if (pos_ >= text_.size()) fail("unexpected end of input");
-    return text_[pos_];
-  }
-
-  void expect(char c) {
-    if (peek() != c) fail(std::string("expected '") + c + "'");
-    ++pos_;
-  }
-
-  Value parse_value() {
-    skip_space();
-    switch (peek()) {
-      case '{':
-        return parse_object();
-      case '[':
-        return parse_array();
-      case '"': {
-        Value v;
-        v.kind = Value::Kind::string;
-        v.text = parse_string();
-        return v;
-      }
-      case 't':
-      case 'f': {
-        Value v;
-        v.kind = Value::Kind::boolean;
-        v.boolean = peek() == 't';
-        const char* word = v.boolean ? "true" : "false";
-        for (const char* c = word; *c; ++c) expect(*c);
-        return v;
-      }
-      case 'n': {
-        for (const char* c = "null"; *c; ++c) expect(*c);
-        return Value{};
-      }
-      default:
-        return parse_number();
-    }
-  }
-
-  Value parse_object() {
-    Value v;
-    v.kind = Value::Kind::object;
-    expect('{');
-    skip_space();
-    if (peek() == '}') {
-      ++pos_;
-      return v;
-    }
-    for (;;) {
-      skip_space();
-      std::string key = parse_string();
-      skip_space();
-      expect(':');
-      v.members.emplace_back(std::move(key), parse_value());
-      skip_space();
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect('}');
-      return v;
-    }
-  }
-
-  Value parse_array() {
-    Value v;
-    v.kind = Value::Kind::array;
-    expect('[');
-    skip_space();
-    if (peek() == ']') {
-      ++pos_;
-      return v;
-    }
-    for (;;) {
-      v.items.push_back(parse_value());
-      skip_space();
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect(']');
-      return v;
-    }
-  }
-
-  std::string parse_string() {
-    expect('"');
-    std::string out;
-    for (;;) {
-      if (pos_ >= text_.size()) fail("unterminated string");
-      char c = text_[pos_++];
-      if (c == '"') return out;
-      if (c != '\\') {
-        out += c;
-        continue;
-      }
-      if (pos_ >= text_.size()) fail("unterminated escape");
-      char e = text_[pos_++];
-      switch (e) {
-        case '"':
-        case '\\':
-        case '/':
-          out += e;
-          break;
-        case 'n':
-          out += '\n';
-          break;
-        case 't':
-          out += '\t';
-          break;
-        case 'r':
-          out += '\r';
-          break;
-        case 'b':
-          out += '\b';
-          break;
-        case 'f':
-          out += '\f';
-          break;
-        case 'u': {
-          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
-          const unsigned long code =
-              std::strtoul(text_.substr(pos_, 4).c_str(), nullptr, 16);
-          pos_ += 4;
-          // Campaign reports only escape control characters, so a plain
-          // one-byte append is sufficient.
-          out += static_cast<char>(code);
-          break;
-        }
-        default:
-          fail("unknown escape");
-      }
-    }
-  }
-
-  Value parse_number() {
-    const std::size_t start = pos_;
-    if (peek() == '-') ++pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
-            text_[pos_] == '+' || text_[pos_] == '-'))
-      ++pos_;
-    if (pos_ == start) fail("expected a value");
-    Value v;
-    v.kind = Value::Kind::number;
-    v.text = text_.substr(start, pos_ - start);
-    v.number = std::strtod(v.text.c_str(), nullptr);
-    return v;
-  }
-
-  const std::string& text_;
-  std::size_t pos_ = 0;
-};
-
-MetricSummary parse_metric_summary(const JsonParser::Value& v) {
+MetricSummary parse_metric_summary(const json::Value& v) {
   MetricSummary m;
   m.count = static_cast<std::size_t>(v.at("count").number);
   m.mean = v.at("mean").number;
@@ -632,7 +435,7 @@ MetricSummary parse_metric_summary(const JsonParser::Value& v) {
   return m;
 }
 
-GroupSummary parse_group_summary(const JsonParser::Value& v) {
+GroupSummary parse_group_summary(const json::Value& v) {
   GroupSummary summary;
   summary.family = v.at("family").text;
   summary.scenarios = static_cast<std::size_t>(v.at("scenarios").number);
@@ -645,7 +448,7 @@ GroupSummary parse_group_summary(const JsonParser::Value& v) {
 }  // namespace
 
 ParsedCampaign campaign_from_json(const std::string& json) {
-  const auto root = JsonParser(json).parse();
+  const auto root = json::parse(json, "campaign JSON");
   ParsedCampaign campaign;
   campaign.schema = root.at("schema").text;
   if (campaign.schema != "drhw-campaign-v1")
@@ -692,7 +495,7 @@ ParsedCampaign campaign_from_json(const std::string& json) {
     s.ok = item.at("ok").boolean;
     s.error = item.at("error").text;
     for (const auto& [name, value] : item.at("metrics").members)
-      if (value.kind != JsonParser::Value::Kind::null)  // null = non-finite
+      if (value.kind != json::Value::Kind::null)  // null = non-finite
         s.metrics[name] = value.number;
     campaign.scenarios.push_back(std::move(s));
   }

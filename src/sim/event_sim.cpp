@@ -2,15 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
-#include <functional>
-#include <limits>
 #include <memory>
-#include <queue>
 #include <stdexcept>
 #include <unordered_map>
 
 #include "policy/prefetch_policy.hpp"
 #include "policy/registry.hpp"
+#include "sim/instance_arena.hpp"
 #include "util/check.hpp"
 #include "util/p2_quantile.hpp"
 
@@ -82,50 +80,10 @@ enum EventKind : int {
 constexpr std::int32_t k_prefetch_job = -1;
 constexpr std::int32_t k_migration_job = -2;
 
-struct Event {
-  time_us time;
-  int kind;
-  std::int32_t job;  ///< k_prefetch_job / k_migration_job for pool loads
-  SubtaskId subtask; ///< prefetch completions carry the target tile here
-
-  friend bool operator>(const Event& a, const Event& b) {
-    if (a.time != b.time) return a.time > b.time;
-    if (a.kind != b.kind) return a.kind > b.kind;
-    if (a.job != b.job) return a.job > b.job;
-    return a.subtask > b.subtask;
-  }
-};
-
-/// One task instance of the arrival stream.
-struct Job {
-  const PreparedScenario* prep = nullptr;
-  std::size_t base = 0;  ///< offset into the per-subtask state arenas
-  time_us arrival = 0;
-  time_us admit = k_no_time;
-  time_us retire = k_no_time;
-  bool arrived = false;
-  bool admitted = false;
-  /// Run-time scheduling decision charged on the timeline: loads and
-  /// executions wait for it (true immediately when the cost is 0).
-  bool sched_done = true;
-
-  LoadPolicy policy = LoadPolicy::on_demand;
-  std::vector<SubtaskId> order;  ///< explicit port order (init prefix first)
-  /// priority discipline: per-subtask priority override from the
-  /// InstancePlan; empty = the prepared scenario's ALAP weights.
-  std::vector<time_us> priority;
-  std::size_t next_explicit = 0;
-  std::size_t init_count = 0;  ///< leading entries of `order` that are
-                               ///< initialization-phase loads
-  int init_pending = 0;
-  bool init_done = true;
-
-  std::vector<PhysTileId> phys_of_tile;
-  int reused = 0;
-  int cancelled = 0;
-  long loads = 0;
-  std::size_t finished_count = 0;
-};
+/// Sentinel slot ids of job_slot_: the instance has not been admitted yet
+/// (queued/unarrived) or has already retired and returned its slot.
+constexpr std::int32_t k_slot_queued = -1;
+constexpr std::int32_t k_slot_retired = -2;
 
 class OnlineSimulation {
  public:
@@ -134,7 +92,9 @@ class OnlineSimulation {
       : options_(options),
         policy_(PolicyRegistry::instance().create(options.policy)),
         pool_(options.platform.tiles, options.pool),
-        bind_rng_(options.seed ^ 0x5DEECE66DULL) {
+        bind_rng_(options.seed ^ 0x5DEECE66DULL),
+        view_store_(1) {
+    PhaseTimer setup_timer(report_.perf.setup_ns);
     options_.platform.validate();
     options_.arrivals.validate();
     DRHW_CHECK_MSG(options_.iterations >= 1, "online run needs >= 1 iteration");
@@ -143,48 +103,67 @@ class OnlineSimulation {
     if (options_.shared_isps && options_.platform.isps < 1)
       throw std::invalid_argument(
           "shared-ISP contention needs a platform with >= 1 ISP");
+    pool_.set_perf_counters(&report_.perf);
+    events_ = EventQueue(options_.queue_backend, &report_.perf);
 
     // Draw the whole instance stream up front. The sampler is the only
     // consumer of this generator, so the stream equals the sequential
     // simulator's on the same seed; arrival gaps come from an independent
-    // generator so they cannot perturb it.
+    // generator so they cannot perturb it. The stream repeats few distinct
+    // preparations, so per-instance state is one int32 into preps_ — the
+    // per-prep caches (replacement values, intertask candidates, retire
+    // accounting) hang off that index, computed once in setup_arenas().
     Rng stream_rng(options_.seed);
+    std::unordered_map<const PreparedScenario*, std::int32_t> prep_index;
     for (int it = 0; it < options_.iterations; ++it)
       for (const PreparedScenario* prep : sampler(stream_rng)) {
         DRHW_CHECK(prep != nullptr);
-        Job job;
-        job.prep = prep;
-        jobs_.push_back(std::move(job));
+        const auto [at, inserted] =
+            prep_index.emplace(prep, static_cast<std::int32_t>(preps_.size()));
+        if (inserted) preps_.push_back(prep);
+        job_prep_.push_back(at->second);
       }
+    job_arrival_.assign(job_prep_.size(), 0);
+    job_slot_.assign(job_prep_.size(), k_slot_queued);
     setup_arenas();
     setup_arrivals();
   }
 
   OnlineReport run() {
-    while (!events_.empty()) {
-      const Event ev = events_.top();
-      events_.pop();
-      switch (ev.kind) {
-        case k_ev_load_done:
-          on_load_done(ev.job, ev.subtask, ev.time);
-          break;
-        case k_ev_comm:
-          on_comm_arrival(ev.job, ev.subtask, ev.time);
-          break;
-        case k_ev_exec_done:
-          on_exec_done(ev.job, ev.subtask, ev.time);
-          break;
-        case k_ev_arrival:
-          on_arrival(ev.job, ev.time);
-          break;
-        case k_ev_sched_done:
-          on_sched_done(ev.job, ev.time);
-          break;
+    {
+      PhaseTimer loop_timer(report_.perf.loop_ns);
+      while (!events_.empty()) {
+        const Event ev = events_.pop();
+        switch (ev.kind) {
+          case k_ev_load_done:
+            on_load_done(ev.job, ev.subtask, ev.time);
+            break;
+          case k_ev_comm:
+            on_comm_arrival(ev.job, ev.subtask, ev.time);
+            break;
+          case k_ev_exec_done:
+            on_exec_done(ev.job, ev.subtask, ev.time);
+            break;
+          case k_ev_arrival:
+            // Lazy injection: the next arrival enters the queue the moment
+            // this one leaves it, so the queue holds the live working set
+            // instead of the whole stream.
+            if (lazy_arrivals_) push_next_arrival(ev.job);
+            on_arrival(ev.job, ev.time);
+            break;
+          case k_ev_sched_done:
+            on_sched_done(ev.job, ev.time);
+            break;
+        }
       }
     }
-    for (const Job& job : jobs_)
-      DRHW_CHECK_MSG(job.retire != k_no_time, "online simulation stalled");
-    finalize();
+    DRHW_CHECK_MSG(retired_ == static_cast<long>(job_prep_.size()),
+                   "online simulation stalled");
+    {
+      // Scoped so the timer lands in finalize_ns before the report moves.
+      PhaseTimer finalize_timer(report_.perf.finalize_ns);
+      finalize();
+    }
     return std::move(report_);
   }
 
@@ -192,55 +171,73 @@ class OnlineSimulation {
   // -- setup -------------------------------------------------------------
 
   void setup_arenas() {
-    std::size_t total = 0;
-    std::size_t max_events = 16;
-    for (Job& job : jobs_) {
-      job.base = total;
-      const SubtaskGraph& graph = *job.prep->graph;
-      total += graph.size();
-      max_events += 2 * graph.size() + 5;  // loads + exec + sched events
-      for (std::size_t s = 0; s < graph.size(); ++s)  // comm arrivals
-        max_events += graph.successors(static_cast<SubtaskId>(s)).size();
+    std::size_t stride = 0;
+    ConfigId max_config = k_no_config;
+    for (const PreparedScenario* prep : preps_) {
+      const SubtaskGraph& graph = *prep->graph;
+      stride = std::max(stride, graph.size());
+      for (std::size_t s = 0; s < graph.size(); ++s)
+        max_config =
+            std::max(max_config, graph.subtask(static_cast<SubtaskId>(s)).config);
     }
-    preds_left_.assign(total, 0);
-    dag_ready_.assign(total, k_no_time);
-    arrived_.assign(total, k_no_time);
-    exec_end_.assign(total, k_no_time);
-    started_.assign(total, 0);
-    finished_.assign(total, 0);
-    load_started_.assign(total, 0);
-    config_done_.assign(total, 0);
-    needs_.assign(total, 0);
-    init_load_.assign(total, 0);
-    isp_queued_.assign(total, 0);
+    arena_.configure(stride, &report_.perf);
 
     const auto tiles = static_cast<std::size_t>(options_.platform.tiles);
     ports_ = PortSet(options_.platform.reconfig_ports);
     if (options_.shared_isps) isps_ = PortSet(options_.platform.isps);
-
-    // Pre-sized event storage: the hot loop never reallocates.
-    std::vector<Event> storage;
-    storage.reserve(max_events);
-    events_ = EventQueue(std::greater<>(), std::move(storage));
-    if (options_.record_spans) report_.spans.assign(jobs_.size(), 0);
+    if (options_.record_spans) report_.spans.assign(job_prep_.size(), 0);
     live_.reserve(tiles + 1);
     protected_scratch_.assign(tiles, 0);
     movable_scratch_.assign(tiles, 0);
+    // Dense in-flight load counts per configuration (index config + 1, so
+    // k_no_config maps to slot 0) and per-source-tile migration state —
+    // the former unordered_maps of the PR 2..5 kernel, now O(1) lookups
+    // with zero steady-state allocation.
+    inflight_.assign(static_cast<std::size_t>(max_config + 2), 0);
+    migration_plans_.assign(tiles, MigrationPlan{});
+    migration_active_.assign(tiles, 0);
+
+    // Per-preparation caches: the policy contracts replacement_values()
+    // and intertask_candidates() to be pure in (parameters, prep), so the
+    // former per-call lookups/allocations hoist to setup.
+    values_cache_.resize(preps_.size());
+    for (std::size_t p = 0; p < preps_.size(); ++p)
+      values_cache_[p] =
+          &policy_->replacement_values(*preps_[p], options_.replacement);
+    if (intertask_enabled()) {
+      candidate_cache_.resize(preps_.size());
+      for (std::size_t p = 0; p < preps_.size(); ++p)
+        candidate_cache_[p] = policy_->intertask_candidates(*preps_[p]);
+    }
+    prep_drhw_.assign(preps_.size(), 0);
+    prep_exec_energy_.assign(preps_.size(), 0.0);
+    for (std::size_t p = 0; p < preps_.size(); ++p) {
+      const SubtaskGraph& graph = *preps_[p]->graph;
+      for (std::size_t s = 0; s < graph.size(); ++s) {
+        const auto id = static_cast<SubtaskId>(s);
+        if (preps_[p]->placement.on_drhw(id)) ++prep_drhw_[p];
+        prep_exec_energy_[p] += graph.subtask(id).exec_energy;
+      }
+    }
 
     if (options_.replacement == ReplacementPolicy::oracle) {
       // Built once; each admission binary-searches the shared NextUseIndex
       // instead of rescanning the remaining stream (O(instances^2)).
-      for (std::size_t j = 0; j < jobs_.size(); ++j) {
-        const SubtaskGraph& graph = *jobs_[j].prep->graph;
+      for (std::size_t j = 0; j < job_prep_.size(); ++j) {
+        const SubtaskGraph& graph =
+            *preps_[static_cast<std::size_t>(job_prep_[j])]->graph;
         for (std::size_t s = 0; s < graph.size(); ++s)
           next_use_index_.add(graph.subtask(static_cast<SubtaskId>(s)).config,
                               static_cast<long>(j));
       }
     }
+    // Warm-up boundary of the allocation counters: the first half of the
+    // stream retiring has visited every steady-state code path.
+    warmup_retires_ = (static_cast<long>(job_prep_.size()) + 1) / 2;
   }
 
   void setup_arrivals() {
-    if (jobs_.empty()) return;
+    if (job_prep_.empty()) return;
     Rng gap_rng(options_.seed ^ 0x9E3779B97F4A7C15ULL);
     const auto exp_gap = [&]() -> time_us {
       const double u = gap_rng.next_double();
@@ -250,33 +247,70 @@ class OnlineSimulation {
     switch (options_.arrivals.kind) {
       case ArrivalProcess::Kind::poisson: {
         time_us t = 0;
-        for (std::size_t j = 0; j < jobs_.size(); ++j) {
+        for (std::size_t j = 0; j < job_prep_.size(); ++j) {
           t += exp_gap();
-          jobs_[j].arrival = t;
+          job_arrival_[j] = t;
         }
         break;
       }
       case ArrivalProcess::Kind::bursty: {
         time_us burst_start = 0;
-        for (std::size_t j = 0; j < jobs_.size(); ++j) {
+        for (std::size_t j = 0; j < job_prep_.size(); ++j) {
           const auto in_burst = static_cast<time_us>(
               j % static_cast<std::size_t>(options_.arrivals.burst_size));
           if (in_burst == 0) burst_start += exp_gap();
-          jobs_[j].arrival =
+          job_arrival_[j] =
               burst_start + in_burst * options_.arrivals.intra_burst_gap;
         }
         break;
       }
       case ArrivalProcess::Kind::closed_loop:
-        jobs_[0].arrival = 0;  // the rest arrive as predecessors retire
+        job_arrival_[0] = 0;  // the rest arrive as predecessors retire
         break;
     }
     if (options_.arrivals.kind == ArrivalProcess::Kind::closed_loop) {
-      events_.push({0, k_ev_arrival, 0, k_no_subtask});
-    } else {
-      for (std::size_t j = 0; j < jobs_.size(); ++j)
-        events_.push({jobs_[j].arrival, k_ev_arrival,
-                      static_cast<std::int32_t>(j), k_no_subtask});
+      events_.push(0, k_ev_arrival, 0, k_no_subtask);
+      return;
+    }
+    if (options_.queue_backend == QueueBackend::heap) {
+      // The PR 2..5 baseline: the whole stream eagerly pre-pushed. Kept
+      // verbatim so the heap side of the throughput bench measures the
+      // kernel it replaces.
+      for (std::size_t j = 0; j < job_prep_.size(); ++j)
+        events_.push(job_arrival_[j], k_ev_arrival,
+                     static_cast<std::int32_t>(j), k_no_subtask);
+      return;
+    }
+    // Lazy injection (calendar default): arrivals sorted by (time, job) —
+    // bursty streams can be non-monotone in job order — and fed to the
+    // queue one at a time. Popping arrival k pushes arrival k+1, whose
+    // time is >= the pop instant, so the global pop order is provably the
+    // one the eager push produces (arrivals order after same-instant
+    // completions under the kind order either way).
+    lazy_arrivals_ = true;
+    arrival_order_.resize(job_prep_.size());
+    for (std::size_t j = 0; j < arrival_order_.size(); ++j)
+      arrival_order_[j] = static_cast<std::int32_t>(j);
+    std::sort(arrival_order_.begin(), arrival_order_.end(),
+              [&](std::int32_t a, std::int32_t b) {
+                const auto ta = job_arrival_[static_cast<std::size_t>(a)];
+                const auto tb = job_arrival_[static_cast<std::size_t>(b)];
+                if (ta != tb) return ta < tb;
+                return a < b;
+              });
+    arrival_cursor_ = 0;
+    const std::int32_t first = arrival_order_.front();
+    events_.push(job_arrival_[static_cast<std::size_t>(first)], k_ev_arrival,
+                 first, k_no_subtask);
+  }
+
+  void push_next_arrival(std::int32_t popped) {
+    DRHW_CHECK(arrival_cursor_ < arrival_order_.size() &&
+               arrival_order_[arrival_cursor_] == popped);
+    if (++arrival_cursor_ < arrival_order_.size()) {
+      const std::int32_t next = arrival_order_[arrival_cursor_];
+      events_.push(job_arrival_[static_cast<std::size_t>(next)], k_ev_arrival,
+                   next, k_no_subtask);
     }
   }
 
@@ -284,13 +318,46 @@ class OnlineSimulation {
 
   bool intertask_enabled() const { return policy_->uses_intertask(); }
 
-  const std::vector<time_us>& values_for(const Job& job) const {
-    return policy_->replacement_values(*job.prep, options_.replacement);
+  const PreparedScenario& prep_of(std::int32_t j) const {
+    return *preps_[static_cast<std::size_t>(
+        job_prep_[static_cast<std::size_t>(j)])];
   }
 
-  time_us load_duration(const Job& job, SubtaskId s) const {
-    const time_us own = job.prep->graph->subtask(s).load_time;
+  InstanceSlot& slot_of(std::int32_t j) {
+    return arena_.slot(job_slot_[static_cast<std::size_t>(j)]);
+  }
+  const InstanceSlot& slot_of(std::int32_t j) const {
+    return arena_.slot(job_slot_[static_cast<std::size_t>(j)]);
+  }
+  std::size_t base_of(std::int32_t j) const {
+    return arena_.base(job_slot_[static_cast<std::size_t>(j)]);
+  }
+
+  const std::vector<time_us>& values_of(std::int32_t j) const {
+    return *values_cache_[static_cast<std::size_t>(
+        job_prep_[static_cast<std::size_t>(j)])];
+  }
+
+  time_us load_duration(const PreparedScenario& prep, SubtaskId s) const {
+    const time_us own = prep.graph->subtask(s).load_time;
     return own != k_no_time ? own : options_.platform.reconfig_latency;
+  }
+
+  int& inflight_ref(ConfigId config) {
+    return inflight_[static_cast<std::size_t>(config + 1)];
+  }
+
+  /// True while any load of `config` — a live instance's own load on any
+  /// port, or a backlog prefetch — is in flight. Prefetching a config that
+  /// is about to become resident anyway would double the port time.
+  bool config_in_flight(ConfigId config) const {
+    return inflight_[static_cast<std::size_t>(config + 1)] > 0;
+  }
+
+  void release_inflight(ConfigId config) {
+    int& count = inflight_ref(config);
+    DRHW_CHECK(count > 0);
+    --count;
   }
 
   // -- admission ---------------------------------------------------------
@@ -310,78 +377,87 @@ class OnlineSimulation {
   }
 
   void admit(std::int32_t index, time_us t) {
-    Job& job = jobs_[static_cast<std::size_t>(index)];
-    const SubtaskGraph& graph = *job.prep->graph;
-    const Placement& placement = job.prep->placement;
-    job.admitted = true;
-    job.admit = t;
+    const PreparedScenario& prep = prep_of(index);
+    const SubtaskGraph& graph = *prep.graph;
+    const Placement& placement = prep.placement;
+    const std::int32_t slot_id = arena_.acquire(index, graph.size());
+    job_slot_[static_cast<std::size_t>(index)] = slot_id;
+    InstanceSlot& slot = arena_.slot(slot_id);
+    const std::size_t base = arena_.base(slot_id);
+    slot.admit = t;
 
     // Tiles the pool offers for binding: every free tile (count-based
     // pools, the PR 2 view) or the best-scoring free block (contiguous
     // pools, placement-aware).
-    std::vector<ConfigId> wanted;
+    wanted_scratch_.clear();
     if (options_.pool.contiguous && policy_->uses_reuse())
-      wanted = first_subtask_configs(graph, placement);
-    const std::vector<PhysTileId> free_tiles = pool_.offer(index, wanted);
+      first_subtask_configs_into(graph, placement, wanted_scratch_);
+    pool_.offer_into(index, wanted_scratch_, free_tiles_scratch_);
+    const std::vector<PhysTileId>& free_tiles = free_tiles_scratch_;
 
     const ConfigStore& store = pool_.store();
-    std::vector<bool> resident(graph.size(), false);
+    const std::vector<bool>* resident = nullptr;
     if (policy_->uses_reuse()) {
-      ConfigStore view(static_cast<int>(free_tiles.size()));
+      view_store_.reset(static_cast<int>(free_tiles.size()));
       for (std::size_t i = 0; i < free_tiles.size(); ++i) {
         const PhysTileId p = free_tiles[i];
         if (store.config_on(p) != k_no_config)
-          view.record_load(static_cast<PhysTileId>(i), store.config_on(p),
-                           store.last_used(p), store.value_of(p));
+          view_store_.record_load(static_cast<PhysTileId>(i),
+                                  store.config_on(p), store.last_used(p),
+                                  store.value_of(p));
       }
       NextUseRank oracle;
       if (options_.replacement == ReplacementPolicy::oracle)
         oracle = make_oracle(static_cast<std::size_t>(index));
-      Binding binding =
-          bind_tiles(graph, placement, view, options_.replacement,
-                     values_for(job), bind_rng_, oracle);
-      job.phys_of_tile.assign(binding.phys_of_tile.size(), k_no_phys_tile);
-      for (std::size_t v = 0; v < binding.phys_of_tile.size(); ++v)
-        if (binding.phys_of_tile[v] != k_no_phys_tile)
-          job.phys_of_tile[v] =
-              free_tiles[static_cast<std::size_t>(binding.phys_of_tile[v])];
-      resident = std::move(binding.resident);
-      job.reused = binding.reused_subtasks;
+      bind_tiles(graph, placement, view_store_, options_.replacement,
+                 values_of(index), bind_rng_, oracle, binding_scratch_);
+      slot.phys_of_tile.assign(binding_scratch_.phys_of_tile.size(),
+                               k_no_phys_tile);
+      for (std::size_t v = 0; v < binding_scratch_.phys_of_tile.size(); ++v)
+        if (binding_scratch_.phys_of_tile[v] != k_no_phys_tile)
+          slot.phys_of_tile[v] = free_tiles[static_cast<std::size_t>(
+              binding_scratch_.phys_of_tile[v])];
+      resident = &binding_scratch_.resident;
+      slot.reused = binding_scratch_.reused_subtasks;
     } else {
-      job.phys_of_tile.assign(static_cast<std::size_t>(placement.tiles_used),
-                              k_no_phys_tile);
+      slot.phys_of_tile.assign(static_cast<std::size_t>(placement.tiles_used),
+                               k_no_phys_tile);
       std::size_t next_free = 0;
       for (int v = 0; v < placement.tiles_used; ++v) {
         if (placement.tile_sequence[static_cast<std::size_t>(v)].empty())
           continue;
-        job.phys_of_tile[static_cast<std::size_t>(v)] =
+        slot.phys_of_tile[static_cast<std::size_t>(v)] =
             free_tiles[next_free++];
       }
+      resident_scratch_.assign(graph.size(), false);
+      resident = &resident_scratch_;
     }
     occupied_scratch_.clear();
-    for (const PhysTileId p : job.phys_of_tile)
+    for (const PhysTileId p : slot.phys_of_tile)
       if (p != k_no_phys_tile) occupied_scratch_.push_back(p);
     pool_.occupy(index, occupied_scratch_, t);
 
-    build_plan(job, resident, t);
+    build_plan(slot, base, prep, *resident, t);
 
     // Per-subtask scheduling state.
     for (std::size_t s = 0; s < graph.size(); ++s) {
-      preds_left_[job.base + s] = static_cast<int>(
+      arena_.preds_left[base + s] = static_cast<int>(
           graph.predecessors(static_cast<SubtaskId>(s)).size());
-      if (!needs_[job.base + s]) config_done_[job.base + s] = 1;
+      if (!arena_.needs[base + s]) arena_.config_done[base + s] = 1;
     }
+    if (live_.size() == live_.capacity()) report_.perf.note_alloc();
     live_.push_back(index);
-    report_.sim.reused_subtasks += job.reused;
-    queue_sum_ += static_cast<double>(t - job.arrival);
-    queue_max_ = std::max(queue_max_, t - job.arrival);
+    report_.sim.reused_subtasks += slot.reused;
+    const time_us arrival = job_arrival_[static_cast<std::size_t>(index)];
+    queue_sum_ += static_cast<double>(t - arrival);
+    queue_max_ = std::max(queue_max_, t - arrival);
 
     // The run-time scheduling decision itself costs simulated time: until
     // it completes nothing of this instance may load or execute.
-    job.sched_done = options_.scheduler_cost == 0;
-    if (!job.sched_done)
-      events_.push({t + options_.scheduler_cost, k_ev_sched_done, index,
-                    k_no_subtask});
+    slot.sched_done = options_.scheduler_cost == 0;
+    if (!slot.sched_done)
+      events_.push(t + options_.scheduler_cost, k_ev_sched_done, index,
+                   k_no_subtask);
 
     // Initial enables, exactly like the evaluator's t = 0 marks.
     for (std::size_t s = 0; s < graph.size(); ++s) {
@@ -393,10 +469,12 @@ class OnlineSimulation {
   }
 
   /// Asks the policy for the instance's load plan and translates it into
-  /// the kernel's per-job scheduling state. Any initialization-phase loads
-  /// become ordinary head-of-order port requests (exempt from the
-  /// unit-order gate); the stored schedule starts once they all completed.
-  void build_plan(Job& job, const std::vector<bool>& resident, time_us t) {
+  /// the slot's scheduling state. Any initialization-phase loads become
+  /// ordinary head-of-order port requests (exempt from the unit-order
+  /// gate); the stored schedule starts once they all completed.
+  void build_plan(InstanceSlot& slot, std::size_t base,
+                  const PreparedScenario& prep,
+                  const std::vector<bool>& resident, time_us t) {
     PolicyContext context;
     context.now = t;
     context.ports = options_.platform.reconfig_ports;
@@ -405,7 +483,7 @@ class OnlineSimulation {
     // not yet in live_, so both counts exclude it.
     context.live_instances = static_cast<int>(live_.size());
     context.queued_instances = static_cast<int>(pool_.queued());
-    const InstancePlan plan = policy_->plan(*job.prep, resident, context);
+    const InstancePlan plan = policy_->plan(prep, resident, context);
     // The same invariants evaluate_instance_plan() enforces sequentially:
     // a plan that violates them here would not abort but silently stall
     // the kernel (init_pending could never drain), so fail fast instead.
@@ -416,31 +494,29 @@ class OnlineSimulation {
                    "instance plan: an initialization phase requires an "
                    "explicit order");
 
-    job.policy = plan.load_policy;
-    job.init_count = plan.init_count;
-    job.cancelled = plan.cancelled_loads;
-    job.init_pending = static_cast<int>(job.init_count);
-    job.init_done = job.init_pending == 0;
-    if (plan.load_policy == LoadPolicy::explicit_order)
-      job.order = plan.loads;
+    slot.policy = plan.load_policy;
+    slot.init_count = plan.init_count;
+    slot.cancelled = plan.cancelled_loads;
+    slot.init_pending = static_cast<int>(slot.init_count);
+    slot.init_done = slot.init_pending == 0;
+    if (plan.load_policy == LoadPolicy::explicit_order) slot.order = plan.loads;
     if (plan.load_policy == LoadPolicy::priority)
-      job.priority = plan.priority;  // empty = ALAP weights
+      slot.priority = plan.priority;  // empty = ALAP weights
     for (std::size_t i = 0; i < plan.loads.size(); ++i) {
-      needs_[job.base + static_cast<std::size_t>(plan.loads[i])] = 1;
+      arena_.needs[base + static_cast<std::size_t>(plan.loads[i])] = 1;
       if (i < plan.init_count)
-        init_load_[job.base + static_cast<std::size_t>(plan.loads[i])] = 1;
+        arena_.init_load[base + static_cast<std::size_t>(plan.loads[i])] = 1;
     }
-    report_.sim.cancelled_loads += job.cancelled;
+    report_.sim.cancelled_loads += slot.cancelled;
   }
 
   // -- state transitions (mirroring the single-instance evaluator) -------
 
   void mark_arrival(std::int32_t j, SubtaskId s, time_us t) {
-    Job& job = jobs_[static_cast<std::size_t>(j)];
-    const std::size_t idx = job.base + static_cast<std::size_t>(s);
-    DRHW_CHECK(arrived_[idx] == k_no_time);
-    arrived_[idx] = t;
-    if (needs_[idx]) try_port(t);
+    const std::size_t idx = base_of(j) + static_cast<std::size_t>(s);
+    DRHW_CHECK(arena_.arrived[idx] == k_no_time);
+    arena_.arrived[idx] = t;
+    if (arena_.needs[idx]) try_port(t);
     // Always re-check execution: an initialization-phase load is exempt
     // from the unit-order arrival gate, so its config can already be done
     // by the time the subtask arrives — without this call nothing would
@@ -449,32 +525,34 @@ class OnlineSimulation {
   }
 
   void mark_dag_ready(std::int32_t j, SubtaskId s, time_us t) {
-    Job& job = jobs_[static_cast<std::size_t>(j)];
-    const std::size_t idx = job.base + static_cast<std::size_t>(s);
-    DRHW_CHECK(dag_ready_[idx] == k_no_time);
-    dag_ready_[idx] = t;
-    if (needs_[idx] && job.policy == LoadPolicy::on_demand &&
-        arrived_[idx] != k_no_time)
+    const InstanceSlot& slot = slot_of(j);
+    const std::size_t idx = base_of(j) + static_cast<std::size_t>(s);
+    DRHW_CHECK(arena_.dag_ready[idx] == k_no_time);
+    arena_.dag_ready[idx] = t;
+    if (arena_.needs[idx] && slot.policy == LoadPolicy::on_demand &&
+        arena_.arrived[idx] != k_no_time)
       try_port(t);
     try_exec(j, s, t);
   }
 
   void try_exec(std::int32_t j, SubtaskId s, time_us t) {
-    Job& job = jobs_[static_cast<std::size_t>(j)];
-    const std::size_t idx = job.base + static_cast<std::size_t>(s);
-    if (started_[idx]) return;
-    if (dag_ready_[idx] == k_no_time || arrived_[idx] == k_no_time) return;
-    if (needs_[idx] && !config_done_[idx]) return;
-    if (!job.sched_done) return;  // the run-time decision is still charged
-    if (!job.init_done) return;  // stored schedule waits for the init phase
-    const TileId tile = job.prep->placement.tile_of[static_cast<std::size_t>(s)];
+    const InstanceSlot& slot = slot_of(j);
+    const std::size_t idx = base_of(j) + static_cast<std::size_t>(s);
+    if (arena_.started[idx]) return;
+    if (arena_.dag_ready[idx] == k_no_time || arena_.arrived[idx] == k_no_time)
+      return;
+    if (arena_.needs[idx] && !arena_.config_done[idx]) return;
+    if (!slot.sched_done) return;  // the run-time decision is still charged
+    if (!slot.init_done) return;  // stored schedule waits for the init phase
+    const TileId tile =
+        prep_of(j).placement.tile_of[static_cast<std::size_t>(s)];
     if (tile != k_no_tile) {
-      const PhysTileId phys = job.phys_of_tile[static_cast<std::size_t>(tile)];
+      const PhysTileId phys = slot.phys_of_tile[static_cast<std::size_t>(tile)];
       // A tile being defragmented cannot execute until the move lands.
       if (phys != k_no_phys_tile && pool_.migrating(phys)) return;
     } else if (options_.shared_isps) {
       // Shared ISPs: the execution must win one of the contended servers.
-      if (isp_queued_[idx]) return;  // already waiting; dispatcher owns it
+      if (arena_.isp_queued[idx]) return;  // already waiting
       // Never dispatch past a non-empty wait queue: a server can read
       // idle at instant t while the exec_done that freed it is still
       // pending at the same timestamp — jumping in here would overtake
@@ -482,8 +560,10 @@ class OnlineSimulation {
       // same-instant completion's dispatch pass drains the queue in
       // discipline order onto every idle server.
       if (!isp_waiting_.empty() || !isps_.idle_at(isps_.earliest(), t)) {
+        if (isp_waiting_.size() == isp_waiting_.capacity())
+          report_.perf.note_alloc();
         isp_waiting_.push_back({j, s, isp_seq_++});
-        isp_queued_[idx] = 1;
+        arena_.isp_queued[idx] = 1;
         return;
       }
     }
@@ -492,17 +572,15 @@ class OnlineSimulation {
 
   /// Starts the execution unconditionally (every gate already checked).
   void begin_execution(std::int32_t j, SubtaskId s, time_us t) {
-    Job& job = jobs_[static_cast<std::size_t>(j)];
-    const std::size_t idx = job.base + static_cast<std::size_t>(s);
-    const time_us duration = job.prep->graph->subtask(s).exec_time;
-    const TileId tile = job.prep->placement.tile_of[static_cast<std::size_t>(s)];
+    const PreparedScenario& prep = prep_of(j);
+    const time_us duration = prep.graph->subtask(s).exec_time;
+    const TileId tile = prep.placement.tile_of[static_cast<std::size_t>(s)];
     if (tile == k_no_tile) {
       isp_busy_ += duration;  // offered ISP load, shared or not
       if (options_.shared_isps) isps_.dispatch(isps_.earliest(), t, duration);
     }
-    started_[idx] = 1;
-    exec_end_[idx] = t + duration;
-    events_.push({exec_end_[idx], k_ev_exec_done, j, s});
+    arena_.started[base_of(j) + static_cast<std::size_t>(s)] = 1;
+    events_.push(t + duration, k_ev_exec_done, j, s);
   }
 
   /// An ISP server just freed (shared mode): hand it — and any other idle
@@ -515,10 +593,10 @@ class OnlineSimulation {
         for (std::size_t i = 1; i < isp_waiting_.size(); ++i) {
           const IspWaiter& a = isp_waiting_[i];
           const IspWaiter& b = isp_waiting_[pick];
-          const time_us wa = jobs_[static_cast<std::size_t>(a.job)]
-                                 .prep->weights[static_cast<std::size_t>(a.subtask)];
-          const time_us wb = jobs_[static_cast<std::size_t>(b.job)]
-                                 .prep->weights[static_cast<std::size_t>(b.subtask)];
+          const time_us wa =
+              prep_of(a.job).weights[static_cast<std::size_t>(a.subtask)];
+          const time_us wb =
+              prep_of(b.job).weights[static_cast<std::size_t>(b.subtask)];
           if (wa > wb) pick = i;  // ties keep the older request (lower seq)
         }
       }
@@ -526,10 +604,10 @@ class OnlineSimulation {
       isp_waiting_.erase(isp_waiting_.begin() +
                          static_cast<std::ptrdiff_t>(pick));
       const std::size_t idx =
-          jobs_[static_cast<std::size_t>(waiter.job)].base +
-          static_cast<std::size_t>(waiter.subtask);
-      isp_queued_[idx] = 0;
-      DRHW_CHECK_MSG(!started_[idx], "queued ISP execution already started");
+          base_of(waiter.job) + static_cast<std::size_t>(waiter.subtask);
+      arena_.isp_queued[idx] = 0;
+      DRHW_CHECK_MSG(!arena_.started[idx],
+                     "queued ISP execution already started");
       begin_execution(waiter.job, waiter.subtask, t);
     }
   }
@@ -538,27 +616,29 @@ class OnlineSimulation {
 
   /// Next serviceable load of one live instance under its own policy, or
   /// k_no_subtask. Pure scan; the caller starts the load explicitly.
-  SubtaskId job_candidate(const Job& job) const {
-    const SubtaskGraph& graph = *job.prep->graph;
-    if (!job.sched_done) return k_no_subtask;  // decision still in flight
-    switch (job.policy) {
+  SubtaskId job_candidate(std::int32_t j) const {
+    const InstanceSlot& slot = slot_of(j);
+    if (!slot.sched_done) return k_no_subtask;  // decision still in flight
+    const SubtaskGraph& graph = *prep_of(j).graph;
+    const std::size_t base = base_of(j);
+    switch (slot.policy) {
       case LoadPolicy::explicit_order: {
-        for (std::size_t i = job.next_explicit; i < job.order.size(); ++i) {
-          const SubtaskId s = job.order[i];
-          const std::size_t idx = job.base + static_cast<std::size_t>(s);
-          if (load_started_[idx]) continue;
+        for (std::size_t i = slot.next_explicit; i < slot.order.size(); ++i) {
+          const SubtaskId s = slot.order[i];
+          const std::size_t idx = base + static_cast<std::size_t>(s);
+          if (arena_.load_started[idx]) continue;
           // Initialization-phase loads are not gated on the unit order —
           // they precede every execution of the instance, and on
           // multi-port platforms they dispatch in parallel.
-          if (i >= job.init_count) {
+          if (i >= slot.init_count) {
             // Stored-schedule loads wait for the whole init phase, not
             // just for its loads to have *started*: the sequential rig
             // evaluates the stored schedule strictly after init_duration,
             // and this gate is what keeps multi-port spans equal at
             // arrival rate -> 0 (with one port it is vacuous — the port
             // busy with the last init load blocks any scan anyway).
-            if (!job.init_done) return k_no_subtask;
-            if (arrived_[idx] == k_no_time)
+            if (!slot.init_done) return k_no_subtask;
+            if (arena_.arrived[idx] == k_no_time)
               return k_no_subtask;  // head-of-line block
           }
           return s;
@@ -567,12 +647,12 @@ class OnlineSimulation {
       }
       case LoadPolicy::priority: {
         const std::vector<time_us>& priority =
-            job.priority.empty() ? job.prep->weights : job.priority;
+            slot.priority.empty() ? prep_of(j).weights : slot.priority;
         SubtaskId best = k_no_subtask;
         for (std::size_t s = 0; s < graph.size(); ++s) {
-          const std::size_t idx = job.base + s;
-          if (!needs_[idx] || load_started_[idx] ||
-              arrived_[idx] == k_no_time)
+          const std::size_t idx = base + s;
+          if (!arena_.needs[idx] || arena_.load_started[idx] ||
+              arena_.arrived[idx] == k_no_time)
             continue;
           if (best == k_no_subtask ||
               priority[s] > priority[static_cast<std::size_t>(best)])
@@ -584,13 +664,14 @@ class OnlineSimulation {
         SubtaskId best = k_no_subtask;
         time_us best_ready = 0;
         for (std::size_t s = 0; s < graph.size(); ++s) {
-          const std::size_t idx = job.base + s;
-          if (!needs_[idx] || load_started_[idx] ||
-              arrived_[idx] == k_no_time || dag_ready_[idx] == k_no_time)
+          const std::size_t idx = base + s;
+          if (!arena_.needs[idx] || arena_.load_started[idx] ||
+              arena_.arrived[idx] == k_no_time ||
+              arena_.dag_ready[idx] == k_no_time)
             continue;
-          if (best == k_no_subtask || dag_ready_[idx] < best_ready) {
+          if (best == k_no_subtask || arena_.dag_ready[idx] < best_ready) {
             best = static_cast<SubtaskId>(s);
-            best_ready = dag_ready_[idx];
+            best_ready = arena_.dag_ready[idx];
           }
         }
         return best;
@@ -601,38 +682,27 @@ class OnlineSimulation {
 
   void start_job_load(std::int32_t j, SubtaskId s, std::size_t port,
                       time_us t) {
-    Job& job = jobs_[static_cast<std::size_t>(j)];
-    const std::size_t idx = job.base + static_cast<std::size_t>(s);
-    load_started_[idx] = 1;
-    ++inflight_[job.prep->graph->subtask(s).config];
-    const time_us duration = load_duration(job, s);
+    InstanceSlot& slot = slot_of(j);
+    const PreparedScenario& prep = prep_of(j);
+    const std::size_t base = base_of(j);
+    arena_.load_started[base + static_cast<std::size_t>(s)] = 1;
+    ++inflight_ref(prep.graph->subtask(s).config);
+    const time_us duration = load_duration(prep, s);
     ports_.dispatch(port, t, duration);
-    ++job.loads;
-    if (job.policy == LoadPolicy::explicit_order)
-      while (job.next_explicit < job.order.size() &&
-             load_started_[job.base + static_cast<std::size_t>(
-                                          job.order[job.next_explicit])])
-        ++job.next_explicit;
-    events_.push({t + duration, k_ev_load_done, j, s});
+    ++slot.loads;
+    if (slot.policy == LoadPolicy::explicit_order)
+      while (slot.next_explicit < slot.order.size() &&
+             arena_.load_started[base + static_cast<std::size_t>(
+                                            slot.order[slot.next_explicit])])
+        ++slot.next_explicit;
+    events_.push(t + duration, k_ev_load_done, j, s);
   }
 
-  /// True while any load of `config` — a live instance's own load on any
-  /// port, or a backlog prefetch — is in flight. Prefetching a config that
-  /// is about to become resident anyway would double the port time.
-  bool config_in_flight(ConfigId config) const {
-    return inflight_.count(config) > 0;
-  }
-
-  /// Candidate loads of one prepared scenario, computed once per distinct
-  /// preparation (the stream repeats few graphs; the weight sort of the
-  /// runtime_intertask variant is not free on every idle-port event).
-  const std::vector<SubtaskId>& cached_candidates(
-      const PreparedScenario* prep) {
-    const auto it = candidate_cache_.find(prep);
-    if (it != candidate_cache_.end()) return it->second;
-    return candidate_cache_
-        .emplace(prep, policy_->intertask_candidates(*prep))
-        .first->second;
+  /// Candidate loads of one prepared scenario — precomputed per distinct
+  /// preparation in setup_arenas() (intertask_candidates() is contractually
+  /// pure), so the idle-port path does no lookup, no allocation.
+  const std::vector<SubtaskId>& cached_candidates(std::int32_t prep_idx) const {
+    return candidate_cache_[static_cast<std::size_t>(prep_idx)];
   }
 
   /// Prefetches one configuration for a queued (arrived, unadmitted)
@@ -645,8 +715,7 @@ class OnlineSimulation {
     // protected_scratch_ is a member: no allocation on the event path.
     std::fill(protected_scratch_.begin(), protected_scratch_.end(), 0);
     {
-      const SubtaskGraph& head =
-          *jobs_[static_cast<std::size_t>(pool_.queue_head())].prep->graph;
+      const SubtaskGraph& head = *prep_of(pool_.queue_head()).graph;
       const ConfigStore& store = pool_.store();
       for (std::size_t t2 = 0; t2 < protected_scratch_.size(); ++t2) {
         const ConfigId resident =
@@ -663,25 +732,27 @@ class OnlineSimulation {
         pool_.queued(),
         static_cast<std::size_t>(std::max(options_.intertask_lookahead, 0)));
     for (std::size_t q = 0; q < lookahead; ++q) {
-      const Job& queued = jobs_[static_cast<std::size_t>(pool_.waiting_at(q))];
-      for (const SubtaskId s : cached_candidates(queued.prep)) {
-        const ConfigId config = queued.prep->graph->subtask(s).config;
+      const std::int32_t queued = pool_.waiting_at(q);
+      const PreparedScenario& prep = prep_of(queued);
+      for (const SubtaskId s :
+           cached_candidates(job_prep_[static_cast<std::size_t>(queued)])) {
+        const ConfigId config = prep.graph->subtask(s).config;
         if (config == k_no_config || pool_.store().holds(config) ||
             config_in_flight(config))
           continue;
         const PhysTileId victim = pool_.prefetch_victim(protected_scratch_);
         if (victim == k_no_phys_tile) return false;  // pool exhausted
         const double value = static_cast<double>(
-            values_for(queued)[static_cast<std::size_t>(s)]);
+            values_of(queued)[static_cast<std::size_t>(s)]);
         pool_.reserve(victim, config, value, t);
-        ++inflight_[config];
-        const time_us duration = load_duration(queued, s);
+        ++inflight_ref(config);
+        const time_us duration = load_duration(prep, s);
         ports_.dispatch(port, t, duration);
         ++report_.sim.intertask_prefetches;
         ++report_.sim.loads;
         report_.sim.energy += options_.platform.reconfig_energy;
-        events_.push({t + duration, k_ev_load_done, k_prefetch_job,
-                      static_cast<SubtaskId>(victim)});
+        events_.push(t + duration, k_ev_load_done, k_prefetch_job,
+                     static_cast<SubtaskId>(victim));
         return true;
       }
     }
@@ -693,16 +764,17 @@ class OnlineSimulation {
   void build_movable(std::vector<char>& movable) const {
     std::fill(movable.begin(), movable.end(), 0);
     for (const std::int32_t j : live_) {
-      const Job& job = jobs_[static_cast<std::size_t>(j)];
-      const Placement& placement = job.prep->placement;
-      for (std::size_t vt = 0; vt < job.phys_of_tile.size(); ++vt) {
-        const PhysTileId p = job.phys_of_tile[vt];
+      const InstanceSlot& slot = slot_of(j);
+      const Placement& placement = prep_of(j).placement;
+      const std::size_t base = base_of(j);
+      for (std::size_t vt = 0; vt < slot.phys_of_tile.size(); ++vt) {
+        const PhysTileId p = slot.phys_of_tile[vt];
         if (p == k_no_phys_tile || pool_.migrating(p)) continue;
         bool busy = false;
         for (const SubtaskId s : placement.tile_sequence[vt]) {
-          const std::size_t idx = job.base + static_cast<std::size_t>(s);
-          if ((started_[idx] && !finished_[idx]) ||
-              (load_started_[idx] && !config_done_[idx])) {
+          const std::size_t idx = base + static_cast<std::size_t>(s);
+          if ((arena_.started[idx] && !arena_.finished[idx]) ||
+              (arena_.load_started[idx] && !arena_.config_done[idx])) {
             busy = true;
             break;
           }
@@ -743,23 +815,28 @@ class OnlineSimulation {
         continue;
       }
       pool_.begin_migration(*plan, t);
-      migrations_.emplace(plan->src, *plan);
-      peak_migrations_ = std::max(
-          peak_migrations_, static_cast<long>(migrations_.size()));
+      const auto src = static_cast<std::size_t>(plan->src);
+      DRHW_CHECK(!migration_active_[src]);
+      migration_active_[src] = 1;
+      migration_plans_[src] = *plan;
+      ++migrations_in_flight_count_;
+      peak_migrations_ =
+          std::max(peak_migrations_, migrations_in_flight_count_);
       const time_us duration = options_.platform.reconfig_latency;
       ports_.dispatch(port, t, duration);
       ++report_.sim.loads;
       report_.sim.energy += options_.platform.reconfig_energy;
       // The completion event carries the source tile so the handler can
       // retire the right plan when several moves are in flight.
-      events_.push({t + duration, k_ev_load_done, k_migration_job,
-                    static_cast<SubtaskId>(plan->src)});
+      events_.push(t + duration, k_ev_load_done, k_migration_job,
+                   static_cast<SubtaskId>(plan->src));
       return true;
     }
   }
 
   void remap_owner(const MigrationPlan& plan) {
-    Job& owner = jobs_[static_cast<std::size_t>(plan.owner)];
+    DRHW_CHECK(job_slot_[static_cast<std::size_t>(plan.owner)] >= 0);
+    InstanceSlot& owner = slot_of(plan.owner);
     for (PhysTileId& p : owner.phys_of_tile)
       if (p == plan.src) p = plan.dst;
   }
@@ -772,8 +849,7 @@ class OnlineSimulation {
       std::int32_t best_job = -1;
       SubtaskId best_subtask = k_no_subtask;
       for (const std::int32_t j : live_) {
-        const Job& job = jobs_[static_cast<std::size_t>(j)];
-        const SubtaskId s = job_candidate(job);
+        const SubtaskId s = job_candidate(j);
         if (s == k_no_subtask) continue;
         if (options_.port_discipline == PortDiscipline::fifo) {
           best_job = j;
@@ -781,9 +857,9 @@ class OnlineSimulation {
           break;  // live_ is in admission order
         }
         if (best_job == -1 ||
-            job.prep->weights[static_cast<std::size_t>(s)] >
-                jobs_[static_cast<std::size_t>(best_job)]
-                    .prep->weights[static_cast<std::size_t>(best_subtask)]) {
+            prep_of(j).weights[static_cast<std::size_t>(s)] >
+                prep_of(best_job)
+                    .weights[static_cast<std::size_t>(best_subtask)]) {
           best_job = j;
           best_subtask = s;
         }
@@ -801,36 +877,36 @@ class OnlineSimulation {
   // -- event handlers ----------------------------------------------------
 
   void on_arrival(std::int32_t j, time_us t) {
-    Job& job = jobs_[static_cast<std::size_t>(j)];
-    job.arrived = true;
-    pool_.enqueue(j, job.prep->placement.tiles_occupied(), t);
+    pool_.enqueue(j, prep_of(j).placement.tiles_occupied(), t);
     try_admit(t);
     try_port(t);
   }
 
   void on_sched_done(std::int32_t j, time_us t) {
-    Job& job = jobs_[static_cast<std::size_t>(j)];
-    job.sched_done = true;
-    for (std::size_t s = 0; s < job.prep->graph->size(); ++s)
+    slot_of(j).sched_done = true;
+    const std::size_t n = prep_of(j).graph->size();
+    for (std::size_t s = 0; s < n; ++s)
       try_exec(j, static_cast<SubtaskId>(s), t);
     try_port(t);
   }
 
   void on_load_done(std::int32_t j, SubtaskId s, time_us t) {
     if (j == k_migration_job) {  // defragmentation move landed
-      const auto it = migrations_.find(static_cast<PhysTileId>(s));
-      DRHW_CHECK_MSG(it != migrations_.end(),
+      const auto src = static_cast<std::size_t>(s);
+      DRHW_CHECK_MSG(migration_active_[src],
                      "migration completion without a matching plan");
-      const MigrationPlan plan = it->second;
-      migrations_.erase(it);
+      const MigrationPlan plan = migration_plans_[src];
+      migration_active_[src] = 0;
+      --migrations_in_flight_count_;
       if (pool_.finish_migration(plan, t)) remap_owner(plan);
       // Executions gated on the migrating tile may go now — whether or not
       // the transfer held (an aborted transfer leaves the owner on the
       // source tile, whose gate just lifted). Skip a retired owner.
-      const Job& owner = jobs_[static_cast<std::size_t>(plan.owner)];
-      if (owner.retire == k_no_time)
-        for (std::size_t k = 0; k < owner.prep->graph->size(); ++k)
+      if (job_slot_[static_cast<std::size_t>(plan.owner)] >= 0) {
+        const std::size_t n = prep_of(plan.owner).graph->size();
+        for (std::size_t k = 0; k < n; ++k)
           try_exec(plan.owner, static_cast<SubtaskId>(k), t);
+      }
       try_admit(t);
       try_port(t);
       return;
@@ -841,21 +917,21 @@ class OnlineSimulation {
       try_port(t);
       return;
     }
-    Job& job = jobs_[static_cast<std::size_t>(j)];
-    const std::size_t idx = job.base + static_cast<std::size_t>(s);
-    config_done_[idx] = 1;
-    release_inflight(job.prep->graph->subtask(s).config);
-    const TileId tile =
-        job.prep->placement.tile_of[static_cast<std::size_t>(s)];
+    InstanceSlot& slot = slot_of(j);
+    const PreparedScenario& prep = prep_of(j);
+    const std::size_t idx = base_of(j) + static_cast<std::size_t>(s);
+    arena_.config_done[idx] = 1;
+    release_inflight(prep.graph->subtask(s).config);
+    const TileId tile = prep.placement.tile_of[static_cast<std::size_t>(s)];
     pool_.store().record_load(
-        job.phys_of_tile[static_cast<std::size_t>(tile)],
-        job.prep->graph->subtask(s).config, t,
-        static_cast<double>(values_for(job)[static_cast<std::size_t>(s)]));
-    if (init_load_[idx] && --job.init_pending == 0) {
-      job.init_done = true;
+        slot.phys_of_tile[static_cast<std::size_t>(tile)],
+        prep.graph->subtask(s).config, t,
+        static_cast<double>(values_of(j)[static_cast<std::size_t>(s)]));
+    if (arena_.init_load[idx] && --slot.init_pending == 0) {
+      slot.init_done = true;
       // The stored schedule starts now: release every execution whose other
       // gates already fired.
-      for (std::size_t k = 0; k < job.prep->graph->size(); ++k)
+      for (std::size_t k = 0; k < prep.graph->size(); ++k)
         try_exec(j, static_cast<SubtaskId>(k), t);
     }
     try_exec(j, s, t);
@@ -863,18 +939,19 @@ class OnlineSimulation {
   }
 
   void on_comm_arrival(std::int32_t j, SubtaskId s, time_us t) {
-    Job& job = jobs_[static_cast<std::size_t>(j)];
-    if (--preds_left_[job.base + static_cast<std::size_t>(s)] == 0)
+    if (--arena_.preds_left[base_of(j) + static_cast<std::size_t>(s)] == 0)
       mark_dag_ready(j, s, t);
   }
 
   void on_exec_done(std::int32_t j, SubtaskId s, time_us t) {
-    Job& job = jobs_[static_cast<std::size_t>(j)];
-    const SubtaskGraph& graph = *job.prep->graph;
-    const Placement& placement = job.prep->placement;
-    const std::size_t idx = job.base + static_cast<std::size_t>(s);
-    finished_[idx] = 1;
-    ++job.finished_count;
+    InstanceSlot& slot = slot_of(j);
+    const PreparedScenario& prep = prep_of(j);
+    const SubtaskGraph& graph = *prep.graph;
+    const Placement& placement = prep.placement;
+    const std::size_t base = base_of(j);
+    const std::size_t idx = base + static_cast<std::size_t>(s);
+    arena_.finished[idx] = 1;
+    ++slot.finished_count;
 
     const TileId tile = placement.tile_of[static_cast<std::size_t>(s)];
     // A shared ISP server just freed: waiting executions requested it
@@ -885,34 +962,29 @@ class OnlineSimulation {
             ? placement.tile_sequence[static_cast<std::size_t>(tile)]
             : placement.isp_sequence[static_cast<std::size_t>(
                   placement.isp_of[static_cast<std::size_t>(s)])];
-    const auto pos =
-        static_cast<std::size_t>(placement.position_of[static_cast<std::size_t>(s)]);
+    const auto pos = static_cast<std::size_t>(
+        placement.position_of[static_cast<std::size_t>(s)]);
     if (pos + 1 < seq.size()) mark_arrival(j, seq[pos + 1], t);
     if (tile != k_no_tile)
       pool_.store().record_use(
-          job.phys_of_tile[static_cast<std::size_t>(tile)], t);
+          slot.phys_of_tile[static_cast<std::size_t>(tile)], t);
 
     for (SubtaskId succ : graph.successors(s)) {
-      const time_us comm = edge_comm(job, s, succ);
+      const time_us comm = edge_comm(prep, s, succ);
       if (comm == 0) {
-        if (--preds_left_[job.base + static_cast<std::size_t>(succ)] == 0)
+        if (--arena_.preds_left[base + static_cast<std::size_t>(succ)] == 0)
           mark_dag_ready(j, succ, t);
       } else {
-        events_.push({t + comm, k_ev_comm, j, succ});
+        events_.push(t + comm, k_ev_comm, j, succ);
       }
     }
-    if (job.finished_count == graph.size()) retire(j, t);
+    if (slot.finished_count == graph.size()) retire(j, t);
     try_port(t);
   }
 
-  void release_inflight(ConfigId config) {
-    const auto it = inflight_.find(config);
-    DRHW_CHECK(it != inflight_.end() && it->second > 0);
-    if (--it->second == 0) inflight_.erase(it);
-  }
-
-  time_us edge_comm(const Job& job, SubtaskId from, SubtaskId to) const {
-    const Placement& placement = job.prep->placement;
+  time_us edge_comm(const PreparedScenario& prep, SubtaskId from,
+                    SubtaskId to) const {
+    const Placement& placement = prep.placement;
     const auto f = static_cast<std::size_t>(from);
     const auto g = static_cast<std::size_t>(to);
     const bool from_isp = placement.tile_of[f] == k_no_tile;
@@ -924,44 +996,51 @@ class OnlineSimulation {
   }
 
   void retire(std::int32_t j, time_us t) {
-    Job& job = jobs_[static_cast<std::size_t>(j)];
-    job.retire = t;
+    const std::int32_t slot_id = job_slot_[static_cast<std::size_t>(j)];
+    InstanceSlot& slot = arena_.slot(slot_id);
+    const PreparedScenario& prep = prep_of(j);
     pool_.release(j, t);
     live_.erase(std::find(live_.begin(), live_.end(), j));
 
-    // Accounting, mirroring the sequential simulator's account().
-    const SubtaskGraph& graph = *job.prep->graph;
-    const time_us span = t - job.admit;
+    // Accounting, mirroring the sequential simulator's account(). The
+    // per-graph constants (DRHW subtask count, execution energy) were
+    // folded per distinct preparation in setup_arenas().
+    const time_us span = t - slot.admit;
     if (options_.record_spans)
       report_.spans[static_cast<std::size_t>(j)] = span;  // arrival order
-    report_.sim.total_ideal += job.prep->ideal;
+    report_.sim.total_ideal += prep.ideal;
     report_.sim.total_actual += span;
     ++report_.sim.instances;
-    long drhw = 0;
-    double exec_energy = 0.0;
-    for (std::size_t s = 0; s < graph.size(); ++s) {
-      if (job.prep->placement.on_drhw(static_cast<SubtaskId>(s))) ++drhw;
-      exec_energy += graph.subtask(static_cast<SubtaskId>(s)).exec_energy;
-    }
+    const auto prep_idx =
+        static_cast<std::size_t>(job_prep_[static_cast<std::size_t>(j)]);
+    const long drhw = prep_drhw_[prep_idx];
     report_.sim.drhw_subtask_instances += drhw;
-    report_.sim.loads += job.loads;
-    report_.sim.init_loads += static_cast<long>(job.init_count);
+    report_.sim.loads += slot.loads;
+    report_.sim.init_loads += static_cast<long>(slot.init_count);
     report_.sim.energy +=
-        exec_energy +
-        options_.platform.reconfig_energy * static_cast<double>(job.loads);
+        prep_exec_energy_[prep_idx] +
+        options_.platform.reconfig_energy * static_cast<double>(slot.loads);
     report_.sim.energy_saved += options_.platform.reconfig_energy *
-                            static_cast<double>(drhw - job.loads);
-    response_sum_ += static_cast<double>(t - job.arrival);
-    response_max_ = std::max(response_max_, t - job.arrival);
-    response_sketch_.add(to_ms(t - job.arrival));
+                                static_cast<double>(drhw - slot.loads);
+    const time_us arrival = job_arrival_[static_cast<std::size_t>(j)];
+    response_sum_ += static_cast<double>(t - arrival);
+    response_max_ = std::max(response_max_, t - arrival);
+    response_sketch_.add(to_ms(t - arrival));
     horizon_ = std::max(horizon_, t);
+
+    // The slot returns to the free list; the next admission reuses its
+    // vectors at capacity (the steady-state zero-allocation contract).
+    arena_.release(slot_id);
+    job_slot_[static_cast<std::size_t>(j)] = k_slot_retired;
+    ++retired_;
+    if (retired_ == warmup_retires_) report_.perf.end_warmup();
 
     if (options_.arrivals.kind == ArrivalProcess::Kind::closed_loop) {
       const auto next = static_cast<std::size_t>(j) + 1;
-      if (next < jobs_.size()) {
-        jobs_[next].arrival = t + options_.arrivals.think_time;
-        events_.push({jobs_[next].arrival, k_ev_arrival,
-                      static_cast<std::int32_t>(next), k_no_subtask});
+      if (next < job_prep_.size()) {
+        job_arrival_[next] = t + options_.arrivals.think_time;
+        events_.push(job_arrival_[next], k_ev_arrival,
+                     static_cast<std::int32_t>(next), k_no_subtask);
       }
     }
     try_admit(t);
@@ -979,8 +1058,8 @@ class OnlineSimulation {
           100.0 * static_cast<double>(report_.sim.reused_subtasks) /
           static_cast<double>(report_.sim.drhw_subtask_instances);
     report_.horizon = horizon_;
-    const auto n = static_cast<double>(jobs_.size());
-    if (!jobs_.empty()) {
+    const auto n = static_cast<double>(job_prep_.size());
+    if (!job_prep_.empty()) {
       report_.mean_response_ms = response_sum_ / n / 1000.0;
       report_.mean_queueing_ms = queue_sum_ / n / 1000.0;
     }
@@ -1023,22 +1102,30 @@ class OnlineSimulation {
     }
   }
 
-  using EventQueue =
-      std::priority_queue<Event, std::vector<Event>, std::greater<>>;
-
   OnlineSimOptions options_;
   std::unique_ptr<PrefetchPolicy> policy_;  ///< the scheduling strategy
   TilePoolManager pool_;  ///< tile occupancy, admission queue, defrag state
   Rng bind_rng_;
-  std::vector<Job> jobs_;
-  EventQueue events_;
-  std::vector<std::int32_t> live_;  ///< admitted, unretired; admission order
+  /// Per-admission binding view over the offered free tiles; reset() per
+  /// admit instead of constructed (allocation-free at steady state).
+  ConfigStore view_store_;
 
-  // Per-subtask state arenas (indexed job.base + subtask id).
-  std::vector<int> preds_left_;
-  std::vector<time_us> dag_ready_, arrived_, exec_end_;
-  std::vector<char> started_, finished_, load_started_, config_done_, needs_,
-      init_load_;
+  // The arrival stream in SoA form: per job one int32 into preps_, the
+  // arrival time, and the arena slot id (k_slot_queued before admission,
+  // k_slot_retired after). The PR 2..5 kernel kept a ~150-byte Job struct
+  // with three vectors per instance alive for the whole run.
+  std::vector<const PreparedScenario*> preps_;  ///< distinct preparations
+  std::vector<std::int32_t> job_prep_;
+  std::vector<time_us> job_arrival_;
+  std::vector<std::int32_t> job_slot_;
+
+  EventQueue events_;  ///< re-made onto the configured backend in the ctor
+  bool lazy_arrivals_ = false;
+  std::vector<std::int32_t> arrival_order_;  ///< jobs by (arrival, id)
+  std::size_t arrival_cursor_ = 0;
+
+  InstanceArena arena_;  ///< live-instance slots + per-subtask SoA state
+  std::vector<std::int32_t> live_;  ///< admitted, unretired; admission order
 
   // Shared-resource state: the reconfiguration ports, and (shared-ISP
   // mode) the contended ISP servers with their wait queue.
@@ -1050,20 +1137,33 @@ class OnlineSimulation {
     long seq;  ///< request order (the fifo key; kept sorted by append)
   };
   std::vector<IspWaiter> isp_waiting_;
-  std::vector<char> isp_queued_;  ///< per-subtask: sitting in isp_waiting_
   long isp_seq_ = 0;
   time_us isp_busy_ = 0;  ///< total ISP execution time, shared or not
   std::vector<char> protected_scratch_;  ///< backlog-prefetch scratch
   std::vector<char> movable_scratch_;    ///< defrag-planning scratch
-  std::vector<PhysTileId> occupied_scratch_;  ///< admission scratch
-  /// In-flight defrag moves keyed by source tile (completion events carry
-  /// the source). One per port at most.
-  std::unordered_map<PhysTileId, MigrationPlan> migrations_;
+  std::vector<PhysTileId> occupied_scratch_;   ///< admission scratch
+  std::vector<PhysTileId> free_tiles_scratch_; ///< offer_into() target
+  std::vector<ConfigId> wanted_scratch_;       ///< reusable-config scratch
+  std::vector<bool> resident_scratch_;  ///< non-reuse policies: all false
+  Binding binding_scratch_;             ///< bind_tiles() target
+
+  /// In-flight defrag moves indexed by source tile (completion events
+  /// carry the source). One per port at most.
+  std::vector<MigrationPlan> migration_plans_;
+  std::vector<char> migration_active_;
+  long migrations_in_flight_count_ = 0;
   long peak_migrations_ = 0;
-  std::unordered_map<ConfigId, int> inflight_;  ///< loads in flight per config
-  std::unordered_map<const PreparedScenario*, std::vector<SubtaskId>>
-      candidate_cache_;
+  std::vector<int> inflight_;  ///< loads in flight, indexed config + 1
+
+  // Per-preparation caches (indexed like preps_), built in setup_arenas().
+  std::vector<const std::vector<time_us>*> values_cache_;
+  std::vector<std::vector<SubtaskId>> candidate_cache_;
+  std::vector<long> prep_drhw_;          ///< DRHW subtasks per instance
+  std::vector<double> prep_exec_energy_; ///< execution energy per instance
   NextUseIndex next_use_index_;  ///< oracle policy only
+
+  long retired_ = 0;
+  long warmup_retires_ = 0;  ///< retire count ending the perf warm-up
 
   // Online metric accumulators.
   double response_sum_ = 0.0;

@@ -63,8 +63,10 @@
 #include <vector>
 
 #include "pool/tile_pool.hpp"
+#include "sim/event_queue.hpp"
 #include "sim/port_set.hpp"
 #include "sim/system_sim.hpp"
+#include "util/perf_stats.hpp"
 
 namespace drhw {
 
@@ -134,6 +136,15 @@ struct OnlineSimOptions {
   PortDiscipline isp_discipline = PortDiscipline::fifo;
   /// How many queued instances the backlog prefetch may serve.
   int intertask_lookahead = 1;
+  /// Global event-queue backend (sim/event_queue.hpp). The calendar queue
+  /// is the production default — O(1) expected per event, with the
+  /// arrival stream injected lazily in sorted order so the queue holds
+  /// only the live working set. The heap backend reproduces the PR 2..5
+  /// binary-heap kernel (arrivals eagerly pre-pushed) for differential
+  /// testing and as the throughput-bench baseline. Both backends pop in
+  /// the same deterministic order, so every report is bit-identical
+  /// between them (asserted by tests/test_event_sim.cpp).
+  QueueBackend queue_backend = QueueBackend::calendar;
   /// Collect per-instance admit -> retire spans into OnlineReport::spans
   /// (equivalence tests). Off for long-horizon runs — the streaming
   /// quantile sketch keeps reporting response percentiles regardless.
@@ -190,6 +201,11 @@ struct OnlineReport {
   /// tests; size == sim.instances; empty when
   /// OnlineSimOptions::record_spans is off).
   std::vector<time_us> spans;
+  /// Kernel performance counters (util/perf_stats.hpp): deterministic
+  /// event/queue/allocation counts plus wall-clock phase timers. Campaign
+  /// reports expose only the deterministic subset; the phase timers are
+  /// for OnlineReport consumers (`drhw_sched online --perf`).
+  PerfCounters perf;
 };
 
 /// Runs the online simulation. The sampler (and everything its instances

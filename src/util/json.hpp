@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file json.hpp
+/// Minimal recursive-descent JSON reader shared by the campaign report
+/// round-trip (runner/report.cpp) and the standalone perf-gate comparator
+/// (tools/perf_compare.cpp). Covers objects, arrays, strings, numbers,
+/// booleans and null — exactly the subset the repo's writers emit; it is
+/// not a general-purpose JSON library.
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace drhw::json {
+
+/// One parsed JSON value. Object members keep document order (the writers
+/// emit deterministic key order, and tests compare round-trips).
+struct Value {
+  enum class Kind { null, boolean, number, string, array, object } kind =
+      Kind::null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string text;
+  std::vector<Value> items;
+  std::vector<std::pair<std::string, Value>> members;
+
+  /// Object member by key; nullptr when absent (or not an object).
+  const Value* find(const std::string& key) const;
+  /// Object member by key; throws std::invalid_argument when absent.
+  const Value& at(const std::string& key) const;
+};
+
+/// Parses `text` into a Value tree. `context` prefixes every error message
+/// ("campaign JSON", "bench JSON", ...). Throws std::invalid_argument on
+/// malformed input or trailing characters.
+Value parse(const std::string& text, const std::string& context = "JSON");
+
+}  // namespace drhw::json

@@ -1,0 +1,116 @@
+// Tests for the kernel perf-counter layer (util/perf_stats.hpp): the
+// log2 histogram bucketing, the warm-up accounting, and the tentpole
+// contract — on a long-horizon online run the kernel performs zero tracked
+// heap allocations after warm-up, under both queue backends.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "policy/names.hpp"
+#include "sim/event_sim.hpp"
+#include "sim/workloads.hpp"
+
+namespace drhw {
+namespace {
+
+TEST(PerfStats, Log2BucketIsFloorLog2) {
+  EXPECT_EQ(log2_bucket(0), 0);
+  EXPECT_EQ(log2_bucket(1), 0);
+  EXPECT_EQ(log2_bucket(2), 1);
+  EXPECT_EQ(log2_bucket(3), 1);
+  EXPECT_EQ(log2_bucket(4), 2);
+  EXPECT_EQ(log2_bucket(1023), 9);
+  EXPECT_EQ(log2_bucket(1024), 10);
+  EXPECT_EQ(log2_bucket(std::uint64_t{1} << 39), 39);
+}
+
+TEST(PerfStats, WarmupBoundarySplitsAllocations) {
+  PerfCounters perf;
+  perf.note_alloc();
+  perf.note_alloc();
+  perf.end_warmup();
+  EXPECT_EQ(perf.allocations, 2u);
+  EXPECT_EQ(perf.warmup_allocations, 2u);
+  EXPECT_EQ(perf.steady_allocations(), 0u);
+  perf.note_alloc();
+  EXPECT_EQ(perf.steady_allocations(), 1u);
+}
+
+TEST(PerfStats, PushPopCountersBalanceAndTrackDepth) {
+  PerfCounters perf;
+  perf.note_push(3, 1);
+  perf.note_push(0, 2);
+  perf.note_pop();
+  perf.note_pop();
+  EXPECT_EQ(perf.queue_pushes, 2u);
+  EXPECT_EQ(perf.queue_pops, 2u);
+  EXPECT_EQ(perf.events_total, 2u);
+  EXPECT_EQ(perf.queue_depth_max, 2u);
+  EXPECT_EQ(perf.events_by_kind[3], 1u);
+  EXPECT_EQ(perf.queue_depth_log2[0], 1u);  // depth 1
+  EXPECT_EQ(perf.queue_depth_log2[1], 1u);  // depth 2
+}
+
+struct PerfStatsOnline : ::testing::Test {
+  void SetUp() override {
+    platform = virtex2_platform(16);
+    workload = make_multimedia_workload(platform);
+    sampler = multimedia_sampler(*workload);
+  }
+  PlatformConfig platform;
+  std::unique_ptr<MultimediaWorkload> workload;
+  IterationSampler sampler;
+};
+
+TEST_F(PerfStatsOnline, SteadyStateAllocationCountIsZeroOnLongHorizonRuns) {
+  // The arena/SoA tentpole pin: once the first half of the instance stream
+  // has retired, the kernel-owned containers (event queue storage, arena
+  // slots, pool queues, live list) never grow again — a long saturated run
+  // performs zero tracked allocations in the steady state. Holds on both
+  // backends; the heap grows its eagerly-pushed arrival backlog during
+  // setup, long before the warm-up boundary.
+  for (const QueueBackend backend :
+       {QueueBackend::calendar, QueueBackend::heap}) {
+    OnlineSimOptions options;
+    options.platform = platform;
+    options.policy = PolicySpec(policy_names::hybrid);
+    options.arrivals.rate_per_s = 120.0;
+    options.queue_backend = backend;
+    options.record_spans = false;
+    options.seed = 2005;
+    options.iterations = 3000;
+    const OnlineReport report = run_online_simulation(options, sampler);
+    EXPECT_GT(report.perf.allocations, 0u) << to_string(backend);
+    EXPECT_EQ(report.perf.steady_allocations(), 0u) << to_string(backend);
+    EXPECT_EQ(report.perf.queue_pushes, report.perf.queue_pops)
+        << to_string(backend);
+    EXPECT_EQ(report.perf.events_total, report.perf.queue_pops)
+        << to_string(backend);
+    EXPECT_GT(report.perf.arena_slots_peak, 0u);
+    EXPECT_GE(report.perf.loop_ns, 0);
+  }
+}
+
+TEST_F(PerfStatsOnline, DeterministicCountersAreBackendInvariant) {
+  // Event totals and per-kind counts are pure functions of the scenario:
+  // identical between the two queue backends (depth differs legitimately —
+  // the heap holds the eagerly-pushed arrival stream).
+  OnlineSimOptions options;
+  options.platform = platform;
+  options.policy = PolicySpec(policy_names::hybrid);
+  options.arrivals.rate_per_s = 60.0;
+  options.record_spans = false;
+  options.seed = 11;
+  options.iterations = 400;
+  options.queue_backend = QueueBackend::calendar;
+  const OnlineReport calendar = run_online_simulation(options, sampler);
+  options.queue_backend = QueueBackend::heap;
+  const OnlineReport heap = run_online_simulation(options, sampler);
+  EXPECT_EQ(calendar.perf.events_total, heap.perf.events_total);
+  EXPECT_EQ(calendar.perf.events_by_kind, heap.perf.events_by_kind);
+  EXPECT_GT(heap.perf.queue_depth_max, calendar.perf.queue_depth_max);
+}
+
+}  // namespace
+}  // namespace drhw

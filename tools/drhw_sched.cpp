@@ -54,6 +54,12 @@
 //                      "paper" picks the Section 4 value per approach
 //   --iterations N     sampler batches to draw (default 500)
 //   --seed S           RNG seed (default 2005)
+//   --queue B          calendar | heap event-queue backend (default
+//                      calendar; both pop in the same order, reports are
+//                      bit-identical)
+//   --perf             print the kernel perf-counter summary per approach
+//                      (event counts, queue depth histogram, allocation
+//                      counts, phase timings) after the table
 //   --approach P       restrict to one policy, by registered name with
 //                      optional parameters, e.g. hybrid[intertask=0]
 //                      (default: every registered policy)
@@ -64,6 +70,7 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "graph/algorithms.hpp"
@@ -105,8 +112,8 @@ int usage() {
                " [--replacement R] [--lookahead N] [--admission P]"
                " [--contiguous] [--defrag] [--window N] [--max-bypass N]"
                " [--sched-cost-us C]"
-               " [--iterations N] [--seed S] [--approach P]"
-               " [--list-policies]\n";
+               " [--iterations N] [--seed S] [--queue B] [--perf]"
+               " [--approach P] [--list-policies]\n";
   return 2;
 }
 
@@ -369,6 +376,10 @@ struct OnlineCliOptions {
   time_us scheduler_cost = 0;
   int iterations = 500;
   std::uint64_t seed = 2005;
+  /// Event-queue backend; reports are bit-identical between the two.
+  QueueBackend queue_backend = QueueBackend::calendar;
+  /// Print perf_summary() per approach after the table.
+  bool perf = false;
   /// Policies to run, one table row each; empty = every registered policy.
   std::vector<PolicySpec> policies;
 };
@@ -431,6 +442,7 @@ int cmd_online(const OnlineCliOptions& cli) {
                       "response mean", "response p95", "queueing mean",
                       "port util", "isp util", "frag", "skips", "moves",
                       "peak migs", "prefetches"});
+  std::vector<std::pair<std::string, std::string>> perf_blocks;
   for (const PolicySpec& policy : policies) {
     OnlineSimOptions options;
     options.platform = platform;
@@ -446,9 +458,12 @@ int cmd_online(const OnlineCliOptions& cli) {
     options.shared_isps = cli.shared_isps > 0;
     options.isp_discipline = cli.isp_discipline;
     options.record_spans = false;
+    options.queue_backend = cli.queue_backend;
     options.seed = cli.seed;
     options.iterations = cli.iterations;
     const OnlineReport report = run_online_simulation(options, sampler);
+    if (cli.perf)
+      perf_blocks.emplace_back(to_string(policy), perf_summary(report.perf));
     table.add_row({to_string(policy), std::to_string(report.sim.instances),
                    fmt_pct(report.sim.overhead_pct, 2),
                    fmt_pct(report.sim.reuse_pct),
@@ -464,6 +479,10 @@ int cmd_online(const OnlineCliOptions& cli) {
                    std::to_string(report.sim.intertask_prefetches)});
   }
   table.print(std::cout);
+  for (const auto& [name, summary] : perf_blocks)
+    std::cout << "\nperf counters: " << name << " ("
+              << to_string(cli.queue_backend) << " queue)\n"
+              << summary;
   return 0;
 }
 
@@ -575,6 +594,10 @@ int main(int argc, char** argv) {
           cli.iterations = std::stoi(args[++i]);
         else if (arg == "--seed" && has_value)
           cli.seed = std::stoull(args[++i]);
+        else if (arg == "--queue" && has_value)
+          cli.queue_backend = queue_backend_from_string(args[++i]);
+        else if (arg == "--perf")
+          cli.perf = true;
         else if (arg == "--approach" && has_value)
           cli.policies.push_back(parse_policy_arg(args[++i]));
         else if (arg == "--list-policies")

@@ -1,0 +1,179 @@
+// perf_compare — the CI perf-gate comparator.
+//
+// Compares a bench_throughput_horizon JSON report against the committed
+// baseline (BENCH_throughput.json) and exits nonzero when any matching
+// config regressed by more than the threshold:
+//
+//   perf_compare <baseline.json> <current.json> [--threshold PCT]
+//                [--speedup-floor X]
+//
+//   --threshold PCT     allowed instances_per_min drop per config before
+//                       the gate fails (default 10)
+//   --speedup-floor X   additionally require calendar/heap >= X for every
+//                       headline pair present in the current report
+//                       (machine-independent check; default: off)
+//
+// Matching is by config name; configs present only in the current report
+// are reported as new (not gated), configs missing from the current report
+// fail the gate (lost coverage). A mismatch in the deterministic event
+// count of a matching config is printed as a warning — the golden tests
+// pin kernel behaviour, the gate only pins throughput.
+//
+// Exit codes: 0 pass, 1 regression / lost coverage, 2 usage or bad input.
+//
+// Blessing a new baseline (intentional perf change): rerun the bench on
+// the reference machine and commit the fresh BENCH_throughput.json —
+// see README.md, "Performance layer".
+
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using drhw::json::Value;
+
+struct BenchConfig {
+  std::string name;
+  std::string backend;
+  double instances_per_min = 0.0;
+  double events = 0.0;
+};
+
+struct BenchReport {
+  int scale = 1;
+  std::map<std::string, BenchConfig> configs;
+};
+
+BenchReport load_report(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::invalid_argument("cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const Value root = drhw::json::parse(buffer.str(), "bench JSON");
+  const std::string schema = root.at("schema").text;
+  if (schema != "drhw-bench-throughput-v1")
+    throw std::invalid_argument(path + ": unknown schema '" + schema + "'");
+  BenchReport report;
+  if (const Value* scale = root.find("scale"))
+    report.scale = static_cast<int>(scale->number);
+  for (const Value& item : root.at("configs").items) {
+    BenchConfig c;
+    c.name = item.at("name").text;
+    c.backend = item.at("backend").text;
+    c.instances_per_min = item.at("instances_per_min").number;
+    if (const Value* events = item.find("events")) c.events = events->number;
+    report.configs[c.name] = c;
+  }
+  return report;
+}
+
+int usage() {
+  std::cerr << "usage: perf_compare <baseline.json> <current.json>"
+               " [--threshold PCT] [--speedup-floor X]\n";
+  return 2;
+}
+
+/// calendar/heap instances_per_min ratio of the headline pair; 0 when the
+/// report has no complete pair.
+double headline_speedup(const std::map<std::string, BenchConfig>& configs) {
+  double calendar = 0.0, heap = 0.0;
+  for (const auto& [name, c] : configs) {
+    if (name.rfind("headline_", 0) != 0) continue;
+    if (c.backend == "calendar") calendar = c.instances_per_min;
+    if (c.backend == "heap") heap = c.instances_per_min;
+  }
+  return heap > 0.0 ? calendar / heap : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  std::vector<std::string> paths;
+  double threshold_pct = 10.0;
+  double speedup_floor = 0.0;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const bool has_value = i + 1 < args.size();
+    if (args[i] == "--threshold" && has_value)
+      threshold_pct = std::stod(args[++i]);
+    else if (args[i] == "--speedup-floor" && has_value)
+      speedup_floor = std::stod(args[++i]);
+    else if (!args[i].empty() && args[i][0] == '-')
+      return usage();
+    else
+      paths.push_back(args[i]);
+  }
+  if (paths.size() != 2) return usage();
+
+  try {
+    const BenchReport baseline_report = load_report(paths[0]);
+    const BenchReport current_report = load_report(paths[1]);
+    const auto& baseline = baseline_report.configs;
+    const auto& current = current_report.configs;
+    if (baseline_report.scale != current_report.scale)
+      std::cerr << "warning: comparing different bench scales (baseline 1/"
+                << baseline_report.scale << ", current 1/"
+                << current_report.scale << ")\n";
+
+    int failures = 0;
+    drhw::TablePrinter table(
+        {"config", "baseline/min", "current/min", "delta", "verdict"});
+    for (const auto& [name, base] : baseline) {
+      const auto it = current.find(name);
+      if (it == current.end()) {
+        table.add_row({name, drhw::fmt(base.instances_per_min, 0), "-", "-",
+                       "MISSING"});
+        ++failures;
+        continue;
+      }
+      const BenchConfig& cur = it->second;
+      const double delta_pct =
+          base.instances_per_min > 0.0
+              ? 100.0 * (cur.instances_per_min - base.instances_per_min) /
+                    base.instances_per_min
+              : 0.0;
+      const bool regressed = delta_pct < -threshold_pct;
+      if (regressed) ++failures;
+      table.add_row({name, drhw::fmt(base.instances_per_min, 0),
+                     drhw::fmt(cur.instances_per_min, 0),
+                     drhw::fmt(delta_pct, 1) + "%",
+                     regressed ? "REGRESSED" : "ok"});
+      if (base.events > 0.0 && cur.events > 0.0 && base.events != cur.events)
+        std::cerr << "warning: " << name << ": deterministic event count "
+                  << "changed (" << base.events << " -> " << cur.events
+                  << "); rebless the baseline if intentional\n";
+    }
+    for (const auto& [name, cur] : current)
+      if (baseline.find(name) == baseline.end())
+        table.add_row({name, "-", drhw::fmt(cur.instances_per_min, 0), "-",
+                       "new"});
+    table.print(std::cout);
+
+    if (speedup_floor > 0.0) {
+      const double speedup = headline_speedup(current);
+      std::cout << "headline calendar/heap speedup: "
+                << drhw::fmt(speedup, 2) << "x (floor "
+                << drhw::fmt(speedup_floor, 2) << "x)\n";
+      if (speedup < speedup_floor) ++failures;
+    }
+
+    if (failures > 0) {
+      std::cout << failures << " gate failure(s) (threshold "
+                << drhw::fmt(threshold_pct, 0) << "%)\n";
+      return 1;
+    }
+    std::cout << "perf gate passed (threshold " << drhw::fmt(threshold_pct, 0)
+              << "%)\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}
