@@ -30,6 +30,14 @@ inline constexpr const char* hybrid = "hybrid";
 /// The pressure-adaptive extension policy (policy/adaptive_hybrid.cpp).
 inline constexpr const char* adaptive_hybrid = "adaptive_hybrid";
 
+/// The real-time family (policy/deadline_policies.cpp): deadline-ordered
+/// admission over a delegated prefetch planner. Only meaningful with
+/// OnlineSimOptions::deadline_scale > 0; identical to their delegates
+/// otherwise.
+inline constexpr const char* edf = "edf";
+inline constexpr const char* llf = "llf";
+inline constexpr const char* edf_hybrid = "edf_hybrid";
+
 }  // namespace policy_names
 
 /// The five paper approaches in the paper's presentation order — the

@@ -59,6 +59,19 @@ struct PreparedScenario;  // sim/system_sim.hpp
 inline constexpr time_us k_paper_hybrid_scheduler_cost = us(4);
 inline constexpr time_us k_paper_list_scheduler_cost = us(150);
 
+/// How the online kernel orders the admission backlog for a policy. The
+/// default (arrival) keeps the configured AdmissionPolicy of the tile pool;
+/// deadline/laxity switch admission to most-urgent-first among the queued
+/// instances that fit, with the pool's starvation bound still protecting
+/// the queue head. Only consulted when deadlines are enabled
+/// (OnlineSimOptions::deadline_scale > 0), so every policy stays
+/// bit-identical in best-effort runs.
+enum class AdmissionUrgency {
+  arrival,   ///< arrival order (the pool's admission policy as configured)
+  deadline,  ///< earliest absolute deadline first (EDF)
+  laxity,    ///< least laxity first: deadline minus remaining ideal work (LLF)
+};
+
 /// What a policy may observe when planning one instance. Both kernels fill
 /// in what they know at the decision instant; everything is deterministic
 /// simulated state, never wall clock.
@@ -76,6 +89,25 @@ struct PolicyContext {
   /// Instances waiting behind this one: the online admission backlog, or
   /// the sequential rig's emitted lookahead window.
   int queued_instances = 0;
+
+  /// Backlog composition by instance footprint: queued instances needing
+  /// 1–2, 3–4, 5–8 and 9+ tiles respectively (see size_bucket()). All
+  /// zero in the sequential rig and whenever the backlog is empty, so
+  /// existing policies that ignore it stay bit-identical.
+  int queued_size_histogram[4] = {0, 0, 0, 0};
+  /// Earliest absolute deadline among queued / live instances; k_no_time
+  /// when deadlines are off (OnlineSimOptions::deadline_scale == 0) or no
+  /// such instance exists.
+  time_us nearest_queued_deadline = k_no_time;
+  time_us nearest_live_deadline = k_no_time;
+
+  /// Histogram bucket of an instance needing `tiles` tiles.
+  static int size_bucket(int tiles) {
+    if (tiles <= 2) return 0;
+    if (tiles <= 4) return 1;
+    if (tiles <= 8) return 2;
+    return 3;
+  }
 
   /// Observed port pressure as a contention count: how many other
   /// instances — live or queued — are competing for the reconfiguration
@@ -136,6 +168,14 @@ class PrefetchPolicy {
   /// Per-decision cost of the policy's run-time scheduler on the embedded
   /// core (Section 4); 0 when everything was decided at design time.
   virtual time_us scheduler_cost() const { return 0; }
+
+  /// How the online kernel should order the admission backlog when
+  /// deadlines are enabled. The default keeps the pool's configured
+  /// admission policy; the edf/llf family overrides this. Ignored entirely
+  /// when OnlineSimOptions::deadline_scale == 0.
+  virtual AdmissionUrgency admission_urgency() const {
+    return AdmissionUrgency::arrival;
+  }
 
   /// Load plan for one admitted instance. `resident[s]` marks subtasks
   /// whose configuration the reuse module found on their bound tile (all

@@ -12,6 +12,7 @@ namespace detail {
 // line here; no kernel, runner or CLI edits.
 void register_paper_policies(PolicyRegistry& registry);
 void register_adaptive_hybrid(PolicyRegistry& registry);
+void register_deadline_policies(PolicyRegistry& registry);
 }  // namespace detail
 
 PolicyRegistry& PolicyRegistry::instance() {
@@ -19,6 +20,7 @@ PolicyRegistry& PolicyRegistry::instance() {
     auto* r = new PolicyRegistry();  // leaked intentionally: process-wide
     detail::register_paper_policies(*r);
     detail::register_adaptive_hybrid(*r);
+    detail::register_deadline_policies(*r);
     return r;
   }();
   return registry;

@@ -132,6 +132,32 @@ std::int32_t TilePoolManager::select(time_us) {
   return queue_[pick].job;
 }
 
+std::int32_t TilePoolManager::select_urgent(
+    time_us, const std::function<long long(std::int32_t)>& urgency) {
+  if (queued_count_ == 0) return -1;
+  const std::size_t none = queue_.size();
+  std::size_t pick = none;
+  long long best = 0;
+  for (std::size_t i = head_; i < queue_.size(); ++i) {
+    if (queue_[i].job < 0 || !fits(queue_[i].needed)) continue;
+    const long long u = urgency(queue_[i].job);
+    if (pick == none || u < best) {
+      pick = i;
+      best = u;
+    }
+  }
+  if (pick != none && pick != head_ && head().skips >= options_.max_bypass)
+    pick = fits(head().needed) ? head_ : none;
+  if (pick >= queue_.size()) return -1;
+  for (std::size_t i = head_; i < pick; ++i)
+    if (queue_[i].job >= 0) {
+      ++queue_[i].skips;
+      ++queue_skips_;
+    }
+  last_pick_ = pick;
+  return queue_[pick].job;
+}
+
 std::vector<PhysTileId> TilePoolManager::offer(
     std::int32_t job, const std::vector<ConfigId>& wanted) const {
   std::vector<PhysTileId> out;
@@ -453,6 +479,38 @@ void TilePoolManager::apply_remap(const MigrationPlan& plan, time_us now) {
   held_[src] = 0;
   owner_[src] = -1;
   ++defrag_moves_;
+}
+
+// --- preemptive checkpointing -----------------------------------------------
+
+void TilePoolManager::begin_checkpoint(PhysTileId tile) {
+  const std::size_t idx = checked(tile);
+  DRHW_CHECK_MSG(held_[idx] && !migrating_[idx] && !reserved_[idx],
+                 "checkpointing a tile that is not quietly held");
+  migrating_[idx] = 1;
+  ++migrations_in_flight_;
+}
+
+void TilePoolManager::finish_checkpoint(PhysTileId tile, time_us now) {
+  touch(now);
+  const std::size_t idx = checked(tile);
+  DRHW_CHECK_MSG(held_[idx] && migrating_[idx],
+                 "checkpoint completion on a tile that is not checkpointing");
+  migrating_[idx] = 0;
+  --migrations_in_flight_;
+  // Free with the resident configuration left cached — release() semantics,
+  // per tile: the store keeps the config, so the victim's re-admission
+  // finds it through the reuse module.
+  held_[idx] = 0;
+  owner_[idx] = -1;
+}
+
+void TilePoolManager::abort_checkpoint(PhysTileId tile) {
+  const std::size_t idx = checked(tile);
+  DRHW_CHECK_MSG(held_[idx] && migrating_[idx],
+                 "checkpoint abort on a tile that is not checkpointing");
+  migrating_[idx] = 0;
+  --migrations_in_flight_;
 }
 
 // --- metrics ----------------------------------------------------------------

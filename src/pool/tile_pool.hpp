@@ -42,6 +42,7 @@
 /// policy decision in one place and the simulator a pure event dispatcher.
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -135,6 +136,17 @@ class TilePoolManager {
   /// caller must follow up with offer() + occupy() for the returned job.
   std::int32_t select(time_us now);
 
+  /// Deadline-aware admission (the online kernel's EDF/LLF path): among
+  /// every queued instance that currently fits, picks the one minimising
+  /// `urgency(job)`, ties broken by arrival order. The configured
+  /// `max_bypass` starvation bound still protects the queue head: once the
+  /// head has been overtaken that many times, nothing else is admitted
+  /// until the head fits. Charges the queue-skip metric like select();
+  /// same offer() + occupy() follow-up contract. Scans the whole backlog
+  /// (urgency is not arrival-monotone), so it is O(queue) per admission.
+  std::int32_t select_urgent(
+      time_us now, const std::function<long long(std::int32_t)>& urgency);
+
   /// Tiles offered to the binder for `job`, ascending. Non-contiguous
   /// pools offer every free tile (the PR 2 view). Contiguous pools offer
   /// the best free block of the job's size: most `wanted` configurations
@@ -217,6 +229,29 @@ class TilePoolManager {
 
   /// Applies a free remap (plan.needs_port() == false) instantly.
   void apply_remap(const MigrationPlan& plan, time_us now);
+
+  // --- preemptive checkpointing -------------------------------------------
+  //
+  // A preemption checkpoints a victim instance's resident configurations
+  // off-chip: a TilePoolManager migration whose destination is the
+  // ConfigStore itself. While the state writeout is in flight each victim
+  // tile is flagged migrating (excluded from every free-tile view, like a
+  // defrag source); on completion the tile is freed with its configuration
+  // left behind as an ordinary reusable cached copy — exactly the
+  // release() semantics — so the re-admitted victim resumes through the
+  // reuse module with cached loads instead of full reconfigurations.
+
+  /// Starts checkpointing one of a victim's held tiles. The tile must be
+  /// held and not already migrating or reserved.
+  void begin_checkpoint(PhysTileId tile);
+
+  /// Checkpoint writeout landed: frees the tile, leaving the resident
+  /// configuration cached in the store.
+  void finish_checkpoint(PhysTileId tile, time_us now);
+
+  /// Abandons an in-flight checkpoint (e.g. the victim retired anyway):
+  /// the tile stays held by its owner as if nothing happened.
+  void abort_checkpoint(PhysTileId tile);
 
   // --- metrics -------------------------------------------------------------
 

@@ -232,6 +232,9 @@ void run_online(const Scenario& scenario, WorkloadCache& cache,
   options.shared_isps = scenario.shared_isps;
   options.isp_discipline = scenario.isp_discipline;
   options.intertask_lookahead = scenario.sim.intertask_lookahead;
+  options.deadline_scale = scenario.deadline_scale;
+  options.high_criticality_fraction = scenario.high_crit_fraction;
+  options.preempt = scenario.preempt;
   // Long-horizon campaigns do not need per-instance spans: the quantile
   // sketch reports response percentiles in O(1) memory.
   options.record_spans = false;
@@ -258,6 +261,15 @@ void run_online(const Scenario& scenario, WorkloadCache& cache,
   result.perf_events_total = report.perf.events_total;
   result.perf_queue_depth_max = report.perf.queue_depth_max;
   result.perf_steady_allocs = report.perf.steady_allocations();
+  result.deadline_jobs = report.deadline_jobs;
+  result.deadline_misses = report.deadline_misses;
+  result.deadline_miss_pct = report.deadline_miss_pct;
+  result.high_crit_jobs = report.high_crit_jobs;
+  result.high_crit_misses = report.high_crit_misses;
+  result.high_crit_miss_pct = report.high_crit_miss_pct;
+  result.mean_lateness_ms = report.mean_lateness_ms;
+  result.max_tardiness_ms = report.max_tardiness_ms;
+  result.preemptions = report.preemptions;
 }
 
 ScenarioResult run_scenario_cached(const Scenario& scenario,

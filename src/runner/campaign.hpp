@@ -104,6 +104,20 @@ struct ScenarioResult {
   std::uint64_t perf_events_total = 0;
   std::uint64_t perf_queue_depth_max = 0;
   std::uint64_t perf_steady_allocs = 0;
+  /// Online mode with deadline_scale > 0 only: real-time outcome. Jobs
+  /// retired past their absolute deadline, split out for the
+  /// high-criticality class, mean lateness over all deadline-carrying jobs
+  /// (negative = early), worst tardiness, and preemptive checkpoints
+  /// performed. All zero when deadlines are off.
+  long deadline_jobs = 0;
+  long deadline_misses = 0;
+  double deadline_miss_pct = 0.0;
+  long high_crit_jobs = 0;
+  long high_crit_misses = 0;
+  double high_crit_miss_pct = 0.0;
+  double mean_lateness_ms = 0.0;
+  double max_tardiness_ms = 0.0;
+  long preemptions = 0;
   /// Mean run-time scheduling cost of the list heuristic of ref. [7] in
   /// microseconds (sched_cost mode only).
   double list_sched_us = 0.0;

@@ -55,6 +55,16 @@ std::map<std::string, double> deterministic_metrics(
         static_cast<double>(result.perf_queue_depth_max);
     metrics["perf_steady_allocs"] =
         static_cast<double>(result.perf_steady_allocs);
+    // Real-time outcome: all zero when the scenario runs without deadlines,
+    // so best-effort aggregate blocks stay bit-identical to older reports
+    // modulo the added keys.
+    metrics["deadline_jobs"] = static_cast<double>(result.deadline_jobs);
+    metrics["deadline_misses"] = static_cast<double>(result.deadline_misses);
+    metrics["deadline_miss_pct"] = result.deadline_miss_pct;
+    metrics["high_crit_miss_pct"] = result.high_crit_miss_pct;
+    metrics["mean_lateness_ms"] = result.mean_lateness_ms;
+    metrics["max_tardiness_ms"] = result.max_tardiness_ms;
+    metrics["preemptions"] = static_cast<double>(result.preemptions);
   }
   return metrics;
 }
@@ -261,6 +271,11 @@ std::string campaign_to_json(const std::vector<ScenarioResult>& results,
          << ",\n"
          << "      \"isp_discipline\": \"" << to_string(s.isp_discipline)
          << "\",\n"
+         << "      \"deadline_scale\": " << fmt_json_double(s.deadline_scale)
+         << ",\n"
+         << "      \"high_crit_fraction\": "
+         << fmt_json_double(s.high_crit_fraction) << ",\n"
+         << "      \"preempt\": " << (s.preempt ? "true" : "false") << ",\n"
          << "      \"port_util_per_port_pct\": [";
       for (std::size_t p = 0; p < result.port_utilisation_per_port_pct.size();
            ++p)
@@ -304,6 +319,9 @@ const char* const k_csv_metric_columns[] = {
     "horizon_ms",      "frag_pct",        "queue_skips",
     "defrag_moves",    "perf_events",     "perf_queue_depth_max",
     "perf_steady_allocs",
+    "deadline_jobs",   "deadline_misses", "deadline_miss_pct",
+    "high_crit_miss_pct", "mean_lateness_ms", "max_tardiness_ms",
+    "preemptions",
     "list_sched_us",   "hybrid_sched_us", "wall_ms"};
 
 /// The per-port utilisation vector as one fixed-width CSV cell:
@@ -389,6 +407,7 @@ std::string campaign_to_csv(const std::vector<ScenarioResult>& results) {
   os << "name,family,workload,mode,approach,policy_params,replacement,tiles,"
         "reconfig_latency_us,ports,isps,seed,iterations,admission_policy,"
         "contiguous,defrag,scheduler_cost_us,shared_isps,isp_discipline,"
+        "deadline_scale,high_crit_fraction,preempt,"
         "port_util_per_port_pct,ok,error";
   for (const char* column : k_csv_metric_columns) os << "," << column;
   os << "\n";
@@ -406,6 +425,9 @@ std::string campaign_to_csv(const std::vector<ScenarioResult>& results) {
        << (s.pool.contiguous ? "1" : "0") << ","
        << (s.pool.defrag ? "1" : "0") << "," << s.scheduler_cost << ","
        << (s.shared_isps ? "1" : "0") << "," << to_string(s.isp_discipline)
+       << "," << fmt_csv_double(s.deadline_scale) << ","
+       << fmt_csv_double(s.high_crit_fraction) << ","
+       << (s.preempt ? "1" : "0")
        << "," << fmt_port_vector(result.port_utilisation_per_port_pct) << ","
        << (result.ok ? "1" : "0") << "," << csv_escape(result.error);
     const auto metrics = all_metrics(result);
@@ -489,6 +511,14 @@ ParsedCampaign campaign_from_json(const std::string& json) {
       s.shared_isps = shared->boolean;
     if (const auto* discipline = item.find("isp_discipline"))
       s.isp_discipline = discipline->text;
+    // Optional like every post-v1 descriptor field: reports written before
+    // the real-time columns existed parse with the neutral defaults.
+    if (const auto* scale = item.find("deadline_scale"))
+      s.deadline_scale = scale->number;
+    if (const auto* crit = item.find("high_crit_fraction"))
+      s.high_crit_fraction = crit->number;
+    if (const auto* preempt = item.find("preempt"))
+      s.preempt = preempt->boolean;
     if (const auto* per_port = item.find("port_util_per_port_pct"))
       for (const auto& value : per_port->items)
         s.port_util_per_port.push_back(value.number);
@@ -593,6 +623,12 @@ std::vector<ParsedScenario> campaign_from_csv(const std::string& csv) {
         s.shared_isps = value == "1";
       else if (key == "isp_discipline")
         s.isp_discipline = value;
+      else if (key == "deadline_scale")
+        s.deadline_scale = std::strtod(value.c_str(), nullptr);
+      else if (key == "high_crit_fraction")
+        s.high_crit_fraction = std::strtod(value.c_str(), nullptr);
+      else if (key == "preempt")
+        s.preempt = value == "1";
       else if (key == "port_util_per_port_pct") {
         std::istringstream cell(value);
         std::string part;

@@ -110,6 +110,12 @@ struct ParsedScenario {
   int isps = 0;
   bool shared_isps = false;
   std::string isp_discipline;
+  /// Real-time task model (online scenarios; 0/false in reports written
+  /// before the deadline columns existed — readers treat the fields as
+  /// optional).
+  double deadline_scale = 0.0;
+  double high_crit_fraction = 0.0;
+  bool preempt = false;
   bool ok = false;
   std::string error;
   /// metric name -> value, exactly the columns/keys of the writers.

@@ -93,6 +93,18 @@ void Scenario::validate() const {
   if (scheduler_cost < 0)
     throw std::invalid_argument("scenario '" + name +
                                 "': negative scheduler cost");
+  if (deadline_scale < 0.0)
+    throw std::invalid_argument("scenario '" + name +
+                                "': negative deadline_scale");
+  if (high_crit_fraction < 0.0 || high_crit_fraction > 1.0)
+    throw std::invalid_argument("scenario '" + name +
+                                "': high_crit_fraction outside [0, 1]");
+  if (preempt && deadline_scale <= 0.0)
+    throw std::invalid_argument("scenario '" + name +
+                                "': preempt requires deadline_scale > 0");
+  if (deadline_scale > 0.0 && mode != ScenarioMode::online)
+    throw std::invalid_argument("scenario '" + name +
+                                "': deadlines require online mode");
   if (shared_isps && sim.platform.isps < 1)
     throw std::invalid_argument(
         "scenario '" + name +
@@ -352,6 +364,46 @@ ScenarioRegistry ScenarioRegistry::builtin(int iterations,
     s.arrivals.kind = ArrivalProcess::Kind::poisson;
     s.arrivals.rate_per_s = 60.0;
     registry.add(std::move(s));
+  }
+
+  // Real-time mode: sporadic arrivals with deadlines at
+  // arrival + 2 x ideal makespan, sweeping utilization (arrival rate) x
+  // criticality mix over the deadline-aware policy family. A separate
+  // preemption on/off pair per rate pins the checkpoint/restore machinery
+  // under contention (high-criticality arrivals evict quiescent
+  // low-criticality instances).
+  for (double rate : {40.0, 90.0, 140.0}) {
+    const std::string rate_tag = "r" + std::to_string(static_cast<int>(rate));
+    for (double crit : {0.15, 0.35}) {
+      const std::string crit_tag =
+          "c" + std::to_string(static_cast<int>(crit * 100));
+      for (const char* policy :
+           {policy_names::edf, policy_names::llf, policy_names::edf_hybrid}) {
+        Scenario s = base_scenario("online_deadline/" + rate_tag + "/" +
+                                       crit_tag + "/" + policy,
+                                   "online_deadline", 16, policy, seed,
+                                   iterations);
+        s.mode = ScenarioMode::online;
+        s.arrivals.kind = ArrivalProcess::Kind::sporadic;
+        s.arrivals.rate_per_s = rate;
+        s.deadline_scale = 2.0;
+        s.high_crit_fraction = crit;
+        registry.add(std::move(s));
+      }
+    }
+    for (bool preempt : {false, true}) {
+      Scenario s = base_scenario(
+          "online_deadline/" + rate_tag + "/preempt_" +
+              (preempt ? std::string("on") : std::string("off")),
+          "online_deadline", 12, policy_names::edf, seed, iterations);
+      s.mode = ScenarioMode::online;
+      s.arrivals.kind = ArrivalProcess::Kind::sporadic;
+      s.arrivals.rate_per_s = rate;
+      s.deadline_scale = 3.0;
+      s.high_crit_fraction = 0.3;
+      s.preempt = preempt;
+      registry.add(std::move(s));
+    }
   }
 
   // Section 4 scalability: run-time scheduler cost vs subtask count.

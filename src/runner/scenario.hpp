@@ -111,6 +111,17 @@ struct Scenario {
   /// Online mode only: arbitration between waiting ISP executions when
   /// shared_isps is on.
   PortDiscipline isp_discipline = PortDiscipline::fifo;
+  /// Online mode only: real-time task model. 0 keeps deadlines off
+  /// (bit-identical best-effort behaviour); > 0 stamps every instance with
+  /// an absolute deadline of arrival + deadline_scale x ideal makespan.
+  double deadline_scale = 0.0;
+  /// Online mode only: fraction of instances drawn high-criticality when
+  /// deadlines are on.
+  double high_crit_fraction = 0.25;
+  /// Online mode only: preemptive checkpointing of low-criticality live
+  /// instances when a high-criticality arrival cannot be admitted.
+  /// Requires deadline_scale > 0.
+  bool preempt = false;
   /// Timed calls per measurement in sched_cost mode.
   int timing_calls = 50;
   /// sched_cost mode: schedule every subtask as a pending load (the
@@ -157,6 +168,9 @@ class ScenarioRegistry {
   ///   online_policy/*  one contended online scenario per *registered*
   ///                    prefetch policy (PolicyRegistry enumeration, so
   ///                    new policies are campaign-covered automatically)
+  ///   online_deadline/* real-time mode: sporadic arrivals, utilization x
+  ///                    criticality-mix sweep over the edf/llf/edf_hybrid
+  ///                    family, plus preemption on/off pairs
   static ScenarioRegistry builtin(int iterations = 1000,
                                   std::uint64_t seed = 2005);
 

@@ -15,13 +15,19 @@
 namespace drhw {
 
 void ArrivalProcess::validate() const {
-  if (kind != Kind::closed_loop && !(rate_per_s > 0.0))
+  // closed_loop paces itself off retires; periodic may derive its pace from
+  // period_us alone. Everything else needs a positive rate (sporadic uses
+  // it for the exponential slack on top of the minimum gap).
+  const bool rate_free =
+      kind == Kind::closed_loop || (kind == Kind::periodic && period_us > 0);
+  if (!rate_free && !(rate_per_s > 0.0))
     throw std::invalid_argument("arrival rate must be positive");
   if (kind == Kind::bursty && burst_size < 1)
     throw std::invalid_argument("burst size must be >= 1");
   if (intra_burst_gap < 0)
     throw std::invalid_argument("negative intra-burst gap");
   if (think_time < 0) throw std::invalid_argument("negative think time");
+  if (period_us < 0) throw std::invalid_argument("negative arrival period");
 }
 
 const char* to_string(ArrivalProcess::Kind kind) {
@@ -32,6 +38,10 @@ const char* to_string(ArrivalProcess::Kind kind) {
       return "bursty";
     case ArrivalProcess::Kind::closed_loop:
       return "closed_loop";
+    case ArrivalProcess::Kind::periodic:
+      return "periodic";
+    case ArrivalProcess::Kind::sporadic:
+      return "sporadic";
   }
   return "?";
 }
@@ -40,7 +50,13 @@ ArrivalProcess::Kind arrival_kind_from_string(const std::string& text) {
   if (text == "poisson") return ArrivalProcess::Kind::poisson;
   if (text == "bursty") return ArrivalProcess::Kind::bursty;
   if (text == "closed_loop") return ArrivalProcess::Kind::closed_loop;
+  if (text == "periodic") return ArrivalProcess::Kind::periodic;
+  if (text == "sporadic") return ArrivalProcess::Kind::sporadic;
   throw std::invalid_argument("unknown arrival kind '" + text + "'");
+}
+
+std::vector<std::string> arrival_kind_names() {
+  return {"poisson", "bursty", "closed_loop", "periodic", "sporadic"};
 }
 
 const char* to_string(PortDiscipline discipline) {
@@ -79,6 +95,9 @@ enum EventKind : int {
 /// Sentinel job ids for load completions that belong to no live instance.
 constexpr std::int32_t k_prefetch_job = -1;
 constexpr std::int32_t k_migration_job = -2;
+/// Preemption checkpoint writeout; the victim is checkpoint_victim_ (one
+/// checkpoint in flight at a time).
+constexpr std::int32_t k_preempt_job = -3;
 
 /// Sentinel slot ids of job_slot_: the instance has not been admitted yet
 /// (queued/unarrived) or has already retired and returned its slot.
@@ -100,6 +119,15 @@ class OnlineSimulation {
     DRHW_CHECK_MSG(options_.iterations >= 1, "online run needs >= 1 iteration");
     DRHW_CHECK_MSG(options_.scheduler_cost >= 0,
                    "negative scheduler cost makes no sense");
+    if (options_.deadline_scale < 0.0)
+      throw std::invalid_argument("deadline scale must be >= 0");
+    if (options_.high_criticality_fraction < 0.0 ||
+        options_.high_criticality_fraction > 1.0)
+      throw std::invalid_argument(
+          "high-criticality fraction must be in [0, 1]");
+    if (options_.preempt && !(options_.deadline_scale > 0.0))
+      throw std::invalid_argument(
+          "preemption needs deadlines (set a deadline scale > 0)");
     if (options_.shared_isps && options_.platform.isps < 1)
       throw std::invalid_argument(
           "shared-ISP contention needs a platform with >= 1 ISP");
@@ -126,6 +154,7 @@ class OnlineSimulation {
     job_arrival_.assign(job_prep_.size(), 0);
     job_slot_.assign(job_prep_.size(), k_slot_queued);
     setup_arenas();
+    setup_deadlines();
     setup_arrivals();
   }
 
@@ -236,6 +265,38 @@ class OnlineSimulation {
     warmup_retires_ = (static_cast<long>(job_prep_.size()) + 1) / 2;
   }
 
+  /// Real-time task model: relative deadlines per preparation and a
+  /// criticality level per job. Entirely skipped with deadline_scale == 0 —
+  /// no state, no RNG draw, bit-identical best-effort runs.
+  void setup_deadlines() {
+    deadlines_enabled_ = options_.deadline_scale > 0.0;
+    preempt_enabled_ = deadlines_enabled_ && options_.preempt;
+    if (!deadlines_enabled_) return;
+    admission_urgency_ = policy_->admission_urgency();
+    prep_rel_deadline_.assign(preps_.size(), 0);
+    for (std::size_t p = 0; p < preps_.size(); ++p) {
+      const time_us own = preps_[p]->rt.relative_deadline_us;
+      prep_rel_deadline_[p] =
+          own > 0 ? own
+                  : static_cast<time_us>(std::llround(
+                        options_.deadline_scale *
+                        static_cast<double>(preps_[p]->ideal)));
+    }
+    job_deadline_.assign(job_prep_.size(), k_no_time);
+    job_crit_.assign(job_prep_.size(), 0);
+    Rng crit_rng(options_.seed ^ 0xC2B2AE3D27D4EB4FULL);
+    for (std::size_t j = 0; j < job_prep_.size(); ++j) {
+      const bool forced =
+          preps_[static_cast<std::size_t>(job_prep_[j])]->rt.criticality > 0;
+      // Draw even when forced so the criticality mix of the other jobs is
+      // independent of which preparations carry a forced level.
+      const bool drawn =
+          crit_rng.next_double() < options_.high_criticality_fraction;
+      job_crit_[j] = forced || drawn ? 1 : 0;
+    }
+    if (preempt_enabled_) preempt_waiting_.reserve(64);
+  }
+
   void setup_arrivals() {
     if (job_prep_.empty()) return;
     Rng gap_rng(options_.seed ^ 0x9E3779B97F4A7C15ULL);
@@ -243,6 +304,13 @@ class OnlineSimulation {
       const double u = gap_rng.next_double();
       const double seconds = -std::log(1.0 - u) / options_.arrivals.rate_per_s;
       return static_cast<time_us>(std::llround(seconds * 1e6));
+    };
+    // periodic/sporadic pace: the explicit period, or one derived from the
+    // rate so `--arrivals periodic --rate 50` means one instance every 20ms.
+    const auto period = [&]() -> time_us {
+      if (options_.arrivals.period_us > 0) return options_.arrivals.period_us;
+      return static_cast<time_us>(
+          std::llround(1e6 / options_.arrivals.rate_per_s));
     };
     switch (options_.arrivals.kind) {
       case ArrivalProcess::Kind::poisson: {
@@ -261,6 +329,25 @@ class OnlineSimulation {
           if (in_burst == 0) burst_start += exp_gap();
           job_arrival_[j] =
               burst_start + in_burst * options_.arrivals.intra_burst_gap;
+        }
+        break;
+      }
+      case ArrivalProcess::Kind::periodic: {
+        // The strictly-paced real-time stream: one instance every period.
+        time_us t = 0;
+        for (std::size_t j = 0; j < job_prep_.size(); ++j) {
+          t += period();
+          job_arrival_[j] = t;
+        }
+        break;
+      }
+      case ArrivalProcess::Kind::sporadic: {
+        // Sporadic real-time stream: a minimum inter-arrival gap of one
+        // period plus an exponential slack at mean 1/rate.
+        time_us t = 0;
+        for (std::size_t j = 0; j < job_prep_.size(); ++j) {
+          t += period() + exp_gap();
+          job_arrival_[j] = t;
         }
         break;
       }
@@ -362,9 +449,28 @@ class OnlineSimulation {
 
   // -- admission ---------------------------------------------------------
 
+  /// Admission ordering key under the policy's urgency hook: the absolute
+  /// deadline (EDF), or deadline minus remaining ideal work (LLF — the
+  /// shared `- now` term of the laxity drops out at a common decision
+  /// instant). Nothing of a queued instance has executed, so its remaining
+  /// work is the full ideal makespan.
+  long long admission_urgency_of(std::int32_t j) const {
+    const time_us deadline = job_deadline_[static_cast<std::size_t>(j)];
+    if (admission_urgency_ == AdmissionUrgency::laxity)
+      return deadline - prep_of(j).ideal;
+    return deadline;
+  }
+
   void try_admit(time_us t) {
+    const bool urgent =
+        deadlines_enabled_ && admission_urgency_ != AdmissionUrgency::arrival;
     for (;;) {
-      const std::int32_t index = pool_.select(t);
+      const std::int32_t index =
+          urgent ? pool_.select_urgent(
+                       t, [this](std::int32_t j) {
+                         return admission_urgency_of(j);
+                       })
+                 : pool_.select(t);
       if (index < 0) return;
       admit(index, t);
     }
@@ -380,11 +486,18 @@ class OnlineSimulation {
     const PreparedScenario& prep = prep_of(index);
     const SubtaskGraph& graph = *prep.graph;
     const Placement& placement = prep.placement;
+    // The instance leaves the backlog: keep the composition histogram (the
+    // PolicyContext snapshot) in step with the pool queue.
+    --queued_hist_[PolicyContext::size_bucket(placement.tiles_occupied())];
     const std::int32_t slot_id = arena_.acquire(index, graph.size());
     job_slot_[static_cast<std::size_t>(index)] = slot_id;
     InstanceSlot& slot = arena_.slot(slot_id);
     const std::size_t base = arena_.base(slot_id);
     slot.admit = t;
+    if (deadlines_enabled_) {
+      slot.deadline = job_deadline_[static_cast<std::size_t>(index)];
+      slot.criticality = job_crit_[static_cast<std::size_t>(index)];
+    }
 
     // Tiles the pool offers for binding: every free tile (count-based
     // pools, the PR 2 view) or the best-scoring free block (contiguous
@@ -483,6 +596,27 @@ class OnlineSimulation {
     // not yet in live_, so both counts exclude it.
     context.live_instances = static_cast<int>(live_.size());
     context.queued_instances = static_cast<int>(pool_.queued());
+    // Backlog composition: the footprint histogram is maintained
+    // incrementally (enqueue/admit), so this is a copy, not a scan. The
+    // nearest-deadline scans only run in real-time mode — best-effort runs
+    // keep the admission hot path untouched.
+    for (int b = 0; b < 4; ++b)
+      context.queued_size_histogram[b] = queued_hist_[b];
+    if (deadlines_enabled_) {
+      for (std::size_t q = 0; q < pool_.queued(); ++q) {
+        const time_us d = job_deadline_[static_cast<std::size_t>(
+            pool_.waiting_at(q))];
+        if (context.nearest_queued_deadline == k_no_time ||
+            d < context.nearest_queued_deadline)
+          context.nearest_queued_deadline = d;
+      }
+      for (const std::int32_t other : live_) {
+        const time_us d = job_deadline_[static_cast<std::size_t>(other)];
+        if (context.nearest_live_deadline == k_no_time ||
+            d < context.nearest_live_deadline)
+          context.nearest_live_deadline = d;
+      }
+    }
     const InstancePlan plan = policy_->plan(prep, resident, context);
     // The same invariants evaluate_instance_plan() enforces sequentially:
     // a plan that violates them here would not abort but silently stall
@@ -690,6 +824,7 @@ class OnlineSimulation {
     const time_us duration = load_duration(prep, s);
     ports_.dispatch(port, t, duration);
     ++slot.loads;
+    ++slot.pending_loads;
     if (slot.policy == LoadPolicy::explicit_order)
       while (slot.next_explicit < slot.order.size() &&
              arena_.load_started[base + static_cast<std::size_t>(
@@ -841,14 +976,138 @@ class OnlineSimulation {
       if (p == plan.src) p = plan.dst;
   }
 
+  // -- preemptive checkpointing ------------------------------------------
+  //
+  // When a high-criticality arrival is still queued after try_admit, it
+  // requests a preemption. The next idle port checkpoints a low-criticality
+  // victim's resident configurations off-chip (one state-writeout charge on
+  // the port; the configurations stay cached in the store) and re-enqueues
+  // the victim, whose re-admission degrades the lost loads to cached reuse
+  // hits. Victims must be quiescent — nothing currently executing, no load
+  // or migration in flight — so freeing the tiles cannot corrupt a running
+  // subtask; completed subtasks are re-executed after re-admission (the
+  // checkpoint preserves configuration state, not execution state).
+
+  /// Live instance that may be checkpointed for `requester`, or -1: a
+  /// low-criticality instance with a later deadline than the requester,
+  /// nothing currently executing (on tiles or ISPs), no load in flight,
+  /// holding at least one tile none of which is migrating. Latest deadline
+  /// first.
+  std::int32_t pick_victim(std::int32_t requester) const {
+    const time_us requester_deadline =
+        job_deadline_[static_cast<std::size_t>(requester)];
+    std::int32_t victim = -1;
+    time_us victim_deadline = 0;
+    for (const std::int32_t v : live_) {
+      if (job_crit_[static_cast<std::size_t>(v)]) continue;
+      const time_us deadline = job_deadline_[static_cast<std::size_t>(v)];
+      if (deadline <= requester_deadline) continue;
+      if (victim != -1 && deadline <= victim_deadline) continue;
+      const InstanceSlot& slot = slot_of(v);
+      if (!slot.sched_done || slot.pending_loads > 0) continue;
+      const std::size_t base = base_of(v);
+      const std::size_t n = prep_of(v).graph->size();
+      bool busy = false;
+      for (std::size_t s = 0; s < n && !busy; ++s)
+        busy = (arena_.started[base + s] && !arena_.finished[base + s]) ||
+               arena_.isp_queued[base + s];
+      if (busy) continue;
+      bool holds_tile = false;
+      for (const PhysTileId p : slot.phys_of_tile) {
+        if (p == k_no_phys_tile) continue;
+        if (pool_.migrating(p)) {
+          busy = true;
+          break;
+        }
+        holds_tile = true;
+      }
+      if (busy || !holds_tile) continue;
+      victim = v;
+      victim_deadline = deadline;
+    }
+    return victim;
+  }
+
+  /// Serves the oldest still-pending preemption request on an idle port.
+  /// Returns true when a checkpoint writeout took the port.
+  bool start_checkpoint(std::size_t port, time_us t) {
+    if (checkpoint_victim_ != -1) return false;  // one writeout at a time
+    while (!preempt_waiting_.empty()) {
+      const std::int32_t requester = preempt_waiting_.front();
+      if (job_slot_[static_cast<std::size_t>(requester)] != k_slot_queued) {
+        // Admitted (or retired) in the meantime: request satisfied.
+        preempt_waiting_.erase(preempt_waiting_.begin());
+        continue;
+      }
+      const std::int32_t victim = pick_victim(requester);
+      if (victim == -1) return false;  // keep the request for later
+      // One checkpoint attempt per request: drop it now so a victim-less
+      // re-check cannot spin the port.
+      preempt_waiting_.erase(preempt_waiting_.begin());
+      InstanceSlot& slot = slot_of(victim);
+      for (const PhysTileId p : slot.phys_of_tile)
+        if (p != k_no_phys_tile) pool_.begin_checkpoint(p);
+      checkpoint_victim_ = victim;
+      // One state-writeout charge on the port, at reconfiguration cost —
+      // the migration-to-store this models.
+      const time_us duration = options_.platform.reconfig_latency;
+      ports_.dispatch(port, t, duration);
+      ++report_.sim.loads;
+      report_.sim.energy += options_.platform.reconfig_energy;
+      events_.push(t + duration, k_ev_load_done, k_preempt_job, k_no_subtask);
+      return true;
+    }
+    return false;
+  }
+
+  /// Checkpoint writeout landed: free the victim's tiles (configs stay
+  /// cached), fold its dropped stint into the load accounting, and send it
+  /// back to the admission backlog with its original deadline.
+  void finish_preempt(std::int32_t victim, time_us t) {
+    const std::int32_t slot_id = job_slot_[static_cast<std::size_t>(victim)];
+    InstanceSlot& slot = arena_.slot(slot_id);
+    for (const PhysTileId p : slot.phys_of_tile)
+      if (p != k_no_phys_tile) pool_.finish_checkpoint(p, t);
+    // The dropped stint's loads happened on the timeline; account for them
+    // now (retire() will only see the resumed stint). The energy-saved
+    // credit is reduced accordingly: those reconfigurations were real.
+    report_.sim.loads += slot.loads;
+    report_.sim.init_loads += static_cast<long>(slot.init_count);
+    report_.sim.energy += options_.platform.reconfig_energy *
+                          static_cast<double>(slot.loads);
+    report_.sim.energy_saved -= options_.platform.reconfig_energy *
+                                static_cast<double>(slot.loads);
+    // Queueing credit: admit() will charge (re-admit - arrival) again, so
+    // subtract the interval up to now once — the net queueing is the first
+    // wait plus the post-preemption wait, not double the first.
+    queue_sum_ -= static_cast<double>(
+        t - job_arrival_[static_cast<std::size_t>(victim)]);
+    live_.erase(std::find(live_.begin(), live_.end(), victim));
+    arena_.release(slot_id);
+    job_slot_[static_cast<std::size_t>(victim)] = k_slot_queued;
+    const int needed = prep_of(victim).placement.tiles_occupied();
+    pool_.enqueue(victim, needed, t);
+    ++queued_hist_[PolicyContext::size_bucket(needed)];
+    ++report_.preemptions;
+  }
+
   void try_port(time_us t) {
     for (;;) {
       const std::size_t port = ports_.earliest();
       if (!ports_.idle_at(port, t)) return;  // its LoadDone will retrigger us
 
+      // Urgent work first: a pending preemption outranks every other use of
+      // the idle port — the writeout frees tiles a blocked high-criticality
+      // arrival is waiting on, and under saturation there is always some
+      // ordinary load that would otherwise starve the request forever.
+      if (preempt_enabled_ && start_checkpoint(port, t)) continue;
+
       std::int32_t best_job = -1;
       SubtaskId best_subtask = k_no_subtask;
       for (const std::int32_t j : live_) {
+        // A checkpoint writeout in flight owns the victim's tiles; its
+        // remaining loads must not dispatch onto them mid-writeout.
+        if (j == checkpoint_victim_) continue;
         const SubtaskId s = job_candidate(j);
         if (s == k_no_subtask) continue;
         if (options_.port_discipline == PortDiscipline::fifo) {
@@ -877,8 +1136,24 @@ class OnlineSimulation {
   // -- event handlers ----------------------------------------------------
 
   void on_arrival(std::int32_t j, time_us t) {
-    pool_.enqueue(j, prep_of(j).placement.tiles_occupied(), t);
+    if (deadlines_enabled_)
+      job_deadline_[static_cast<std::size_t>(j)] =
+          t + prep_rel_deadline_[static_cast<std::size_t>(
+                  job_prep_[static_cast<std::size_t>(j)])];
+    const int needed = prep_of(j).placement.tiles_occupied();
+    pool_.enqueue(j, needed, t);
+    ++queued_hist_[PolicyContext::size_bucket(needed)];
     try_admit(t);
+    if (preempt_enabled_ &&
+        job_slot_[static_cast<std::size_t>(j)] == k_slot_queued &&
+        job_crit_[static_cast<std::size_t>(j)]) {
+      // A high-criticality arrival the pool could not take: request a
+      // preemption. The next idle port serves it (try_port below, or any
+      // later port event).
+      if (preempt_waiting_.size() == preempt_waiting_.capacity())
+        report_.perf.note_alloc();
+      preempt_waiting_.push_back(j);
+    }
     try_port(t);
   }
 
@@ -917,10 +1192,20 @@ class OnlineSimulation {
       try_port(t);
       return;
     }
+    if (j == k_preempt_job) {  // checkpoint writeout landed
+      const std::int32_t victim = checkpoint_victim_;
+      DRHW_CHECK_MSG(victim >= 0, "checkpoint completion without a victim");
+      checkpoint_victim_ = -1;
+      finish_preempt(victim, t);
+      try_admit(t);
+      try_port(t);
+      return;
+    }
     InstanceSlot& slot = slot_of(j);
     const PreparedScenario& prep = prep_of(j);
     const std::size_t idx = base_of(j) + static_cast<std::size_t>(s);
     arena_.config_done[idx] = 1;
+    --slot.pending_loads;
     release_inflight(prep.graph->subtask(s).config);
     const TileId tile = prep.placement.tile_of[static_cast<std::size_t>(s)];
     pool_.store().record_load(
@@ -1028,6 +1313,23 @@ class OnlineSimulation {
     response_sketch_.add(to_ms(t - arrival));
     horizon_ = std::max(horizon_, t);
 
+    if (deadlines_enabled_) {
+      // Miss = retired strictly after the absolute deadline; lateness is
+      // signed (early retires pull the mean down), tardiness clamps at 0.
+      const time_us deadline = job_deadline_[static_cast<std::size_t>(j)];
+      const time_us lateness = t - deadline;
+      ++report_.deadline_jobs;
+      lateness_sum_ += static_cast<double>(lateness);
+      if (lateness > 0) {
+        ++report_.deadline_misses;
+        max_tardiness_ = std::max(max_tardiness_, lateness);
+      }
+      if (job_crit_[static_cast<std::size_t>(j)]) {
+        ++report_.high_crit_jobs;
+        if (lateness > 0) ++report_.high_crit_misses;
+      }
+    }
+
     // The slot returns to the free list; the next admission reuses its
     // vectors at capacity (the steady-state zero-allocation contract).
     arena_.release(slot_id);
@@ -1071,6 +1373,18 @@ class OnlineSimulation {
     report_.mean_frag_pct = pool_.mean_fragmentation_pct(horizon_);
     report_.queue_skips = pool_.queue_skips();
     report_.defrag_moves = pool_.defrag_moves();
+    if (report_.deadline_jobs > 0) {
+      report_.deadline_miss_pct =
+          100.0 * static_cast<double>(report_.deadline_misses) /
+          static_cast<double>(report_.deadline_jobs);
+      report_.mean_lateness_ms =
+          lateness_sum_ / static_cast<double>(report_.deadline_jobs) / 1000.0;
+    }
+    if (report_.high_crit_jobs > 0)
+      report_.high_crit_miss_pct =
+          100.0 * static_cast<double>(report_.high_crit_misses) /
+          static_cast<double>(report_.high_crit_jobs);
+    report_.max_tardiness_ms = to_ms(max_tardiness_);
     report_.peak_concurrent_migrations = peak_migrations_;
     const time_us busy_horizon = std::max(horizon_, ports_.latest_free());
     report_.port_utilisation_per_port_pct.assign(ports_.size(), 0.0);
@@ -1164,6 +1478,23 @@ class OnlineSimulation {
 
   long retired_ = 0;
   long warmup_retires_ = 0;  ///< retire count ending the perf warm-up
+
+  // Real-time mode (deadline_scale > 0); everything below stays empty and
+  // untouched in best-effort runs.
+  bool deadlines_enabled_ = false;
+  bool preempt_enabled_ = false;
+  AdmissionUrgency admission_urgency_ = AdmissionUrgency::arrival;
+  std::vector<time_us> prep_rel_deadline_;  ///< per prep, derived or given
+  std::vector<time_us> job_deadline_;       ///< absolute, stamped at arrival
+  std::vector<char> job_crit_;              ///< 1 = high criticality
+  std::vector<std::int32_t> preempt_waiting_;  ///< pending preempt requests
+  std::int32_t checkpoint_victim_ = -1;  ///< writeout in flight, or -1
+  double lateness_sum_ = 0.0;            ///< signed, microseconds
+  time_us max_tardiness_ = 0;
+
+  /// Backlog composition by footprint bucket (PolicyContext::size_bucket),
+  /// maintained at enqueue/admit so the per-admission snapshot is O(1).
+  int queued_hist_[4] = {0, 0, 0, 0};
 
   // Online metric accumulators.
   double response_sum_ = 0.0;

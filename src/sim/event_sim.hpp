@@ -56,7 +56,21 @@
 /// platform's `isps` processors become a shared contended resource like
 /// the port: a second PortSet with its own fifo/priority discipline and
 /// busy accounting serialises ISP executions across live instances.
-/// Preemption remains an open item (see ROADMAP.md).
+///
+/// Real-time mode (OnlineSimOptions::deadline_scale > 0): every instance
+/// carries an absolute deadline (arrival + relative deadline, the latter
+/// taken from the preparation's RtAttributes or derived as
+/// deadline_scale x ideal makespan) and a criticality level; the report
+/// gains miss/lateness/tardiness metrics. Deadline-aware policies (edf,
+/// llf, edf_hybrid — policy/deadline_policies.cpp) reorder *admission* by
+/// urgency through the PrefetchPolicy::admission_urgency() hook. With
+/// `preempt` on, a high-criticality arrival that cannot be admitted may
+/// checkpoint an idle low-criticality live instance: its resident
+/// configurations are written off-chip through the reconfiguration port
+/// (TilePoolManager::begin_checkpoint / finish_checkpoint, the migration
+/// lifecycle with the ConfigStore as destination), its tiles are freed
+/// with the configurations left cached, and the victim re-enters the
+/// backlog — on re-admission its loads degrade to cached reuse hits.
 
 #include <cstdint>
 #include <string>
@@ -82,12 +96,23 @@ struct ArrivalProcess {
     /// Exactly one instance outstanding: the next instance arrives
     /// `think_time` after the previous one retires (saturation probe).
     closed_loop,
+    /// Strictly periodic: one instance every `period_us` (derived from
+    /// rate_per_s when period_us is 0). The real-time task model's
+    /// canonical arrival law.
+    periodic,
+    /// Sporadic: a minimum inter-arrival gap of `period_us` plus an
+    /// exponential slack drawn at mean 1/rate_per_s — the classic
+    /// min-gap sporadic model.
+    sporadic,
   };
   Kind kind = Kind::poisson;
   double rate_per_s = 20.0;
   int burst_size = 4;
   time_us intra_burst_gap = 0;
   time_us think_time = ms(1);
+  /// Period (periodic) or minimum inter-arrival gap (sporadic). 0 derives
+  /// it from rate_per_s (period = 1e6 / rate_per_s).
+  time_us period_us = 0;
 
   /// Throws std::invalid_argument when the description is unusable.
   void validate() const;
@@ -95,6 +120,9 @@ struct ArrivalProcess {
 
 const char* to_string(ArrivalProcess::Kind kind);
 ArrivalProcess::Kind arrival_kind_from_string(const std::string& text);
+/// Every accepted --arrivals spelling, in declaration order (CLI
+/// diagnostics: the "registered arrival kinds" list).
+std::vector<std::string> arrival_kind_names();
 
 /// Arbitration between live instances at the shared reconfiguration port.
 enum class PortDiscipline {
@@ -136,6 +164,23 @@ struct OnlineSimOptions {
   PortDiscipline isp_discipline = PortDiscipline::fifo;
   /// How many queued instances the backlog prefetch may serve.
   int intertask_lookahead = 1;
+  /// Real-time task model. 0 (default) = deadlines off: no per-instance
+  /// deadline state, no miss accounting, behaviour bit-identical to the
+  /// best-effort kernel. > 0: an instance arriving at t has absolute
+  /// deadline t + relative deadline, where the relative deadline is the
+  /// preparation's RtAttributes::relative_deadline_us when set and
+  /// deadline_scale x the instance's ideal makespan otherwise.
+  double deadline_scale = 0.0;
+  /// Fraction of instances drawn as high-criticality (seeded, per job;
+  /// a preparation's RtAttributes::criticality > 0 forces high). Only
+  /// read when deadline_scale > 0.
+  double high_criticality_fraction = 0.25;
+  /// Preemptive checkpointing (requires deadline_scale > 0): a queued
+  /// high-criticality arrival may checkpoint an idle low-criticality live
+  /// instance's resident configurations off-chip and take its tiles; the
+  /// victim re-enters the backlog and re-admits with cached configs. Off
+  /// by default.
+  bool preempt = false;
   /// Global event-queue backend (sim/event_queue.hpp). The calendar queue
   /// is the production default — O(1) expected per event, with the
   /// arrival stream injected lazily in sorted order so the queue holds
@@ -197,6 +242,20 @@ struct OnlineReport {
   long queue_skips = 0;
   /// Defragmentation relocations (port migrations + free remaps).
   long defrag_moves = 0;
+  /// Real-time metrics (all zero unless OnlineSimOptions::deadline_scale
+  /// > 0). An instance misses when it retires strictly after its absolute
+  /// deadline; lateness = retire - deadline (negative when early),
+  /// tardiness = max(lateness, 0).
+  long deadline_jobs = 0;       ///< instances that carried a deadline
+  long deadline_misses = 0;
+  long high_crit_jobs = 0;      ///< high-criticality instances
+  long high_crit_misses = 0;
+  double deadline_miss_pct = 0.0;   ///< 100 * misses / deadline_jobs
+  double high_crit_miss_pct = 0.0;  ///< 100 * misses / high_crit_jobs
+  double mean_lateness_ms = 0.0;    ///< mean signed lateness
+  double max_tardiness_ms = 0.0;    ///< worst positive lateness
+  /// Preemptive checkpoints performed (victims evicted to the backlog).
+  long preemptions = 0;
   /// Per-instance admit -> retire spans in arrival order (equivalence
   /// tests; size == sim.instances; empty when
   /// OnlineSimOptions::record_spans is off).

@@ -70,6 +70,9 @@ std::int32_t InstanceArena::acquire(std::int32_t job, std::size_t graph_size) {
   slot.cancelled = 0;
   slot.loads = 0;
   slot.finished_count = 0;
+  slot.pending_loads = 0;
+  slot.deadline = k_no_time;
+  slot.criticality = 0;
 
   const std::size_t b = base(s);
   std::fill_n(preds_left.begin() + b, graph_size, 0);

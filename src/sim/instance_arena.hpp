@@ -56,6 +56,13 @@ struct InstanceSlot {
   int cancelled = 0;
   long loads = 0;
   std::size_t finished_count = 0;
+  /// Configuration loads dispatched for this instance whose load_done has
+  /// not landed yet. Preemption only picks victims with none in flight.
+  int pending_loads = 0;
+  // Real-time attributes (only meaningful when the kernel runs with
+  // OnlineSimOptions::deadline_scale > 0; neutral defaults otherwise).
+  time_us deadline = k_no_time;  ///< absolute deadline of the instance
+  int criticality = 0;           ///< > 0: high-criticality instance
 };
 
 /// Slot allocator + the per-subtask SoA state arrays.

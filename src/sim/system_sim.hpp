@@ -26,6 +26,18 @@ namespace drhw {
 // (policy/prefetch_policy.hpp); SimOptions names the policy by its
 // registered PolicySpec and this rig stays a pure timing engine.
 
+/// Real-time attributes of a prepared task scenario. Neutral defaults mean
+/// "derive everything from the kernel's knobs": the online kernel only
+/// reads them when OnlineSimOptions::deadline_scale > 0, and a zero field
+/// falls back to the derived value (deadline_scale x ideal makespan for the
+/// deadline, the ArrivalProcess pace for the period, the seeded criticality
+/// draw for the level). See sim/workloads.hpp's assign_rt_attributes().
+struct RtAttributes {
+  time_us relative_deadline_us = 0;  ///< 0 = deadline_scale x ideal
+  time_us period_us = 0;             ///< 0 = the ArrivalProcess pace
+  int criticality = 0;               ///< > 0 forces high criticality
+};
+
 /// Everything precomputed at design time for one (task, scenario) pair on a
 /// given platform. Instances reference these by pointer, so the owning
 /// container must outlive the simulation.
@@ -39,6 +51,7 @@ struct PreparedScenario {
   /// the critical_first replacement policy.
   std::vector<time_us> replacement_values;
   time_us ideal = 0;
+  RtAttributes rt;  ///< real-time task model (neutral by default)
 };
 
 /// Runs the full design-time tool flow for one scenario graph.

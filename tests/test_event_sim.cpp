@@ -538,11 +538,12 @@ TEST(OnlineScenarios, CampaignResultsIdenticalAcrossThreadCounts) {
   const auto scenarios = registry.match("online");
   ASSERT_FALSE(scenarios.empty());
   std::size_t defrag_scenarios = 0, multiport_scenarios = 0,
-              policy_scenarios = 0;
+              policy_scenarios = 0, deadline_scenarios = 0;
   for (const auto& s : scenarios) {
     defrag_scenarios += s.family == "online_defrag";
     multiport_scenarios += s.family == "online_multiport";
     policy_scenarios += s.family == "online_policy";
+    deadline_scenarios += s.family == "online_deadline";
   }
   EXPECT_EQ(defrag_scenarios, 24u);  // 2 tiles x 2 rates x 3 policies x 2
   // 3 ports x 2 approaches x 2 policies (defrag sweep) + 3 ports x 2
@@ -551,6 +552,8 @@ TEST(OnlineScenarios, CampaignResultsIdenticalAcrossThreadCounts) {
   // One scenario per *registered* policy: the bit-identity check below
   // covers newly registered policies automatically.
   EXPECT_EQ(policy_scenarios, PolicyRegistry::instance().names().size());
+  // 3 rates x (2 crit mixes x 3 deadline policies + preempt on/off pair).
+  EXPECT_EQ(deadline_scenarios, 24u);
 
   CampaignOptions one;
   one.threads = 1;
@@ -666,10 +669,174 @@ TEST(ArrivalProcess, ValidatesAndNames) {
   EXPECT_STREQ(to_string(ArrivalProcess::Kind::poisson), "poisson");
   EXPECT_STREQ(to_string(ArrivalProcess::Kind::bursty), "bursty");
   EXPECT_STREQ(to_string(ArrivalProcess::Kind::closed_loop), "closed_loop");
+  EXPECT_STREQ(to_string(ArrivalProcess::Kind::periodic), "periodic");
+  EXPECT_STREQ(to_string(ArrivalProcess::Kind::sporadic), "sporadic");
   EXPECT_EQ(arrival_kind_from_string("bursty"), ArrivalProcess::Kind::bursty);
+  EXPECT_EQ(arrival_kind_from_string("periodic"),
+            ArrivalProcess::Kind::periodic);
+  EXPECT_EQ(arrival_kind_from_string("sporadic"),
+            ArrivalProcess::Kind::sporadic);
   EXPECT_THROW(arrival_kind_from_string("nope"), std::invalid_argument);
+  // The registered-kind list the CLI prints on an unknown --arrivals value:
+  // every name must round-trip through the parser.
+  const auto names = arrival_kind_names();
+  EXPECT_EQ(names.size(), 5u);
+  for (const std::string& name : names)
+    EXPECT_EQ(to_string(arrival_kind_from_string(name)), name);
+  // A periodic process with an explicit period needs no rate; a negative
+  // period is rejected.
+  ArrivalProcess periodic;
+  periodic.kind = ArrivalProcess::Kind::periodic;
+  periodic.rate_per_s = 0.0;
+  periodic.period_us = ms(10);
+  EXPECT_NO_THROW(periodic.validate());
+  periodic.period_us = -1;
+  EXPECT_THROW(periodic.validate(), std::invalid_argument);
+  // Sporadic keeps the rate requirement (the gap on top of the minimum
+  // separation is exponential at rate_per_s).
+  ArrivalProcess sporadic;
+  sporadic.kind = ArrivalProcess::Kind::sporadic;
+  sporadic.rate_per_s = 0.0;
+  EXPECT_THROW(sporadic.validate(), std::invalid_argument);
   EXPECT_STREQ(to_string(PortDiscipline::fifo), "fifo");
   EXPECT_STREQ(to_string(PortDiscipline::priority), "priority");
+}
+
+TEST_F(OnlineFixture, DeadlineOptionsAreValidated) {
+  auto opt = options(policy_names::hybrid, 40.0);
+  opt.deadline_scale = -1.0;
+  EXPECT_THROW(run_online_simulation(opt, sampler), std::invalid_argument);
+  opt.deadline_scale = 0.0;
+  opt.preempt = true;  // preemption without deadlines is meaningless
+  EXPECT_THROW(run_online_simulation(opt, sampler), std::invalid_argument);
+  opt.preempt = false;
+  opt.deadline_scale = 2.0;
+  opt.high_criticality_fraction = 1.5;
+  EXPECT_THROW(run_online_simulation(opt, sampler), std::invalid_argument);
+}
+
+TEST_F(OnlineFixture, DeadlineAccountingIsObservationalForArrivalPolicies) {
+  // For a policy with arrival admission urgency (every pre-existing one),
+  // turning deadlines on must not change a single scheduling decision:
+  // the kernel only adds per-instance accounting. Spans, loads and every
+  // best-effort metric stay bit-identical; the deadline block fills in.
+  auto off = options(policy_names::hybrid, 60.0);
+  auto on = off;
+  on.deadline_scale = 2.0;
+  const auto r_off = run_online_simulation(off, sampler);
+  const auto r_on = run_online_simulation(on, sampler);
+  EXPECT_EQ(r_off.spans, r_on.spans);
+  EXPECT_EQ(r_off.sim.loads, r_on.sim.loads);
+  EXPECT_EQ(r_off.sim.total_actual, r_on.sim.total_actual);
+  EXPECT_EQ(r_off.horizon, r_on.horizon);
+  EXPECT_EQ(r_off.mean_queueing_ms, r_on.mean_queueing_ms);
+
+  EXPECT_EQ(r_off.deadline_jobs, 0);
+  EXPECT_EQ(r_off.preemptions, 0);
+  EXPECT_EQ(r_on.deadline_jobs, r_on.sim.instances);
+  EXPECT_GT(r_on.high_crit_jobs, 0);
+  EXPECT_LT(r_on.high_crit_jobs, r_on.deadline_jobs);
+  EXPECT_GE(r_on.deadline_misses, r_on.high_crit_misses);
+  if (r_on.deadline_jobs > 0) {
+    EXPECT_NEAR(r_on.deadline_miss_pct,
+                100.0 * static_cast<double>(r_on.deadline_misses) /
+                    static_cast<double>(r_on.deadline_jobs),
+                1e-9);
+  }
+  EXPECT_GE(r_on.max_tardiness_ms, 0.0);
+}
+
+TEST(OnlineDeadlines, SchedulableUtilizationHasZeroMissesUnderEdf) {
+  // The schedulability smoke test: periodic arrivals at utilization 0.5
+  // (period = 2 x ideal makespan) on a platform with zero reconfiguration
+  // latency. At most one instance is ever live, spans equal the ideal
+  // makespan, and with deadline = arrival + 1.0 x ideal no instance can
+  // retire strictly late: edf must report zero misses.
+  PlatformConfig platform = virtex2_platform(8);
+  platform.reconfig_latency = 0;
+  SubtaskGraph graph("rt_pipeline");
+  const auto a = graph.add_subtask({"a", ms(10), Resource::drhw});
+  const auto b = graph.add_subtask({"b", ms(10), Resource::drhw});
+  graph.add_edge(a, b);
+  graph.finalize();
+  const PreparedScenario prepared =
+      prepare_scenario(graph, platform.tiles, platform);
+  const IterationSampler sampler = [&](Rng&) {
+    return std::vector<const PreparedScenario*>{&prepared};
+  };
+
+  OnlineSimOptions opt;
+  opt.platform = platform;
+  opt.policy = policy_names::edf;
+  opt.arrivals.kind = ArrivalProcess::Kind::periodic;
+  opt.arrivals.rate_per_s = 0.0;
+  opt.arrivals.period_us = 2 * prepared.ideal;
+  opt.deadline_scale = 1.0;
+  opt.iterations = 40;
+  const auto r = run_online_simulation(opt, sampler);
+  EXPECT_EQ(r.sim.instances, 40);
+  EXPECT_EQ(r.deadline_jobs, 40);
+  EXPECT_EQ(r.deadline_misses, 0);
+  EXPECT_EQ(r.deadline_miss_pct, 0.0);
+  EXPECT_EQ(r.max_tardiness_ms, 0.0);
+  EXPECT_LE(r.mean_lateness_ms, 0.0);  // every job retires at or early
+}
+
+TEST_F(OnlineFixture, EdfReordersAdmissionByDeadlineUnderContention) {
+  // Deadline-aware admission: under contention a later arrival with an
+  // earlier absolute deadline (smaller instance, 2 x smaller ideal)
+  // overtakes the queue — visible as queue skips that plain FIFO admission
+  // never produces — while the run stays deterministic.
+  auto opt = options(policy_names::edf, 90.0);
+  opt.deadline_scale = 2.0;
+  const auto r1 = run_online_simulation(opt, sampler);
+  const auto r2 = run_online_simulation(opt, sampler);
+  EXPECT_EQ(r1.spans, r2.spans);
+  EXPECT_EQ(r1.deadline_misses, r2.deadline_misses);
+  EXPECT_GT(r1.queue_skips, 0);
+  EXPECT_EQ(r1.deadline_jobs, r1.sim.instances);
+
+  // llf runs the same regime to completion, deterministically.
+  auto llf_opt = opt;
+  llf_opt.policy = policy_names::llf;
+  const auto llf_run = run_online_simulation(llf_opt, sampler);
+  EXPECT_EQ(llf_run.sim.instances, r1.sim.instances);
+  EXPECT_EQ(llf_run.sim.total_ideal, r1.sim.total_ideal);
+}
+
+TEST_F(OnlineFixture, PreemptionStrictlyReducesHighCriticalityMisses) {
+  // The pinned contended scenario of the acceptance criteria: a contended
+  // (but not collapsed) 12-tile pool where low-criticality instances hold
+  // tiles that blocked high-criticality arrivals need. Preemptive
+  // checkpointing must engage (preemptions > 0) and strictly reduce the
+  // high-criticality miss rate; with it off the kernel never checkpoints.
+  // The rate sits near the pool's service capacity on purpose — in deep
+  // overload every deadline misses regardless and preemption cannot help.
+  const auto run = [&](bool preempt) {
+    OnlineSimOptions opt;
+    opt.platform = virtex2_platform(12);
+    opt.policy = policy_names::edf;
+    opt.arrivals.rate_per_s = 15.0;
+    opt.deadline_scale = 3.0;
+    opt.high_criticality_fraction = 0.3;
+    opt.preempt = preempt;
+    opt.seed = 2005;
+    opt.iterations = 100;
+    const auto local = make_multimedia_workload(opt.platform);
+    return run_online_simulation(opt, multimedia_sampler(*local));
+  };
+  const auto off = run(false);
+  const auto on = run(true);
+  EXPECT_EQ(off.preemptions, 0);
+  EXPECT_GT(on.preemptions, 0);
+  ASSERT_GT(off.high_crit_jobs, 0);
+  EXPECT_EQ(on.high_crit_jobs, off.high_crit_jobs);  // same stream, same draw
+  EXPECT_LT(on.high_crit_miss_pct, off.high_crit_miss_pct);
+  // Reruns of the preemptive configuration stay bit-identical.
+  const auto again = run(true);
+  EXPECT_EQ(on.spans, again.spans);
+  EXPECT_EQ(on.preemptions, again.preemptions);
+  EXPECT_EQ(on.high_crit_misses, again.high_crit_misses);
 }
 
 /// Asserts two online reports are bit-identical, spans included.

@@ -387,5 +387,89 @@ TEST(TilePool, EnqueueRejectsOversizedInstances) {
   EXPECT_THROW(pool.enqueue(1, 3, 0), InternalError);
 }
 
+TEST(TilePool, CheckpointLifecycleFreesTilesButKeepsConfigsCached) {
+  // Preemptive checkpointing: a victim's held tiles go migrating (excluded
+  // from every free view) during the writeout, then free with the
+  // configurations still cached, so a re-admitted victim degrades its
+  // reloads to cached hits.
+  TilePoolManager pool(4, PoolOptions{});
+  force_occupy(pool, 1, {0, 1}, 0);
+  pool.store().record_load(0, 10, ms(1), 1.0);
+  pool.store().record_load(1, 11, ms(1), 1.0);
+
+  pool.begin_checkpoint(0);
+  pool.begin_checkpoint(1);
+  EXPECT_TRUE(pool.migrating(0));
+  EXPECT_TRUE(pool.migrating(1));
+  EXPECT_EQ(pool.migrations_in_flight(), 2);
+  EXPECT_EQ(pool.free_count(), 2);  // checkpointing tiles are not free
+
+  pool.finish_checkpoint(0, ms(5));
+  pool.finish_checkpoint(1, ms(5));
+  EXPECT_EQ(pool.migrations_in_flight(), 0);
+  EXPECT_FALSE(pool.held(0));
+  EXPECT_FALSE(pool.held(1));
+  EXPECT_EQ(pool.owner(0), -1);
+  EXPECT_EQ(pool.free_count(), 4);
+  // The configurations stay as reusable cached copies.
+  EXPECT_EQ(pool.store().config_on(0), 10);
+  EXPECT_EQ(pool.store().config_on(1), 11);
+
+  // Resume: the victim re-admits onto the same tiles and its loads are
+  // cached hits (config_on matches what it needs).
+  pool.enqueue(1, 2, ms(6));
+  EXPECT_EQ(pool.select(ms(6)), 1);
+  pool.occupy(1, {0, 1}, ms(6));
+  EXPECT_EQ(pool.store().config_on(0), 10);
+}
+
+TEST(TilePool, CheckpointAbortRestoresTheVictim) {
+  TilePoolManager pool(4, PoolOptions{});
+  force_occupy(pool, 1, {0}, 0);
+  pool.store().record_load(0, 10, ms(1), 1.0);
+  pool.begin_checkpoint(0);
+  EXPECT_TRUE(pool.migrating(0));
+  pool.abort_checkpoint(0);
+  EXPECT_FALSE(pool.migrating(0));
+  EXPECT_EQ(pool.migrations_in_flight(), 0);
+  EXPECT_TRUE(pool.held(0));
+  EXPECT_EQ(pool.owner(0), 1);
+}
+
+TEST(TilePool, SelectUrgentPicksTheMostUrgentFittingInstance) {
+  TilePoolManager pool(4, PoolOptions{});
+  force_occupy(pool, 1, {0, 1, 2}, 0);
+  pool.enqueue(10, 1, 1);  // urgency 30
+  pool.enqueue(11, 1, 2);  // urgency 10 (most urgent)
+  pool.enqueue(12, 3, 3);  // urgency 5 but does not fit
+  const auto urgency = [](std::int32_t job) -> long long {
+    return job == 10 ? 30 : job == 11 ? 10 : 5;
+  };
+  EXPECT_EQ(pool.select_urgent(3, urgency), 11);
+  pool.occupy(11, {3}, 3);
+  EXPECT_EQ(pool.queue_skips(), 1);  // overtook job 10
+  EXPECT_EQ(pool.select_urgent(4, urgency), -1);  // nothing fits
+}
+
+TEST(TilePool, SelectUrgentHonoursTheStarvationBound) {
+  PoolOptions options;
+  options.max_bypass = 2;
+  TilePoolManager pool(4, options);
+  force_occupy(pool, 1, {0, 1, 2}, 0);
+  pool.enqueue(10, 1, 1);  // head, least urgent
+  const auto urgency = [](std::int32_t job) -> long long {
+    return job == 10 ? 100 : job;
+  };
+  for (std::int32_t job = 20; job <= 21; ++job) {
+    pool.enqueue(job, 1, job);
+    ASSERT_EQ(pool.select_urgent(job, urgency), job);
+    pool.occupy(job, {3}, job);
+    pool.release(job, job);
+  }
+  // The head has been bypassed max_bypass times: now only it may go.
+  pool.enqueue(22, 1, 22);
+  EXPECT_EQ(pool.select_urgent(23, urgency), 10);
+}
+
 }  // namespace
 }  // namespace drhw

@@ -504,5 +504,128 @@ TEST(Report, OnlinePoolFieldsAndMetricsRoundTrip) {
   EXPECT_EQ(rows[0].metrics.at("response_p95_ms"), result.response_p95_ms);
 }
 
+TEST(Report, DeadlineFieldsAndMetricsRoundTrip) {
+  Scenario s;
+  s.name = "rt/test";
+  s.family = "rt";
+  s.mode = ScenarioMode::online;
+  s.sim.platform = virtex2_platform(12);
+  s.sim.policy = policy_names::edf;
+  s.sim.iterations = 25;
+  s.arrivals.kind = ArrivalProcess::Kind::sporadic;
+  s.arrivals.rate_per_s = 100.0;
+  s.deadline_scale = 2.5;
+  s.high_crit_fraction = 0.4;
+  s.preempt = true;
+  const auto result = run_scenario(s, /*record_wall_time=*/false);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.deadline_jobs, static_cast<long>(result.report.instances));
+
+  const auto metrics = deterministic_metrics(result);
+  for (const char* key :
+       {"deadline_jobs", "deadline_misses", "deadline_miss_pct",
+        "high_crit_miss_pct", "mean_lateness_ms", "max_tardiness_ms",
+        "preemptions"})
+    EXPECT_TRUE(metrics.count(key)) << key;
+
+  StatsAggregator aggregator;
+  aggregator.add(result);
+  const ParsedCampaign parsed =
+      campaign_from_json(campaign_to_json({result}, aggregator));
+  ASSERT_EQ(parsed.scenarios.size(), 1u);
+  EXPECT_EQ(parsed.scenarios[0].arrival_kind, "sporadic");
+  EXPECT_EQ(parsed.scenarios[0].deadline_scale, 2.5);
+  EXPECT_EQ(parsed.scenarios[0].high_crit_fraction, 0.4);
+  EXPECT_TRUE(parsed.scenarios[0].preempt);
+  EXPECT_EQ(parsed.scenarios[0].metrics.at("deadline_miss_pct"),
+            result.deadline_miss_pct);
+
+  const auto rows = campaign_from_csv(campaign_to_csv({result}));
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].deadline_scale, 2.5);
+  EXPECT_EQ(rows[0].high_crit_fraction, 0.4);
+  EXPECT_TRUE(rows[0].preempt);
+  EXPECT_EQ(rows[0].metrics.at("preemptions"),
+            static_cast<double>(result.preemptions));
+  EXPECT_EQ(rows[0].metrics.at("max_tardiness_ms"), result.max_tardiness_ms);
+}
+
+TEST(Report, ReadsReportsWrittenBeforeTheDeadlineColumnsExisted) {
+  // Forward compatibility: a PR 6-era report — no deadline_scale /
+  // high_crit_fraction / preempt descriptor fields and no deadline metric
+  // columns — must parse with the neutral defaults, not throw. The
+  // literals below are frozen copies of the old writers' output shape.
+  const std::string old_json = R"({
+  "schema": "drhw-campaign-v1",
+  "scenarios": [
+    {
+      "name": "online_poisson/r20/hybrid",
+      "family": "online_poisson",
+      "workload": "multimedia",
+      "mode": "online",
+      "approach": "hybrid",
+      "policy_params": {},
+      "replacement": "lru",
+      "tiles": 16,
+      "reconfig_latency_us": 4000,
+      "ports": 1,
+      "isps": 1,
+      "seed": 2005,
+      "iterations": 40,
+      "arrival_kind": "poisson",
+      "arrival_rate_per_s": 20,
+      "port_discipline": "fifo",
+      "admission_policy": "fifo_hol",
+      "contiguous": false,
+      "defrag": false,
+      "scheduler_cost_us": 0,
+      "shared_isps": false,
+      "isp_discipline": "fifo",
+      "port_util_per_port_pct": [12.5],
+      "ok": true,
+      "error": "",
+      "metrics": {"makespan_ms": 100.5, "overhead_pct": 8.25, "loads": 42}
+    }
+  ],
+  "families": [],
+  "overall": {
+    "family": "",
+    "scenarios": 1,
+    "failed": 0,
+    "metrics": {}
+  }
+})";
+  const ParsedCampaign parsed = campaign_from_json(old_json);
+  ASSERT_EQ(parsed.scenarios.size(), 1u);
+  const ParsedScenario& p = parsed.scenarios[0];
+  EXPECT_EQ(p.name, "online_poisson/r20/hybrid");
+  EXPECT_EQ(p.arrival_kind, "poisson");
+  EXPECT_EQ(p.deadline_scale, 0.0);
+  EXPECT_EQ(p.high_crit_fraction, 0.0);
+  EXPECT_FALSE(p.preempt);
+  EXPECT_EQ(p.metrics.at("loads"), 42.0);
+  EXPECT_FALSE(p.metrics.count("deadline_miss_pct"));
+
+  const std::string old_csv =
+      "name,family,workload,mode,approach,policy_params,replacement,tiles,"
+      "reconfig_latency_us,ports,isps,seed,iterations,admission_policy,"
+      "contiguous,defrag,scheduler_cost_us,shared_isps,isp_discipline,"
+      "port_util_per_port_pct,ok,error,makespan_ms,overhead_pct,loads\n"
+      "online_poisson/r20/hybrid,online_poisson,multimedia,online,hybrid,,"
+      "lru,16,4000,1,1,2005,40,fifo_hol,0,0,0,0,fifo,12.5,1,,100.5,8.25,42\n";
+  const auto rows = campaign_from_csv(old_csv);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].name, "online_poisson/r20/hybrid");
+  EXPECT_EQ(rows[0].deadline_scale, 0.0);
+  EXPECT_FALSE(rows[0].preempt);
+  EXPECT_EQ(rows[0].metrics.at("overhead_pct"), 8.25);
+  EXPECT_FALSE(rows[0].metrics.count("max_tardiness_ms"));
+
+  // The symmetric direction: a reader of the *old* column set handed a
+  // *new* report sees the extra columns as plain metrics (CSV) or ignores
+  // unknown keys (JSON find()-based parsing) — the tolerant fallback the
+  // writers rely on is pinned by the round-trip tests above.
+}
+
 }  // namespace
 }  // namespace drhw

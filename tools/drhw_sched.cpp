@@ -34,10 +34,22 @@
 //   --tiles N          DRHW tiles (default 16)
 //   --latency-us L     reconfiguration latency in us (default 4000)
 //   --ports N          reconfiguration ports (default 1)
-//   --arrivals K       poisson | bursty | closed_loop (default poisson)
+//   --arrivals K       poisson | bursty | closed_loop | periodic | sporadic
+//                      (default poisson; unknown kinds list the registered
+//                      ones and exit 2)
 //   --rate R           arrivals (or bursts) per second (default 20)
 //   --burst N          instances per burst (bursty; default 4)
 //   --think-us T       closed-loop think time in us (default 1000)
+//   --period-us P      periodic/sporadic inter-arrival base in us
+//                      (default: derived from --rate)
+//   --deadline-scale X real-time mode: stamp every instance with deadline
+//                      arrival + X x ideal makespan (0 = deadlines off);
+//                      adds a per-policy deadline summary after the table
+//   --crit-fraction F  fraction of instances drawn high-criticality
+//                      (default 0.25; with --deadline-scale)
+//   --preempt          checkpoint low-criticality live instances to admit
+//                      blocked high-criticality arrivals (needs
+//                      --deadline-scale)
 //   --discipline D     fifo | priority port arbitration (default fifo)
 //   --isp N            model the ISPs as a shared contended pool of N
 //                      servers (default: per-instance ISPs)
@@ -108,7 +120,8 @@ int usage() {
                "       drhw_sched online [--workload W] [--tiles N]"
                " [--latency-us L] [--ports N] [--arrivals K] [--rate R]"
                " [--burst N] [--think-us T] [--discipline D]"
-               " [--isp N] [--isp-discipline D]"
+               " [--isp N] [--isp-discipline D] [--period-us P]"
+               " [--deadline-scale X] [--crit-fraction F] [--preempt]"
                " [--replacement R] [--lookahead N] [--admission P]"
                " [--contiguous] [--defrag] [--window N] [--max-bypass N]"
                " [--sched-cost-us C]"
@@ -141,6 +154,20 @@ PolicySpec parse_policy_arg(const std::string& text) {
     std::exit(2);
   }
   return spec;
+}
+
+/// Parses an --arrivals value. An unknown kind prints the registered
+/// arrival kinds and exits 2, mirroring parse_policy_arg().
+ArrivalProcess::Kind parse_arrivals_arg(const std::string& text) {
+  try {
+    return arrival_kind_from_string(text);
+  } catch (const std::invalid_argument&) {
+    std::cerr << "error: unknown arrival kind '" << text
+              << "'\nregistered arrival kinds:\n";
+    for (const std::string& name : arrival_kind_names())
+      std::cerr << "  " << name << "\n";
+    std::exit(2);
+  }
 }
 
 std::string read_file(const std::string& path) {
@@ -376,6 +403,10 @@ struct OnlineCliOptions {
   time_us scheduler_cost = 0;
   int iterations = 500;
   std::uint64_t seed = 2005;
+  /// Real-time mode: 0 = deadlines off, > 0 = deadline_scale.
+  double deadline_scale = 0.0;
+  double crit_fraction = 0.25;
+  bool preempt = false;
   /// Event-queue backend; reports are bit-identical between the two.
   QueueBackend queue_backend = QueueBackend::calendar;
   /// Print perf_summary() per approach after the table.
@@ -428,6 +459,10 @@ int cmd_online(const OnlineCliOptions& cli) {
   if (cli.shared_isps > 0)
     std::cout << ", " << cli.shared_isps << " shared ISP(s) ("
               << to_string(cli.isp_discipline) << ")";
+  if (cli.deadline_scale > 0.0)
+    std::cout << ", deadlines x" << fmt(cli.deadline_scale, 1) << " (crit "
+              << fmt_pct(cli.crit_fraction * 100.0)
+              << (cli.preempt ? ", preempt" : "") << ")";
   std::cout
             << (cli.pool.contiguous ? " (contiguous)" : "")
             << (cli.pool.defrag ? " + defrag" : "") << ", " << cli.iterations
@@ -442,6 +477,9 @@ int cmd_online(const OnlineCliOptions& cli) {
                       "response mean", "response p95", "queueing mean",
                       "port util", "isp util", "frag", "skips", "moves",
                       "peak migs", "prefetches"});
+  TablePrinter deadline_table({"policy", "jobs", "miss", "high-crit miss",
+                               "mean lateness", "max tardiness",
+                               "preemptions"});
   std::vector<std::pair<std::string, std::string>> perf_blocks;
   for (const PolicySpec& policy : policies) {
     OnlineSimOptions options;
@@ -459,9 +497,20 @@ int cmd_online(const OnlineCliOptions& cli) {
     options.isp_discipline = cli.isp_discipline;
     options.record_spans = false;
     options.queue_backend = cli.queue_backend;
+    options.deadline_scale = cli.deadline_scale;
+    options.high_criticality_fraction = cli.crit_fraction;
+    options.preempt = cli.preempt;
     options.seed = cli.seed;
     options.iterations = cli.iterations;
     const OnlineReport report = run_online_simulation(options, sampler);
+    if (cli.deadline_scale > 0.0)
+      deadline_table.add_row({to_string(policy),
+                              std::to_string(report.deadline_jobs),
+                              fmt_pct(report.deadline_miss_pct, 2),
+                              fmt_pct(report.high_crit_miss_pct, 2),
+                              fmt(report.mean_lateness_ms, 1) + " ms",
+                              fmt(report.max_tardiness_ms, 1) + " ms",
+                              std::to_string(report.preemptions)});
     if (cli.perf)
       perf_blocks.emplace_back(to_string(policy), perf_summary(report.perf));
     table.add_row({to_string(policy), std::to_string(report.sim.instances),
@@ -479,6 +528,10 @@ int cmd_online(const OnlineCliOptions& cli) {
                    std::to_string(report.sim.intertask_prefetches)});
   }
   table.print(std::cout);
+  if (cli.deadline_scale > 0.0) {
+    std::cout << "\ndeadline summary:\n";
+    deadline_table.print(std::cout);
+  }
   for (const auto& [name, summary] : perf_blocks)
     std::cout << "\nperf counters: " << name << " ("
               << to_string(cli.queue_backend) << " queue)\n"
@@ -547,9 +600,17 @@ int main(int argc, char** argv) {
         else if (arg == "--ports" && has_value)
           cli.ports = std::stoi(args[++i]);
         else if (arg == "--arrivals" && has_value)
-          cli.arrivals.kind = arrival_kind_from_string(args[++i]);
+          cli.arrivals.kind = parse_arrivals_arg(args[++i]);
         else if (arg == "--rate" && has_value)
           cli.arrivals.rate_per_s = std::stod(args[++i]);
+        else if (arg == "--period-us" && has_value)
+          cli.arrivals.period_us = std::stoll(args[++i]);
+        else if (arg == "--deadline-scale" && has_value)
+          cli.deadline_scale = std::stod(args[++i]);
+        else if (arg == "--crit-fraction" && has_value)
+          cli.crit_fraction = std::stod(args[++i]);
+        else if (arg == "--preempt")
+          cli.preempt = true;
         else if (arg == "--burst" && has_value)
           cli.arrivals.burst_size = std::stoi(args[++i]);
         else if (arg == "--think-us" && has_value)
