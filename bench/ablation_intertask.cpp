@@ -15,10 +15,10 @@ using namespace drhw;
 
 struct Config {
   const char* label;
-  bool intertask;
-  bool cross_iteration;
-  int depth;
-  bool beyond_critical;
+  bool intertask = false;
+  bool cross_iteration = false;
+  int depth = 0;
+  bool beyond_critical = false;
 };
 
 void run_block(const char* title, bool pocket_gl, int tiles,

@@ -11,6 +11,8 @@
 // baseline. Simulated-time metrics never appear here — this bench is
 // about the simulator itself, not the simulated platform.
 //
+// drhw-lint: allow-file(wall-clock: this bench measures host wall time)
+//
 //   bench_throughput_horizon [--out FILE] [--scale N] [--repeat N]
 //
 //   --out FILE   output JSON path (default BENCH_throughput.json)

@@ -7,8 +7,8 @@
 /// B/P/I scenarios are "different versions (graphs) of the same task" — the
 /// bitstreams are the same, only the data-dependent behaviour differs).
 
+#include <map>
 #include <string>
-#include <unordered_map>
 
 #include "util/ids.hpp"
 
@@ -25,7 +25,10 @@ class ConfigSpace {
   int count() const { return next_; }
 
  private:
-  std::unordered_map<std::string, ConfigId> ids_;
+  /// Ordered map: id allocation order is insertion order either way, but an
+  /// ordered container keeps every conceivable traversal deterministic (the
+  /// determinism lint's unordered-iteration rule — tools/drhw_lint.cpp).
+  std::map<std::string, ConfigId> ids_;
   ConfigId next_ = 0;
 };
 

@@ -30,8 +30,8 @@ struct PocketGl {
 
   /// One feasible combination of per-task scenarios.
   struct InterTaskScenario {
-    std::array<int, 6> scenario_of_task;
-    double probability;
+    std::array<int, 6> scenario_of_task{};
+    double probability = 0.0;
   };
   std::vector<InterTaskScenario> combos;  // size 20
 };

@@ -52,9 +52,10 @@ TilePoolManager::TilePoolManager(int tiles, const PoolOptions& options)
 // --- admission queue --------------------------------------------------------
 
 void TilePoolManager::enqueue(std::int32_t job, int needed, time_us now) {
-  DRHW_CHECK_MSG(job >= 0, "queued instance needs a non-negative id");
-  DRHW_CHECK_MSG(needed >= 0 && needed <= tiles(),
-                 "queued instance needs more tiles than the pool has");
+  DRHW_CHECK_GE_MSG(job, 0, "queued instance needs a non-negative id");
+  DRHW_CHECK_GE_MSG(needed, 0, "queued instance needs a negative tile count");
+  DRHW_CHECK_LE_MSG(needed, tiles(),
+                    "queued instance needs more tiles than the pool has");
   if (perf_ && queue_.size() == queue_.capacity()) perf_->note_alloc();
   queue_.push_back(Waiting{job, needed, now, 0});
   ++queued_count_;
@@ -176,7 +177,8 @@ void TilePoolManager::offer_into(std::int32_t job,
   }
 
   const std::size_t pos = position_of(job);
-  DRHW_CHECK_MSG(pos < queue_.size(), "offer() for a job that is not queued");
+  DRHW_CHECK_LT_MSG(pos, queue_.size(),
+                    "offer() for a job that is not queued");
   const int needed = queue_[pos].needed;
   if (needed == 0) return;
 
@@ -211,8 +213,8 @@ void TilePoolManager::offer_into(std::int32_t job,
       best_overlap = overlap;
     }
   }
-  DRHW_CHECK_MSG(best_start >= 0,
-                 "offer() called without a fitting contiguous block");
+  DRHW_CHECK_GE_MSG(best_start, 0,
+                    "offer() called without a fitting contiguous block");
   for (int t = best_start; t < best_start + needed; ++t) out.push_back(t);
 }
 
@@ -227,7 +229,8 @@ void TilePoolManager::occupy(std::int32_t job,
     owner_[idx] = job;
   }
   const std::size_t pos = position_of(job);
-  DRHW_CHECK_MSG(pos < queue_.size(), "occupy() for a job that is not queued");
+  DRHW_CHECK_LT_MSG(pos, queue_.size(),
+                    "occupy() for a job that is not queued");
   queue_[pos].job = -1;  // tombstone; skips/needed are dead with it
   --queued_count_;
   last_pick_ = static_cast<std::size_t>(-1);

@@ -15,9 +15,9 @@ namespace {
 enum class EventKind : int { load_done = 0, comm_arrival = 1, exec_done = 2 };
 
 struct Event {
-  time_us time;
-  EventKind kind;
-  SubtaskId subtask;
+  time_us time = 0;
+  EventKind kind = EventKind::load_done;
+  SubtaskId subtask = 0;
   // Later events compare greater (min-heap via std::greater). Load
   // completions are processed before execution completions at equal times so
   // a just-loaded configuration is visible to a subtask becoming ready at
@@ -31,8 +31,8 @@ struct Event {
 
 /// Max-heap entry for the priority policy (heap pops the largest first).
 struct PriorityEntry {
-  time_us priority;
-  SubtaskId subtask;
+  time_us priority = 0;
+  SubtaskId subtask = 0;
   friend bool operator<(const PriorityEntry& a, const PriorityEntry& b) {
     if (a.priority != b.priority) return a.priority < b.priority;
     return a.subtask > b.subtask;  // lower id wins ties
@@ -41,8 +41,8 @@ struct PriorityEntry {
 
 /// Min-heap entry for the on-demand policy (FIFO by request time).
 struct RequestEntry {
-  time_us requested_at;
-  SubtaskId subtask;
+  time_us requested_at = 0;
+  SubtaskId subtask = 0;
   friend bool operator>(const RequestEntry& a, const RequestEntry& b) {
     if (a.requested_at != b.requested_at)
       return a.requested_at > b.requested_at;

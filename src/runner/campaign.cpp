@@ -1,5 +1,9 @@
 #include "runner/campaign.hpp"
 
+// Wall-time here measures the host (scenario wall_ms metrics, Section 4
+// micro-timings); readings are reported, never fed to simulated state.
+// drhw-lint: allow-file(wall-clock: host-side metrics only)
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>

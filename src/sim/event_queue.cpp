@@ -45,7 +45,7 @@ EventQueue::EventQueue(QueueBackend backend, PerfCounters* perf)
 
 void EventQueue::push(time_us time, std::int32_t kind, std::int32_t job,
                       SubtaskId subtask) {
-  DRHW_CHECK_MSG(time >= 0, "events cannot be scheduled before t = 0");
+  DRHW_CHECK_GE_MSG(time, 0, "events cannot be scheduled before t = 0");
   const Event ev{time, kind, job, subtask, next_seq_++};
   if (backend_ == QueueBackend::calendar)
     calendar_push(ev);
@@ -56,12 +56,12 @@ void EventQueue::push(time_us time, std::int32_t kind, std::int32_t job,
 }
 
 Event EventQueue::pop() {
-  DRHW_CHECK_MSG(size_ > 0, "pop from an empty event queue");
+  DRHW_CHECK_GT_MSG(size_, 0u, "pop from an empty event queue");
   const Event ev = backend_ == QueueBackend::calendar ? calendar_pop()
                                                       : heap_pop();
   --size_;
-  DRHW_CHECK_MSG(ev.time >= last_pop_,
-                 "event queue popped backwards in time");
+  DRHW_CHECK_GE_MSG(ev.time, last_pop_,
+                    "event queue popped backwards in time");
   last_pop_ = ev.time;
   if (perf_) perf_->note_pop();
   return ev;

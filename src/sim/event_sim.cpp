@@ -4,7 +4,6 @@
 #include <cmath>
 #include <memory>
 #include <stdexcept>
-#include <unordered_map>
 
 #include "policy/prefetch_policy.hpp"
 #include "policy/registry.hpp"
@@ -116,9 +115,10 @@ class OnlineSimulation {
     PhaseTimer setup_timer(report_.perf.setup_ns);
     options_.platform.validate();
     options_.arrivals.validate();
-    DRHW_CHECK_MSG(options_.iterations >= 1, "online run needs >= 1 iteration");
-    DRHW_CHECK_MSG(options_.scheduler_cost >= 0,
-                   "negative scheduler cost makes no sense");
+    DRHW_CHECK_GE_MSG(options_.iterations, 1,
+                      "online run needs >= 1 iteration");
+    DRHW_CHECK_GE_MSG(options_.scheduler_cost, 0,
+                      "negative scheduler cost makes no sense");
     if (options_.deadline_scale < 0.0)
       throw std::invalid_argument("deadline scale must be >= 0");
     if (options_.high_criticality_fraction < 0.0 ||
@@ -141,15 +141,17 @@ class OnlineSimulation {
     // preparations, so per-instance state is one int32 into preps_ — the
     // per-prep caches (replacement values, intertask candidates, retire
     // accounting) hang off that index, computed once in setup_arenas().
+    // Dedup by linear scan: the stream repeats a handful of distinct
+    // preparations, this runs once at setup, and it keeps the kernel free
+    // of pointer-keyed hash maps (a drhw_lint determinism hazard class).
     Rng stream_rng(options_.seed);
-    std::unordered_map<const PreparedScenario*, std::int32_t> prep_index;
     for (int it = 0; it < options_.iterations; ++it)
       for (const PreparedScenario* prep : sampler(stream_rng)) {
         DRHW_CHECK(prep != nullptr);
-        const auto [at, inserted] =
-            prep_index.emplace(prep, static_cast<std::int32_t>(preps_.size()));
-        if (inserted) preps_.push_back(prep);
-        job_prep_.push_back(at->second);
+        const auto at = std::find(preps_.begin(), preps_.end(), prep);
+        const auto index = static_cast<std::int32_t>(at - preps_.begin());
+        if (at == preps_.end()) preps_.push_back(prep);
+        job_prep_.push_back(index);
       }
     job_arrival_.assign(job_prep_.size(), 0);
     job_slot_.assign(job_prep_.size(), k_slot_queued);
@@ -186,8 +188,8 @@ class OnlineSimulation {
         }
       }
     }
-    DRHW_CHECK_MSG(retired_ == static_cast<long>(job_prep_.size()),
-                   "online simulation stalled");
+    DRHW_CHECK_EQ_MSG(retired_, static_cast<long>(job_prep_.size()),
+                      "online simulation stalled");
     {
       // Scoped so the timer lands in finalize_ns before the report moves.
       PhaseTimer finalize_timer(report_.perf.finalize_ns);
@@ -443,7 +445,7 @@ class OnlineSimulation {
 
   void release_inflight(ConfigId config) {
     int& count = inflight_ref(config);
-    DRHW_CHECK(count > 0);
+    DRHW_CHECK_GT(count, 0);
     --count;
   }
 
@@ -621,8 +623,8 @@ class OnlineSimulation {
     // The same invariants evaluate_instance_plan() enforces sequentially:
     // a plan that violates them here would not abort but silently stall
     // the kernel (init_pending could never drain), so fail fast instead.
-    DRHW_CHECK_MSG(plan.init_count <= plan.loads.size(),
-                   "instance plan: init prefix longer than the load list");
+    DRHW_CHECK_LE_MSG(plan.init_count, plan.loads.size(),
+                      "instance plan: init prefix longer than the load list");
     DRHW_CHECK_MSG(plan.init_count == 0 ||
                        plan.load_policy == LoadPolicy::explicit_order,
                    "instance plan: an initialization phase requires an "
@@ -648,7 +650,7 @@ class OnlineSimulation {
 
   void mark_arrival(std::int32_t j, SubtaskId s, time_us t) {
     const std::size_t idx = base_of(j) + static_cast<std::size_t>(s);
-    DRHW_CHECK(arena_.arrived[idx] == k_no_time);
+    DRHW_CHECK_EQ(arena_.arrived[idx], k_no_time);
     arena_.arrived[idx] = t;
     if (arena_.needs[idx]) try_port(t);
     // Always re-check execution: an initialization-phase load is exempt
@@ -661,7 +663,7 @@ class OnlineSimulation {
   void mark_dag_ready(std::int32_t j, SubtaskId s, time_us t) {
     const InstanceSlot& slot = slot_of(j);
     const std::size_t idx = base_of(j) + static_cast<std::size_t>(s);
-    DRHW_CHECK(arena_.dag_ready[idx] == k_no_time);
+    DRHW_CHECK_EQ(arena_.dag_ready[idx], k_no_time);
     arena_.dag_ready[idx] = t;
     if (arena_.needs[idx] && slot.policy == LoadPolicy::on_demand &&
         arena_.arrived[idx] != k_no_time)
@@ -1404,12 +1406,12 @@ class OnlineSimulation {
             static_cast<double>(busy_horizon);
         busy_sum += ports_.busy(p);
       }
-      DRHW_CHECK_MSG(busy_sum == ports_.total_busy(),
-                     "per-port busy accounting does not sum to the total");
+      DRHW_CHECK_EQ_MSG(busy_sum, ports_.total_busy(),
+                        "per-port busy accounting does not sum to the total");
       const int isps = std::max(options_.platform.isps, 1);
       if (options_.shared_isps)
-        DRHW_CHECK_MSG(isp_busy_ == isps_.total_busy(),
-                       "shared-ISP busy accounting diverged");
+        DRHW_CHECK_EQ_MSG(isp_busy_, isps_.total_busy(),
+                          "shared-ISP busy accounting diverged");
       report_.isp_utilisation_pct =
           100.0 * static_cast<double>(isp_busy_) /
           (static_cast<double>(busy_horizon) * static_cast<double>(isps));
@@ -1446,9 +1448,9 @@ class OnlineSimulation {
   PortSet ports_{1};  ///< re-built to the real shape in setup_arenas()
   PortSet isps_{1};
   struct IspWaiter {
-    std::int32_t job;
-    SubtaskId subtask;
-    long seq;  ///< request order (the fifo key; kept sorted by append)
+    std::int32_t job = -1;
+    SubtaskId subtask = 0;
+    long seq = 0;  ///< request order (the fifo key; kept sorted by append)
   };
   std::vector<IspWaiter> isp_waiting_;
   long isp_seq_ = 0;

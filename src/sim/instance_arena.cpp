@@ -25,8 +25,8 @@ void InstanceArena::configure(std::size_t stride, PerfCounters* perf) {
 }
 
 std::int32_t InstanceArena::acquire(std::int32_t job, std::size_t graph_size) {
-  DRHW_CHECK_MSG(graph_size <= stride_,
-                 "instance graph larger than the arena stride");
+  DRHW_CHECK_LE_MSG(graph_size, stride_,
+                    "instance graph larger than the arena stride");
   std::int32_t s;
   if (!free_.empty()) {
     s = free_.back();

@@ -35,7 +35,7 @@ namespace drhw {
 class PortSet {
  public:
   explicit PortSet(int count, time_us available_from = 0) {
-    DRHW_CHECK_MSG(count >= 1, "a port set needs >= 1 resource");
+    DRHW_CHECK_GE_MSG(count, 1, "a port set needs >= 1 resource");
     free_.assign(static_cast<std::size_t>(count), available_from);
     busy_.assign(static_cast<std::size_t>(count), 0);
   }
@@ -58,7 +58,7 @@ class PortSet {
 
   /// Occupies `port` from `t` for `duration`; returns the completion time.
   time_us dispatch(std::size_t port, time_us t, time_us duration) {
-    DRHW_CHECK_MSG(free_[port] <= t, "dispatch onto a busy port");
+    DRHW_CHECK_LE_MSG(free_[port], t, "dispatch onto a busy port");
     free_[port] = t + duration;
     busy_[port] += duration;
     total_busy_ += duration;

@@ -22,11 +22,12 @@ namespace drhw {
 
 NextUseRank NextUseIndex::rank_from(long position) const {
   return [this, position](ConfigId c) -> long {
-    const auto it = positions_.find(c);
-    if (it == positions_.end()) return std::numeric_limits<long>::max();
-    const auto pos =
-        std::lower_bound(it->second.begin(), it->second.end(), position);
-    return pos == it->second.end() ? std::numeric_limits<long>::max() : *pos;
+    const auto idx = static_cast<std::size_t>(c);
+    if (c < 0 || idx >= positions_.size() || positions_[idx].empty())
+      return std::numeric_limits<long>::max();
+    const std::vector<long>& uses = positions_[idx];
+    const auto pos = std::lower_bound(uses.begin(), uses.end(), position);
+    return pos == uses.end() ? std::numeric_limits<long>::max() : *pos;
   };
 }
 
@@ -70,8 +71,8 @@ void harmonize_replacement_values(std::vector<PreparedScenario>& scenarios) {
   if (scenarios.empty()) return;
   const std::size_t n = scenarios.front().graph->size();
   for (const auto& p : scenarios)
-    DRHW_CHECK_MSG(p.graph->size() == n,
-                   "scenarios of one task must share the subtask structure");
+    DRHW_CHECK_EQ_MSG(p.graph->size(), n,
+                      "scenarios of one task must share the subtask structure");
 
   std::vector<double> critical_count(n, 0.0);
   std::vector<double> weight_sum(n, 0.0);
@@ -432,8 +433,8 @@ class SystemSimulation {
   }
 
   struct QueuedInstance {
-    const PreparedScenario* scenario;
-    int batch;  ///< iteration that emitted this instance
+    const PreparedScenario* scenario = nullptr;
+    int batch = 0;  ///< iteration that emitted this instance
   };
 
   SimOptions options_;

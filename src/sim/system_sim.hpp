@@ -9,7 +9,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
 #include <vector>
 
 #include "platform/platform.hpp"
@@ -68,13 +67,19 @@ PreparedScenario prepare_scenario(const SubtaskGraph& graph, int tiles,
 class NextUseIndex {
  public:
   void add(ConfigId config, long position) {
-    positions_[config].push_back(position);
+    const auto idx = static_cast<std::size_t>(config);
+    if (idx >= positions_.size()) positions_.resize(idx + 1);
+    positions_[idx].push_back(position);
   }
   /// The returned closure references this index and must not outlive it.
   NextUseRank rank_from(long position) const;
 
  private:
-  std::unordered_map<ConfigId, std::vector<long>> positions_;
+  /// Dense per-ConfigId stream positions. Config ids are small and dense by
+  /// construction (apps/config_space.hpp allocates them sequentially), and a
+  /// hash map here would be an unordered-iteration hazard waiting for its
+  /// first range-for — see tools/drhw_lint.cpp.
+  std::vector<std::vector<long>> positions_;
 };
 
 /// Replaces the per-scenario replacement values of one task's scenarios by

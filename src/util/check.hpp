@@ -6,10 +6,17 @@
 /// DRHW_CHECK is active in all build types: scheduler invariants guard
 /// against silent mis-schedules, and their cost is negligible next to the
 /// event-driven evaluation itself.
+///
+/// The comparison variants (DRHW_CHECK_EQ / NE / LT / LE / GT / GE) print
+/// both operand *values* on failure, so a tripped timeline invariant in a
+/// long campaign is debuggable from the exception text alone — no rebuild
+/// with extra logging, no rerun of a multi-minute scenario.
 
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <type_traits>
+#include <utility>
 
 namespace drhw {
 
@@ -28,6 +35,37 @@ namespace detail {
   if (!msg.empty()) os << " — " << msg;
   throw InternalError(os.str());
 }
+
+/// Streams a value if it is ostream-printable, "<unprintable>" otherwise —
+/// so DRHW_CHECK_EQ works on any comparable type, not just printable ones.
+template <typename T, typename = void>
+struct Printable : std::false_type {};
+template <typename T>
+struct Printable<T, decltype(void(std::declval<std::ostream&>()
+                                  << std::declval<const T&>()))>
+    : std::true_type {};
+
+template <typename T>
+void stream_value(std::ostream& os, const T& value) {
+  if constexpr (Printable<T>::value)
+    os << value;
+  else
+    os << "<unprintable>";
+}
+
+template <typename L, typename R>
+[[noreturn]] void check_cmp_failed(const char* expr, const char* file,
+                                   int line, const L& lhs, const R& rhs,
+                                   const std::string& msg) {
+  std::ostringstream os;
+  os << "DRHW_CHECK failed: " << expr << " at " << file << ':' << line
+     << " — lhs = ";
+  stream_value(os, lhs);
+  os << ", rhs = ";
+  stream_value(os, rhs);
+  if (!msg.empty()) os << " — " << msg;
+  throw InternalError(os.str());
+}
 }  // namespace detail
 
 }  // namespace drhw
@@ -43,3 +81,29 @@ namespace detail {
     if (!(expr))                                                      \
       ::drhw::detail::check_failed(#expr, __FILE__, __LINE__, (msg)); \
   } while (false)
+
+/// Comparison checks: operands are evaluated exactly once and both values
+/// are included in the failure text. DRHW_CHECK_LT(a, b) asserts a < b.
+#define DRHW_CHECK_CMP_(a, b, op, msg)                                  \
+  do {                                                                  \
+    auto&& drhw_lhs_ = (a);                                             \
+    auto&& drhw_rhs_ = (b);                                             \
+    if (!(drhw_lhs_ op drhw_rhs_))                                      \
+      ::drhw::detail::check_cmp_failed(#a " " #op " " #b, __FILE__,     \
+                                       __LINE__, drhw_lhs_, drhw_rhs_,  \
+                                       (msg));                          \
+  } while (false)
+
+#define DRHW_CHECK_EQ(a, b) DRHW_CHECK_CMP_(a, b, ==, "")
+#define DRHW_CHECK_NE(a, b) DRHW_CHECK_CMP_(a, b, !=, "")
+#define DRHW_CHECK_LT(a, b) DRHW_CHECK_CMP_(a, b, <, "")
+#define DRHW_CHECK_LE(a, b) DRHW_CHECK_CMP_(a, b, <=, "")
+#define DRHW_CHECK_GT(a, b) DRHW_CHECK_CMP_(a, b, >, "")
+#define DRHW_CHECK_GE(a, b) DRHW_CHECK_CMP_(a, b, >=, "")
+
+#define DRHW_CHECK_EQ_MSG(a, b, msg) DRHW_CHECK_CMP_(a, b, ==, (msg))
+#define DRHW_CHECK_NE_MSG(a, b, msg) DRHW_CHECK_CMP_(a, b, !=, (msg))
+#define DRHW_CHECK_LT_MSG(a, b, msg) DRHW_CHECK_CMP_(a, b, <, (msg))
+#define DRHW_CHECK_LE_MSG(a, b, msg) DRHW_CHECK_CMP_(a, b, <=, (msg))
+#define DRHW_CHECK_GT_MSG(a, b, msg) DRHW_CHECK_CMP_(a, b, >, (msg))
+#define DRHW_CHECK_GE_MSG(a, b, msg) DRHW_CHECK_CMP_(a, b, >=, (msg))

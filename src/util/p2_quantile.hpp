@@ -27,7 +27,7 @@ class P2Quantile {
   std::size_t count() const { return count_; }
 
  private:
-  double p_;
+  double p_ = 0.5;
   std::size_t count_ = 0;
   std::array<double, 5> q_{};       ///< marker heights
   std::array<double, 5> n_{};       ///< marker positions (1-based)

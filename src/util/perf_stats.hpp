@@ -25,6 +25,10 @@
 /// the instance stream retiring); steady_allocations() is the post-warm-up
 /// remainder, pinned to zero by tests/test_perf_stats.cpp on a long run.
 
+// PhaseTimer is the sanctioned host-side instrumentation; its readings are
+// reported, never fed to simulated state.
+// drhw-lint: allow-file(wall-clock: host-side instrumentation only)
+
 #include <array>
 #include <chrono>
 #include <cstddef>

@@ -1,0 +1,30 @@
+// drhw_lint fixture: malformed directives are themselves findings — a typo
+// must never silently disable a rule. Never compiled.
+#include <unordered_map>
+
+namespace fixture {
+
+struct Counters {
+  std::unordered_map<int, long> hits_;
+
+  long reasonless() const {
+    long sum = 0;
+    // A bare allow() without ': reason' is rejected AND does not suppress:
+    // drhw-lint: expect(bad-suppression)
+    // drhw-lint: allow(unordered-iteration)
+    // drhw-lint: expect(unordered-iteration)
+    for (const auto& kv : hits_) sum += kv.second;
+    return sum;
+  }
+
+  long unknown_rule() const {
+    long sum = 0;
+    // drhw-lint: expect(bad-suppression)
+    // drhw-lint: allow(no-such-rule: whatever)
+    // drhw-lint: expect(unordered-iteration)
+    for (const auto& kv : hits_) sum += kv.second;
+    return sum;
+  }
+};
+
+}  // namespace fixture

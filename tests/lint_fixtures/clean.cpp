@@ -1,0 +1,40 @@
+// drhw_lint fixture: a hazard-free file — the clean-pass case. Any finding
+// on this file is a linter bug. Never compiled.
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+struct Report {
+  long instances = 0;
+  double overhead_pct = 0.0;
+  std::vector<long> spans;
+};
+
+class Index {
+ public:
+  // Unordered lookup tables are fine as long as their order never escapes.
+  int id_for(const std::string& key) {
+    const auto it = ids_.find(key);
+    if (it != ids_.end()) return it->second;
+    const int id = next_++;
+    ids_.emplace(key, id);
+    return id;
+  }
+
+  // Iterating an *ordered* map is deterministic: no finding.
+  std::vector<std::string> sorted_keys(
+      const std::map<std::string, int>& table) const {
+    std::vector<std::string> keys;
+    for (const auto& kv : table) keys.push_back(kv.first);
+    return keys;
+  }
+
+ private:
+  std::unordered_map<std::string, int> ids_;
+  int next_ = 0;
+};
+
+}  // namespace fixture

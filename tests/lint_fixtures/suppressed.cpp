@@ -1,0 +1,38 @@
+// drhw_lint fixture: the suppression-honored cases. Every hazard here
+// carries a justified allow(), so the file must lint clean (with the
+// suppressions counted). Never compiled.
+#include <chrono>
+#include <unordered_map>
+
+namespace fixture {
+
+// drhw-lint: allow-file(wall-clock: fixture exercises file-wide suppression)
+inline long now_a() {
+  auto t = std::chrono::steady_clock::now();
+  return t.time_since_epoch().count();
+}
+
+inline long now_b() {
+  auto t = std::chrono::high_resolution_clock::now();
+  return t.time_since_epoch().count();
+}
+
+struct Counters {
+  std::unordered_map<int, long> hits_;
+
+  long total() const {
+    long sum = 0;
+    // drhw-lint: allow(unordered-iteration: sum is order-independent)
+    for (const auto& kv : hits_) sum += kv.second;
+    return sum;
+  }
+
+  long size() const {
+    long n = 0;
+    for (auto& e : hits_) ++n;  // drhw-lint: allow(unordered-iteration: size)
+    (void)n;
+    return n;
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,33 @@
+// drhw_lint fixture: pointer-value ordering comparisons the linter must
+// catch. Never compiled.
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+
+namespace fixture {
+
+struct Node {
+  int value = 0;
+};
+
+// Keying a map by raw pointer order: address-space dependent.
+// drhw-lint: expect(pointer-order)
+using BadIndex = std::map<Node*, int, std::less<Node*>>;
+
+inline bool before(const std::shared_ptr<Node>& a,
+                   const std::shared_ptr<Node>& b) {
+  return a.get() < b.get();  // drhw-lint: expect(pointer-order)
+}
+
+inline std::uintptr_t as_int(const Node* node) {
+  // drhw-lint: expect(pointer-order)
+  return reinterpret_cast<std::uintptr_t>(node);
+}
+
+// Comparing the pointees is fine: no finding here.
+inline bool value_before(const Node* a, const Node* b) {
+  return a->value < b->value;
+}
+
+}  // namespace fixture

@@ -1,0 +1,42 @@
+// drhw_lint fixture: scalar members without initializers the linter must
+// catch — and the initialized/local/enum forms it must not. Never compiled.
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+struct Metrics {
+  int count;  // drhw-lint: expect(uninit-member)
+  double mean;  // drhw-lint: expect(uninit-member)
+  std::int64_t total_us;  // drhw-lint: expect(uninit-member)
+  bool valid;  // drhw-lint: expect(uninit-member)
+
+  // Initialized members must NOT be flagged.
+  int initialized = 0;
+  double braced{0.0};
+  std::vector<int> samples;  // non-scalar: default constructor is fine
+
+  // Function locals are not members: no finding inside bodies.
+  int sum() const {
+    int local;
+    local = count + initialized;
+    return local;
+  }
+};
+
+// Enumerators are not members either.
+enum class Kind {
+  alpha,
+  beta,
+};
+
+class Stamped {
+ public:
+  explicit Stamped(long seed) : seed_(seed) {}
+
+ private:
+  long seed_;  // drhw-lint: allow(uninit-member: set by every constructor)
+  long drift;  // drhw-lint: expect(uninit-member)
+};
+
+}  // namespace fixture

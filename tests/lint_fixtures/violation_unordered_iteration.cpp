@@ -1,0 +1,45 @@
+// drhw_lint fixture: every unordered-container iteration form the linter
+// must catch. Never compiled — parsed by drhw_lint --self-test only.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace fixture {
+
+struct Holder {
+  std::unordered_map<std::string, int> ids_;
+  std::unordered_set<int> seen_;
+
+  int total() const {
+    int sum = 0;
+    // drhw-lint: expect(unordered-iteration)
+    for (const auto& kv : ids_) sum += kv.second;
+    return sum;
+  }
+
+  int walk() const {
+    int sum = 0;
+    // drhw-lint: expect(unordered-iteration)
+    for (auto it = seen_.begin(); it != seen_.end(); ++it) sum += *it;
+    return sum;
+  }
+
+  // Lookups never observe iteration order: these must NOT be flagged.
+  bool has(const std::string& key) const { return ids_.count(key) > 0; }
+  int lookup(const std::string& key) const { return ids_.at(key); }
+};
+
+inline int local_iteration() {
+  std::unordered_map<int, int> counts;
+  counts[1] = 2;
+  int sum = 0;
+  // drhw-lint: expect(unordered-iteration)
+  for (const auto& [key, value] : counts) sum += key + value;
+  // An ordered container is fine: no finding here.
+  std::vector<int> ordered{1, 2, 3};
+  for (int v : ordered) sum += v;
+  return sum;
+}
+
+}  // namespace fixture

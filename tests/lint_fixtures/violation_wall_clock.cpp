@@ -1,0 +1,36 @@
+// drhw_lint fixture: wall-clock and ambient-entropy sources the linter must
+// catch outside util/time + util/rng. Never compiled.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace fixture {
+
+inline long now_ns() {
+  auto t = std::chrono::steady_clock::now();  // drhw-lint: expect(wall-clock)
+  return t.time_since_epoch().count();
+}
+
+inline long wall_seconds() {
+  return static_cast<long>(time(nullptr));  // drhw-lint: expect(wall-clock)
+}
+
+inline int entropy() {
+  std::random_device device;  // drhw-lint: expect(wall-clock)
+  (void)device;
+  return rand();  // drhw-lint: expect(wall-clock)
+}
+
+inline void reseed() {
+  srand(42);  // drhw-lint: expect(wall-clock)
+}
+
+// Mentioning steady_clock in a comment or a string must NOT be flagged:
+// std::chrono::steady_clock::now() right here is just prose.
+inline const char* describe() { return "std::chrono::steady_clock::now()"; }
+
+// Simulated time aliases are fine: no ambient clock involved.
+inline long long simulated(long long time_us) { return time_us * 2; }
+
+}  // namespace fixture

@@ -16,11 +16,11 @@ namespace drhw {
 namespace {
 
 struct PoppedEvent {
-  time_us time;
-  std::int32_t kind;
-  std::int32_t job;
-  SubtaskId subtask;
-  std::uint64_t seq;
+  time_us time = 0;
+  std::int32_t kind = 0;
+  std::int32_t job = 0;
+  SubtaskId subtask = 0;
+  std::uint64_t seq = 0;
 };
 
 bool operator==(const PoppedEvent& a, const PoppedEvent& b) {
@@ -65,7 +65,9 @@ TEST(EventQueue, EqualTimestampEventsPopInInsertionOrderOnBothBackends) {
     std::uint64_t last_seq = 0;
     for (int i = 0; i < 8; ++i) {
       const Event ev = queue.pop();
-      if (i > 0) EXPECT_GT(ev.seq, last_seq) << to_string(backend);
+      if (i > 0) {
+        EXPECT_GT(ev.seq, last_seq) << to_string(backend);
+      }
       last_seq = ev.seq;
     }
     EXPECT_TRUE(queue.empty());
@@ -87,8 +89,9 @@ TEST(EventQueue, InterleavedKindsAtOneInstantPopInKernelOrder) {
   EXPECT_TRUE(calendar == heap);
   for (std::size_t i = 1; i < calendar.size(); ++i) {
     EXPECT_LE(calendar[i - 1].kind, calendar[i].kind);
-    if (calendar[i - 1].kind == calendar[i].kind)
+    if (calendar[i - 1].kind == calendar[i].kind) {
       EXPECT_LT(calendar[i - 1].job, calendar[i].job);
+    }
   }
 }
 

@@ -1,6 +1,8 @@
 // Tests for the prefetch schedulers: branch & bound optimality (against the
 // exhaustive oracle), the list heuristic of ref. [7], and the ordering
 // relations between policies.
+//
+// drhw-lint: allow-file(wall-clock: Section 4 cost bound times the host)
 
 #include <gtest/gtest.h>
 

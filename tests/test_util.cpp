@@ -147,6 +147,67 @@ TEST(Check, ThrowsWithMessage) {
   }
 }
 
+TEST(Check, ComparisonVariantsPassWhenTrue) {
+  EXPECT_NO_THROW(DRHW_CHECK_EQ(2 + 2, 4));
+  EXPECT_NO_THROW(DRHW_CHECK_NE(1, 2));
+  EXPECT_NO_THROW(DRHW_CHECK_LT(1, 2));
+  EXPECT_NO_THROW(DRHW_CHECK_LE(2, 2));
+  EXPECT_NO_THROW(DRHW_CHECK_GT(3, 2));
+  EXPECT_NO_THROW(DRHW_CHECK_GE(2, 2));
+}
+
+TEST(Check, ComparisonFailurePrintsBothOperands) {
+  const int retired = 7;
+  const int expected = 9;
+  try {
+    DRHW_CHECK_EQ_MSG(retired, expected, "simulation stalled");
+    FAIL() << "expected InternalError";
+  } catch (const InternalError& e) {
+    const std::string what = e.what();
+    // The expression text, both runtime values, and the message must all
+    // be present — that is the whole point of the comparison variants.
+    EXPECT_NE(what.find("retired == expected"), std::string::npos) << what;
+    EXPECT_NE(what.find("lhs = 7"), std::string::npos) << what;
+    EXPECT_NE(what.find("rhs = 9"), std::string::npos) << what;
+    EXPECT_NE(what.find("simulation stalled"), std::string::npos) << what;
+  }
+}
+
+TEST(Check, ComparisonVariantsWithoutMessage) {
+  try {
+    DRHW_CHECK_LT(5, 3);
+    FAIL() << "expected InternalError";
+  } catch (const InternalError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("5 < 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("lhs = 5"), std::string::npos) << what;
+    EXPECT_NE(what.find("rhs = 3"), std::string::npos) << what;
+  }
+}
+
+namespace {
+// A comparable-but-unstreamable type: the failure text must degrade
+// gracefully instead of failing to compile.
+struct Opaque {
+  int v = 0;
+  bool operator==(const Opaque& o) const { return v == o.v; }
+};
+}  // namespace
+
+TEST(Check, UnprintableOperandsStillThrow) {
+  const Opaque a{1};
+  const Opaque b{2};
+  EXPECT_THROW(DRHW_CHECK_EQ(a, b), InternalError);
+  EXPECT_NO_THROW(DRHW_CHECK_EQ(a, Opaque{1}));
+}
+
+TEST(Check, OperandsEvaluatedExactlyOnce) {
+  int calls = 0;
+  const auto next = [&calls] { return ++calls; };
+  DRHW_CHECK_GE(next(), 1);
+  EXPECT_EQ(calls, 1);
+}
+
 TEST(P2Quantile, RejectsDegenerateQuantiles) {
   EXPECT_THROW(P2Quantile(0.0), std::invalid_argument);
   EXPECT_THROW(P2Quantile(1.0), std::invalid_argument);

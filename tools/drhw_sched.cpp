@@ -1,5 +1,7 @@
 // drhw_sched — command-line driver for the hybrid prefetch scheduling flow.
 //
+// drhw-lint: allow-file(wall-clock: campaign wall-time report is host-side)
+//
 // Usage:
 //   drhw_sched demo                         write a sample task graph JSON
 //   drhw_sched info <graph.json>            graph statistics + CS set
