@@ -1,0 +1,90 @@
+drhw-workload-v1
+
+configs 23
+
+task pattern_rec
+  variant s0 1
+    node smooth 20000 drhw cfg 0 energy 20
+    node edge_detect 24000 drhw cfg 1 energy 24
+    node vote_prep 20000 drhw cfg 2 energy 20
+    node hough_bank_0 30000 drhw cfg 3 energy 30
+    node hough_bank_1 26000 drhw cfg 4 energy 26
+    node hough_bank_2 22000 drhw cfg 5 energy 22
+    edge smooth edge_detect
+    edge edge_detect vote_prep
+    edge vote_prep hough_bank_0
+    edge vote_prep hough_bank_1
+    edge vote_prep hough_bank_2
+  end
+end
+
+task jpeg_dec
+  variant s0 1
+    node parse_huffman 18000 drhw cfg 6 energy 18
+    node dequantize 16000 drhw cfg 7 energy 16
+    node idct 26000 drhw cfg 8 energy 26
+    node color_convert 21000 drhw cfg 9 energy 21
+    edge parse_huffman dequantize
+    edge dequantize idct
+    edge idct color_convert
+  end
+end
+
+task parallel_jpeg
+  variant s0 1
+    node split 8000 drhw cfg 10 energy 8
+    node strip_decode_0 16000 drhw cfg 11 energy 16
+    node strip_decode_1 12000 drhw cfg 12 energy 12
+    node strip_decode_2 8000 drhw cfg 13 energy 8
+    node strip_decode_3 4000 drhw cfg 14 energy 4
+    node merge 9000 drhw cfg 15 energy 9
+    node color_convert 14000 drhw cfg 16 energy 14
+    node smooth_write 10000 drhw cfg 17 energy 10
+    edge split strip_decode_0
+    edge split strip_decode_1
+    edge split strip_decode_2
+    edge split strip_decode_3
+    edge strip_decode_0 merge
+    edge strip_decode_1 merge
+    edge strip_decode_2 merge
+    edge strip_decode_3 merge
+    edge merge color_convert
+    edge color_convert smooth_write
+  end
+end
+
+task mpeg_enc
+  variant s0 0.3333333333333333
+    node motion_est 3000 drhw cfg 18 energy 3
+    node dct 9000 drhw cfg 19 energy 9
+    node quant 7000 drhw cfg 20 energy 7
+    node recon 7000 drhw cfg 21 energy 7
+    node vlc 14000 drhw cfg 22 energy 14
+    edge motion_est dct
+    edge dct quant
+    edge quant recon
+    edge quant vlc
+  end
+  variant s1 0.3333333333333333
+    node motion_est 2000 drhw cfg 18 energy 2
+    node dct 9000 drhw cfg 19 energy 9
+    node quant 7000 drhw cfg 20 energy 7
+    node recon 12000 drhw cfg 21 energy 12
+    node vlc 5000 drhw cfg 22 energy 5
+    edge motion_est dct
+    edge dct quant
+    edge quant recon
+    edge quant vlc
+  end
+  variant s2 0.3333333333333333
+    node motion_est 1000 drhw cfg 18 energy 1
+    node dct 10000 drhw cfg 19 energy 10
+    node quant 8000 drhw cfg 20 energy 8
+    node recon 8000 drhw cfg 21 energy 8
+    node vlc 17000 drhw cfg 22 energy 17
+    edge motion_est dct
+    edge dct quant
+    edge quant recon
+    edge quant vlc
+  end
+end

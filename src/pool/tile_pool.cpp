@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "sim/trace_hook.hpp"
 #include "util/check.hpp"
 
 namespace drhw {
@@ -84,7 +85,7 @@ bool TilePoolManager::fits(int needed) const {
                              : free_count() >= needed;
 }
 
-std::int32_t TilePoolManager::select(time_us) {
+std::int32_t TilePoolManager::select(time_us now) {
   if (queued_count_ == 0) return -1;
   const std::size_t none = queue_.size();
   std::size_t pick = none;
@@ -128,13 +129,14 @@ std::int32_t TilePoolManager::select(time_us) {
     if (queue_[i].job >= 0) {
       ++queue_[i].skips;
       ++queue_skips_;
+      if (trace_) trace_->on_queue_skip(now);
     }
   last_pick_ = pick;
   return queue_[pick].job;
 }
 
 std::int32_t TilePoolManager::select_urgent(
-    time_us, const std::function<long long(std::int32_t)>& urgency) {
+    time_us now, const std::function<long long(std::int32_t)>& urgency) {
   if (queued_count_ == 0) return -1;
   const std::size_t none = queue_.size();
   std::size_t pick = none;
@@ -154,6 +156,7 @@ std::int32_t TilePoolManager::select_urgent(
     if (queue_[i].job >= 0) {
       ++queue_[i].skips;
       ++queue_skips_;
+      if (trace_) trace_->on_queue_skip(now);
     }
   last_pick_ = pick;
   return queue_[pick].job;
@@ -520,9 +523,12 @@ void TilePoolManager::abort_checkpoint(PhysTileId tile) {
 
 void TilePoolManager::touch(time_us now) {
   if (now > last_change_) {
-    frag_integral_ +=
-        fragmentation_pct() * static_cast<double>(now - last_change_);
+    const double frag = fragmentation_pct();
+    frag_integral_ += frag * static_cast<double>(now - last_change_);
     last_change_ = now;
+    // The sample carries the fragmentation that *held over* the elapsed
+    // interval, so a replay can re-integrate the identical products.
+    if (trace_) trace_->on_frag_sample(now, frag);
   }
 }
 

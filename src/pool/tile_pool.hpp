@@ -54,6 +54,8 @@
 
 namespace drhw {
 
+class TraceSink;  // sim/trace_hook.hpp — structured event-trace observer
+
 /// Which queued instance may be admitted next onto the tile pool.
 enum class AdmissionPolicy {
   fifo_hol,         ///< oldest first, head-of-line blocking (PR 2 behaviour)
@@ -112,6 +114,10 @@ class TilePoolManager {
   /// Routes tracked allocation counts (admission-queue growth) to the
   /// kernel's perf-counter layer. Optional; may be null.
   void set_perf_counters(PerfCounters* perf) { perf_ = perf; }
+
+  /// Routes the pool's replay-relevant samples (queue skips, fragmentation
+  /// integral advances) to the kernel's trace sink. Optional; may be null.
+  void set_trace_sink(TraceSink* trace) { trace_ = trace; }
 
   // --- admission queue (strict arrival order) -----------------------------
   //
@@ -303,6 +309,7 @@ class TilePoolManager {
   std::size_t queued_count_ = 0;  ///< live (non-tombstone) entries
   std::size_t last_pick_ = static_cast<std::size_t>(-1);  ///< select()'s pick
   PerfCounters* perf_ = nullptr;
+  TraceSink* trace_ = nullptr;
 
   std::vector<char> migrating_;  ///< per-tile: source of an in-flight move
   int migrations_in_flight_ = 0;

@@ -117,6 +117,16 @@ std::shared_ptr<const SyntheticWorkload> WorkloadCache::synthetic(
                 [scenario] { return make_synthetic_workload(scenario); });
 }
 
+std::shared_ptr<const FileWorkload> WorkloadCache::file(
+    const Scenario& scenario) {
+  const std::string key = prepare_key(scenario) + "/" + scenario.workload_file;
+  return lookup(file_, key, [scenario] {
+    return std::shared_ptr<const FileWorkload>(build_file_workload(
+        load_workload_file(scenario.workload_file), scenario.sim.platform,
+        scenario.design));
+  });
+}
+
 namespace {
 
 /// Random mix over single-scenario tasks, mirroring multimedia_sampler:
@@ -212,6 +222,10 @@ SampledWorkload make_sampler(const Scenario& scenario, WorkloadCache& cache) {
       const auto workload = cache.synthetic(scenario);
       return {workload, synthetic_sampler(*workload, scenario.include_prob)};
     }
+    case WorkloadKind::file: {
+      const auto workload = cache.file(scenario);
+      return {workload, file_workload_sampler(*workload)};
+    }
   }
   throw std::invalid_argument("unknown workload kind");
 }
@@ -239,6 +253,7 @@ void run_online(const Scenario& scenario, WorkloadCache& cache,
   options.deadline_scale = scenario.deadline_scale;
   options.high_criticality_fraction = scenario.high_crit_fraction;
   options.preempt = scenario.preempt;
+  options.queue_backend = scenario.queue_backend;
   // Long-horizon campaigns do not need per-instance spans: the quantile
   // sketch reports response percentiles in O(1) memory.
   options.record_spans = false;

@@ -18,6 +18,7 @@
 
 #include "runner/scenario.hpp"
 #include "sim/workloads.hpp"
+#include "wio/workload_build.hpp"
 
 namespace drhw {
 
@@ -44,6 +45,10 @@ class WorkloadCache {
   std::shared_ptr<const PocketGlWorkload> pocket_gl(const Scenario& scenario);
   std::shared_ptr<const SyntheticWorkload> synthetic(
       const Scenario& scenario);
+  /// WorkloadKind::file: parses + builds scenario.workload_file. Keyed on
+  /// the path and the platform/design fields, so a grid of approaches over
+  /// one file shares a single build.
+  std::shared_ptr<const FileWorkload> file(const Scenario& scenario);
 
  private:
   template <typename T>
@@ -58,6 +63,7 @@ class WorkloadCache {
   FutureMap<MultimediaWorkload> multimedia_;
   FutureMap<PocketGlWorkload> pocket_gl_;
   FutureMap<SyntheticWorkload> synthetic_;
+  FutureMap<FileWorkload> file_;
 };
 
 /// Outcome of one scenario execution.

@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "util/json.hpp"
+#include "util/numfmt.hpp"
 #include "util/stats.hpp"
 
 namespace drhw {
@@ -126,61 +127,14 @@ GroupSummary StatsAggregator::overall() const {
 
 namespace {
 
-/// Shortest representation that parses back to the identical double.
-/// Non-finite values have no JSON number representation — "%g" would emit
-/// `nan`/`inf`, which no JSON parser (ours included) accepts — so they are
-/// serialised as null (JSON) / an empty cell (CSV), both read back as
-/// "missing".
-bool fmt_double(double value, char (&buffer)[64]) {
-  if (!std::isfinite(value)) return false;
-  for (int precision : {15, 16, 17}) {
-    std::snprintf(buffer, sizeof(buffer), "%.*g", precision, value);
-    if (std::strtod(buffer, nullptr) == value) break;
-  }
-  return true;
-}
-
-std::string fmt_json_double(double value) {
-  char buffer[64];
-  return fmt_double(value, buffer) ? std::string(buffer) : std::string("null");
-}
+// fmt_shortest_double / fmt_json_double / json_escape moved to
+// util/numfmt.hpp, shared with the trace and workload writers (the CSV
+// empty-cell convention for non-finite values stays local).
 
 std::string fmt_csv_double(double value) {
   char buffer[64];
-  return fmt_double(value, buffer) ? std::string(buffer) : std::string();
-}
-
-std::string json_escape(const std::string& text) {
-  std::string out;
-  out.reserve(text.size() + 2);
-  for (char c : text) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      case '\r':
-        out += "\\r";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buffer[8];
-          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
-          out += buffer;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
+  return fmt_shortest_double(value, buffer) ? std::string(buffer)
+                                            : std::string();
 }
 
 /// All numeric metrics of one result: the deterministic ones plus the
@@ -230,8 +184,11 @@ std::string campaign_to_json(const std::vector<ScenarioResult>& results,
     os << (i == 0 ? "" : ",") << "\n    {\n"
        << "      \"name\": \"" << json_escape(s.name) << "\",\n"
        << "      \"family\": \"" << json_escape(s.family) << "\",\n"
-       << "      \"workload\": \"" << to_string(s.workload) << "\",\n"
-       << "      \"mode\": \"" << to_string(s.mode) << "\",\n"
+       << "      \"workload\": \"" << to_string(s.workload) << "\",\n";
+    if (!s.workload_file.empty())
+      os << "      \"workload_file\": \"" << json_escape(s.workload_file)
+         << "\",\n";
+    os << "      \"mode\": \"" << to_string(s.mode) << "\",\n"
        << "      \"approach\": \"" << json_escape(s.sim.policy.name)
        << "\",\n"
        << "      \"policy_params\": {";
@@ -276,6 +233,8 @@ std::string campaign_to_json(const std::vector<ScenarioResult>& results,
          << "      \"high_crit_fraction\": "
          << fmt_json_double(s.high_crit_fraction) << ",\n"
          << "      \"preempt\": " << (s.preempt ? "true" : "false") << ",\n"
+         << "      \"queue_backend\": \"" << to_string(s.queue_backend)
+         << "\",\n"
          << "      \"port_util_per_port_pct\": [";
       for (std::size_t p = 0; p < result.port_utilisation_per_port_pct.size();
            ++p)
@@ -404,17 +363,19 @@ std::string csv_escape(const std::string& text) {
 
 std::string campaign_to_csv(const std::vector<ScenarioResult>& results) {
   std::ostringstream os;
-  os << "name,family,workload,mode,approach,policy_params,replacement,tiles,"
+  os << "name,family,workload,workload_file,mode,approach,policy_params,"
+        "replacement,tiles,"
         "reconfig_latency_us,ports,isps,seed,iterations,admission_policy,"
         "contiguous,defrag,scheduler_cost_us,shared_isps,isp_discipline,"
-        "deadline_scale,high_crit_fraction,preempt,"
+        "deadline_scale,high_crit_fraction,preempt,queue_backend,"
         "port_util_per_port_pct,ok,error";
   for (const char* column : k_csv_metric_columns) os << "," << column;
   os << "\n";
   for (const ScenarioResult& result : results) {
     const Scenario& s = result.scenario;
     os << csv_escape(s.name) << "," << csv_escape(s.family) << ","
-       << to_string(s.workload) << "," << to_string(s.mode) << ","
+       << to_string(s.workload) << "," << csv_escape(s.workload_file) << ","
+       << to_string(s.mode) << ","
        << csv_escape(s.sim.policy.name) << ","
        << csv_escape(fmt_policy_params(s.sim.policy.params)) << ","
        << to_string(s.sim.replacement)
@@ -427,7 +388,7 @@ std::string campaign_to_csv(const std::vector<ScenarioResult>& results) {
        << (s.shared_isps ? "1" : "0") << "," << to_string(s.isp_discipline)
        << "," << fmt_csv_double(s.deadline_scale) << ","
        << fmt_csv_double(s.high_crit_fraction) << ","
-       << (s.preempt ? "1" : "0")
+       << (s.preempt ? "1" : "0") << "," << to_string(s.queue_backend)
        << "," << fmt_port_vector(result.port_utilisation_per_port_pct) << ","
        << (result.ok ? "1" : "0") << "," << csv_escape(result.error);
     const auto metrics = all_metrics(result);
@@ -481,6 +442,10 @@ ParsedCampaign campaign_from_json(const std::string& json) {
     s.name = item.at("name").text;
     s.family = item.at("family").text;
     s.workload = item.at("workload").text;
+    if (const auto* file = item.find("workload_file"))
+      s.workload_file = file->text;
+    if (const auto* backend = item.find("queue_backend"))
+      s.queue_backend = backend->text;
     s.mode = item.at("mode").text;
     s.approach = item.at("approach").text;
     if (const auto* params = item.find("policy_params"))
@@ -591,6 +556,10 @@ std::vector<ParsedScenario> campaign_from_csv(const std::string& csv) {
         s.family = value;
       else if (key == "workload")
         s.workload = value;
+      else if (key == "workload_file")
+        s.workload_file = value;
+      else if (key == "queue_backend")
+        s.queue_backend = value;
       else if (key == "mode")
         s.mode = value;
       else if (key == "approach")

@@ -86,6 +86,9 @@ struct ParsedScenario {
   std::string name;
   std::string family;
   std::string workload;
+  /// WorkloadKind::file scenarios only: the .dwl path (empty otherwise and
+  /// in reports written before the workload-file column existed).
+  std::string workload_file;
   std::string mode;
   /// The prefetch policy's registered name (the column keeps its historic
   /// "approach" spelling in both report formats).
@@ -116,6 +119,9 @@ struct ParsedScenario {
   double deadline_scale = 0.0;
   double high_crit_fraction = 0.0;
   bool preempt = false;
+  /// Event-queue backend of online scenarios (empty in pre-backend
+  /// reports; the default backend is "calendar").
+  std::string queue_backend;
   bool ok = false;
   std::string error;
   /// metric name -> value, exactly the columns/keys of the writers.

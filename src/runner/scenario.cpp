@@ -21,6 +21,8 @@ const char* to_string(WorkloadKind kind) {
       return "pocket_gl_frames";
     case WorkloadKind::synthetic:
       return "synthetic";
+    case WorkloadKind::file:
+      return "file";
   }
   return "?";
 }
@@ -30,6 +32,7 @@ WorkloadKind workload_kind_from_string(const std::string& text) {
   if (text == "pocket_gl") return WorkloadKind::pocket_gl;
   if (text == "pocket_gl_frames") return WorkloadKind::pocket_gl_frames;
   if (text == "synthetic") return WorkloadKind::synthetic;
+  if (text == "file") return WorkloadKind::file;
   throw std::invalid_argument("unknown workload kind '" + text + "'");
 }
 
@@ -70,6 +73,12 @@ void Scenario::validate() const {
       throw std::invalid_argument("scenario '" + name +
                                   "': synthetic graph without subtasks");
   }
+  if (workload == WorkloadKind::file && workload_file.empty())
+    throw std::invalid_argument("scenario '" + name +
+                                "': file workload without a workload_file");
+  if (!workload_file.empty() && workload != WorkloadKind::file)
+    throw std::invalid_argument("scenario '" + name +
+                                "': workload_file requires the file kind");
   if (!task_filter.empty() && workload != WorkloadKind::multimedia)
     throw std::invalid_argument("scenario '" + name +
                                 "': task_filter requires multimedia");

@@ -36,6 +36,10 @@ enum class WorkloadKind {
   pocket_gl_frames,
   /// Randomly generated layered task graphs (Section 4 scaling sweeps).
   synthetic,
+  /// A textual workload file (.dwl, wio/workload_format.hpp): the
+  /// scenario's `workload_file` path is parsed, built for the scenario's
+  /// platform and sampled with the file's mix weights.
+  file,
 };
 
 const char* to_string(WorkloadKind kind);
@@ -80,6 +84,8 @@ struct Scenario {
   /// Restrict the multimedia set to these task names (empty = all four).
   /// Valid names: jpeg_dec, parallel_jpeg, mpeg_enc, pattern_rec.
   std::vector<std::string> task_filter;
+  /// WorkloadKind::file only: path of the .dwl workload file.
+  std::string workload_file;
   /// Per-iteration task inclusion probability of the random mix sampler.
   double include_prob = 0.8;
   /// Deterministic sampler: every iteration emits each (task, scenario)
@@ -122,6 +128,9 @@ struct Scenario {
   /// instances when a high-criticality arrival cannot be admitted.
   /// Requires deadline_scale > 0.
   bool preempt = false;
+  /// Online mode only: event-queue backend. Any backend must produce
+  /// bit-identical reports (pinned by the determinism tests).
+  QueueBackend queue_backend = QueueBackend::calendar;
   /// Timed calls per measurement in sched_cost mode.
   int timing_calls = 50;
   /// sched_cost mode: schedule every subtask as a pending load (the

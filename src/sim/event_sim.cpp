@@ -8,6 +8,7 @@
 #include "policy/prefetch_policy.hpp"
 #include "policy/registry.hpp"
 #include "sim/instance_arena.hpp"
+#include "sim/trace_hook.hpp"
 #include "util/check.hpp"
 #include "util/p2_quantile.hpp"
 
@@ -132,6 +133,8 @@ class OnlineSimulation {
       throw std::invalid_argument(
           "shared-ISP contention needs a platform with >= 1 ISP");
     pool_.set_perf_counters(&report_.perf);
+    trace_ = options_.trace;
+    pool_.set_trace_sink(trace_);
     events_ = EventQueue(options_.queue_backend, &report_.perf);
 
     // Draw the whole instance stream up front. The sampler is the only
@@ -250,6 +253,12 @@ class OnlineSimulation {
         prep_exec_energy_[p] += graph.subtask(id).exec_energy;
       }
     }
+
+    if (trace_)
+      for (std::size_t p = 0; p < preps_.size(); ++p)
+        trace_->on_prep(static_cast<int>(p), preps_[p]->graph->name().c_str(),
+                        preps_[p]->ideal, prep_drhw_[p], prep_exec_energy_[p],
+                        preps_[p]->graph->size());
 
     if (options_.replacement == ReplacementPolicy::oracle) {
       // Built once; each admission binary-searches the shared NextUseIndex
@@ -566,6 +575,11 @@ class OnlineSimulation {
     const time_us arrival = job_arrival_[static_cast<std::size_t>(index)];
     queue_sum_ += static_cast<double>(t - arrival);
     queue_max_ = std::max(queue_max_, t - arrival);
+    if (trace_)
+      trace_->on_admit(t, index, static_cast<long>(slot.reused),
+                       static_cast<long>(slot.cancelled),
+                       static_cast<std::size_t>(slot.init_count),
+                       occupied_scratch_);
 
     // The run-time scheduling decision itself costs simulated time: until
     // it completes nothing of this instance may load or execute.
@@ -713,7 +727,21 @@ class OnlineSimulation {
     const TileId tile = prep.placement.tile_of[static_cast<std::size_t>(s)];
     if (tile == k_no_tile) {
       isp_busy_ += duration;  // offered ISP load, shared or not
-      if (options_.shared_isps) isps_.dispatch(isps_.earliest(), t, duration);
+      if (options_.shared_isps) {
+        const std::size_t server = isps_.earliest();
+        isps_.dispatch(server, t, duration);
+        if (trace_)
+          trace_->on_exec_start(t, j, s, duration,
+                                static_cast<std::int64_t>(server), true);
+      } else if (trace_) {
+        trace_->on_exec_start(
+            t, j, s, duration,
+            prep.placement.isp_of[static_cast<std::size_t>(s)], true);
+      }
+    } else if (trace_) {
+      trace_->on_exec_start(
+          t, j, s, duration,
+          slot_of(j).phys_of_tile[static_cast<std::size_t>(tile)], false);
     }
     arena_.started[base_of(j) + static_cast<std::size_t>(s)] = 1;
     events_.push(t + duration, k_ev_exec_done, j, s);
@@ -827,6 +855,12 @@ class OnlineSimulation {
     ports_.dispatch(port, t, duration);
     ++slot.loads;
     ++slot.pending_loads;
+    if (trace_) {
+      const TileId tile = prep.placement.tile_of[static_cast<std::size_t>(s)];
+      trace_->on_load_start(
+          t, j, s, prep.graph->subtask(s).config, port, duration,
+          slot.phys_of_tile[static_cast<std::size_t>(tile)]);
+    }
     if (slot.policy == LoadPolicy::explicit_order)
       while (slot.next_explicit < slot.order.size() &&
              arena_.load_started[base + static_cast<std::size_t>(
@@ -888,6 +922,8 @@ class OnlineSimulation {
         ++report_.sim.intertask_prefetches;
         ++report_.sim.loads;
         report_.sim.energy += options_.platform.reconfig_energy;
+        if (trace_)
+          trace_->on_prefetch_start(t, queued, config, port, duration, victim);
         events_.push(t + duration, k_ev_load_done, k_prefetch_job,
                      static_cast<SubtaskId>(victim));
         return true;
@@ -939,6 +975,7 @@ class OnlineSimulation {
         // An empty held tile carries no bitstream: remapping it is free.
         pool_.apply_remap(*plan, t);
         remap_owner(*plan);
+        if (trace_) trace_->on_remap(t, plan->src, plan->dst, plan->owner);
         // movable_scratch_ predates this remap: the relocated tile is
         // still the same idle empty holding (nothing can execute on a
         // configuration-less tile), so it stays movable for the
@@ -963,6 +1000,9 @@ class OnlineSimulation {
       ports_.dispatch(port, t, duration);
       ++report_.sim.loads;
       report_.sim.energy += options_.platform.reconfig_energy;
+      if (trace_)
+        trace_->on_migration_start(t, port, duration, plan->src, plan->dst,
+                                   plan->owner);
       // The completion event carries the source tile so the handler can
       // retire the right plan when several moves are in flight.
       events_.push(t + duration, k_ev_load_done, k_migration_job,
@@ -1056,6 +1096,7 @@ class OnlineSimulation {
       ports_.dispatch(port, t, duration);
       ++report_.sim.loads;
       report_.sim.energy += options_.platform.reconfig_energy;
+      if (trace_) trace_->on_checkpoint_start(t, port, duration, victim);
       events_.push(t + duration, k_ev_load_done, k_preempt_job, k_no_subtask);
       return true;
     }
@@ -1084,6 +1125,9 @@ class OnlineSimulation {
     // wait plus the post-preemption wait, not double the first.
     queue_sum_ -= static_cast<double>(
         t - job_arrival_[static_cast<std::size_t>(victim)]);
+    if (trace_)
+      trace_->on_preempt(t, victim, slot.loads,
+                         static_cast<std::size_t>(slot.init_count));
     live_.erase(std::find(live_.begin(), live_.end(), victim));
     arena_.release(slot_id);
     job_slot_[static_cast<std::size_t>(victim)] = k_slot_queued;
@@ -1142,6 +1186,14 @@ class OnlineSimulation {
       job_deadline_[static_cast<std::size_t>(j)] =
           t + prep_rel_deadline_[static_cast<std::size_t>(
                   job_prep_[static_cast<std::size_t>(j)])];
+    if (trace_)
+      trace_->on_arrival(t, j, job_prep_[static_cast<std::size_t>(j)],
+                         deadlines_enabled_
+                             ? job_deadline_[static_cast<std::size_t>(j)]
+                             : k_no_time,
+                         deadlines_enabled_
+                             ? job_crit_[static_cast<std::size_t>(j)]
+                             : 0);
     const int needed = prep_of(j).placement.tiles_occupied();
     pool_.enqueue(j, needed, t);
     ++queued_hist_[PolicyContext::size_bucket(needed)];
@@ -1160,6 +1212,7 @@ class OnlineSimulation {
   }
 
   void on_sched_done(std::int32_t j, time_us t) {
+    if (trace_) trace_->on_sched_done(t, j);
     slot_of(j).sched_done = true;
     const std::size_t n = prep_of(j).graph->size();
     for (std::size_t s = 0; s < n; ++s)
@@ -1175,7 +1228,10 @@ class OnlineSimulation {
       const MigrationPlan plan = migration_plans_[src];
       migration_active_[src] = 0;
       --migrations_in_flight_count_;
-      if (pool_.finish_migration(plan, t)) remap_owner(plan);
+      const bool transferred = pool_.finish_migration(plan, t);
+      if (transferred) remap_owner(plan);
+      if (trace_)
+        trace_->on_migration_done(t, plan.src, plan.dst, transferred);
       // Executions gated on the migrating tile may go now — whether or not
       // the transfer held (an aborted transfer leaves the owner on the
       // source tile, whose gate just lifted). Skip a retired owner.
@@ -1189,7 +1245,10 @@ class OnlineSimulation {
       return;
     }
     if (j == k_prefetch_job) {  // backlog prefetch; `s` carries the tile
-      release_inflight(pool_.finish_prefetch(static_cast<PhysTileId>(s), t));
+      const auto tile = static_cast<PhysTileId>(s);
+      const ConfigId config = pool_.finish_prefetch(tile, t);
+      release_inflight(config);
+      if (trace_) trace_->on_prefetch_done(t, tile, config);
       try_admit(t);
       try_port(t);
       return;
@@ -1214,6 +1273,9 @@ class OnlineSimulation {
         slot.phys_of_tile[static_cast<std::size_t>(tile)],
         prep.graph->subtask(s).config, t,
         static_cast<double>(values_of(j)[static_cast<std::size_t>(s)]));
+    if (trace_)
+      trace_->on_load_done(t, j, s,
+                           slot.phys_of_tile[static_cast<std::size_t>(tile)]);
     if (arena_.init_load[idx] && --slot.init_pending == 0) {
       slot.init_done = true;
       // The stored schedule starts now: release every execution whose other
@@ -1239,6 +1301,7 @@ class OnlineSimulation {
     const std::size_t idx = base + static_cast<std::size_t>(s);
     arena_.finished[idx] = 1;
     ++slot.finished_count;
+    if (trace_) trace_->on_exec_done(t, j, s);
 
     const TileId tile = placement.tile_of[static_cast<std::size_t>(s)];
     // A shared ISP server just freed: waiting executions requested it
@@ -1325,12 +1388,16 @@ class OnlineSimulation {
       if (lateness > 0) {
         ++report_.deadline_misses;
         max_tardiness_ = std::max(max_tardiness_, lateness);
+        if (trace_) trace_->on_deadline_miss(t, j, lateness);
       }
       if (job_crit_[static_cast<std::size_t>(j)]) {
         ++report_.high_crit_jobs;
         if (lateness > 0) ++report_.high_crit_misses;
       }
     }
+    if (trace_)
+      trace_->on_retire(t, j, slot.loads,
+                        static_cast<std::size_t>(slot.init_count));
 
     // The slot returns to the free list; the next admission reuses its
     // vectors at capacity (the steady-state zero-allocation contract).
@@ -1351,6 +1418,7 @@ class OnlineSimulation {
   }
 
   void finalize() {
+    if (trace_) trace_->on_run_end(horizon_, pool_.fragmentation_pct());
     if (report_.sim.total_ideal > 0)
       report_.sim.overhead_pct =
           100.0 *
@@ -1419,6 +1487,7 @@ class OnlineSimulation {
   }
 
   OnlineSimOptions options_;
+  TraceSink* trace_ = nullptr;  ///< structured event-trace observer, or null
   std::unique_ptr<PrefetchPolicy> policy_;  ///< the scheduling strategy
   TilePoolManager pool_;  ///< tile occupancy, admission queue, defrag state
   Rng bind_rng_;

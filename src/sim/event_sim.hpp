@@ -84,6 +84,8 @@
 
 namespace drhw {
 
+class TraceSink;  // sim/trace_hook.hpp — structured event-trace observer
+
 /// Stochastic arrival process of the online workload. One "arrival" is one
 /// task instance of the flattened sampler stream.
 struct ArrivalProcess {
@@ -194,6 +196,12 @@ struct OnlineSimOptions {
   /// (equivalence tests). Off for long-horizon runs — the streaming
   /// quantile sketch keeps reporting response percentiles regardless.
   bool record_spans = true;
+  /// Structured event-trace observer (sim/trace_hook.hpp). Null (default)
+  /// = tracing off: one null check per accounting site, reports
+  /// bit-identical to an untraced run. The trace subsystem (src/trace/)
+  /// records the stream to JSONL/binary and can replay it into a
+  /// bit-identical OnlineReport.
+  TraceSink* trace = nullptr;
   std::uint64_t seed = 1;
   /// Sampler batches to draw (the flattened instances of these batches form
   /// the arrival stream) — same workload volume as a sequential run with

@@ -8,11 +8,8 @@
 
 namespace drhw {
 
-namespace {
-
-/// Writes `label` into row[a..b) as a bracketed box, truncating the label.
-void draw_box(std::string& row, int a, int b, const std::string& label,
-              char fill) {
+void gantt_draw_box(std::string& row, int a, int b, const std::string& label,
+                    char fill) {
   if (b <= a) b = a + 1;
   for (int i = a; i < b && i < static_cast<int>(row.size()); ++i)
     row[static_cast<std::size_t>(i)] = fill;
@@ -23,8 +20,6 @@ void draw_box(std::string& row, int a, int b, const std::string& label,
   for (int i = 0; i < len && at + i < static_cast<int>(row.size()); ++i)
     row[static_cast<std::size_t>(at + i)] = label[static_cast<std::size_t>(i)];
 }
-
-}  // namespace
 
 std::string render_gantt(const SubtaskGraph& graph, const Placement& placement,
                          const EvalResult& eval, const GanttOptions& options) {
@@ -46,12 +41,12 @@ std::string render_gantt(const SubtaskGraph& graph, const Placement& placement,
                                     static_cast<time_us>(options.init_loads.size());
   for (std::size_t i = 0; i < options.init_loads.size(); ++i) {
     const time_us a = static_cast<time_us>(i) * latency;
-    draw_box(port, x(a), x(a + latency),
+    gantt_draw_box(port, x(a), x(a + latency),
              "I" + std::to_string(options.init_loads[i]), '#');
   }
   for (std::size_t s = 0; s < graph.size(); ++s) {
     if (eval.load_start[s] == k_no_time) continue;
-    draw_box(port, x(options.init_duration + eval.load_start[s]),
+    gantt_draw_box(port, x(options.init_duration + eval.load_start[s]),
              x(options.init_duration + eval.load_end[s]),
              "L" + std::to_string(s), '#');
   }
@@ -62,7 +57,7 @@ std::string render_gantt(const SubtaskGraph& graph, const Placement& placement,
     std::string row = empty;
     for (SubtaskId s : seq) {
       const auto idx = static_cast<std::size_t>(s);
-      draw_box(row, x(options.init_duration + eval.exec_start[idx]),
+      gantt_draw_box(row, x(options.init_duration + eval.exec_start[idx]),
                x(options.init_duration + eval.exec_end[idx]),
                graph.subtask(s).name, '=');
     }

@@ -26,4 +26,10 @@ struct GanttOptions {
 std::string render_gantt(const SubtaskGraph& graph, const Placement& placement,
                          const EvalResult& eval, const GanttOptions& options = {});
 
+/// Writes `label` into row[a..b) as a `fill`-filled box with the label
+/// overlaid centred, truncating what does not fit. Shared by this renderer
+/// and the trace timeline renderer (trace/render.cpp).
+void gantt_draw_box(std::string& row, int a, int b, const std::string& label,
+                    char fill);
+
 }  // namespace drhw

@@ -1,0 +1,186 @@
+/// \file reader.cpp
+/// Trace ingestion for both encodings. The format is sniffed from the
+/// first bytes (the binary magic), so callers never pass a format flag.
+/// Forward compatibility: unknown JSONL keys and event names, and unknown
+/// framed binary record kinds, are skipped; a missing footer leaves
+/// has_live false (truncated traces still read and render).
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "trace/trace_detail.hpp"
+#include "util/json.hpp"
+
+namespace drhw {
+
+namespace {
+
+constexpr std::size_t k_known_kinds =
+    static_cast<std::size_t>(TraceEvent::Kind::run_end) + 1;
+// Fixed part of a binary event payload, before the tile list.
+constexpr std::size_t k_fixed_payload = 88;
+
+TraceEvent event_from_json(const json::Value& obj, TraceEvent::Kind kind) {
+  auto num = [&](const char* key, double fallback) {
+    const json::Value* v = obj.find(key);
+    return v != nullptr ? v->number : fallback;
+  };
+  TraceEvent ev;
+  ev.kind = kind;
+  ev.t = static_cast<time_us>(num("t", 0.0));
+  ev.job = static_cast<std::int32_t>(num("job", -1.0));
+  ev.subtask = static_cast<std::int32_t>(num("sub", -1.0));
+  ev.prep = static_cast<std::int32_t>(num("prep", -1.0));
+  ev.config = static_cast<std::int64_t>(num("cfg", -1.0));
+  ev.unit = static_cast<std::int32_t>(num("unit", -1.0));
+  ev.duration = static_cast<time_us>(num("dur", 0.0));
+  ev.src = static_cast<std::int32_t>(num("src", -1.0));
+  ev.dst = static_cast<std::int32_t>(num("dst", -1.0));
+  ev.loads = static_cast<std::int64_t>(num("loads", 0.0));
+  ev.aux = static_cast<std::int64_t>(num("aux", 0.0));
+  ev.init = static_cast<std::int64_t>(num("init", 0.0));
+  ev.deadline = static_cast<time_us>(
+      num("dl", static_cast<double>(k_no_time)));
+  ev.value = num("val", 0.0);
+  if (const json::Value* tiles = obj.find("tiles"))
+    for (const json::Value& v : tiles->items)
+      ev.tiles.push_back(static_cast<PhysTileId>(v.number));
+  return ev;
+}
+
+TraceData read_jsonl(const std::string& text) {
+  TraceData trace;
+  std::istringstream in(text);
+  std::string line;
+  bool have_header = false;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (!have_header) {
+      trace.header = trace_detail::header_from_json(line);
+      have_header = true;
+      continue;
+    }
+    const json::Value obj = json::parse(
+        line, "trace line " + std::to_string(line_no));
+    if (const json::Value* report = obj.find("report")) {
+      // Re-parse the member through the bit-exact report reader. The
+      // footer is the last line; anything after it would be malformed.
+      (void)report;
+      const std::size_t at = line.find("\"report\":");
+      const std::string body =
+          line.substr(at + 9, line.rfind('}') - (at + 9));
+      trace.live = online_report_from_json(body);
+      trace.has_live = true;
+      continue;
+    }
+    const json::Value* name = obj.find("ev");
+    if (name == nullptr)
+      throw std::invalid_argument("trace line " + std::to_string(line_no) +
+                                  ": neither an event nor the footer");
+    TraceEvent::Kind kind{};
+    if (!trace_detail::kind_from_string(name->text, kind))
+      continue;  // an event kind from a newer writer
+    trace.events.push_back(event_from_json(obj, kind));
+  }
+  if (!have_header)
+    throw std::invalid_argument("trace: empty file (no header line)");
+  return trace;
+}
+
+TraceEvent event_from_binary(const unsigned char* p, std::size_t len,
+                             TraceEvent::Kind kind) {
+  namespace td = trace_detail;
+  if (len < k_fixed_payload + 2)
+    throw std::invalid_argument("trace: truncated binary event payload");
+  TraceEvent ev;
+  ev.kind = kind;
+  ev.t = td::get_i64(p);
+  ev.job = td::get_i32(p + 8);
+  ev.subtask = td::get_i32(p + 12);
+  ev.prep = td::get_i32(p + 16);
+  ev.config = td::get_i64(p + 20);
+  ev.unit = td::get_i32(p + 28);
+  ev.duration = td::get_i64(p + 32);
+  ev.src = td::get_i32(p + 40);
+  ev.dst = td::get_i32(p + 44);
+  ev.loads = td::get_i64(p + 48);
+  ev.aux = td::get_i64(p + 56);
+  ev.init = td::get_i64(p + 64);
+  ev.deadline = td::get_i64(p + 72);
+  ev.value = td::get_f64(p + 80);
+  const std::uint16_t n_tiles = td::get_u16(p + 88);
+  if (len < k_fixed_payload + 2 + 4ull * n_tiles)
+    throw std::invalid_argument("trace: binary event tile list truncated");
+  ev.tiles.reserve(n_tiles);
+  for (std::uint16_t i = 0; i < n_tiles; ++i)
+    ev.tiles.push_back(td::get_i32(p + 90 + 4 * i));
+  return ev;
+}
+
+TraceData read_binary(const std::string& text) {
+  namespace td = trace_detail;
+  const auto* data = reinterpret_cast<const unsigned char*>(text.data());
+  const std::size_t size = text.size();
+  std::size_t at = sizeof(td::k_magic);
+  if (size < at + 4)
+    throw std::invalid_argument("trace: binary header frame truncated");
+  const std::uint32_t header_len = td::get_u32(data + at);
+  at += 4;
+  if (size < at + header_len)
+    throw std::invalid_argument("trace: binary header truncated");
+  TraceData trace;
+  trace.header = td::header_from_json(
+      std::string(text, at, header_len));
+  at += header_len;
+  while (at < size) {
+    const std::uint8_t kind_byte = data[at];
+    ++at;
+    if (kind_byte == td::k_footer_kind) {
+      if (size < at + 4)
+        throw std::invalid_argument("trace: binary footer frame truncated");
+      const std::uint32_t report_len = td::get_u32(data + at);
+      at += 4;
+      if (size < at + report_len)
+        throw std::invalid_argument("trace: binary footer truncated");
+      trace.live = online_report_from_json(
+          std::string(text, at, report_len));
+      trace.has_live = true;
+      at += report_len;
+      continue;
+    }
+    if (size < at + 2)
+      throw std::invalid_argument("trace: binary record frame truncated");
+    const std::uint16_t payload_len = td::get_u16(data + at);
+    at += 2;
+    if (size < at + payload_len)
+      throw std::invalid_argument("trace: binary record truncated");
+    if (kind_byte < k_known_kinds)
+      trace.events.push_back(event_from_binary(
+          data + at, payload_len, static_cast<TraceEvent::Kind>(kind_byte)));
+    at += payload_len;  // unknown kinds: skip the frame
+  }
+  return trace;
+}
+
+}  // namespace
+
+TraceData read_trace(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open())
+    throw std::runtime_error("trace: cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad())
+    throw std::runtime_error("trace: read from '" + path + "' failed");
+  const std::string text = buffer.str();
+  if (text.size() >= sizeof(trace_detail::k_magic) &&
+      std::memcmp(text.data(), trace_detail::k_magic,
+                  sizeof(trace_detail::k_magic)) == 0)
+    return read_binary(text);
+  return read_jsonl(text);
+}
+
+}  // namespace drhw

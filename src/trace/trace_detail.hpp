@@ -1,0 +1,107 @@
+#pragma once
+
+/// \file trace_detail.hpp
+/// Encoding constants and helpers shared by the trace writer
+/// (recorder.cpp) and reader (reader.cpp). Not part of the public API.
+///
+/// Binary layout (`drhw-trace-v1`, little-endian throughout):
+///   magic "DRHWTRC1"
+///   u32 header-length, header JSON bytes (same object as the JSONL
+///   header line)
+///   records: u8 kind, u16 payload-length, payload — the length frame is
+///   what lets a v1 reader skip record kinds a later writer added
+///   footer: u8 0xFF, u32 report-length, report JSON bytes
+/// Event payload field order: t i64, job i32, subtask i32, prep i32,
+/// config i64, unit i32, duration i64, src i32, dst i32, loads i64,
+/// aux i64, init i64, deadline i64, value f64, u16 tile-count, tiles i32
+/// each.
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace drhw::trace_detail {
+
+inline constexpr char k_magic[8] = {'D', 'R', 'H', 'W', 'T', 'R', 'C', '1'};
+inline constexpr std::uint8_t k_footer_kind = 0xFF;
+
+/// Reverse of to_string(TraceEvent::Kind). False on an unknown name —
+/// forward compatibility: JSONL readers drop such events.
+bool kind_from_string(const std::string& text, TraceEvent::Kind& out);
+
+// --- little-endian byte packing (shift-based: no aliasing, no
+// host-endianness dependence) ----------------------------------------------
+
+inline void put_u16(std::string& out, std::uint16_t v) {
+  out.push_back(static_cast<char>(v & 0xFF));
+  out.push_back(static_cast<char>((v >> 8) & 0xFF));
+}
+
+inline void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+inline void put_i32(std::string& out, std::int32_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v));
+}
+
+inline void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+inline void put_i64(std::string& out, std::int64_t v) {
+  put_u64(out, static_cast<std::uint64_t>(v));
+}
+
+inline void put_f64(std::string& out, double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u64(out, bits);
+}
+
+inline std::uint16_t get_u16(const unsigned char* p) {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+inline std::uint32_t get_u32(const unsigned char* p) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+inline std::int32_t get_i32(const unsigned char* p) {
+  return static_cast<std::int32_t>(get_u32(p));
+}
+
+inline std::uint64_t get_u64(const unsigned char* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+inline std::int64_t get_i64(const unsigned char* p) {
+  return static_cast<std::int64_t>(get_u64(p));
+}
+
+inline double get_f64(const unsigned char* p) {
+  const std::uint64_t bits = get_u64(p);
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+/// Header JSON object — shared verbatim between the JSONL first line and
+/// the binary header block.
+std::string header_to_json(const TraceHeader& header);
+TraceHeader header_from_json(const std::string& text);
+
+/// One event as a compact JSON object (default-valued fields omitted).
+std::string event_to_json(const TraceEvent& ev);
+/// Binary payload of one event (everything after the kind + length frame).
+std::string event_to_binary(const TraceEvent& ev);
+
+}  // namespace drhw::trace_detail

@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file workload_build.hpp
+/// Bridges the textual workload format onto the simulation kernels: builds
+/// SubtaskGraphs from a parsed WorkloadFile, prepares every variant for a
+/// platform (placement, weights, hybrid design), and exposes an
+/// IterationSampler with the same per-iteration draw structure as the
+/// built-in multimedia sampler — so a file whose mix weights are all 1
+/// reproduces the built-in mix draw-for-draw. The exporter goes the other
+/// way: it freezes the built-in multimedia mix into a WorkloadFile whose
+/// build is bit-identical to make_multimedia_workload (pinned by
+/// examples/workloads/multimedia_mix.dwl and its test).
+
+#include <memory>
+
+#include "graph/subtask_graph.hpp"
+#include "sim/system_sim.hpp"
+#include "sim/workloads.hpp"
+#include "wio/workload_format.hpp"
+
+namespace drhw {
+
+/// A WorkloadFile built against one platform: graphs are owned here
+/// (PreparedScenario keeps pointers into them), prepared[t][v] mirrors
+/// tasks[t].variants[v].
+struct FileWorkload {
+  std::vector<std::string> task_names;
+  std::vector<std::vector<SubtaskGraph>> graphs;
+  std::vector<std::vector<PreparedScenario>> prepared;
+  /// Normalized variant probabilities per task.
+  std::vector<std::vector<double>> probabilities;
+  /// Effective include probability per task: include_prob * weight,
+  /// clamped to [0, 1]. Tasks absent from a non-empty mix get 0.
+  std::vector<double> task_include_prob;
+  bool has_arrivals = false;
+  ArrivalProcess arrivals;
+};
+
+/// Builds (finalizes + prepares + harmonizes) every task of `file` for
+/// `platform`. Throws std::invalid_argument on graph-level problems the
+/// parser cannot see (the parser already rejects cycles and bad ids).
+std::unique_ptr<FileWorkload> build_file_workload(
+    const WorkloadFile& file, const PlatformConfig& platform,
+    const HybridDesignOptions& design = {});
+
+/// Per-iteration sampler over the file's tasks; identical RNG-call
+/// structure to multimedia_sampler (shuffle, per-task include draw,
+/// variant draw, at-least-one fallback).
+IterationSampler file_workload_sampler(const FileWorkload& workload);
+
+/// Freezes a built multimedia workload into the textual format. Every
+/// node carries its explicit post-finalize config id, so building the
+/// file reproduces the in-code workload bit-for-bit.
+WorkloadFile workload_file_from_multimedia(const MultimediaWorkload& workload);
+
+}  // namespace drhw

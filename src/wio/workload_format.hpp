@@ -1,0 +1,140 @@
+#pragma once
+
+/// \file workload_format.hpp
+/// Textual workload format `drhw-workload-v1` (.dwl files): a versioned,
+/// line-oriented description of a task mix — per-task DAG variants with
+/// execution latencies, DRHW/ISP mapping, configuration ids, energies and
+/// optional real-time attributes, plus a mix section (per-task weights,
+/// iteration include probability) and an optional arrival-process
+/// override. This is the ingestion side of the workload ecosystem: the
+/// campaign runner and `drhw_sched online` accept `--workload FILE`
+/// anywhere a built-in workload name is accepted, the fuzz generator
+/// (wio/fuzz.hpp) emits it, and the exporter (wio/workload_build.hpp)
+/// writes the built-in multimedia mix into it bit-identically.
+///
+/// Grammar (one statement per line, `#` starts a comment, blank lines are
+/// ignored; the first statement must be the version header):
+///
+///   drhw-workload-v1
+///   configs <count>              # shared configuration space, optional
+///   arrivals <kind>              # optional override: poisson | bursty |
+///     rate <per_s>               #   closed_loop | periodic | sporadic
+///     burst <n>
+///     gap <us>
+///     think <us>
+///     period <us>
+///   end
+///   mix                          # optional; defaults: every task weight 1
+///     include_prob <p>
+///     use <task> <weight>
+///   end
+///   task <name>
+///     variant <name> <prob>
+///       rt <deadline_us> <period_us> <crit>     # optional
+///       node <name> <exec_us> <drhw|isp> [cfg <id>] [energy <e>] [load <us>]
+///       edge <from> <to>
+///     end
+///   end
+///
+/// The parser reports every diagnostic with line and column: unknown keys,
+/// duplicate node ids, dangling config references (cfg outside the
+/// declared `configs` space), dangling edge endpoints, DAG cycles, and
+/// truncation (EOF inside an open block). The writer emits a canonical
+/// byte-stable form: write(parse(write(x))) == write(x), which is what the
+/// fuzz determinism tests and the committed-file round-trip tests pin.
+
+#include <string>
+#include <vector>
+
+#include "sim/event_sim.hpp"
+#include "util/ids.hpp"
+#include "util/time.hpp"
+
+namespace drhw {
+
+inline constexpr const char* k_workload_schema = "drhw-workload-v1";
+
+/// Parse diagnostic with position. what() is "<line>:<col>: <message>"
+/// (1-based), or "<path>:<line>:<col>: <message>" when thrown by
+/// load_workload_file(). The CLI maps this exception type to exit code 2.
+class WioParseError : public std::runtime_error {
+ public:
+  WioParseError(int line, int column, const std::string& message)
+      : WioParseError("", line, column, message) {}
+  WioParseError(const std::string& path, int line, int column,
+                const std::string& message)
+      : std::runtime_error((path.empty() ? "" : path + ":") +
+                           std::to_string(line) + ":" +
+                           std::to_string(column) + ": " + message),
+        line_(line),
+        column_(column),
+        message_(message) {}
+  int line() const { return line_; }
+  int column() const { return column_; }
+  /// The diagnostic without the position prefix.
+  const std::string& message() const { return message_; }
+
+ private:
+  int line_ = 0;
+  int column_ = 0;
+  std::string message_;
+};
+
+struct WorkloadNode {
+  std::string name;
+  time_us exec_us = 0;
+  bool isp = false;
+  ConfigId config = k_no_config;  ///< k_no_config = fresh unique at build
+  double energy = 0.0;
+  time_us load_us = k_no_time;  ///< k_no_time = platform default latency
+};
+
+/// Edge by node names (within one variant).
+struct WorkloadEdge {
+  std::string from;
+  std::string to;
+};
+
+struct WorkloadVariant {
+  std::string name;
+  double probability = 1.0;
+  bool has_rt = false;
+  RtAttributes rt;
+  std::vector<WorkloadNode> nodes;
+  std::vector<WorkloadEdge> edges;
+};
+
+struct WorkloadTask {
+  std::string name;
+  std::vector<WorkloadVariant> variants;
+};
+
+struct WorkloadMixEntry {
+  std::string task;
+  double weight = 1.0;
+};
+
+/// Parsed model of one .dwl file.
+struct WorkloadFile {
+  /// Size of the shared configuration space; -1 = none declared (every
+  /// node's `cfg` must then be absent).
+  int configs = -1;
+  bool has_arrivals = false;
+  ArrivalProcess arrivals;
+  double include_prob = 0.8;
+  /// Mix entries in declaration order; empty = every task, weight 1.
+  std::vector<WorkloadMixEntry> mix;
+  std::vector<WorkloadTask> tasks;
+};
+
+/// Parses `text`. Throws WioParseError with line/column on any problem.
+WorkloadFile parse_workload(const std::string& text);
+
+/// Reads and parses a file. Throws std::runtime_error on I/O failure and
+/// WioParseError (message prefixed with the path) on parse failure.
+WorkloadFile load_workload_file(const std::string& path);
+
+/// Canonical byte-stable serialisation (see file comment).
+std::string write_workload(const WorkloadFile& file);
+
+}  // namespace drhw

@@ -1,0 +1,182 @@
+// Trace subsystem (src/trace): recorder round trips in both encodings,
+// replay verification against the live report (the subsystem's core
+// contract), encoding equivalence, forward-compat reader behaviour, and
+// renderer smoke checks. The contended scenario deliberately turns on
+// every accounting feature — defragmentation, shared ISPs, deadlines,
+// preemptive checkpointing — so every event kind is exercised.
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "sim/workloads.hpp"
+#include "trace/trace.hpp"
+
+namespace drhw {
+namespace {
+
+// An online run contended enough to emit every event kind: bursty
+// arrivals over a small tile pool with contiguous placement + defrag,
+// shared ISPs, deadlines tight enough to miss, and preemption on.
+OnlineSimOptions contended_options(const PlatformConfig& platform) {
+  OnlineSimOptions options;
+  options.platform = platform;
+  options.policy = PolicySpec("hybrid");
+  options.arrivals.kind = ArrivalProcess::Kind::bursty;
+  options.arrivals.rate_per_s = 120.0;
+  options.arrivals.burst_size = 4;
+  options.pool.contiguous = true;
+  options.pool.defrag = true;
+  options.shared_isps = true;
+  options.deadline_scale = 1.05;
+  options.preempt = true;
+  options.seed = 11;
+  options.iterations = 120;
+  return options;
+}
+
+struct TracedRun {
+  OnlineReport live;
+  TraceData trace;
+};
+
+TracedRun record_run(const std::string& path, TraceFormat format) {
+  const auto platform = virtex2_platform(4);
+  const auto workload = make_multimedia_workload(platform);
+  OnlineSimOptions options = contended_options(platform);
+  TraceRecorder recorder(path, format, options);
+  options.trace = &recorder;
+  const OnlineReport live =
+      run_online_simulation(options, multimedia_sampler(*workload, 0.8));
+  recorder.finish(live);
+  return {live, read_trace(path)};
+}
+
+TEST(Trace, JsonlRoundTripVerifies) {
+  const std::string path = testing::TempDir() + "/trace_roundtrip.jsonl";
+  const TracedRun run = record_run(path, TraceFormat::jsonl);
+  ASSERT_TRUE(run.trace.has_live);
+  EXPECT_EQ(run.trace.header.schema, k_trace_schema);
+  EXPECT_EQ(run.trace.header.policy, "hybrid");
+  EXPECT_EQ(run.trace.header.queue_backend, "calendar");
+  EXPECT_FALSE(run.trace.events.empty());
+  EXPECT_EQ(run.trace.events.back().kind, TraceEvent::Kind::run_end);
+  const auto mismatches = verify_trace(run.trace);
+  EXPECT_TRUE(mismatches.empty())
+      << mismatches.size() << " mismatch(es), first: " << mismatches.front();
+}
+
+TEST(Trace, BinaryRoundTripVerifies) {
+  const std::string path = testing::TempDir() + "/trace_roundtrip.bin";
+  const TracedRun run = record_run(path, TraceFormat::binary);
+  ASSERT_TRUE(run.trace.has_live);
+  const auto mismatches = verify_trace(run.trace);
+  EXPECT_TRUE(mismatches.empty())
+      << mismatches.size() << " mismatch(es), first: " << mismatches.front();
+}
+
+TEST(Trace, EncodingsCarryTheSameStream) {
+  const std::string jsonl_path = testing::TempDir() + "/trace_eq.jsonl";
+  const std::string binary_path = testing::TempDir() + "/trace_eq.bin";
+  const TracedRun a = record_run(jsonl_path, TraceFormat::jsonl);
+  const TracedRun b = record_run(binary_path, TraceFormat::binary);
+  ASSERT_EQ(a.trace.events.size(), b.trace.events.size());
+  // Same run, two encodings: the replayed reports must agree bitwise.
+  EXPECT_EQ(online_report_to_json(replay_trace(a.trace)),
+            online_report_to_json(replay_trace(b.trace)));
+  EXPECT_EQ(online_report_to_json(a.trace.live),
+            online_report_to_json(b.trace.live));
+}
+
+TEST(Trace, ContendedRunEmitsTheFullEventVocabulary) {
+  const std::string path = testing::TempDir() + "/trace_vocab.jsonl";
+  const TracedRun run = record_run(path, TraceFormat::jsonl);
+  bool seen[19] = {};
+  for (const TraceEvent& ev : run.trace.events)
+    seen[static_cast<int>(ev.kind)] = true;
+  for (const TraceEvent::Kind kind :
+       {TraceEvent::Kind::arrival, TraceEvent::Kind::admit,
+        TraceEvent::Kind::load_start, TraceEvent::Kind::load_done,
+        TraceEvent::Kind::exec_start, TraceEvent::Kind::exec_done,
+        TraceEvent::Kind::retire, TraceEvent::Kind::frag,
+        TraceEvent::Kind::run_end})
+    EXPECT_TRUE(seen[static_cast<int>(kind)]) << to_string(kind);
+}
+
+TEST(Trace, TruncatedTraceHasNoFooterAndVerifyThrows) {
+  const std::string path = testing::TempDir() + "/trace_full.jsonl";
+  record_run(path, TraceFormat::jsonl);
+  // Chop the footer (the last line) off.
+  std::ifstream in(path);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  in.close();
+  const auto cut = text.rfind("\n{", text.size() - 2);
+  ASSERT_NE(cut, std::string::npos);
+  const std::string truncated_path = testing::TempDir() + "/trace_cut.jsonl";
+  std::ofstream out(truncated_path, std::ios::trunc);
+  out << text.substr(0, cut + 1);
+  out.close();
+
+  const TraceData trace = read_trace(truncated_path);
+  EXPECT_FALSE(trace.has_live);
+  EXPECT_FALSE(trace.events.empty());
+  EXPECT_THROW(verify_trace(trace), std::invalid_argument);
+}
+
+TEST(Trace, ReaderSkipsUnknownJsonlEventKinds) {
+  const std::string path = testing::TempDir() + "/trace_fwd.jsonl";
+  const TracedRun run = record_run(path, TraceFormat::jsonl);
+  // Splice a from-the-future event after the header line; the reader must
+  // ignore it (extension policy: unknown kinds skip, not fail).
+  std::ifstream in(path);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  in.close();
+  const auto first_newline = text.find('\n');
+  ASSERT_NE(first_newline, std::string::npos);
+  std::string spliced = text.substr(0, first_newline + 1) +
+                        "{\"ev\":\"quantum_teleport\",\"t\":1}\n" +
+                        text.substr(first_newline + 1);
+  const std::string spliced_path = testing::TempDir() + "/trace_fwd2.jsonl";
+  std::ofstream out(spliced_path, std::ios::trunc);
+  out << spliced;
+  out.close();
+
+  const TraceData trace = read_trace(spliced_path);
+  EXPECT_EQ(trace.events.size(), run.trace.events.size());
+  EXPECT_TRUE(verify_trace(trace).empty());
+}
+
+TEST(Trace, RenderersProduceOutput) {
+  const std::string path = testing::TempDir() + "/trace_render.jsonl";
+  const TracedRun run = record_run(path, TraceFormat::jsonl);
+
+  const std::string ascii = render_trace_ascii(run.trace);
+  EXPECT_NE(ascii.find("P0"), std::string::npos);  // a port lane
+  EXPECT_NE(ascii.find("T0"), std::string::npos);  // a tile lane
+  EXPECT_NE(ascii.find('#'), std::string::npos);   // at least one load box
+
+  const std::string svg = render_trace_svg(run.trace);
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("<rect"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+
+  // Windowed render stays well-formed.
+  TraceRenderOptions window;
+  window.width = 40;
+  window.from = run.trace.events.back().t / 4;
+  window.until = run.trace.events.back().t / 2;
+  EXPECT_FALSE(render_trace_ascii(run.trace, window).empty());
+}
+
+TEST(Trace, ReportJsonRoundTripIsBitExact) {
+  const std::string path = testing::TempDir() + "/trace_json.jsonl";
+  const TracedRun run = record_run(path, TraceFormat::jsonl);
+  const std::string json = online_report_to_json(run.live);
+  EXPECT_EQ(online_report_to_json(online_report_from_json(json)), json);
+}
+
+}  // namespace
+}  // namespace drhw

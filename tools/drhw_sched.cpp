@@ -9,6 +9,9 @@
 //   drhw_sched dot <graph.json>             Graphviz export
 //   drhw_sched campaign [opts]              run a scenario campaign
 //   drhw_sched online [opts]                online (event-driven) simulation
+//   drhw_sched genwork [opts]               generate fuzzed .dwl workloads
+//   drhw_sched trace info|verify|render F   inspect / replay-verify / render
+//                                           a recorded trace
 //   drhw_sched list-policies                print the registered prefetch
 //                                           policies (also available as a
 //                                           --list-policies flag on the
@@ -27,12 +30,24 @@
 //   --threads N        worker threads (default: hardware concurrency)
 //   --iterations N     override the per-scenario iteration count
 //   --seed S           base RNG seed for the built-in registry
+//   --workload FILE    replace the built-in registry with one scenario
+//                      family per .dwl workload file (family "file/<stem>",
+//                      online mode, one scenario per registered policy;
+//                      repeatable)
+//   --workload-dir DIR same, over every .dwl file in DIR (sorted by name)
+//   --queue B          calendar | heap event-queue backend for the file
+//                      scenarios (default calendar)
 //   --json FILE        write the full JSON report
 //   --csv FILE         write the per-scenario CSV report
 //   --quiet            suppress per-scenario progress lines
 //
 // Options for `online` (one row per approach, shared arrival stream):
-//   --workload W       multimedia | pocket_gl (default multimedia)
+//   --workload W       multimedia | pocket_gl | a .dwl workload file
+//                      (default multimedia; a file's arrivals block is
+//                      applied unless arrival flags are given)
+//   --trace FILE       record a structured event trace (drhw-trace-v1) of
+//                      the run; needs exactly one --approach
+//   --trace-format F   jsonl | binary trace encoding (default jsonl)
 //   --tiles N          DRHW tiles (default 16)
 //   --latency-us L     reconfiguration latency in us (default 4000)
 //   --ports N          reconfiguration ports (default 1)
@@ -77,11 +92,31 @@
 //   --approach P       restrict to one policy, by registered name with
 //                      optional parameters, e.g. hybrid[intertask=0]
 //                      (default: every registered policy)
+//
+// Options for `genwork` (seeded workload fuzzer):
+//   --out DIR          output directory (created; default ".")
+//   --count N          number of workload files (default 10)
+//   --seed S           base seed; file i uses seed S + i (default 1)
+//   --tasks N          tasks per workload (default 4)
+//   --variants N       scenario variants per task (default 2)
+//   --configs N        shared configuration space (default 16)
+//   --min-nodes N      minimum DAG nodes per task (default 3)
+//   --max-nodes N      maximum DAG nodes per task (default 10)
+//
+// Options for `trace render`:
+//   --format F         ascii | svg (default ascii)
+//   --out FILE         write the rendering to FILE instead of stdout
+//   --width N          timeline width in characters / pixels
+//   --from-us T        window start in simulated us (default 0)
+//   --until-us T       window end in simulated us (default: the horizon)
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <utility>
@@ -102,7 +137,11 @@
 #include "sim/event_sim.hpp"
 #include "sim/gantt.hpp"
 #include "sim/workloads.hpp"
+#include "trace/trace.hpp"
 #include "util/table.hpp"
+#include "wio/fuzz.hpp"
+#include "wio/workload_build.hpp"
+#include "wio/workload_format.hpp"
 
 namespace {
 
@@ -118,8 +157,9 @@ int usage() {
                "       drhw_sched campaign [--list] [--list-policies]"
                " [--dry-run]"
                " [--filter STR] [--threads N] [--iterations N] [--seed S]"
+               " [--workload FILE] [--workload-dir DIR] [--queue B]"
                " [--json FILE] [--csv FILE] [--quiet]\n"
-               "       drhw_sched online [--workload W] [--tiles N]"
+               "       drhw_sched online [--workload W|FILE.dwl] [--tiles N]"
                " [--latency-us L] [--ports N] [--arrivals K] [--rate R]"
                " [--burst N] [--think-us T] [--discipline D]"
                " [--isp N] [--isp-discipline D] [--period-us P]"
@@ -128,7 +168,31 @@ int usage() {
                " [--contiguous] [--defrag] [--window N] [--max-bypass N]"
                " [--sched-cost-us C]"
                " [--iterations N] [--seed S] [--queue B] [--perf]"
-               " [--approach P] [--list-policies]\n";
+               " [--trace FILE] [--trace-format F]"
+               " [--approach P] [--list-policies]\n"
+               "       drhw_sched genwork [--out DIR] [--count N] [--seed S]"
+               " [--tasks N] [--variants N] [--configs N]"
+               " [--min-nodes N] [--max-nodes N]\n"
+               "       drhw_sched trace info <trace>\n"
+               "       drhw_sched trace verify <trace>\n"
+               "       drhw_sched trace render <trace> [--format ascii|svg]"
+               " [--out FILE] [--width N] [--from-us T] [--until-us T]\n";
+  return 2;
+}
+
+/// Shared unknown-flag behaviour of the campaign/online/genwork/trace
+/// subcommands: usage plus the registered policy and arrival-kind lists,
+/// exit code 2.
+int usage_unknown(const char* subcommand, const std::string& flag) {
+  std::cerr << "error: unknown or incomplete option '" << flag
+            << "' for 'drhw_sched " << subcommand << "'\n";
+  usage();
+  std::cerr << "registered policies:\n";
+  for (const std::string& name : PolicyRegistry::instance().names())
+    std::cerr << "  " << name << "\n";
+  std::cerr << "registered arrival kinds:\n";
+  for (const std::string& name : arrival_kind_names())
+    std::cerr << "  " << name << "\n";
   return 2;
 }
 
@@ -291,12 +355,47 @@ struct CampaignCliOptions {
   int threads = 0;
   int iterations = 1000;
   std::uint64_t seed = 2005;
+  /// .dwl files (from --workload and --workload-dir). Non-empty replaces
+  /// the built-in registry with one "file/<stem>" family per file.
+  std::vector<std::string> workload_files;
+  QueueBackend queue_backend = QueueBackend::calendar;
   std::string json_path;
   std::string csv_path;
 };
 
+/// One scenario family per workload file: every registered prefetch policy
+/// over the file's mix under online arrivals (the file's own arrivals
+/// block when present).
+ScenarioRegistry file_registry(const CampaignCliOptions& cli) {
+  ScenarioRegistry registry;
+  for (const std::string& path : cli.workload_files) {
+    // Parse up front: a bad file should fail before any simulation, with
+    // its line/column diagnostic (exit 2 via the WioParseError handler).
+    const WorkloadFile workload = load_workload_file(path);
+    const std::string stem = std::filesystem::path(path).stem().string();
+    for (const std::string& policy : PolicyRegistry::instance().names()) {
+      Scenario s;
+      s.name = "file/" + stem + "/" + policy;
+      s.family = "file/" + stem;
+      s.workload = WorkloadKind::file;
+      s.workload_file = path;
+      s.mode = ScenarioMode::online;
+      s.sim.policy = PolicySpec{policy};
+      s.sim.iterations = cli.iterations;
+      s.sim.seed = cli.seed;
+      if (workload.has_arrivals) s.arrivals = workload.arrivals;
+      s.queue_backend = cli.queue_backend;
+      registry.add(std::move(s));
+    }
+  }
+  return registry;
+}
+
 int cmd_campaign(const CampaignCliOptions& cli) {
-  const auto registry = ScenarioRegistry::builtin(cli.iterations, cli.seed);
+  const auto registry = cli.workload_files.empty()
+                            ? ScenarioRegistry::builtin(cli.iterations,
+                                                        cli.seed)
+                            : file_registry(cli);
   const std::vector<Scenario> scenarios = registry.match(cli.filter);
   if (scenarios.empty()) {
     std::cerr << "no scenario matches filter '" << cli.filter << "'\n";
@@ -415,7 +514,19 @@ struct OnlineCliOptions {
   bool perf = false;
   /// Policies to run, one table row each; empty = every registered policy.
   std::vector<PolicySpec> policies;
+  /// Set when any arrival flag was given; a .dwl workload's arrivals block
+  /// then stays overridden by the command line.
+  bool user_arrivals = false;
+  /// Record a structured event trace to this path (needs exactly one
+  /// approach, so the trace maps to one report).
+  std::string trace_path;
+  TraceFormat trace_format = TraceFormat::jsonl;
 };
+
+bool ends_with(const std::string& text, const std::string& suffix) {
+  return text.size() >= suffix.size() &&
+         text.compare(text.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
 
 ReplacementPolicy replacement_from_string(const std::string& text) {
   for (ReplacementPolicy policy :
@@ -428,17 +539,17 @@ ReplacementPolicy replacement_from_string(const std::string& text) {
       "' (use lru, weight, critical-first, random or oracle)");
 }
 
-int cmd_online(const OnlineCliOptions& cli) {
+int cmd_online(OnlineCliOptions cli) {
   PlatformConfig platform = virtex2_platform(cli.tiles);
   platform.reconfig_latency = cli.latency;
   platform.reconfig_ports = cli.ports;
   if (cli.shared_isps > 0) platform.isps = cli.shared_isps;
   platform.validate();
-  cli.arrivals.validate();
   cli.pool.validate();
 
   std::unique_ptr<MultimediaWorkload> multimedia;
   std::unique_ptr<PocketGlWorkload> pocket_gl;
+  std::unique_ptr<FileWorkload> file_workload;
   IterationSampler sampler;
   if (cli.workload == "multimedia") {
     multimedia = make_multimedia_workload(platform);
@@ -446,10 +557,17 @@ int cmd_online(const OnlineCliOptions& cli) {
   } else if (cli.workload == "pocket_gl") {
     pocket_gl = make_pocket_gl_workload(platform);
     sampler = pocket_gl_task_sampler(*pocket_gl);
+  } else if (ends_with(cli.workload, ".dwl")) {
+    const WorkloadFile workload = load_workload_file(cli.workload);
+    if (workload.has_arrivals && !cli.user_arrivals)
+      cli.arrivals = workload.arrivals;
+    file_workload = build_file_workload(workload, platform);
+    sampler = file_workload_sampler(*file_workload);
   } else {
-    throw std::invalid_argument("online workload must be multimedia or "
-                                "pocket_gl");
+    throw std::invalid_argument("online workload must be multimedia, "
+                                "pocket_gl or a .dwl file");
   }
+  cli.arrivals.validate();
 
   std::cout << "online simulation: " << cli.workload << ", " << cli.tiles
             << " tiles, " << cli.ports << " port(s), "
@@ -474,6 +592,12 @@ int cmd_online(const OnlineCliOptions& cli) {
   if (policies.empty())
     for (const std::string& name : PolicyRegistry::instance().names())
       policies.emplace_back(name);
+  if (!cli.trace_path.empty() && policies.size() != 1) {
+    std::cerr << "error: --trace records one run; pick exactly one "
+                 "--approach (got "
+              << policies.size() << ")\n";
+    return 2;
+  }
 
   TablePrinter table({"policy", "instances", "overhead", "reuse",
                       "response mean", "response p95", "queueing mean",
@@ -504,7 +628,18 @@ int cmd_online(const OnlineCliOptions& cli) {
     options.preempt = cli.preempt;
     options.seed = cli.seed;
     options.iterations = cli.iterations;
+    std::unique_ptr<TraceRecorder> recorder;
+    if (!cli.trace_path.empty()) {
+      recorder = std::make_unique<TraceRecorder>(cli.trace_path,
+                                                 cli.trace_format, options);
+      options.trace = recorder.get();
+    }
     const OnlineReport report = run_online_simulation(options, sampler);
+    if (recorder) {
+      recorder->finish(report);
+      std::cerr << "trace: " << cli.trace_path << " ("
+                << to_string(cli.trace_format) << ")\n";
+    }
     if (cli.deadline_scale > 0.0)
       deadline_table.add_row({to_string(policy),
                               std::to_string(report.deadline_jobs),
@@ -538,6 +673,96 @@ int cmd_online(const OnlineCliOptions& cli) {
     std::cout << "\nperf counters: " << name << " ("
               << to_string(cli.queue_backend) << " queue)\n"
               << summary;
+  return 0;
+}
+
+struct GenworkCliOptions {
+  std::string out_dir = ".";
+  int count = 10;
+  /// Shape of every generated workload; `seed` is the base seed (file i
+  /// uses seed + i, and the seed is part of the file name, so a directory
+  /// of fuzzed workloads is reproducible from the command line alone).
+  FuzzWorkloadOptions fuzz;
+};
+
+int cmd_genwork(const GenworkCliOptions& cli) {
+  if (cli.count < 1)
+    throw std::invalid_argument("--count needs a positive value");
+  std::filesystem::create_directories(cli.out_dir);
+  for (int i = 0; i < cli.count; ++i) {
+    FuzzWorkloadOptions options = cli.fuzz;
+    options.seed = cli.fuzz.seed + static_cast<std::uint64_t>(i);
+    char name[32];
+    std::snprintf(name, sizeof(name), "fuzz%06llu.dwl",
+                  static_cast<unsigned long long>(options.seed));
+    const auto path = std::filesystem::path(cli.out_dir) / name;
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::invalid_argument("cannot write " + path.string());
+    out << fuzz_workload_text(options);
+  }
+  std::cout << cli.count << " workload(s) in " << cli.out_dir << " (seeds "
+            << cli.fuzz.seed << ".."
+            << (cli.fuzz.seed + static_cast<std::uint64_t>(cli.count) - 1)
+            << ")\n";
+  return 0;
+}
+
+int cmd_trace_info(const std::string& path) {
+  const TraceData trace = read_trace(path);
+  const TraceHeader& h = trace.header;
+  std::cout << "schema: " << h.schema << "\n"
+            << "policy: " << h.policy << ", " << h.arrivals << " arrivals, "
+            << h.queue_backend << " queue\n"
+            << "seed: " << h.seed << ", iterations: " << h.iterations << "\n"
+            << "platform: " << h.tiles << " tiles, " << h.reconfig_ports
+            << " port(s), " << h.isps << " isp(s), "
+            << fmt_ms(h.reconfig_latency, 1) << " ms reconfig\n"
+            << "preps: " << h.preps.size() << "\n"
+            << "events: " << trace.events.size() << "\n"
+            << "live report: " << (trace.has_live ? "present" : "absent")
+            << "\n";
+  return 0;
+}
+
+/// Replay-verifies a trace: re-derives the OnlineReport from the event
+/// stream and compares it bit-for-bit against the recorded live report.
+int cmd_trace_verify(const std::string& path) {
+  const TraceData trace = read_trace(path);
+  const std::vector<std::string> mismatches = verify_trace(trace);
+  if (mismatches.empty()) {
+    std::cout << "replay verified: " << trace.events.size()
+              << " events reproduce the live report bit-identically\n";
+    return 0;
+  }
+  std::cerr << "replay FAILED: " << mismatches.size() << " mismatch(es)\n";
+  for (const std::string& mismatch : mismatches)
+    std::cerr << "  " << mismatch << "\n";
+  return 1;
+}
+
+int cmd_trace_render(const std::string& path, const std::string& format,
+                     const std::string& out_path,
+                     const TraceRenderOptions& options) {
+  const TraceData trace = read_trace(path);
+  std::string rendering;
+  if (format == "ascii")
+    rendering = render_trace_ascii(trace, options);
+  else if (format == "svg")
+    rendering = render_trace_svg(trace, options);
+  else {
+    std::cerr << "error: unknown render format '" << format
+              << "' (expected ascii or svg)\n";
+    return 2;
+  }
+  if (out_path.empty()) {
+    std::cout << rendering;
+    return 0;
+  }
+  std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::invalid_argument("cannot write " + out_path);
+  out << rendering;
+  std::cout << "rendered " << trace.events.size() << " events to " << out_path
+            << "\n";
   return 0;
 }
 
@@ -583,8 +808,26 @@ int main(int argc, char** argv) {
           cli.json_path = args[++i];
         else if (arg == "--csv" && has_value)
           cli.csv_path = args[++i];
+        else if (arg == "--workload" && has_value)
+          cli.workload_files.push_back(args[++i]);
+        else if (arg == "--workload-dir" && has_value) {
+          const std::string dir = args[++i];
+          std::vector<std::string> found;
+          for (const auto& entry : std::filesystem::directory_iterator(dir))
+            if (entry.path().extension() == ".dwl")
+              found.push_back(entry.path().string());
+          // Directory iteration order is OS-dependent; sort for
+          // reproducible scenario names and report order.
+          std::sort(found.begin(), found.end());
+          if (found.empty())
+            throw std::invalid_argument("no .dwl files in '" + dir + "'");
+          cli.workload_files.insert(cli.workload_files.end(), found.begin(),
+                                    found.end());
+        }
+        else if (arg == "--queue" && has_value)
+          cli.queue_backend = queue_backend_from_string(args[++i]);
         else
-          return usage();
+          return usage_unknown("campaign", arg);
       }
       return cmd_campaign(cli);
     }
@@ -601,22 +844,32 @@ int main(int argc, char** argv) {
           cli.latency = std::stoll(args[++i]);
         else if (arg == "--ports" && has_value)
           cli.ports = std::stoi(args[++i]);
-        else if (arg == "--arrivals" && has_value)
+        else if (arg == "--arrivals" && has_value) {
           cli.arrivals.kind = parse_arrivals_arg(args[++i]);
-        else if (arg == "--rate" && has_value)
+          cli.user_arrivals = true;
+        }
+        else if (arg == "--rate" && has_value) {
           cli.arrivals.rate_per_s = std::stod(args[++i]);
-        else if (arg == "--period-us" && has_value)
+          cli.user_arrivals = true;
+        }
+        else if (arg == "--period-us" && has_value) {
           cli.arrivals.period_us = std::stoll(args[++i]);
+          cli.user_arrivals = true;
+        }
         else if (arg == "--deadline-scale" && has_value)
           cli.deadline_scale = std::stod(args[++i]);
         else if (arg == "--crit-fraction" && has_value)
           cli.crit_fraction = std::stod(args[++i]);
         else if (arg == "--preempt")
           cli.preempt = true;
-        else if (arg == "--burst" && has_value)
+        else if (arg == "--burst" && has_value) {
           cli.arrivals.burst_size = std::stoi(args[++i]);
-        else if (arg == "--think-us" && has_value)
+          cli.user_arrivals = true;
+        }
+        else if (arg == "--think-us" && has_value) {
           cli.arrivals.think_time = std::stoll(args[++i]);
+          cli.user_arrivals = true;
+        }
         else if (arg == "--discipline" && has_value)
           cli.discipline = port_discipline_from_string(args[++i]);
         else if (arg == "--isp" && has_value) {
@@ -661,14 +914,74 @@ int main(int argc, char** argv) {
           cli.queue_backend = queue_backend_from_string(args[++i]);
         else if (arg == "--perf")
           cli.perf = true;
+        else if (arg == "--trace" && has_value)
+          cli.trace_path = args[++i];
+        else if (arg == "--trace-format" && has_value)
+          cli.trace_format = trace_format_from_string(args[++i]);
         else if (arg == "--approach" && has_value)
           cli.policies.push_back(parse_policy_arg(args[++i]));
         else if (arg == "--list-policies")
           return cmd_list_policies();
         else
-          return usage();
+          return usage_unknown("online", arg);
       }
       return cmd_online(cli);
+    }
+    if (args[0] == "genwork") {
+      GenworkCliOptions cli;
+      for (std::size_t i = 1; i < args.size(); ++i) {
+        const std::string& arg = args[i];
+        const bool has_value = i + 1 < args.size();
+        if (arg == "--out" && has_value)
+          cli.out_dir = args[++i];
+        else if (arg == "--count" && has_value)
+          cli.count = std::stoi(args[++i]);
+        else if (arg == "--seed" && has_value)
+          cli.fuzz.seed = std::stoull(args[++i]);
+        else if (arg == "--tasks" && has_value)
+          cli.fuzz.tasks = std::stoi(args[++i]);
+        else if (arg == "--variants" && has_value)
+          cli.fuzz.variants = std::stoi(args[++i]);
+        else if (arg == "--configs" && has_value)
+          cli.fuzz.configs = std::stoi(args[++i]);
+        else if (arg == "--min-nodes" && has_value)
+          cli.fuzz.min_nodes = std::stoi(args[++i]);
+        else if (arg == "--max-nodes" && has_value)
+          cli.fuzz.max_nodes = std::stoi(args[++i]);
+        else
+          return usage_unknown("genwork", arg);
+      }
+      return cmd_genwork(cli);
+    }
+    if (args[0] == "trace") {
+      if (args.size() < 3) return usage();
+      const std::string& action = args[1];
+      const std::string& path = args[2];
+      if (action == "info") return cmd_trace_info(path);
+      if (action == "verify") return cmd_trace_verify(path);
+      if (action == "render") {
+        TraceRenderOptions options;
+        std::string format = "ascii";
+        std::string out_path;
+        for (std::size_t i = 3; i < args.size(); ++i) {
+          const std::string& arg = args[i];
+          const bool has_value = i + 1 < args.size();
+          if (arg == "--format" && has_value)
+            format = args[++i];
+          else if (arg == "--out" && has_value)
+            out_path = args[++i];
+          else if (arg == "--width" && has_value)
+            options.width = std::stoi(args[++i]);
+          else if (arg == "--from-us" && has_value)
+            options.from = std::stoll(args[++i]);
+          else if (arg == "--until-us" && has_value)
+            options.until = std::stoll(args[++i]);
+          else
+            return usage_unknown("trace", arg);
+        }
+        return cmd_trace_render(path, format, out_path, options);
+      }
+      return usage_unknown("trace", action);
     }
     if (args[0] == "info" && args.size() >= 2) return cmd_info(args[1]);
     if (args[0] == "dot" && args.size() >= 2) return cmd_dot(args[1]);
@@ -690,6 +1003,11 @@ int main(int argc, char** argv) {
       }
       return cmd_schedule(args[1], tiles, latency, ports, resident);
     }
+  } catch (const WioParseError& e) {
+    // Workload parse diagnostics carry line/column and map to the same
+    // exit code as flag misuse: the input was malformed, nothing ran.
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
